@@ -1,0 +1,92 @@
+// F10 -- the Section 6 reduction, executed: D's fake game against the real
+// game, measured on a tiny mock group where distributions are enumerable.
+//
+// Three measurements, mirroring the proof outline:
+//   (i)  (pk, challenge, sk2) marginals coincide between real and fake games
+//        (proof: "identical in aux and fake");
+//   (ii) Phi's marginal is close between real and fake (proof: "statistically
+//        close" -- in the fake game Phi is *uniform*, in the real game it is
+//        msk * prod a^s, which is statistically close to uniform by the
+//        leftover hash lemma);
+//   (iii) with uniform T the challenge is independent of the encrypted
+//        message (the adversary's advantage collapses to 0).
+// Plus the operational check: every fake period is protocol-consistent
+// (P2's formula reproduces c', which decrypts to the advice).
+#include <cmath>
+
+#include "analysis/fake_game.hpp"
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dlr;
+  using namespace dlr::bench;
+  using namespace dlr::analysis;
+
+  banner("F10: the Section 6 distinguisher's fake game vs the real game",
+         "paper Section 6 proof outline");
+
+  const std::uint64_t r = 101;
+  const auto gg = group::make_mock_tiny(r);
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+  const std::size_t trials = 3000;
+  crypto::Rng rng(1010);
+
+  EmpiricalDist real_s0, fake_s0, real_phi, fake_phi, chal_m0, chal_m1;
+  std::size_t consistent = 0, total_resamples = 0;
+
+  for (std::size_t i = 0; i < trials; ++i) {
+    auto sys = schemes::DlrSystem<group::MockGroup>::create(gg, prm,
+                                                            schemes::P1Mode::Plain, 90000 + i);
+    real_s0.add(sys.p2().share().s[0]);
+    real_phi.add(sys.p1().share().phi.v);
+
+    FakeGame fake(gg, prm, sample_bddh(gg, true, rng));
+    const auto p = fake.fake_period(rng);
+    fake_s0.add(p.sk2.s[0]);
+    fake_phi.add(p.sk1.phi.v);
+    consistent += fake.period_consistent(p) ? 1 : 0;
+    total_resamples += p.resamples;
+
+    // (iii) uniform-T challenges for two fixed messages.
+    FakeGame frand(gg, prm, sample_bddh(gg, false, rng));
+    chal_m0.add(gg.dlog_gt(frand.challenge(gg.gt_pow(gg.gt_gen(), 3)).b));
+    FakeGame frand2(gg, prm, sample_bddh(gg, false, rng));
+    chal_m1.add(gg.dlog_gt(frand2.challenge(gg.gt_pow(gg.gt_gen(), 77)).b));
+  }
+
+  const double crit = chi_square_critical_99(r - 1);
+  Table t({"measurement", "real game", "fake game", "SD(real, fake)", "verdict"});
+  t.row({"chi2(sk2[0] vs uniform)", fmt(real_s0.chi_square_uniform(r), 1),
+         fmt(fake_s0.chi_square_uniform(r), 1),
+         fmt(real_s0.statistical_distance(fake_s0), 4),
+         (real_s0.chi_square_uniform(r) < crit && fake_s0.chi_square_uniform(r) < crit)
+             ? "identical (i)"
+             : "MISMATCH"});
+  t.row({"chi2(Phi vs uniform)", fmt(real_phi.chi_square_uniform(r), 1),
+         fmt(fake_phi.chi_square_uniform(r), 1),
+         fmt(real_phi.statistical_distance(fake_phi), 4),
+         (real_phi.chi_square_uniform(r) < crit && fake_phi.chi_square_uniform(r) < crit)
+             ? "stat. close (ii)"
+             : "MISMATCH"});
+  t.row({"challenge.B, m0 vs m1 (T uniform)", fmt(chal_m0.chi_square_uniform(r), 1),
+         fmt(chal_m1.chi_square_uniform(r), 1),
+         fmt(chal_m0.statistical_distance(chal_m1), 4),
+         chal_m0.statistical_distance(chal_m1) < 0.2 ? "independent (iii)" : "MISMATCH"});
+  t.print();
+
+  std::printf("\nfake periods protocol-consistent: %zu/%zu; full-rank resamples: %zu\n",
+              consistent, trials, total_resamples);
+  std::printf(
+      "(the SD floor for %zu samples over %llu outcomes is ~%.3f; values at that\n"
+      "scale are sampling noise, exactly the proof's 'statistically close')\n",
+      trials, static_cast<unsigned long long>(r),
+      0.5 * std::sqrt(static_cast<double>(r) / trials));
+
+  std::printf(
+      "\nShape check: D simulates the challenger with a *uniform* sk1 and a\n"
+      "constraint-solved sk2, and nothing observable changes -- yet with a\n"
+      "random-T tuple the challenge carries zero information about m_b. An\n"
+      "adversary beating the real game therefore decides BDDH: Theorem 4.1(1).\n");
+  return consistent == trials ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// F11 -- the proactive-model contrast (paper Section 1.1 "historical remark"
+// and Section 1.2.2): classical 2-party proactive threshold ElGamal vs DLR,
+// compared on the axes that define the two adversary models:
+//
+//   * channel needed for refresh (private vs public);
+//   * what a public-channel transcript reveals about the share update;
+//   * tolerance of full compromise of one device;
+//   * tolerance of continual partial leakage of BOTH devices.
+//
+// The drift-tracking attack: against public-channel proactive refresh, an
+// adversary leaking only 8 bits/period (far below any bound) recovers the
+// share because the deltas on the wire let it normalize every leaked bit back
+// to period 0. Against DLR the refresh wire carries HPSKE ciphertexts and the
+// same budget achieves nothing (F3 measured that side).
+#include "bench_util.hpp"
+#include "group/mock_group.hpp"
+#include "schemes/dlr.hpp"
+#include "schemes/proactive_elgamal.hpp"
+
+int main() {
+  using namespace dlr;
+  using namespace dlr::bench;
+  using GG = group::MockGroup;
+
+  banner("F11: proactive threshold ElGamal vs DLR (model contrast)",
+         "paper Section 1.1 historical remark + Section 1.2.2");
+
+  const auto gg = group::make_mock();
+
+  // --- the drift-tracking attack against public-channel proactive refresh -----
+  const std::size_t window = 8;
+  const std::size_t share_bits = 8 * gg.sc_bytes();
+  std::size_t broke = 0;
+  const std::size_t trials = 50;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    schemes::ProactiveElGamal<GG> pe(gg, schemes::ChannelMode::Public, 11000 + trial);
+    Bytes acc(gg.sc_bytes(), 0);
+    std::uint64_t drift = 0;
+    const std::size_t periods = (share_bits + window - 1) / window;
+    for (std::size_t t = 0; t < periods; ++t) {
+      const auto secret = pe.p1_secret();
+      ByteReader r0(secret);
+      const auto x1_t = gg.sc_deser(r0);
+      const auto x1_0 = gg.sc_sub(x1_t, gg.sc_from_u64(drift));
+      ByteWriter w;
+      gg.sc_ser(w, x1_0);
+      for (std::size_t i = 0; i < window; ++i) {
+        const std::size_t pos = t * window + i;
+        if (pos >= share_bits) break;
+        if ((w.bytes()[pos / 8] >> (pos % 8)) & 1)
+          acc[pos / 8] |= static_cast<std::uint8_t>(1u << (pos % 8));
+      }
+      net::Channel ch;
+      pe.refresh(ch);
+      ByteReader r(ch.transcript().messages()[0].body);
+      drift = (drift + gg.sc_deser(r)) % gg.order_u64();
+    }
+    ByteReader r(acc);
+    const auto rec = gg.sc_add(gg.sc_deser(r), gg.sc_from_u64(drift));
+    broke += (rec == pe.compromise_p1()) ? 1 : 0;
+  }
+
+  Table t({"property", "proactive ElGamal", "DLR (this work)"});
+  t.row({"refresh channel required", "private (or extra PKE layer)",
+         "public (HPSKE inside the protocol)"});
+  t.row({"refresh transcript reveals", "the full share update delta",
+         "HPSKE ciphertexts only"});
+  t.row({"full compromise of one device", "tolerated (additive sharing)",
+         "tolerated (b2 = m2: all of P2 may leak)"});
+  t.row({"8-bit/period leakage + public wire",
+         std::to_string(broke) + "/" + std::to_string(trials) + " keys recovered",
+         "0 keys recovered (see F3)"});
+  t.row({"leakage model", "t-out-of-n corruption, periodic", "length-bounded leakage on "
+         "both devices, every period"});
+  t.print();
+
+  std::printf(
+      "\nShape check: with the refresh correlation visible on the wire, leaking\n"
+      "just 8 bits/period recovers the proactive share in %zu/%zu trials --\n"
+      "classical proactive refresh *presupposes a private channel*, which is\n"
+      "exactly the assumption the paper's distributed CML model removes. DLR's\n"
+      "refresh is itself a public-channel cryptographic protocol, which is why\n"
+      "the identical budget achieves nothing against it (F3).\n",
+      broke, trials);
+  return broke == trials ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// F1 -- leakage rate as a function of the leakage parameter lambda
+// (Theorem 4.1: b1 = (1 - c*n/(lambda + c*n)) * m1, i.e. rho1 -> 1 - o(1)).
+//
+// Series printed: the paper's formula against the implementation-measured
+// b1/m1 from real serialized memory sizes, for both P1 storage modes, plus
+// the refresh-time rate approaching 1/2. Byte-exact memory sizes are
+// validated against live systems at small lambda (where instantiating a
+// full SS512 system is cheap) and evaluated in closed form across the sweep
+// -- the sizes are deterministic in the parameters, which the validation
+// asserts.
+#include "bench_util.hpp"
+#include "group/tate_group.hpp"
+#include "leakage/rates.hpp"
+#include "schemes/dlr.hpp"
+
+namespace {
+
+using namespace dlr;
+
+struct P1Sizes {
+  std::size_t normal_bits;
+  std::size_t refresh_bits;
+};
+
+/// Closed-form serialized P1 secret-memory sizes (mirrors
+/// DlrParty1::secret_bits; validated against live systems below).
+P1Sizes p1_sizes(const group::TateSS512& gg, const schemes::DlrParams& prm,
+                 schemes::P1Mode mode) {
+  const std::size_t sc = gg.sc_bytes(), ge = gg.g_bytes();
+  const std::size_t skcomm = prm.kappa * sc;
+  if (mode == schemes::P1Mode::Plain) {
+    const std::size_t sk1 = (prm.ell + 1) * ge;
+    return {8 * (sk1 + skcomm), 8 * (2 * sk1 + skcomm)};
+  }
+  return {8 * (skcomm + ge), 8 * (2 * skcomm + ge)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlr::bench;
+
+  banner("F1: leakage rate vs lambda", "Theorem 4.1 leakage parameters");
+
+  const auto gg = group::make_tate_ss512();
+  const std::size_t n = gg.scalar_bits();
+
+  // Validate the closed form against live systems at small lambda.
+  for (const std::size_t mult : {1u, 2u}) {
+    const auto prm = schemes::DlrParams::derive(n, mult * n);
+    for (const auto mode : {schemes::P1Mode::Plain, schemes::P1Mode::Compact}) {
+      auto sys = schemes::DlrSystem<group::TateSS512>::create(gg, prm, mode, 1);
+      const auto sizes = p1_sizes(gg, prm, mode);
+      if (sys.p1().secret_bits(net::Phase::Normal) != sizes.normal_bits ||
+          sys.p1().secret_bits(net::Phase::Refresh) != sizes.refresh_bits) {
+        std::printf("FAIL: closed-form sizes diverge from the implementation\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("closed-form sizes validated against live systems at lambda in {n, 2n}.\n\n");
+
+  Table t({"lambda/n", "paper rho1", "measured rho1 (compact)", "measured rho1 (plain)",
+           "paper rho1_ref", "measured rho1_ref (compact)"});
+
+  for (const std::size_t mult : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
+    const std::size_t lambda = mult * n;
+    const auto prm = schemes::DlrParams::derive(n, lambda);
+    const auto paper = leakage::paper_rates(prm);
+    const auto compact = p1_sizes(gg, prm, schemes::P1Mode::Compact);
+    const auto plain = p1_sizes(gg, prm, schemes::P1Mode::Plain);
+
+    t.row({std::to_string(mult), fmt(paper.p1, 4),
+           fmt(static_cast<double>(prm.b1_bits()) / compact.normal_bits, 4),
+           fmt(static_cast<double>(prm.b1_bits()) / plain.normal_bits, 4),
+           fmt(paper.p1_ref, 4),
+           fmt(static_cast<double>(prm.b1_bits()) / compact.refresh_bits, 4)});
+  }
+  t.print();
+
+  std::printf(
+      "\nShape check: compact-mode measured rho1 tracks the paper's\n"
+      "lambda/(lambda+4n) curve (log r = 160 bits = exactly 20 serialized bytes,\n"
+      "so the only constant gap is the uncompressed scratch point) and tends to 1\n"
+      "as lambda grows; the refresh rate tends to 1/2. Plain mode stalls near 0\n"
+      "because P1 then stores the whole l-element share -- exactly why the\n"
+      "paper's remark moves sk1 into encrypted public memory.\n");
+  return 0;
+}

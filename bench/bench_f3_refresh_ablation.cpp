@@ -1,0 +1,106 @@
+// F3 -- the continual-leakage separation: adversary advantage and key
+// recovery vs number of leaking periods, with refresh ON vs OFF
+// (paper Section 1 motivation + Definition 3.2; the reason refresh exists).
+//
+// The share-accumulation adversary leaks its full legal budget each period
+// (all of sk2, lambda bits of P1's share region). Without refresh the windows
+// tile the key and advantage jumps to 1 once coverage hits 100%; with refresh
+// the same adversary's advantage stays statistically indistinguishable from 0
+// forever, even though its *lifetime* leakage exceeds the key size many times
+// over. Runs on the mock group for trial volume; the protocol code is
+// identical to the real-pairing build.
+#include "analysis/attacks.hpp"
+#include "bench_util.hpp"
+#include "group/mock_group.hpp"
+
+int main() {
+  using namespace dlr;
+  using namespace dlr::bench;
+
+  banner("F3: refresh ablation -- advantage vs leaking periods",
+         "Definition 3.2 game; Section 1 continual-leakage motivation");
+
+  const auto gg = group::make_mock();
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+  analysis::ShareAccumulationAdversary<group::MockGroup> probe(gg, prm);
+  const std::size_t needed = probe.periods_needed();
+  const std::size_t trials = 60;
+
+  std::printf("group: %s, l = %zu, lambda = %zu bits/period from P1, full sk2 from P2\n",
+              gg.name().c_str(), prm.ell, prm.lambda);
+  std::printf("periods needed to tile P1's share region: %zu\n\n", needed);
+
+  Table t({"periods", "coverage of sk1", "refresh", "key recovered", "wins/trials",
+           "advantage", "95% CI"});
+
+  for (const double fraction : {0.25, 0.5, 0.75, 1.0, 1.5}) {
+    const auto periods = static_cast<std::size_t>(fraction * static_cast<double>(needed));
+    for (const bool refresh_on : {false, true}) {
+      std::size_t wins = 0, recovered = 0;
+      double coverage = 0;
+      for (std::size_t i = 0; i < trials; ++i) {
+        typename leakage::CmlGame<group::MockGroup>::Config cfg{
+            prm, schemes::P1Mode::Plain, 0, 0, 0, !refresh_on,
+            0x9e3779b97f4a7c15ull * (i + 1) + periods};
+        leakage::CmlGame<group::MockGroup> game(gg, cfg);
+        analysis::ShareAccumulationAdversary<group::MockGroup> adv(gg, prm, 0, periods);
+        const auto res = game.run(adv);
+        if (res.aborted) {
+          std::printf("unexpected budget abort\n");
+          return 1;
+        }
+        if (res.adversary_won) ++wins;
+        if (adv.key_recovered()) ++recovered;
+        if (i == 0) {
+          // coverage is deterministic given the period count
+          typename leakage::CmlGame<group::MockGroup>::View fake;
+          fake.periods.resize(periods);
+          coverage = adv.coverage(fake);
+        }
+      }
+      const auto est = analysis::advantage_from_wins(wins, trials);
+      t.row({std::to_string(periods), fmt(100 * coverage, 1) + "%",
+             refresh_on ? "ON" : "OFF",
+             fmt(100.0 * static_cast<double>(recovered) / trials, 0) + "%",
+             std::to_string(wins) + "/" + std::to_string(trials), fmt(est.advantage, 3),
+             "[" + fmt(est.low, 2) + ", " + fmt(est.high, 2) + "]"});
+    }
+  }
+  t.print();
+
+  // Second axis: time-to-break vs leakage rate (refresh OFF). The periods
+  // needed to tile the key scale as 1/bits-per-period -- halving the leakage
+  // bound only delays the unrefreshed scheme's fall, it never prevents it.
+  std::printf("\nTime-to-break vs per-period leakage (refresh OFF, 20 trials each):\n");
+  Table t2({"bits/period from P1", "periods to tile sk1", "key recovered", "advantage"});
+  for (const std::size_t bits : {prm.lambda / 4, prm.lambda / 2, prm.lambda}) {
+    analysis::ShareAccumulationAdversary<group::MockGroup> sizing(gg, prm, bits);
+    const auto need = sizing.periods_needed();
+    std::size_t wins = 0, recovered = 0;
+    const std::size_t t2_trials = 20;
+    for (std::size_t i = 0; i < t2_trials; ++i) {
+      typename leakage::CmlGame<group::MockGroup>::Config cfg{
+          prm, schemes::P1Mode::Plain, 0, 0, 0, true,
+          0xc2b2ae3d27d4eb4full * (i + 1) + bits};
+      leakage::CmlGame<group::MockGroup> game(gg, cfg);
+      analysis::ShareAccumulationAdversary<group::MockGroup> adv(gg, prm, bits);
+      const auto res = game.run(adv);
+      wins += res.adversary_won ? 1 : 0;
+      recovered += adv.key_recovered() ? 1 : 0;
+    }
+    const auto est = analysis::advantage_from_wins(wins, t2_trials);
+    t2.row({std::to_string(bits), std::to_string(need),
+            fmt(100.0 * static_cast<double>(recovered) / t2_trials, 0) + "%",
+            fmt(est.advantage, 2)});
+  }
+  t2.print();
+
+  std::printf(
+      "\nShape check: with refresh OFF, advantage jumps to ~1 exactly when window\n"
+      "coverage reaches 100%% (key recovered in every trial). With refresh ON the\n"
+      "identical adversary -- same budget, same functions -- never recovers a key\n"
+      "and its advantage CI straddles 0 at every horizon. Lifetime leakage at the\n"
+      "longest horizon is far larger than |sk1| + |sk2|: leakage is bounded per\n"
+      "period, unbounded over the lifetime (the continual-memory-leakage model).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// F4 -- the cost of CCA2 security (paper Section 4.3): DLRCCA2 vs DLR,
+// with the BCHK/OTS overhead broken out.
+#include "bench_util.hpp"
+#include "crypto/ots.hpp"
+#include "group/tate_group.hpp"
+#include "schemes/dlr.hpp"
+#include "schemes/dlr_cca2.hpp"
+
+int main() {
+  using namespace dlr;
+  using namespace dlr::bench;
+
+  banner("F4: CCA2 overhead (DLRCCA2 vs DLR)", "paper Section 4.3 (BCHK transform)");
+
+  using GG = group::TateSS256;
+  const auto gg = group::make_tate_ss256();
+  const std::size_t lambda = 64;
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), lambda);
+  const std::size_t id_bits = 32;
+  crypto::Rng rng(4242);
+
+  // DLR (CPA).
+  auto cpa = schemes::DlrSystem<GG>::create(gg, prm, schemes::P1Mode::Plain, 11);
+  const auto m = gg.gt_random(rng);
+  typename schemes::DlrCore<GG>::Ciphertext cpa_ct{};
+  const double cpa_enc = time_ms([&] { cpa_ct = schemes::DlrCore<GG>::enc(gg, cpa.pk(), m, rng); });
+  const double cpa_dec = time_ms([&] { sink(cpa.decrypt(cpa_ct)); }, 1);
+
+  // DLRCCA2.
+  auto cca = schemes::DlrCca2System<GG>::create(gg, prm, id_bits, 12);
+  typename schemes::DlrCca2System<GG>::Ciphertext cca_ct;
+  const double cca_enc =
+      time_ms([&] { cca_ct = schemes::DlrCca2System<GG>::enc(cca.ibe().scheme(), cca.pp(), m, rng); });
+  const double cca_dec = time_ms([&] { sink(cca.decrypt(cca_ct)); }, 1);
+
+  // OTS cost breakdown.
+  crypto::LamportOts::KeyPair kp;
+  const double ots_gen = time_ms([&] { kp = crypto::LamportOts::keygen(rng); });
+  Bytes fake_msg(200, 7);
+  crypto::LamportOts::Signature sig;
+  auto kp2 = crypto::LamportOts::keygen(rng);
+  const double ots_sign = time_ms([&] {
+    kp2.sk.used = false;
+    sig = crypto::LamportOts::sign(kp2.sk, fake_msg);
+  });
+  const double ots_verify =
+      time_ms([&] { sink(crypto::LamportOts::verify(kp2.vk, fake_msg, sig)); });
+
+  Table t({"scheme", "enc ms", "dec ms", "ciphertext bytes", "notes"});
+  t.row({"DLR (CPA)", fmt(cpa_enc), fmt(cpa_dec),
+         fmt_bytes(schemes::DlrCore<GG>::ciphertext_bytes(gg)), "2 group elements"});
+  t.row({"DLRCCA2", fmt(cca_enc), fmt(cca_dec), fmt_bytes(cca.ciphertext_bytes()),
+         "vk + (n_id+2)-elem IBE ct + sig"});
+  t.print();
+
+  std::printf("\nOTS (Lamport/SHA-256) breakdown:\n");
+  Table o({"op", "ms", "bytes"});
+  o.row({"keygen", fmt(ots_gen), fmt_bytes(2 * 256 * 32)});
+  o.row({"sign", fmt(ots_sign), fmt_bytes(crypto::LamportOts::sig_bytes())});
+  o.row({"verify", fmt(ots_verify), fmt_bytes(crypto::LamportOts::vk_bytes())});
+  o.print();
+
+  std::printf(
+      "\nShape check: CCA2 encryption stays non-interactive; its cost adds the\n"
+      "IBE identity components (n_id extra exponentiations) plus cheap hashing\n"
+      "for the OTS. CCA2 decryption pays one distributed extract (a refresh-\n"
+      "shaped protocol) on top of a DLR-shaped decryption -- security against a\n"
+      "decryption oracle costs about one extra protocol round-trip, no change to\n"
+      "leakage tolerance (Theorem 4.1 part 3).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// F5 -- secure storage on leaky devices (paper Sections 1.1 and 4.4):
+// store / refresh / retrieve costs across payload sizes, and durability
+// across many refresh periods.
+#include "bench_util.hpp"
+#include "group/tate_group.hpp"
+#include "storage/leaky_store.hpp"
+
+int main() {
+  using namespace dlr;
+  using namespace dlr::bench;
+
+  banner("F5: secure storage on leaky devices", "paper Sections 1.1 + 4.4");
+
+  using GG = group::TateSS256;
+  const auto gg = group::make_tate_ss256();
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), 64);
+
+  Table t({"payload", "put ms", "get ms", "refresh ms", "public overhead"});
+  crypto::Rng rng(5050);
+  for (const std::size_t size : {64u, 4096u, 262144u, 4194304u}) {
+    auto store = storage::LeakyStore<GG>::create(gg, prm, schemes::P1Mode::Plain, size);
+    const Bytes payload = rng.bytes(size);
+    const double put_ms = time_ms([&] { store.put(payload); }, 1);
+    const double get_ms = time_ms([&] { sink(store.get()); }, 1);
+    const double ref_ms = time_ms([&] { store.refresh_period(); }, 1);
+    if (store.get() != payload) {
+      std::printf("FAIL: payload corrupted\n");
+      return 1;
+    }
+    t.row({fmt_bytes(size), fmt(put_ms), fmt(get_ms), fmt(ref_ms),
+           fmt_bytes(store.overhead_bytes())});
+  }
+  t.print();
+
+  // Durability: 50 refresh periods, nothing stored survives unchanged except
+  // the payload itself.
+  auto store = storage::LeakyStore<GG>::create(gg, prm, schemes::P1Mode::Plain, 777);
+  const Bytes payload = rng.bytes(1024);
+  store.put(payload);
+  const auto kem0 = *store.kem_ciphertext();
+  double total_ref = 0;
+  const int periods = 50;
+  for (int tix = 0; tix < periods; ++tix)
+    total_ref += time_ms([&] { store.refresh_period(); }, 1);
+  const bool intact = store.get() == payload;
+  const bool rerandomized = !gg.g_eq(store.kem_ciphertext()->a, kem0.a);
+
+  std::printf("\nDurability over %d refresh periods:\n", periods);
+  Table d({"check", "result"});
+  d.row({"payload intact after 50 refreshes", intact ? "yes" : "NO"});
+  d.row({"KEM ciphertext re-randomized", rerandomized ? "yes" : "NO"});
+  d.row({"mean refresh period ms", fmt(total_ref / periods)});
+  d.print();
+
+  std::printf(
+      "\nShape check: put/get costs are dominated by one DLR protocol run plus\n"
+      "ChaCha20 over the payload (linear only in payload size for the symmetric\n"
+      "part); refresh cost is payload-independent. The stored value survives an\n"
+      "arbitrary number of refresh periods while every stored ciphertext and\n"
+      "share changes each period -- the Dodis et al. [17] storage functionality\n"
+      "realized with a (1/2 - o(1))-refresh-rate scheme instead of 1/672.\n");
+  return intact && rerandomized ? 0 : 1;
+}

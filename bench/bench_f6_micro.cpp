@@ -1,0 +1,198 @@
+// F6 -- substrate microbenchmarks (google-benchmark): field, curve, pairing,
+// HPSKE, hash and RNG primitives on both curve presets. These are the cost
+// constants every protocol-level number in T1/F2/F4/F5/F7 decomposes into.
+#include <benchmark/benchmark.h>
+
+#include "group/fixed_pow.hpp"
+#include "group/tate_group.hpp"
+#include "schemes/dlr.hpp"
+#include "schemes/hpske.hpp"
+
+namespace {
+
+using namespace dlr;
+
+template <class GG>
+struct Fixture {
+  GG gg;
+  crypto::Rng rng{12345};
+  typename GG::G p, q;
+  typename GG::GT z;
+  typename GG::Scalar s;
+
+  explicit Fixture(GG g) : gg(std::move(g)) {
+    p = gg.g_random(rng);
+    q = gg.g_random(rng);
+    z = gg.gt_random(rng);
+    s = gg.sc_random(rng);
+  }
+};
+
+Fixture<group::TateSS256>& f256() {
+  static Fixture<group::TateSS256> f(group::make_tate_ss256());
+  return f;
+}
+Fixture<group::TateSS512>& f512() {
+  static Fixture<group::TateSS512> f(group::make_tate_ss512());
+  return f;
+}
+Fixture<group::TateSS1024>& f1024() {
+  static Fixture<group::TateSS1024> f(group::make_tate_ss1024());
+  return f;
+}
+
+template <class F>
+void bench_pairing(benchmark::State& state, F& f) {
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.pair(f.p, f.q));
+}
+template <class F>
+void bench_g_pow(benchmark::State& state, F& f) {
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.g_pow(f.p, f.s));
+}
+template <class F>
+void bench_gt_pow(benchmark::State& state, F& f) {
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.gt_pow(f.z, f.s));
+}
+template <class F>
+void bench_g_mul(benchmark::State& state, F& f) {
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.g_mul(f.p, f.q));
+}
+template <class F>
+void bench_g_random(benchmark::State& state, F& f) {
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.g_random(f.rng));
+}
+template <class F>
+void bench_gt_random(benchmark::State& state, F& f) {
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.gt_random(f.rng));
+}
+template <class F>
+void bench_hash_to_g(benchmark::State& state, F& f) {
+  Bytes data{1, 2, 3, 4};
+  std::uint32_t ctr = 0;
+  for (auto _ : state) {
+    data[0] = static_cast<std::uint8_t>(ctr++);
+    benchmark::DoNotOptimize(f.gg.hash_to_g(data));
+  }
+}
+
+void register_group_benches() {
+  benchmark::RegisterBenchmark("ss256/pairing", [](benchmark::State& s) { bench_pairing(s, f256()); });
+  benchmark::RegisterBenchmark("ss512/pairing", [](benchmark::State& s) { bench_pairing(s, f512()); });
+  benchmark::RegisterBenchmark("ss1024/pairing", [](benchmark::State& s) { bench_pairing(s, f1024()); });
+  benchmark::RegisterBenchmark("ss1024/g_pow", [](benchmark::State& s) { bench_g_pow(s, f1024()); });
+  benchmark::RegisterBenchmark("ss256/g_pow", [](benchmark::State& s) { bench_g_pow(s, f256()); });
+  benchmark::RegisterBenchmark("ss512/g_pow", [](benchmark::State& s) { bench_g_pow(s, f512()); });
+  benchmark::RegisterBenchmark("ss256/gt_pow", [](benchmark::State& s) { bench_gt_pow(s, f256()); });
+  benchmark::RegisterBenchmark("ss512/gt_pow", [](benchmark::State& s) { bench_gt_pow(s, f512()); });
+  benchmark::RegisterBenchmark("ss256/g_mul", [](benchmark::State& s) { bench_g_mul(s, f256()); });
+  benchmark::RegisterBenchmark("ss512/g_mul", [](benchmark::State& s) { bench_g_mul(s, f512()); });
+  benchmark::RegisterBenchmark("ss256/g_random", [](benchmark::State& s) { bench_g_random(s, f256()); });
+  benchmark::RegisterBenchmark("ss512/g_random", [](benchmark::State& s) { bench_g_random(s, f512()); });
+  benchmark::RegisterBenchmark("ss256/gt_random", [](benchmark::State& s) { bench_gt_random(s, f256()); });
+  benchmark::RegisterBenchmark("ss256/hash_to_g", [](benchmark::State& s) { bench_hash_to_g(s, f256()); });
+}
+
+// Multi-exponentiation vs the naive product of powers (the Strauss
+// interleaving used for every prod a_i^{s_i} in the protocols).
+void bench_multi_pow(benchmark::State& state) {
+  auto& f = f256();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<group::TateSS256::G> as;
+  std::vector<group::TateSS256::Scalar> ss;
+  for (std::size_t i = 0; i < n; ++i) {
+    as.push_back(f.gg.g_random(f.rng));
+    ss.push_back(f.gg.sc_random(f.rng));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.g_multi_pow(as, ss));
+}
+
+void bench_naive_multi_pow(benchmark::State& state) {
+  auto& f = f256();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<group::TateSS256::G> as;
+  std::vector<group::TateSS256::Scalar> ss;
+  for (std::size_t i = 0; i < n; ++i) {
+    as.push_back(f.gg.g_random(f.rng));
+    ss.push_back(f.gg.sc_random(f.rng));
+  }
+  for (auto _ : state) {
+    auto acc = f.gg.g_id();
+    for (std::size_t i = 0; i < n; ++i) acc = f.gg.g_mul(acc, f.gg.g_pow(as[i], ss[i]));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void bench_hpske_enc(benchmark::State& state) {
+  auto& f = f256();
+  schemes::HpskeG<group::TateSS256> h(f.gg, static_cast<std::size_t>(state.range(0)));
+  const auto sk = h.gen(f.rng);
+  for (auto _ : state) benchmark::DoNotOptimize(h.enc(sk, f.p, f.rng));
+}
+
+void bench_hpske_dec(benchmark::State& state) {
+  auto& f = f256();
+  schemes::HpskeG<group::TateSS256> h(f.gg, static_cast<std::size_t>(state.range(0)));
+  const auto sk = h.gen(f.rng);
+  const auto ct = h.enc(sk, f.p, f.rng);
+  for (auto _ : state) benchmark::DoNotOptimize(h.dec(sk, ct));
+}
+
+// Fixed-base (comb-table) exponentiation vs the generic wNAF path, and the
+// precomputed encryption built on it.
+void bench_fixed_pow_g(benchmark::State& state) {
+  auto& f = f256();
+  group::FixedPowG<group::TateSS256> tbl(f.gg, f.gg.g_gen());
+  for (auto _ : state) benchmark::DoNotOptimize(tbl.pow(f.gg.sc_random(f.rng)));
+}
+
+void bench_enc_vs_precomp(benchmark::State& state) {
+  auto& f = f256();
+  using Core = dlr::schemes::DlrCore<group::TateSS256>;
+  const auto prm = dlr::schemes::DlrParams::derive(f.gg.scalar_bits(), 64);
+  auto sys = dlr::schemes::DlrSystem<group::TateSS256>::create(
+      f.gg, prm, dlr::schemes::P1Mode::Plain, 606);
+  const Core::PkTable tbl(f.gg, sys.pk());
+  const auto m = f.gg.gt_random(f.rng);
+  if (state.range(0) == 0) {
+    for (auto _ : state) benchmark::DoNotOptimize(Core::enc(f.gg, sys.pk(), m, f.rng));
+  } else {
+    for (auto _ : state) benchmark::DoNotOptimize(Core::enc_precomp(f.gg, tbl, m, f.rng));
+  }
+}
+
+void bench_sha256_1k(benchmark::State& state) {
+  crypto::Rng rng(1);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+
+void bench_chacha_rng_1k(benchmark::State& state) {
+  crypto::Rng rng(2);
+  Bytes buf(1024);
+  for (auto _ : state) {
+    rng.fill(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_group_benches();
+  benchmark::RegisterBenchmark("ss256/multi_pow", bench_multi_pow)->Arg(4)->Arg(21);
+  benchmark::RegisterBenchmark("ss256/naive_multi_pow", bench_naive_multi_pow)
+      ->Arg(4)
+      ->Arg(21);
+  benchmark::RegisterBenchmark("ss256/fixed_pow_g", bench_fixed_pow_g);
+  benchmark::RegisterBenchmark("ss256/dlr_enc", bench_enc_vs_precomp)->Arg(0);
+  benchmark::RegisterBenchmark("ss256/dlr_enc_precomp", bench_enc_vs_precomp)->Arg(1);
+  benchmark::RegisterBenchmark("ss256/hpske_enc", bench_hpske_enc)->Arg(4)->Arg(8);
+  benchmark::RegisterBenchmark("ss256/hpske_dec", bench_hpske_dec)->Arg(4)->Arg(8);
+  benchmark::RegisterBenchmark("sha256/1KiB", bench_sha256_1k);
+  benchmark::RegisterBenchmark("chacha_rng/1KiB", bench_chacha_rng_1k);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// F7 -- DLRIBE costs (paper Section 4.2 + Remark 4.1): distributed extract /
+// encrypt / decrypt / refresh as a function of the identity bit-length, and
+// the leakable-memory accounting for msk shares vs identity-key shares.
+#include "bench_util.hpp"
+#include "group/tate_group.hpp"
+#include "schemes/dlr_ibe.hpp"
+
+int main() {
+  using namespace dlr;
+  using namespace dlr::bench;
+
+  banner("F7: distributed IBE costs vs identity length",
+         "paper Section 4.2 + Remark 4.1");
+
+  using GG = group::TateSS256;
+  const auto gg = group::make_tate_ss256();
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), 64);
+  crypto::Rng rng(7007);
+
+  Table t({"id bits", "extract ms", "enc ms", "dec ms", "ref msk ms", "ref idkey ms",
+           "IBE ct bytes"});
+
+  for (const std::size_t nid : {8u, 16u, 32u, 64u}) {
+    auto sys = schemes::DlrIbeSystem<GG>::create(gg, prm, nid, 1000 + nid);
+    const std::string id = "alice@example.com";
+    const double ext_ms = time_ms([&] { sys.extract(id); }, 1);
+    const auto m = gg.gt_random(rng);
+    typename schemes::BbIbe<GG>::Ciphertext ct;
+    const double enc_ms = time_ms([&] { ct = sys.scheme().enc(sys.pp(), id, m, rng); });
+    const double dec_ms = time_ms([&] { sink(sys.decrypt(id, ct)); }, 1);
+    const double refmsk_ms = time_ms([&] { sys.refresh_msk(); }, 1);
+    const double refid_ms = time_ms([&] { sys.refresh_id(id); }, 1);
+    if (!gg.gt_eq(sys.decrypt(id, ct), m)) {
+      std::printf("FAIL: IBE correctness\n");
+      return 1;
+    }
+    t.row({std::to_string(nid), fmt(ext_ms), fmt(enc_ms), fmt(dec_ms), fmt(refmsk_ms),
+           fmt(refid_ms), fmt_bytes(sys.scheme().bb().ciphertext_bytes())});
+  }
+  t.print();
+
+  // Remark 4.1 accounting: id-key shares add leakable memory at the same
+  // per-unit rate as the msk shares.
+  auto sys = schemes::DlrIbeSystem<GG>::create(gg, prm, 32, 4);
+  const auto base = sys.p1().normal_snapshot().bits();
+  sys.extract("u1");
+  const auto one = sys.p1().normal_snapshot().bits();
+  sys.extract("u2");
+  const auto two = sys.p1().normal_snapshot().bits();
+
+  std::printf("\nLeakable P1 memory (Remark 4.1: leakage from msk AND id-key shares):\n");
+  Table mem({"state", "P1 secret bits", "delta"});
+  mem.row({"msk share only", std::to_string(base), "-"});
+  mem.row({"+ id key u1", std::to_string(one), std::to_string(one - base)});
+  mem.row({"+ id key u2", std::to_string(two), std::to_string(two - one)});
+  mem.print();
+
+  std::printf(
+      "\nShape check: extract and both refresh protocols cost the same (they are\n"
+      "the same share-transformation protocol, Section 4.2); only enc/dec grow\n"
+      "with the identity length (n_id extra exponentiations / pairings). Each\n"
+      "extracted identity adds one unit of leakable share memory, and Remark 4.1's\n"
+      "bounds apply per unit.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared helpers for the experiment binaries: fixed-width table printing and
+// wall-clock timing of protocol-level operations (google-benchmark is used
+// for the microbenchmarks; the table experiments print paper-style rows).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dlr::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto line = [&] {
+      std::string s = "+";
+      for (auto w : width) s += std::string(w + 2, '-') + "+";
+      std::printf("%s\n", s.c_str());
+    };
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::string s = "|";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string{};
+        s += " " + v + std::string(width[c] - v.size(), ' ') + " |";
+      }
+      std::printf("%s\n", s.c_str());
+    };
+    line();
+    print_row(headers_);
+    line();
+    for (const auto& r : rows_) print_row(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Median-of-runs wall time in milliseconds. A compiler barrier after each
+/// run keeps the optimizer from eliding result computations whose values the
+/// timed lambda discards.
+inline double time_ms(const std::function<void()>& fn, int runs = 3) {
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (int i = 0; i < runs; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    asm volatile("" ::: "memory");
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Opaque consumer: forces the compiler to materialize v inside timed code.
+template <class T>
+inline void sink(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_bytes(std::size_t b) {
+  char buf[64];
+  if (b >= 1024 * 1024)
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", static_cast<double>(b) / (1024 * 1024));
+  else if (b >= 1024)
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(b) / 1024);
+  else
+    std::snprintf(buf, sizeof(buf), "%zu B", b);
+  return buf;
+}
+
+inline void banner(const std::string& title, const std::string& source) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("    (reproduces: %s)\n\n", source.c_str());
+}
+
+}  // namespace dlr::bench

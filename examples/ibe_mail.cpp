@@ -1,0 +1,61 @@
+// Identity-based encrypted mail with a leakage-hardened, *distributed* key
+// authority (paper Section 4.2), plus CCA2 public-key encryption derived
+// from it (Section 4.3).
+//
+// The mail provider's master key is split across two machines; extracting a
+// user's key, decrypting, and refreshing are all 2-party protocols, so an
+// attacker siphoning partial memory from either machine -- forever -- learns
+// nothing about the master key or anyone's mail.
+#include <cstdio>
+
+#include "group/tate_group.hpp"
+#include "schemes/dlr_cca2.hpp"
+
+int main() {
+  using namespace dlr;
+  using GG = group::TateSS256;
+
+  const GG gg = group::make_tate_ss256();
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), 64);
+  const std::size_t id_bits = 32;
+
+  // --- the authority: two machines sharing the master key -------------------
+  auto authority = schemes::DlrIbeSystem<GG>::create(gg, prm, id_bits, 31337);
+  crypto::Rng rng = crypto::Rng::from_os_entropy();
+
+  // --- a sender encrypts to "alice" using only public parameters ------------
+  const auto body = gg.gt_random(rng);  // a KEM key for the actual mail body
+  const auto ct = authority.scheme().enc(authority.pp(), "alice@mail.example", body, rng);
+  std::printf("mail encrypted to alice@mail.example (%zu-byte IBE ciphertext)\n",
+              authority.scheme().bb().ciphertext_bytes());
+
+  // --- alice's key is provisioned by the 2-party extract protocol -----------
+  net::Channel ch;
+  authority.extract("alice@mail.example", ch);
+  std::printf("identity key extracted via 2-party protocol (%zu bytes on the wire);\n"
+              "the unblinded BB key never exists anywhere\n",
+              ch.transcript().total_bytes());
+
+  // --- decryption is another 2-party protocol --------------------------------
+  const auto out = authority.decrypt("alice@mail.example", ct);
+  std::printf("alice decrypts: %s\n", gg.gt_eq(out, body) ? "CORRECT" : "WRONG");
+
+  // --- refresh both the master key shares and alice's key shares -------------
+  authority.refresh_msk();
+  authority.refresh_id("alice@mail.example");
+  const auto out2 = authority.decrypt("alice@mail.example", ct);
+  std::printf("after refreshing msk + id-key shares: %s\n",
+              gg.gt_eq(out2, body) ? "still decrypts" : "BROKEN");
+
+  // --- CCA2-secure PKE from the same machinery (BCHK transform) --------------
+  auto cca = schemes::DlrCca2System<GG>::create(gg, prm, id_bits, 40);
+  const auto m = gg.gt_random(rng);
+  auto c2 = schemes::DlrCca2System<GG>::enc(cca.ibe().scheme(), cca.pp(), m, rng);
+  const auto ok = cca.decrypt(c2);
+  std::printf("\nCCA2 wrapper: decrypt(valid) -> %s\n",
+              ok && gg.gt_eq(*ok, m) ? "CORRECT" : "WRONG");
+  c2.inner.b = gg.gt_mul(c2.inner.b, gg.gt_gen());  // adversarial malleation
+  std::printf("CCA2 wrapper: decrypt(tampered) -> %s\n",
+              cca.decrypt(c2) ? "ACCEPTED (bug!)" : "rejected, as required");
+  return 0;
+}

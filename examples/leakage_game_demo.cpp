@@ -1,0 +1,54 @@
+// A guided tour of the continual-memory-leakage security game
+// (Definition 3.2), playing the share-accumulation adversary against the
+// scheme twice: once with refresh disabled (it wins), once as actually
+// deployed (it loses). Uses the mock bilinear group so the demo runs in
+// milliseconds; the protocol code is the same one the pairing build runs.
+#include <cstdio>
+
+#include "analysis/attacks.hpp"
+#include "group/mock_group.hpp"
+
+int main() {
+  using namespace dlr;
+  using GG = group::MockGroup;
+
+  const GG gg = group::make_mock();
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+
+  analysis::ShareAccumulationAdversary<GG> probe(gg, prm);
+  std::printf("the adversary leaks, per period: all %zu bits of P2's share (legal:\n"
+              "b2 = m2) and a fresh %zu-bit window of P1's share region (b1 = lambda).\n"
+              "it needs %zu periods to tile P1's whole share.\n\n",
+              8 * prm.ell * gg.sc_bytes(), prm.lambda, probe.periods_needed());
+
+  for (const bool refresh : {false, true}) {
+    std::printf("---- refresh %s ----\n", refresh ? "ENABLED (the real scheme)"
+                                                  : "DISABLED (strawman)");
+    std::size_t wins = 0, recovered = 0;
+    const std::size_t trials = 40;
+    for (std::size_t i = 0; i < trials; ++i) {
+      typename leakage::CmlGame<GG>::Config cfg{prm, schemes::P1Mode::Plain, 0, 0, 0,
+                                                !refresh, 1000 + i};
+      leakage::CmlGame<GG> game(gg, cfg);
+      analysis::ShareAccumulationAdversary<GG> adv(gg, prm);
+      const auto res = game.run(adv);
+      wins += res.adversary_won ? 1 : 0;
+      recovered += adv.key_recovered() ? 1 : 0;
+      if (i == 0) {
+        std::printf("  one game: %zu periods, lifetime leakage %zu bits from P2\n"
+                    "  (vs |sk2| = %zu bits -- leaked %.1fx the key size overall)\n",
+                    res.periods, res.leaked_bits_p2, 8 * prm.ell * gg.sc_bytes(),
+                    static_cast<double>(res.leaked_bits_p2) /
+                        static_cast<double>(8 * prm.ell * gg.sc_bytes()));
+      }
+    }
+    const auto est = analysis::advantage_from_wins(wins, trials);
+    std::printf("  over %zu games: key recovered in %zu, wins %zu, advantage %.2f "
+                "[%.2f, %.2f]\n\n",
+                trials, recovered, wins, est.advantage, est.low, est.high);
+  }
+
+  std::printf("same adversary, same budget, same leakage functions. the only\n"
+              "difference is the refresh protocol -- that is the paper's result.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// The "symmetric encryption" scenario from the paper's introduction: two
+// processors agree (in person, once) on key material, but neither ever stores
+// the usable key -- each keeps only a share. Bulk data is protected with
+// ChaCha20 under per-session keys wrapped by the distributed KEM, and the
+// shares are refreshed between sessions, so leakage from either processor in
+// any period is useless in every other period.
+#include <cstdio>
+#include <string>
+
+#include "crypto/chacha20.hpp"
+#include "group/tate_group.hpp"
+#include "schemes/dlr.hpp"
+
+int main() {
+  using namespace dlr;
+  using GG = group::TateSS256;
+
+  const GG gg = group::make_tate_ss256();
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), 64);
+
+  // One-time in-person setup: keygen runs once, shares are installed.
+  auto pair = schemes::DlrSystem<GG>::create(gg, prm, schemes::P1Mode::Plain, 777);
+  crypto::Rng rng = crypto::Rng::from_os_entropy();
+
+  const std::string msgs[] = {"wire $5 to bob", "rotate the api key", "ship it"};
+  for (int session = 0; session < 3; ++session) {
+    // Sender side (processor 1's role): wrap a fresh session key.
+    const auto kem_key = gg.gt_random(rng);
+    const auto wrapped = schemes::DlrCore<GG>::enc(gg, pair.pk(), kem_key, rng);
+    ByteWriter w;
+    gg.gt_ser(w, kem_key);
+    const auto km = crypto::kdf(w.bytes(), 44, "symmetric-pair");
+    Bytes ct(msgs[session].begin(), msgs[session].end());
+    crypto::ChaCha20{std::span<const std::uint8_t>(km.data(), 32),
+                     std::span<const std::uint8_t>(km.data() + 32, 12)}
+        .xor_stream(ct);
+
+    // Receiver side: unwrap via the 2-party protocol, then decrypt the bulk.
+    const auto unwrapped = pair.decrypt(wrapped);
+    ByteWriter w2;
+    gg.gt_ser(w2, unwrapped);
+    const auto km2 = crypto::kdf(w2.bytes(), 44, "symmetric-pair");
+    crypto::ChaCha20{std::span<const std::uint8_t>(km2.data(), 32),
+                     std::span<const std::uint8_t>(km2.data() + 32, 12)}
+        .xor_stream(ct);
+    std::printf("session %d: received \"%s\" -- %s\n", session,
+                std::string(ct.begin(), ct.end()).c_str(),
+                std::string(ct.begin(), ct.end()) == msgs[session] ? "ok" : "CORRUPTED");
+
+    // Between sessions: refresh the shares. Leakage collected during session
+    // k is about shares that no longer exist in session k+1.
+    pair.refresh();
+  }
+  std::printf("shares refreshed after every session; the usable key never existed\n"
+              "on either processor (the classical single-shared-key setup is the\n"
+              "strawman the paper's intro replaces).\n");
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Concrete adversaries for the CML game.
+//
+// ShareAccumulationAdversary is the canonical continual-leakage attack: each
+// period it leaks its full per-period budget -- the *entire* share of P2
+// (legal: b2 = m2) and a fresh lambda-bit window of P1's share region,
+// advancing the window every period. Against a scheme that never refreshes
+// (Config::disable_refresh), the windows tile the whole share after
+// ceil(|share region|/lambda) periods; the adversary reassembles sk1, pairs
+// it with the fully-leaked sk2, reconstructs msk and decrypts the challenge:
+// advantage -> 1. Against the refreshed scheme the same budget buys bits of
+// *different* sharings each period, the reassembled share is garbage, and the
+// advantage stays ~0. This is experiment F3.
+#pragma once
+
+#include "analysis/stats.hpp"
+#include "leakage/game.hpp"
+
+namespace dlr::analysis {
+
+/// Sanity baseline: leaks nothing, guesses at random (well, always 0 -- the
+/// challenge bit is uniform, so the advantage is 0 either way).
+template <group::BilinearGroup GG>
+class GuessingAdversary final : public leakage::CmlGame<GG>::Adversary {
+ public:
+  using Game = leakage::CmlGame<GG>;
+  using GT = typename GG::GT;
+
+  explicit GuessingAdversary(GG gg, std::size_t periods = 3)
+      : gg_(std::move(gg)), periods_(periods) {}
+
+  bool wants_more_leakage(const typename Game::View& view) override {
+    return view.periods.size() < periods_;
+  }
+
+  typename Game::LeakagePlan plan(std::size_t, const typename Game::View&) override {
+    typename Game::LeakagePlan p;
+    p.h1 = p.h1_ref = p.h2 = p.h2_ref = leakage::no_leakage();
+    return p;
+  }
+
+  std::pair<GT, GT> choose_messages(const typename Game::View&, crypto::Rng& rng) override {
+    return {gg_.gt_random(rng), gg_.gt_random(rng)};
+  }
+
+  int guess(const typename Game::View&, const typename Game::Ciphertext&) override {
+    return 0;
+  }
+
+ private:
+  GG gg_;
+  std::size_t periods_;
+};
+
+/// The share-accumulation attack described above. Works against any backend;
+/// the F3 experiment instantiates it on the mock group for trial volume.
+template <group::BilinearGroup GG>
+class ShareAccumulationAdversary final : public leakage::CmlGame<GG>::Adversary {
+ public:
+  using Game = leakage::CmlGame<GG>;
+  using Core = schemes::DlrCore<GG>;
+  using GT = typename GG::GT;
+
+  /// `prm` must match the game's; `bits_per_period` defaults to lambda;
+  /// `periods_override` (if nonzero) runs a fixed number of periods instead
+  /// of exactly as many as tiling needs (for advantage-vs-periods sweeps).
+  ShareAccumulationAdversary(GG gg, schemes::DlrParams prm, std::size_t bits_per_period = 0,
+                             std::size_t periods_override = 0)
+      : gg_(std::move(gg)),
+        prm_(prm),
+        lambda_(bits_per_period == 0 ? prm.lambda : bits_per_period),
+        sk1_region_bits_(8 * (prm.ell + 1) * gg_.g_bytes()),
+        periods_override_(periods_override) {}
+
+  /// Periods needed to tile P1's share region.
+  [[nodiscard]] std::size_t periods_needed() const {
+    return (sk1_region_bits_ + lambda_ - 1) / lambda_;
+  }
+
+  bool wants_more_leakage(const typename Game::View& view) override {
+    const std::size_t target = periods_override_ ? periods_override_ : periods_needed();
+    return view.periods.size() < target;
+  }
+
+  /// Fraction of P1's share region covered by the leaked windows so far.
+  [[nodiscard]] double coverage(const typename Game::View& view) const {
+    std::vector<bool> have(sk1_region_bits_, false);
+    for (std::size_t t = 0; t < view.periods.size(); ++t) {
+      const std::size_t start = (t * lambda_) % sk1_region_bits_;
+      const std::size_t take = std::min(lambda_, sk1_region_bits_ - start);
+      for (std::size_t i = 0; i < take; ++i) have[start + i] = true;
+    }
+    std::size_t n = 0;
+    for (bool h : have) n += h ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(sk1_region_bits_);
+  }
+
+  typename Game::LeakagePlan plan(std::size_t t, const typename Game::View&) override {
+    typename Game::LeakagePlan p;
+    // P1: lambda bits of the sk1 region. Snapshot layout: u64 length prefix
+    // (64 bits) then the share blob, which in plain mode starts with the
+    // serialized sk1 (l+1 group elements).
+    const std::size_t offset = 64 + (t * lambda_) % sk1_region_bits_;
+    const std::size_t take = std::min(lambda_, sk1_region_bits_ - (t * lambda_) % sk1_region_bits_);
+    p.h1 = leakage::window_bits(offset, take);
+    p.bits1 = take;
+    // P2: the whole share, every period (b2 = m2 allows it).
+    const std::size_t sk2_bits = 8 * prm_.ell * gg_.sc_bytes();
+    p.h2 = leakage::window_bits(64, sk2_bits);
+    p.bits2 = sk2_bits;
+    p.h1_ref = p.h2_ref = leakage::no_leakage();
+    return p;
+  }
+
+  std::pair<GT, GT> choose_messages(const typename Game::View&, crypto::Rng& rng) override {
+    m0_ = gg_.gt_random(rng);
+    do {
+      m1_ = gg_.gt_random(rng);
+    } while (gg_.gt_eq(m0_, m1_));
+    return {m0_, m1_};
+  }
+
+  int guess(const typename Game::View& view,
+            const typename Game::Ciphertext& challenge) override {
+    recovered_ = false;
+    const auto sk1 = reassemble_sk1(view);
+    const auto sk2 = last_sk2(view);
+    if (sk1 && sk2) {
+      const auto m = Core::dec_reference(gg_, *sk1, *sk2, challenge);
+      if (gg_.gt_eq(m, m0_)) {
+        recovered_ = true;
+        return 0;
+      }
+      if (gg_.gt_eq(m, m1_)) {
+        recovered_ = true;
+        return 1;
+      }
+    }
+    return 0;  // decryption produced garbage: refresh defeated us
+  }
+
+  /// Whether the last guess() call actually recovered a working key.
+  [[nodiscard]] bool key_recovered() const { return recovered_; }
+
+ private:
+  std::optional<typename Core::Sk1> reassemble_sk1(const typename Game::View& view) const {
+    Bytes region((sk1_region_bits_ + 7) / 8, 0);
+    std::vector<bool> have(sk1_region_bits_, false);
+    for (std::size_t t = 0; t < view.periods.size(); ++t) {
+      const auto& leak = view.periods[t].l1;
+      const std::size_t start = (t * lambda_) % sk1_region_bits_;
+      const std::size_t take = std::min(lambda_, sk1_region_bits_ - start);
+      for (std::size_t i = 0; i < take && i / 8 < leak.size(); ++i) {
+        const bool bit = (leak[i / 8] >> (i % 8)) & 1;
+        const std::size_t pos = start + i;
+        if (bit) region[pos / 8] |= static_cast<std::uint8_t>(1u << (pos % 8));
+        have[pos] = true;
+      }
+    }
+    for (bool h : have)
+      if (!h) return std::nullopt;
+    try {
+      ByteReader r(region);
+      typename Core::Sk1 sk1;
+      sk1.a.reserve(prm_.ell);
+      for (std::size_t i = 0; i < prm_.ell; ++i) sk1.a.push_back(gg_.g_deser(r));
+      sk1.phi = gg_.g_deser(r);
+      return sk1;
+    } catch (const std::exception&) {
+      return std::nullopt;  // garbage bytes don't even parse as points
+    }
+  }
+
+  std::optional<typename Core::Sk2> last_sk2(const typename Game::View& view) const {
+    if (view.periods.empty()) return std::nullopt;
+    // With refresh disabled every period leaked the same share; use the last.
+    const auto& leak = view.periods.back().l2;
+    try {
+      ByteReader r(leak);
+      typename Core::Sk2 sk2;
+      sk2.s.reserve(prm_.ell);
+      for (std::size_t i = 0; i < prm_.ell; ++i) sk2.s.push_back(gg_.sc_deser(r));
+      return sk2;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+
+  GG gg_;
+  schemes::DlrParams prm_;
+  std::size_t lambda_;
+  std::size_t sk1_region_bits_;
+  std::size_t periods_override_ = 0;
+  GT m0_{}, m1_{};
+  bool recovered_ = false;
+};
+
+/// Run N independent games and estimate the adversary's advantage.
+template <group::BilinearGroup GG, class MakeAdversary>
+AdvantageEstimate estimate_advantage(const GG& gg, typename leakage::CmlGame<GG>::Config cfg,
+                                     MakeAdversary make_adv, std::size_t trials) {
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    cfg.seed = 0x517cc1b727220a95ull * (i + 1);
+    leakage::CmlGame<GG> game(gg, cfg);
+    auto adv = make_adv(i);
+    const auto res = game.run(*adv);
+    if (res.aborted) throw std::logic_error("estimate_advantage: budget abort");
+    if (res.adversary_won) ++wins;
+  }
+  return advantage_from_wins(wins, trials);
+}
+
+}  // namespace dlr::analysis

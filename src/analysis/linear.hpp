@@ -1,0 +1,120 @@
+// Dense linear algebra over Z_p for 64-bit prime p (p < 2^62): Gaussian
+// elimination, rank, and sampling a uniform solution of an underdetermined
+// system -- exactly what the Section 6 distinguisher needs to choose sk2
+// "uniformly at random subject to the constraint c' = dB * prod d_i^{s_i} /
+// dPhi" (stage (d) of the fake game).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/rng.hpp"
+
+namespace dlr::analysis {
+
+class MatZp {
+ public:
+  MatZp(std::size_t rows, std::size_t cols, std::uint64_t p)
+      : rows_(rows), cols_(cols), p_(p), a_(rows, std::vector<std::uint64_t>(cols, 0)) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::uint64_t modulus() const { return p_; }
+
+  std::uint64_t& at(std::size_t r, std::size_t c) { return a_[r][c]; }
+  [[nodiscard]] std::uint64_t at(std::size_t r, std::size_t c) const { return a_[r][c]; }
+
+  [[nodiscard]] std::size_t rank() const {
+    auto m = a_;
+    return echelonize(m, p_).size();
+  }
+
+  /// Sample a uniform solution x of A x = b (mod p); nullopt if inconsistent.
+  /// Free variables are drawn uniformly, pivot variables back-substituted, so
+  /// the output is uniform over the full solution space.
+  [[nodiscard]] std::optional<std::vector<std::uint64_t>> sample_solution(
+      const std::vector<std::uint64_t>& b, crypto::Rng& rng) const {
+    if (b.size() != rows_) throw std::invalid_argument("MatZp: rhs size mismatch");
+    // Augment.
+    auto m = a_;
+    for (std::size_t r = 0; r < rows_; ++r) m[r].push_back(b[r] % p_);
+    const auto pivots = echelonize(m, p_, /*augmented=*/true);
+    // Inconsistent iff a pivot landed in the augmented column.
+    for (const auto pc : pivots)
+      if (pc == cols_) return std::nullopt;
+
+    std::vector<bool> is_pivot(cols_, false);
+    for (const auto pc : pivots) is_pivot[pc] = true;
+    std::vector<std::uint64_t> x(cols_, 0);
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (!is_pivot[c]) x[c] = rng.below(p_);
+    // Back-substitute (rows are in echelon form, pivots normalized to 1).
+    for (std::size_t r = pivots.size(); r-- > 0;) {
+      const std::size_t pc = pivots[r];
+      std::uint64_t v = m[r][cols_];  // rhs
+      for (std::size_t c = pc + 1; c < cols_; ++c)
+        v = subm(v, mulm(m[r][c], x[c]));
+      x[pc] = v;
+    }
+    return x;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t mulm(std::uint64_t a, std::uint64_t b) const {
+    return static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) * b) % p_);
+  }
+  [[nodiscard]] std::uint64_t subm(std::uint64_t a, std::uint64_t b) const {
+    return a >= b ? a - b : a + p_ - b;
+  }
+
+  static std::uint64_t inv_mod(std::uint64_t a, std::uint64_t p) {
+    // Fermat.
+    std::uint64_t r = 1, e = p - 2;
+    a %= p;
+    while (e != 0) {
+      if (e & 1) r = static_cast<std::uint64_t>((static_cast<unsigned __int128>(r) * a) % p);
+      a = static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) * a) % p);
+      e >>= 1;
+    }
+    return r;
+  }
+
+  /// Reduced row echelon form in place; returns pivot column per pivot row.
+  /// When `augmented`, the last column can host a pivot (inconsistency).
+  static std::vector<std::size_t> echelonize(std::vector<std::vector<std::uint64_t>>& m,
+                                             std::uint64_t p, bool augmented = false) {
+    std::vector<std::size_t> pivots;
+    if (m.empty()) return pivots;
+    const std::size_t ncols = m[0].size();
+    std::size_t row = 0;
+    for (std::size_t col = 0; col < ncols && row < m.size(); ++col) {
+      std::size_t sel = row;
+      while (sel < m.size() && m[sel][col] % p == 0) ++sel;
+      if (sel == m.size()) continue;
+      std::swap(m[sel], m[row]);
+      const std::uint64_t inv = inv_mod(m[row][col] % p, p);
+      for (auto& v : m[row])
+        v = static_cast<std::uint64_t>((static_cast<unsigned __int128>(v % p) * inv) % p);
+      for (std::size_t r = 0; r < m.size(); ++r) {
+        if (r == row || m[r][col] % p == 0) continue;
+        const std::uint64_t f = m[r][col] % p;
+        for (std::size_t c = 0; c < ncols; ++c) {
+          const auto sub = static_cast<std::uint64_t>(
+              (static_cast<unsigned __int128>(f) * m[row][c]) % p);
+          m[r][c] = (m[r][c] % p) >= sub ? (m[r][c] % p) - sub : (m[r][c] % p) + p - sub;
+        }
+      }
+      pivots.push_back(col);
+      ++row;
+      (void)augmented;
+    }
+    return pivots;
+  }
+
+  std::size_t rows_, cols_;
+  std::uint64_t p_;
+  std::vector<std::vector<std::uint64_t>> a_;
+};
+
+}  // namespace dlr::analysis

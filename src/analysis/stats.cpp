@@ -1,0 +1,105 @@
+#include "analysis/stats.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace dlr::analysis {
+
+double EmpiricalDist::statistical_distance(const EmpiricalDist& other) const {
+  if (n_ == 0 || other.n_ == 0) throw std::logic_error("statistical_distance: empty dist");
+  std::set<std::uint64_t> keys;
+  for (const auto& [k, _] : counts_) keys.insert(k);
+  for (const auto& [k, _] : other.counts_) keys.insert(k);
+  double sd = 0;
+  for (const auto k : keys) {
+    const auto it1 = counts_.find(k);
+    const auto it2 = other.counts_.find(k);
+    const double p1 = it1 == counts_.end() ? 0.0 : static_cast<double>(it1->second) / n_;
+    const double p2 =
+        it2 == other.counts_.end() ? 0.0 : static_cast<double>(it2->second) / other.n_;
+    sd += std::abs(p1 - p2);
+  }
+  return sd / 2;
+}
+
+double EmpiricalDist::distance_to_uniform(std::size_t domain_size) const {
+  if (n_ == 0 || domain_size == 0) throw std::logic_error("distance_to_uniform: empty");
+  const double u = 1.0 / static_cast<double>(domain_size);
+  double sd = 0;
+  std::size_t seen = 0;
+  for (const auto& [_, c] : counts_) {
+    sd += std::abs(static_cast<double>(c) / n_ - u);
+    ++seen;
+  }
+  sd += u * static_cast<double>(domain_size - seen);  // unseen outcomes
+  return sd / 2;
+}
+
+double EmpiricalDist::chi_square_uniform(std::size_t domain_size) const {
+  if (n_ == 0 || domain_size == 0) throw std::logic_error("chi_square_uniform: empty");
+  const double expected = static_cast<double>(n_) / static_cast<double>(domain_size);
+  double chi = 0;
+  std::size_t seen = 0;
+  for (const auto& [_, c] : counts_) {
+    const double d = static_cast<double>(c) - expected;
+    chi += d * d / expected;
+    ++seen;
+  }
+  chi += expected * static_cast<double>(domain_size - seen);
+  return chi;
+}
+
+double EmpiricalDist::min_entropy() const {
+  if (n_ == 0) throw std::logic_error("min_entropy: empty");
+  std::size_t maxc = 0;
+  for (const auto& [_, c] : counts_) maxc = std::max(maxc, c);
+  return -std::log2(static_cast<double>(maxc) / n_);
+}
+
+double EmpiricalDist::collision_entropy() const {
+  if (n_ == 0) throw std::logic_error("collision_entropy: empty");
+  double sum = 0;
+  for (const auto& [_, c] : counts_) {
+    const double p = static_cast<double>(c) / n_;
+    sum += p * p;
+  }
+  return -std::log2(sum);
+}
+
+double EmpiricalDist::shannon_entropy() const {
+  if (n_ == 0) throw std::logic_error("shannon_entropy: empty");
+  double h = 0;
+  for (const auto& [_, c] : counts_) {
+    const double p = static_cast<double>(c) / n_;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+WilsonInterval wilson(std::size_t successes, std::size_t trials, double z) {
+  if (trials == 0) throw std::invalid_argument("wilson: zero trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1 + z2 / n;
+  const double center = (p + z2 / (2 * n)) / denom;
+  const double half = (z / denom) * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n));
+  return {center, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+AdvantageEstimate advantage_from_wins(std::size_t wins, std::size_t trials) {
+  const auto w = wilson(wins, trials);
+  return {2 * w.center - 1, 2 * w.low - 1, 2 * w.high - 1, wins, trials};
+}
+
+double chi_square_critical_99(std::size_t df) {
+  if (df == 0) throw std::invalid_argument("chi_square_critical_99: zero df");
+  // Wilson-Hilferty: chi2_p(df) ~ df * (1 - 2/(9 df) + z_p sqrt(2/(9 df)))^3
+  const double d = static_cast<double>(df);
+  const double z99 = 2.3263478740408408;
+  const double t = 1.0 - 2.0 / (9.0 * d) + z99 * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
+}  // namespace dlr::analysis

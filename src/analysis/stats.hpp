@@ -1,0 +1,72 @@
+// Statistical estimators used by the refresh-invariance and entropy
+// experiments: empirical distributions over small domains, statistical
+// distance, min-/collision-entropy estimates, chi-square uniformity tests and
+// Wilson confidence intervals for adversary advantage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dlr::analysis {
+
+/// Empirical distribution over an arbitrary u64-encoded domain.
+class EmpiricalDist {
+ public:
+  void add(std::uint64_t v) {
+    ++counts_[v];
+    ++n_;
+  }
+
+  [[nodiscard]] std::size_t samples() const { return n_; }
+  [[nodiscard]] const std::map<std::uint64_t, std::size_t>& counts() const { return counts_; }
+
+  /// Empirical statistical distance to another empirical distribution.
+  [[nodiscard]] double statistical_distance(const EmpiricalDist& other) const;
+
+  /// Empirical statistical distance to the uniform distribution on a domain
+  /// of the given size.
+  [[nodiscard]] double distance_to_uniform(std::size_t domain_size) const;
+
+  /// Chi-square statistic against uniform on `domain_size` outcomes
+  /// (degrees of freedom = domain_size - 1).
+  [[nodiscard]] double chi_square_uniform(std::size_t domain_size) const;
+
+  /// Empirical min-entropy: -log2(max_v Pr[v]).
+  [[nodiscard]] double min_entropy() const;
+
+  /// Empirical collision (Renyi-2) entropy: -log2(sum_v Pr[v]^2).
+  [[nodiscard]] double collision_entropy() const;
+
+  /// Shannon entropy in bits.
+  [[nodiscard]] double shannon_entropy() const;
+
+ private:
+  std::map<std::uint64_t, std::size_t> counts_;
+  std::size_t n_ = 0;
+};
+
+/// Wilson score interval for a binomial proportion.
+struct WilsonInterval {
+  double center;
+  double low;
+  double high;
+};
+WilsonInterval wilson(std::size_t successes, std::size_t trials, double z = 1.96);
+
+/// Distinguishing advantage estimate from game wins: adv = 2*p_win - 1, with
+/// a Wilson interval mapped through the same transform.
+struct AdvantageEstimate {
+  double advantage;
+  double low;
+  double high;
+  std::size_t wins;
+  std::size_t trials;
+};
+AdvantageEstimate advantage_from_wins(std::size_t wins, std::size_t trials);
+
+/// 99% critical value of the chi-square distribution (Wilson-Hilferty
+/// approximation) -- good to a few percent for df >= 5, ample for our tests.
+double chi_square_critical_99(std::size_t df);
+
+}  // namespace dlr::analysis

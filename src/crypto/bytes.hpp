@@ -1,0 +1,143 @@
+// Byte-buffer utilities: the common currency for serialization, hashing,
+// transcripts and secret-memory snapshots.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dlr {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only little-endian byte writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void raw(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Length-prefixed byte string.
+  void blob(std::span<const std::uint8_t> bytes) {
+    u64(bytes.size());
+    raw(bytes);
+  }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential little-endian byte reader; throws on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+  // A reader does not own its buffer; constructing from a temporary would
+  // dangle immediately.
+  explicit ByteReader(Bytes&&) = delete;
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  Bytes raw(std::size_t n) {
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  Bytes blob() { return raw(checked_len(u64())); }
+
+  std::string str() {
+    const auto b = raw(checked_len(u64()));
+    return {b.begin(), b.end()};
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw std::out_of_range("ByteReader: truncated input");
+  }
+
+  std::size_t checked_len(std::uint64_t n) const {
+    if (n > data_.size() - pos_) throw std::out_of_range("ByteReader: bad length prefix");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+inline std::string to_hex(std::span<const std::uint8_t> b) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(b.size() * 2);
+  for (auto c : b) {
+    s.push_back(kHex[c >> 4]);
+    s.push_back(kHex[c & 0xf]);
+  }
+  return s;
+}
+
+inline Bytes from_hex(const std::string& s) {
+  if (s.size() % 2 != 0) throw std::invalid_argument("from_hex: odd length");
+  auto nib = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+    throw std::invalid_argument("from_hex: bad digit");
+  };
+  Bytes out(s.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::uint8_t>(nib(s[2 * i]) << 4 | nib(s[2 * i + 1]));
+  return out;
+}
+
+inline Bytes operator+(const Bytes& a, const Bytes& b) {
+  Bytes out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace dlr

@@ -1,0 +1,33 @@
+// ChaCha20 block function (RFC 8439). Used as the core of the deterministic
+// CSPRNG; also usable as a stream cipher for the storage examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace dlr::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  ChaCha20(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+           std::uint32_t initial_counter = 0);
+
+  /// Produce one 64-byte keystream block for the given counter.
+  std::array<std::uint8_t, kBlockSize> block(std::uint32_t counter) const;
+
+  /// XOR-encrypt/decrypt in place starting at the construction-time counter.
+  void xor_stream(std::span<std::uint8_t> data);
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+  std::uint32_t counter_;
+};
+
+}  // namespace dlr::crypto

@@ -1,0 +1,74 @@
+#include "crypto/ots.hpp"
+
+#include <stdexcept>
+
+namespace dlr::crypto {
+
+LamportOts::KeyPair LamportOts::keygen(Rng& rng) {
+  KeyPair kp;
+  for (std::size_t i = 0; i < kMsgBits; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      rng.fill(kp.sk.sk[i][b]);
+      kp.vk.vk[i][b] = Sha256::hash(std::span<const std::uint8_t>(kp.sk.sk[i][b]));
+    }
+  }
+  return kp;
+}
+
+LamportOts::Signature LamportOts::sign(SigningKey& sk, std::span<const std::uint8_t> msg) {
+  if (sk.used) throw std::logic_error("LamportOts: key reuse refused (one-time signature)");
+  sk.used = true;
+  const auto d = Sha256::hash(msg);
+  Signature sig;
+  for (std::size_t i = 0; i < kMsgBits; ++i) {
+    const int bit = (d[i / 8] >> (i % 8)) & 1;
+    sig.reveal[i] = sk.sk[i][bit];
+  }
+  return sig;
+}
+
+bool LamportOts::verify(const VerifyKey& vk, std::span<const std::uint8_t> msg,
+                        const Signature& sig) {
+  const auto d = Sha256::hash(msg);
+  for (std::size_t i = 0; i < kMsgBits; ++i) {
+    const int bit = (d[i / 8] >> (i % 8)) & 1;
+    if (Sha256::hash(std::span<const std::uint8_t>(sig.reveal[i])) != vk.vk[i][bit])
+      return false;
+  }
+  return true;
+}
+
+Bytes LamportOts::serialize_vk(const VerifyKey& vk) {
+  ByteWriter w;
+  for (const auto& pair : vk.vk)
+    for (const auto& d : pair) w.raw(d);
+  return w.take();
+}
+
+LamportOts::VerifyKey LamportOts::deserialize_vk(ByteReader& r) {
+  VerifyKey vk;
+  for (auto& pair : vk.vk) {
+    for (auto& d : pair) {
+      const auto b = r.raw(32);
+      std::copy(b.begin(), b.end(), d.begin());
+    }
+  }
+  return vk;
+}
+
+Bytes LamportOts::serialize_sig(const Signature& sig) {
+  ByteWriter w;
+  for (const auto& p : sig.reveal) w.raw(p);
+  return w.take();
+}
+
+LamportOts::Signature LamportOts::deserialize_sig(ByteReader& r) {
+  Signature sig;
+  for (auto& p : sig.reveal) {
+    const auto b = r.raw(32);
+    std::copy(b.begin(), b.end(), p.begin());
+  }
+  return sig;
+}
+
+}  // namespace dlr::crypto

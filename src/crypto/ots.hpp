@@ -1,0 +1,58 @@
+// Lamport one-time signatures over SHA-256.
+//
+// Needed by the BCHK IBE-to-CCA2 transform (Section 4.3 / [6]): each
+// encryption samples a fresh OTS key pair, uses the verification key as the
+// IBE identity, and signs the ciphertext. Strong one-time unforgeability
+// suffices; Lamport signatures provide it from the one-wayness of the hash.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dlr::crypto {
+
+class LamportOts {
+ public:
+  static constexpr std::size_t kMsgBits = 256;  // we sign H(message)
+  using Preimage = std::array<std::uint8_t, 32>;
+
+  struct SigningKey {
+    std::array<std::array<Preimage, 2>, kMsgBits> sk;
+    bool used = false;
+  };
+
+  struct VerifyKey {
+    std::array<std::array<Sha256::Digest, 2>, kMsgBits> vk;
+    bool operator==(const VerifyKey&) const = default;
+  };
+
+  struct Signature {
+    std::array<Preimage, kMsgBits> reveal;
+  };
+
+  struct KeyPair {
+    SigningKey sk;
+    VerifyKey vk;
+  };
+
+  static KeyPair keygen(Rng& rng);
+
+  /// Signs H(msg). Throws if the key was already used (one-time!).
+  static Signature sign(SigningKey& sk, std::span<const std::uint8_t> msg);
+
+  static bool verify(const VerifyKey& vk, std::span<const std::uint8_t> msg,
+                     const Signature& sig);
+
+  static Bytes serialize_vk(const VerifyKey& vk);
+  static VerifyKey deserialize_vk(ByteReader& r);
+  static Bytes serialize_sig(const Signature& sig);
+  static Signature deserialize_sig(ByteReader& r);
+
+  static constexpr std::size_t vk_bytes() { return kMsgBits * 2 * 32; }
+  static constexpr std::size_t sig_bytes() { return kMsgBits * 32; }
+};
+
+}  // namespace dlr::crypto

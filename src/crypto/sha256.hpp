@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), from scratch. Used for hash-to-identity, the Lamport
+// one-time signature, KDF, and hash-to-curve.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/bytes.hpp"
+
+namespace dlr::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(const Bytes& data) { update(std::span<const std::uint8_t>(data)); }
+
+  /// Finalizes and returns the digest; the object must not be reused after.
+  Digest finish();
+
+  static Digest hash(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+  static Digest hash(const Bytes& data) { return hash(std::span<const std::uint8_t>(data)); }
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buflen_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+inline Bytes digest_to_bytes(const Sha256::Digest& d) { return Bytes(d.begin(), d.end()); }
+
+/// Domain-separated hash: H(tag || data).
+Sha256::Digest tagged_hash(const std::string& tag, std::span<const std::uint8_t> data);
+
+/// Simple counter-mode KDF: out_i = H(seed || i), truncated to n bytes total.
+Bytes kdf(std::span<const std::uint8_t> seed, std::size_t n, const std::string& tag);
+
+}  // namespace dlr::crypto

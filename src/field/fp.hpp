@@ -1,0 +1,206 @@
+// Montgomery-form prime fields of fixed limb width.
+//
+// FpCtx<L> is a runtime context (modulus-dependent constants); field elements
+// are plain UInt<L> values *in Montgomery form*. Keeping elements as raw
+// UInts keeps the types trivially copyable/serializable; correctness of form
+// is the caller's responsibility, which in this library is always a group or
+// pairing context that owns the FpCtx.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "crypto/rng.hpp"
+#include "mpint/uint.hpp"
+
+namespace dlr::field {
+
+using mpint::UInt;
+
+template <std::size_t L>
+class FpCtx {
+ public:
+  using E = UInt<L>;  // element, Montgomery form
+
+  explicit FpCtx(const UInt<L>& modulus) : mod_(modulus) {
+    if (!modulus.is_odd() || modulus.bit_length() < 3)
+      throw std::invalid_argument("FpCtx: modulus must be odd and > 4");
+    // n0inv = -mod^{-1} mod 2^64 (Newton iteration over 2-adics).
+    std::uint64_t inv = 1;
+    for (int i = 0; i < 6; ++i) inv *= 2 - mod_.limb[0] * inv;
+    n0inv_ = ~inv + 1;  // negate
+
+    // one_ = R mod m. 2^(64L) lives at bit 64L of a UInt<L+1>.
+    UInt<L + 1> r{};
+    r.limb[L] = 1;
+    one_ = mpint::mod(r, mod_);
+    // r2_ = R^2 mod m.
+    r2_ = mpint::mod(mpint::mul_wide(one_, one_), mod_);
+    two_inv_ = inv_(from_uint(UInt<L>::from_u64(2)));
+  }
+
+  [[nodiscard]] const UInt<L>& modulus() const { return mod_; }
+  [[nodiscard]] std::size_t bits() const { return mod_.bit_length(); }
+
+  [[nodiscard]] E zero() const { return E{}; }
+  [[nodiscard]] E one() const { return one_; }
+  [[nodiscard]] E two_inv() const { return two_inv_; }
+
+  [[nodiscard]] E from_uint(const UInt<L>& a) const {
+    return mont_mul(mpint::mod(mpint::resize<2 * L>(a), mod_), r2_);
+  }
+
+  [[nodiscard]] UInt<L> to_uint(const E& a) const {
+    // Multiply by 1 (non-Montgomery) to divide out R.
+    UInt<L> one_raw{};
+    one_raw.limb[0] = 1;
+    return mont_mul(a, one_raw);
+  }
+
+  [[nodiscard]] E add(const E& a, const E& b) const {
+    E r;
+    const std::uint64_t carry = mpint::add(r, a, b);
+    if (carry != 0 || r >= mod_) {
+      E t;
+      mpint::sub(t, r, mod_);
+      return t;
+    }
+    return r;
+  }
+
+  [[nodiscard]] E sub(const E& a, const E& b) const {
+    E r;
+    if (mpint::sub(r, a, b) != 0) {
+      E t;
+      mpint::add(t, r, mod_);
+      return t;
+    }
+    return r;
+  }
+
+  [[nodiscard]] E neg(const E& a) const { return a.is_zero() ? a : sub(zero(), a); }
+
+  [[nodiscard]] E dbl(const E& a) const { return add(a, a); }
+
+  [[nodiscard]] E mul(const E& a, const E& b) const { return mont_mul(a, b); }
+  [[nodiscard]] E sqr(const E& a) const { return mont_mul(a, a); }
+
+  [[nodiscard]] bool is_zero(const E& a) const { return a.is_zero(); }
+  [[nodiscard]] bool eq(const E& a, const E& b) const { return a == b; }
+
+  template <std::size_t LE>
+  [[nodiscard]] E pow(const E& a, const UInt<LE>& e) const {
+    E result = one_;
+    const std::size_t n = e.bit_length();
+    for (std::size_t i = n; i-- > 0;) {
+      result = sqr(result);
+      if (e.bit(i)) result = mul(result, a);
+    }
+    return result;
+  }
+
+  /// Multiplicative inverse via Fermat (modulus is prime). Throws on zero.
+  [[nodiscard]] E inv(const E& a) const {
+    if (a.is_zero()) throw std::domain_error("FpCtx::inv: zero");
+    return inv_(a);
+  }
+
+  /// Legendre symbol == 1 (a must be nonzero).
+  [[nodiscard]] bool is_square(const E& a) const {
+    const UInt<L> e = mpint::shr(mod_ - UInt<L>::from_u64(1), 1);  // (p-1)/2
+    return eq(pow(a, e), one_);
+  }
+
+  /// Square root for p == 3 (mod 4): a^((p+1)/4). Returns nullopt if a is a
+  /// non-residue. Zero maps to zero.
+  [[nodiscard]] std::optional<E> sqrt(const E& a) const {
+    if (a.is_zero()) return a;
+    if ((mod_.limb[0] & 3) != 3)
+      throw std::logic_error("FpCtx::sqrt: only implemented for p == 3 mod 4");
+    const UInt<L> e = mpint::shr(mod_ + UInt<L>::from_u64(1), 2);  // (p+1)/4
+    const E r = pow(a, e);
+    if (!eq(sqr(r), a)) return std::nullopt;
+    return r;
+  }
+
+  /// Uniform element of [0, p), already in Montgomery form.
+  [[nodiscard]] E random(crypto::Rng& rng) const {
+    return from_uint(random_uint(rng));
+  }
+
+  /// Uniform raw integer in [0, p) by rejection sampling.
+  [[nodiscard]] UInt<L> random_uint(crypto::Rng& rng) const {
+    const std::size_t nbits = mod_.bit_length();
+    const std::size_t nbytes = (nbits + 7) / 8;
+    for (;;) {
+      Bytes b(8 * L, 0);
+      rng.fill(std::span<std::uint8_t>(b.data(), nbytes));
+      // Mask excess top bits to reduce rejection probability below 1/2.
+      const std::size_t excess = 8 * nbytes - nbits;
+      if (excess != 0) b[nbytes - 1] &= static_cast<std::uint8_t>(0xff >> excess);
+      const auto v = UInt<L>::from_bytes(b);
+      if (v < mod_) return v;
+    }
+  }
+
+ private:
+  [[nodiscard]] E inv_(const E& a) const {
+    const UInt<L> e = mod_ - UInt<L>::from_u64(2);
+    return pow(a, e);
+  }
+
+  /// CIOS Montgomery multiplication: returns a*b*R^{-1} mod m
+  /// (Acar's Coarsely Integrated Operand Scanning).
+  [[nodiscard]] E mont_mul(const E& a, const E& b) const {
+    std::uint64_t t[L + 2] = {0};
+    for (std::size_t i = 0; i < L; ++i) {
+      // t += a[i] * b
+      std::uint64_t carry = 0;
+      for (std::size_t j = 0; j < L; ++j) {
+        const unsigned __int128 acc = static_cast<unsigned __int128>(a.limb[i]) * b.limb[j] +
+                                      t[j] + carry;
+        t[j] = static_cast<std::uint64_t>(acc);
+        carry = static_cast<std::uint64_t>(acc >> 64);
+      }
+      {
+        const unsigned __int128 acc = static_cast<unsigned __int128>(t[L]) + carry;
+        t[L] = static_cast<std::uint64_t>(acc);
+        t[L + 1] = static_cast<std::uint64_t>(acc >> 64);
+      }
+      // Reduce one limb: t += m*mod, divide by 2^64.
+      const std::uint64_t m = t[0] * n0inv_;
+      {
+        const unsigned __int128 acc = static_cast<unsigned __int128>(m) * mod_.limb[0] + t[0];
+        carry = static_cast<std::uint64_t>(acc >> 64);  // low 64 bits are zero
+      }
+      for (std::size_t j = 1; j < L; ++j) {
+        const unsigned __int128 acc = static_cast<unsigned __int128>(m) * mod_.limb[j] +
+                                      t[j] + carry;
+        t[j - 1] = static_cast<std::uint64_t>(acc);
+        carry = static_cast<std::uint64_t>(acc >> 64);
+      }
+      {
+        const unsigned __int128 acc = static_cast<unsigned __int128>(t[L]) + carry;
+        t[L - 1] = static_cast<std::uint64_t>(acc);
+        t[L] = t[L + 1] + static_cast<std::uint64_t>(acc >> 64);
+      }
+      t[L + 1] = 0;
+    }
+    E r;
+    for (std::size_t j = 0; j < L; ++j) r.limb[j] = t[j];
+    if (t[L] != 0 || r >= mod_) {
+      E s;
+      mpint::sub(s, r, mod_);
+      return s;
+    }
+    return r;
+  }
+
+  UInt<L> mod_;
+  std::uint64_t n0inv_ = 0;
+  E one_{};
+  E r2_{};
+  E two_inv_{};
+};
+
+}  // namespace dlr::field

@@ -1,0 +1,171 @@
+// A BilinearGroup decorator that counts group operations.
+//
+// Used by the T1 efficiency experiment (footnote 3 of the paper compares
+// schemes by exponentiation/pairing counts and ciphertext sizes) and by the
+// F2 experiment (demonstrating that device P2's operation profile contains
+// only exponentiations and multiplications -- "simplicity of one of the two
+// devices", Section 1.1).
+//
+// Copies share the counter block, so handing a CountingGroup<GG> to a party
+// and reading the counts afterwards Just Works.
+#pragma once
+
+#include <memory>
+
+#include "group/bilinear.hpp"
+
+namespace dlr::group {
+
+struct OpCounts {
+  std::size_t g_mul = 0;
+  std::size_t g_pow = 0;
+  std::size_t g_inv = 0;
+  std::size_t gt_mul = 0;
+  std::size_t gt_pow = 0;
+  std::size_t gt_inv = 0;
+  std::size_t pairings = 0;
+  std::size_t multi_pows = 0;       // calls to g/gt_multi_pow
+  std::size_t multi_pow_terms = 0;  // total bases across those calls
+  std::size_t g_random = 0;
+  std::size_t gt_random = 0;
+  std::size_t sc_random = 0;
+  std::size_t hash_to_g = 0;
+
+  [[nodiscard]] std::size_t exps() const { return g_pow + gt_pow; }
+  [[nodiscard]] std::size_t muls() const { return g_mul + gt_mul; }
+
+  void reset() { *this = OpCounts{}; }
+
+  OpCounts operator-(const OpCounts& o) const {
+    OpCounts r;
+    r.g_mul = g_mul - o.g_mul;
+    r.g_pow = g_pow - o.g_pow;
+    r.g_inv = g_inv - o.g_inv;
+    r.gt_mul = gt_mul - o.gt_mul;
+    r.gt_pow = gt_pow - o.gt_pow;
+    r.gt_inv = gt_inv - o.gt_inv;
+    r.pairings = pairings - o.pairings;
+    r.multi_pows = multi_pows - o.multi_pows;
+    r.multi_pow_terms = multi_pow_terms - o.multi_pow_terms;
+    r.g_random = g_random - o.g_random;
+    r.gt_random = gt_random - o.gt_random;
+    r.sc_random = sc_random - o.sc_random;
+    r.hash_to_g = hash_to_g - o.hash_to_g;
+    return r;
+  }
+};
+
+template <BilinearGroup GG>
+class CountingGroup {
+ public:
+  using Scalar = typename GG::Scalar;
+  using G = typename GG::G;
+  using GT = typename GG::GT;
+
+  explicit CountingGroup(GG inner)
+      : inner_(std::move(inner)), counts_(std::make_shared<OpCounts>()) {}
+
+  [[nodiscard]] const OpCounts& counts() const { return *counts_; }
+  [[nodiscard]] OpCounts snapshot() const { return *counts_; }
+  void reset_counts() { counts_->reset(); }
+  [[nodiscard]] const GG& inner() const { return inner_; }
+
+  [[nodiscard]] std::size_t scalar_bits() const { return inner_.scalar_bits(); }
+  [[nodiscard]] Scalar sc_random(crypto::Rng& rng) const {
+    ++counts_->sc_random;
+    return inner_.sc_random(rng);
+  }
+  [[nodiscard]] Scalar sc_from_u64(std::uint64_t v) const { return inner_.sc_from_u64(v); }
+  [[nodiscard]] Scalar sc_add(const Scalar& a, const Scalar& b) const {
+    return inner_.sc_add(a, b);
+  }
+  [[nodiscard]] Scalar sc_sub(const Scalar& a, const Scalar& b) const {
+    return inner_.sc_sub(a, b);
+  }
+  [[nodiscard]] Scalar sc_mul(const Scalar& a, const Scalar& b) const {
+    return inner_.sc_mul(a, b);
+  }
+  [[nodiscard]] Scalar sc_neg(const Scalar& a) const { return inner_.sc_neg(a); }
+  [[nodiscard]] Scalar sc_inv(const Scalar& a) const { return inner_.sc_inv(a); }
+  [[nodiscard]] bool sc_eq(const Scalar& a, const Scalar& b) const { return inner_.sc_eq(a, b); }
+  [[nodiscard]] bool sc_is_zero(const Scalar& a) const { return inner_.sc_is_zero(a); }
+
+  [[nodiscard]] G g_gen() const { return inner_.g_gen(); }
+  [[nodiscard]] G g_id() const { return inner_.g_id(); }
+  [[nodiscard]] G g_random(crypto::Rng& rng) const {
+    ++counts_->g_random;
+    return inner_.g_random(rng);
+  }
+  [[nodiscard]] G g_mul(const G& a, const G& b) const {
+    ++counts_->g_mul;
+    return inner_.g_mul(a, b);
+  }
+  [[nodiscard]] G g_inv(const G& a) const {
+    ++counts_->g_inv;
+    return inner_.g_inv(a);
+  }
+  [[nodiscard]] G g_pow(const G& a, const Scalar& s) const {
+    ++counts_->g_pow;
+    return inner_.g_pow(a, s);
+  }
+  [[nodiscard]] bool g_eq(const G& a, const G& b) const { return inner_.g_eq(a, b); }
+  [[nodiscard]] bool g_is_id(const G& a) const { return inner_.g_is_id(a); }
+  [[nodiscard]] G hash_to_g(const Bytes& d) const {
+    ++counts_->hash_to_g;
+    return inner_.hash_to_g(d);
+  }
+  [[nodiscard]] G g_multi_pow(std::span<const G> as, std::span<const Scalar> ss) const {
+    ++counts_->multi_pows;
+    counts_->multi_pow_terms += as.size();
+    return inner_.g_multi_pow(as, ss);
+  }
+
+  [[nodiscard]] GT gt_gen() const { return inner_.gt_gen(); }
+  [[nodiscard]] GT gt_id() const { return inner_.gt_id(); }
+  [[nodiscard]] GT gt_random(crypto::Rng& rng) const {
+    ++counts_->gt_random;
+    return inner_.gt_random(rng);
+  }
+  [[nodiscard]] GT gt_mul(const GT& a, const GT& b) const {
+    ++counts_->gt_mul;
+    return inner_.gt_mul(a, b);
+  }
+  [[nodiscard]] GT gt_inv(const GT& a) const {
+    ++counts_->gt_inv;
+    return inner_.gt_inv(a);
+  }
+  [[nodiscard]] GT gt_pow(const GT& a, const Scalar& s) const {
+    ++counts_->gt_pow;
+    return inner_.gt_pow(a, s);
+  }
+  [[nodiscard]] bool gt_eq(const GT& a, const GT& b) const { return inner_.gt_eq(a, b); }
+  [[nodiscard]] bool gt_is_id(const GT& a) const { return inner_.gt_is_id(a); }
+  [[nodiscard]] GT gt_multi_pow(std::span<const GT> ts, std::span<const Scalar> ss) const {
+    ++counts_->multi_pows;
+    counts_->multi_pow_terms += ts.size();
+    return inner_.gt_multi_pow(ts, ss);
+  }
+
+  [[nodiscard]] GT pair(const G& a, const G& b) const {
+    ++counts_->pairings;
+    return inner_.pair(a, b);
+  }
+
+  [[nodiscard]] std::size_t sc_bytes() const { return inner_.sc_bytes(); }
+  [[nodiscard]] std::size_t g_bytes() const { return inner_.g_bytes(); }
+  [[nodiscard]] std::size_t gt_bytes() const { return inner_.gt_bytes(); }
+  void sc_ser(ByteWriter& w, const Scalar& s) const { inner_.sc_ser(w, s); }
+  [[nodiscard]] Scalar sc_deser(ByteReader& r) const { return inner_.sc_deser(r); }
+  void g_ser(ByteWriter& w, const G& a) const { inner_.g_ser(w, a); }
+  [[nodiscard]] G g_deser(ByteReader& r) const { return inner_.g_deser(r); }
+  void gt_ser(ByteWriter& w, const GT& t) const { inner_.gt_ser(w, t); }
+  [[nodiscard]] GT gt_deser(ByteReader& r) const { return inner_.gt_deser(r); }
+
+  [[nodiscard]] std::string name() const { return "counting(" + inner_.name() + ")"; }
+
+ private:
+  GG inner_;
+  std::shared_ptr<OpCounts> counts_;
+};
+
+}  // namespace dlr::group

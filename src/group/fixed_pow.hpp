@@ -1,0 +1,122 @@
+// Fixed-base exponentiation with windowed precomputation.
+//
+// Encryption raises the *same* public-key bases (g and Z = e(g1,g2)) to fresh
+// exponents on every call; a one-time table of base^(d * 16^i) turns each
+// exponentiation into ~bits/4 multiplications with no squarings. Built purely
+// on the BilinearGroup interface, so it works on every backend.
+#pragma once
+
+#include <vector>
+
+#include "group/bilinear.hpp"
+
+namespace dlr::group {
+
+namespace detail {
+
+/// Little-endian base-16 digits of a scalar, via its serialization.
+template <class GG>
+std::vector<unsigned> scalar_nibbles(const GG& gg, const typename GG::Scalar& e) {
+  ByteWriter w;
+  gg.sc_ser(w, e);
+  const auto& bytes = w.bytes();
+  std::vector<unsigned> out;
+  out.reserve(2 * bytes.size());
+  for (const auto b : bytes) {
+    out.push_back(b & 0xf);
+    out.push_back(b >> 4);
+  }
+  return out;
+}
+
+/// Shared implementation over an element type + ops functor.
+template <class GG, class Elem, class Ops>
+class FixedPowImpl {
+ public:
+  FixedPowImpl(const GG& gg, const Elem& base, std::size_t max_bits)
+      : windows_((max_bits + 3) / 4) {
+    table_.resize(windows_ * 15);
+    Elem cur = base;  // base^(16^i)
+    for (std::size_t i = 0; i < windows_; ++i) {
+      Elem acc = cur;
+      for (int d = 1; d <= 15; ++d) {
+        table_[15 * i + static_cast<std::size_t>(d - 1)] = acc;
+        if (d < 15) acc = Ops::mul(gg, acc, cur);
+      }
+      cur = Ops::mul(gg, acc, cur);  // acc == base^(15*16^i); * cur -> 16^(i+1)
+    }
+  }
+
+  [[nodiscard]] Elem pow(const GG& gg, const typename GG::Scalar& e) const {
+    Elem acc = Ops::id(gg);
+    const auto nibbles = Ops::nibbles(gg, e);
+    for (std::size_t i = 0; i < nibbles.size() && i < windows_; ++i) {
+      const auto d = nibbles[i];
+      if (d != 0) acc = Ops::mul(gg, acc, table_[15 * i + (d - 1)]);
+    }
+    return acc;
+  }
+
+  [[nodiscard]] std::size_t table_elems() const { return table_.size(); }
+
+ private:
+  std::size_t windows_;
+  std::vector<Elem> table_;
+};
+
+template <class GG>
+struct GOps {
+  static typename GG::G mul(const GG& gg, const typename GG::G& a, const typename GG::G& b) {
+    return gg.g_mul(a, b);
+  }
+  static typename GG::G id(const GG& gg) { return gg.g_id(); }
+  static std::vector<unsigned> nibbles(const GG& gg, const typename GG::Scalar& e) {
+    return scalar_nibbles(gg, e);
+  }
+};
+
+template <class GG>
+struct GTOps {
+  static typename GG::GT mul(const GG& gg, const typename GG::GT& a,
+                             const typename GG::GT& b) {
+    return gg.gt_mul(a, b);
+  }
+  static typename GG::GT id(const GG& gg) { return gg.gt_id(); }
+  static std::vector<unsigned> nibbles(const GG& gg, const typename GG::Scalar& e) {
+    return scalar_nibbles(gg, e);
+  }
+};
+
+}  // namespace detail
+
+template <BilinearGroup GG>
+class FixedPowG {
+ public:
+  FixedPowG(const GG& gg, const typename GG::G& base)
+      : gg_(gg), impl_(gg, base, gg.scalar_bits()) {}
+  [[nodiscard]] typename GG::G pow(const typename GG::Scalar& e) const {
+    return impl_.pow(gg_, e);
+  }
+  [[nodiscard]] std::size_t table_elems() const { return impl_.table_elems(); }
+
+ private:
+  GG gg_;
+  detail::FixedPowImpl<GG, typename GG::G, detail::GOps<GG>> impl_;
+};
+
+template <BilinearGroup GG>
+class FixedPowGT {
+ public:
+  FixedPowGT(const GG& gg, const typename GG::GT& base)
+      : gg_(gg), impl_(gg, base, gg.scalar_bits()) {}
+  [[nodiscard]] typename GG::GT pow(const typename GG::Scalar& e) const {
+    return impl_.pow(gg_, e);
+  }
+  [[nodiscard]] std::size_t table_elems() const { return impl_.table_elems(); }
+
+ private:
+  GG gg_;
+  detail::FixedPowImpl<GG, typename GG::GT, detail::GTOps<GG>> impl_;
+};
+
+}  // namespace dlr::group

@@ -1,0 +1,79 @@
+#include "group/mock_group.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace dlr::group {
+
+namespace {
+
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod_u64(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e != 0) {
+    if (e & 1) result = mulmod_u64(result, a, m);
+    a = mulmod_u64(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull,
+                          31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  const std::uint64_t d = (n - 1) >> std::countr_zero(n - 1);
+  const int s = std::countr_zero(n - 1);
+  // This base set is a proven deterministic MR witness set for all n < 2^64.
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull,
+                          31ull, 37ull}) {
+    std::uint64_t x = powmod_u64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < s - 1; ++i) {
+      x = mulmod_u64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+MockGroup::MockGroup(std::uint64_t r) : r_(r) {
+  if (r >= (std::uint64_t{1} << 62)) throw std::invalid_argument("MockGroup: order too large");
+  if (!is_prime_u64(r)) throw std::invalid_argument("MockGroup: order must be prime");
+}
+
+std::size_t MockGroup::scalar_bits() const {
+  return static_cast<std::size_t>(64 - std::countl_zero(r_));
+}
+
+MockGroup::Scalar MockGroup::sc_inv(Scalar a) const {
+  if (a == 0) throw std::domain_error("MockGroup::sc_inv: zero");
+  return powmod_u64(a, r_ - 2, r_);
+}
+
+MockGroup::G MockGroup::hash_to_g(const Bytes& data) const {
+  ByteWriter w;
+  w.str("dlr.mock.h2g");
+  w.blob(data);
+  const auto d = crypto::Sha256::hash(w.bytes());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  return {v % r_};
+}
+
+}  // namespace dlr::group

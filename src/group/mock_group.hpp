@@ -1,0 +1,134 @@
+// Generic-bilinear-group model: group elements are their own discrete logs.
+//
+// G and GT elements carry an exponent v mod r; the group operation adds
+// exponents, exponentiation multiplies, and the pairing is
+// e(g^a, g^b) = gt^(a*b). Every identity of a symmetric prime-order bilinear
+// group holds exactly, so all scheme/protocol code runs unchanged -- but
+// discrete log is trivial by construction. Use only for tests, property
+// sweeps and statistical experiments (tiny r makes distributions measurable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "group/bilinear.hpp"
+
+namespace dlr::group {
+
+struct MockG {
+  std::uint64_t v = 0;
+  bool operator==(const MockG&) const = default;
+};
+
+struct MockGT {
+  std::uint64_t v = 0;
+  bool operator==(const MockGT&) const = default;
+};
+
+class MockGroup {
+ public:
+  using Scalar = std::uint64_t;
+  using G = MockG;
+  using GT = MockGT;
+
+  /// r must be prime (checked); keep it < 2^62 so mulmod stays exact.
+  explicit MockGroup(std::uint64_t r);
+
+  [[nodiscard]] std::uint64_t order_u64() const { return r_; }
+
+  // ---- scalars --------------------------------------------------------------
+  [[nodiscard]] std::size_t scalar_bits() const;
+  [[nodiscard]] Scalar sc_random(crypto::Rng& rng) const { return rng.below(r_); }
+  [[nodiscard]] Scalar sc_from_u64(std::uint64_t v) const { return v % r_; }
+  [[nodiscard]] Scalar sc_add(Scalar a, Scalar b) const { return addm(a, b); }
+  [[nodiscard]] Scalar sc_sub(Scalar a, Scalar b) const { return subm(a, b); }
+  [[nodiscard]] Scalar sc_mul(Scalar a, Scalar b) const { return mulm(a, b); }
+  [[nodiscard]] Scalar sc_neg(Scalar a) const { return subm(0, a); }
+  [[nodiscard]] Scalar sc_inv(Scalar a) const;
+  [[nodiscard]] bool sc_eq(Scalar a, Scalar b) const { return a == b; }
+  [[nodiscard]] bool sc_is_zero(Scalar a) const { return a == 0; }
+
+  // ---- G ----------------------------------------------------------------------
+  [[nodiscard]] G g_gen() const { return {1}; }
+  [[nodiscard]] G g_id() const { return {0}; }
+  [[nodiscard]] G g_random(crypto::Rng& rng) const { return {rng.below(r_)}; }
+  [[nodiscard]] G g_mul(G a, G b) const { return {addm(a.v, b.v)}; }
+  [[nodiscard]] G g_inv(G a) const { return {subm(0, a.v)}; }
+  [[nodiscard]] G g_pow(G a, Scalar s) const { return {mulm(a.v, s)}; }
+  [[nodiscard]] bool g_eq(G a, G b) const { return a == b; }
+  [[nodiscard]] bool g_is_id(G a) const { return a.v == 0; }
+  [[nodiscard]] G hash_to_g(const Bytes& data) const;
+  [[nodiscard]] G g_multi_pow(std::span<const G> as, std::span<const Scalar> ss) const {
+    if (as.size() != ss.size()) throw std::invalid_argument("g_multi_pow: size mismatch");
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < as.size(); ++i) acc = addm(acc, mulm(as[i].v, ss[i]));
+    return {acc};
+  }
+
+  // ---- GT ---------------------------------------------------------------------
+  [[nodiscard]] GT gt_gen() const { return {1}; }
+  [[nodiscard]] GT gt_id() const { return {0}; }
+  [[nodiscard]] GT gt_random(crypto::Rng& rng) const { return {rng.below(r_)}; }
+  [[nodiscard]] GT gt_mul(GT a, GT b) const { return {addm(a.v, b.v)}; }
+  [[nodiscard]] GT gt_inv(GT a) const { return {subm(0, a.v)}; }
+  [[nodiscard]] GT gt_pow(GT a, Scalar s) const { return {mulm(a.v, s)}; }
+  [[nodiscard]] bool gt_eq(GT a, GT b) const { return a == b; }
+  [[nodiscard]] bool gt_is_id(GT a) const { return a.v == 0; }
+  [[nodiscard]] GT gt_multi_pow(std::span<const GT> ts, std::span<const Scalar> ss) const {
+    if (ts.size() != ss.size()) throw std::invalid_argument("gt_multi_pow: size mismatch");
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < ts.size(); ++i) acc = addm(acc, mulm(ts[i].v, ss[i]));
+    return {acc};
+  }
+
+  // ---- pairing ------------------------------------------------------------------
+  [[nodiscard]] GT pair(G a, G b) const { return {mulm(a.v, b.v)}; }
+
+  // ---- serialization --------------------------------------------------------------
+  [[nodiscard]] std::size_t sc_bytes() const { return 8; }
+  [[nodiscard]] std::size_t g_bytes() const { return 8; }
+  [[nodiscard]] std::size_t gt_bytes() const { return 8; }
+  void sc_ser(ByteWriter& w, Scalar s) const { w.u64(s); }
+  [[nodiscard]] Scalar sc_deser(ByteReader& r) const { return check(r.u64()); }
+  void g_ser(ByteWriter& w, G a) const { w.u64(a.v); }
+  [[nodiscard]] G g_deser(ByteReader& r) const { return {check(r.u64())}; }
+  void gt_ser(ByteWriter& w, GT t) const { w.u64(t.v); }
+  [[nodiscard]] GT gt_deser(ByteReader& r) const { return {check(r.u64())}; }
+
+  [[nodiscard]] std::string name() const { return "mock-r" + std::to_string(r_); }
+
+  /// Discrete log "oracle" -- trivially available in this model; used by
+  /// attack simulations that want to check key recovery.
+  [[nodiscard]] Scalar dlog(G a) const { return a.v; }
+  [[nodiscard]] Scalar dlog_gt(GT a) const { return a.v; }
+
+ private:
+  [[nodiscard]] std::uint64_t addm(std::uint64_t a, std::uint64_t b) const {
+    const std::uint64_t s = a + b;  // r < 2^62, no overflow
+    return s >= r_ ? s - r_ : s;
+  }
+  [[nodiscard]] std::uint64_t subm(std::uint64_t a, std::uint64_t b) const {
+    return a >= b ? a - b : a + r_ - b;
+  }
+  [[nodiscard]] std::uint64_t mulm(std::uint64_t a, std::uint64_t b) const {
+    return static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) * b) % r_);
+  }
+  [[nodiscard]] std::uint64_t check(std::uint64_t v) const {
+    if (v >= r_) throw std::invalid_argument("MockGroup: element out of range");
+    return v;
+  }
+
+  std::uint64_t r_;
+};
+
+/// Deterministic Miller-Rabin for 64-bit integers (exact).
+bool is_prime_u64(std::uint64_t n);
+
+/// Default mock group order: a 61-bit Mersenne prime.
+inline constexpr std::uint64_t kMockDefaultOrder = (std::uint64_t{1} << 61) - 1;
+
+inline MockGroup make_mock() { return MockGroup(kMockDefaultOrder); }
+/// Tiny group for statistical experiments (distributions are enumerable).
+inline MockGroup make_mock_tiny(std::uint64_t r = 1009) { return MockGroup(r); }
+
+}  // namespace dlr::group

@@ -1,0 +1,49 @@
+#include "leakage/budget.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace dlr::leakage {
+
+LeakageOutput eval_leakage(const LeakageFn& fn, const Bytes& secret, const Bytes& pub,
+                           std::size_t max_bits) {
+  if (!fn) return {};
+  Bytes out = fn(secret, pub);
+  const std::size_t max_bytes = (max_bits + 7) / 8;
+  if (out.size() > max_bytes)
+    throw std::length_error("leakage function exceeded its declared output length");
+  return LeakageOutput{std::move(out), max_bits};
+}
+
+Bytes extract_bits(const Bytes& src, std::size_t bit_offset, std::size_t nbits) {
+  Bytes out((nbits + 7) / 8, 0);
+  if (src.empty()) return out;
+  const std::size_t total = 8 * src.size();
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const std::size_t pos = (bit_offset + i) % total;
+    const bool bit = (src[pos / 8] >> (pos % 8)) & 1;
+    if (bit) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+LeakageFn window_bits(std::size_t offset, std::size_t bits) {
+  return [offset, bits](const Bytes& secret, const Bytes&) {
+    return extract_bits(secret, offset, bits);
+  };
+}
+
+LeakageFn no_leakage() {
+  return [](const Bytes&, const Bytes&) { return Bytes{}; };
+}
+
+LeakageFn hashed_bits(std::size_t bits) {
+  return [bits](const Bytes& secret, const Bytes& pub) {
+    ByteWriter w;
+    w.blob(secret);
+    w.blob(pub);
+    const auto d = crypto::Sha256::hash(w.bytes());
+    return extract_bits(Bytes(d.begin(), d.end()), 0, bits);
+  };
+}
+
+}  // namespace dlr::leakage

@@ -1,0 +1,113 @@
+// Leakage functions and per-device budget accounting (Definition 3.2).
+//
+// A leakage function is an arbitrary polynomial-time function of the secret
+// memory and the public information; the only restriction is length
+// shrinking: the bits leaked *while a given share is in memory* -- i.e.
+// |h_i^t| + |h_i^{(t-1),Ref}| -- must not exceed the bound b_i. The budget
+// tracker implements exactly the challenger's bookkeeping:
+//
+//   L_i^{t+1} <- |l_i^{t,Ref}|          (refresh leakage carries over, since
+//                                        the *next* share was already in
+//                                        memory during this refresh)
+//   abort unless L_i^t + |l_i^t| + |l_i^{t,Ref}| <= b_i
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+#include "crypto/bytes.hpp"
+
+namespace dlr::leakage {
+
+/// h(secret_memory, pub) -> leaked bits (packed; bit length given separately).
+using LeakageFn = std::function<Bytes(const Bytes& secret, const Bytes& pub)>;
+
+struct LeakageOutput {
+  Bytes data;
+  std::size_t bits = 0;
+};
+
+/// Evaluate a leakage function and clamp/validate its output length.
+LeakageOutput eval_leakage(const LeakageFn& fn, const Bytes& secret, const Bytes& pub,
+                           std::size_t max_bits);
+
+/// Per-device budget tracker for the CML game.
+class LeakageBudget {
+ public:
+  explicit LeakageBudget(std::size_t bound_bits) : bound_(bound_bits) {}
+
+  [[nodiscard]] std::size_t bound_bits() const { return bound_; }
+  [[nodiscard]] std::size_t carried_bits() const { return carry_; }
+
+  /// Charge one time period's pair (|l^t|, |l^{t,Ref}|). Returns false (and
+  /// charges nothing) if the challenger must abort.
+  [[nodiscard]] bool charge_period(std::size_t normal_bits, std::size_t refresh_bits) {
+    if (carry_ + normal_bits + refresh_bits > bound_) return false;
+    carry_ = refresh_bits;  // the refresh leakage saw the next share too
+    total_ += normal_bits + refresh_bits;
+    return true;
+  }
+
+  /// Leakage on key generation (charged once, carries into period 0).
+  [[nodiscard]] bool charge_keygen(std::size_t bits, std::size_t keygen_bound) {
+    if (bits > keygen_bound) return false;
+    carry_ = bits;
+    total_ += bits;
+    return true;
+  }
+
+  /// Total bits leaked over the whole game -- unbounded by design; this is
+  /// what "continual" means.
+  [[nodiscard]] std::size_t lifetime_bits() const { return total_; }
+
+ private:
+  std::size_t bound_;
+  std::size_t carry_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Entropy-shrinking accounting (paper footnote 1 / Naor-Segev [32]): instead
+/// of bounding the leakage *length*, bound the drop in average min-entropy of
+/// the share conditioned on the leakage. Strictly more permissive than the
+/// length bound -- a function may emit arbitrarily many bits as long as it
+/// declares (and, in a proof, certifies) a small entropy loss; e.g. a public
+/// constant-padded window leaks thousands of bits of *length* but only the
+/// window's worth of *entropy*. The charge discipline (carry across refresh)
+/// is identical to Definition 3.2's.
+class EntropyBudget {
+ public:
+  explicit EntropyBudget(std::size_t bound_bits) : inner_(bound_bits) {}
+
+  /// Charge declared entropy losses (in bits) for one period. Output length
+  /// is deliberately NOT examined.
+  [[nodiscard]] bool charge_period(std::size_t normal_entropy_loss,
+                                   std::size_t refresh_entropy_loss) {
+    return inner_.charge_period(normal_entropy_loss, refresh_entropy_loss);
+  }
+
+  [[nodiscard]] std::size_t bound_bits() const { return inner_.bound_bits(); }
+  [[nodiscard]] std::size_t carried_bits() const { return inner_.carried_bits(); }
+  [[nodiscard]] std::size_t lifetime_bits() const { return inner_.lifetime_bits(); }
+
+ private:
+  LeakageBudget inner_;
+};
+
+// ---- common leakage-function builders ----------------------------------------
+
+/// Leak `bits` physical bits of the secret memory starting at bit `offset`
+/// (wrapping). The workhorse of the share-accumulation attacks.
+LeakageFn window_bits(std::size_t offset, std::size_t bits);
+
+/// Leak nothing (the honest-user baseline).
+LeakageFn no_leakage();
+
+/// Leak H(secret) truncated to `bits` -- a "computed" leakage showing the
+/// model is not restricted to physical probing.
+LeakageFn hashed_bits(std::size_t bits);
+
+/// Extract a bit window from a byte buffer (bit offset wraps around).
+Bytes extract_bits(const Bytes& src, std::size_t bit_offset, std::size_t nbits);
+
+}  // namespace dlr::leakage

@@ -1,0 +1,155 @@
+// The CCA2 variant of the continual-memory-leakage game (end of Section 3.3):
+// identical to the CPA game, except the adversary additionally gets a
+// decryption oracle -- usable before *and* after the challenge -- restricted
+// only in that it refuses the challenge ciphertext itself. Leakage, as in the
+// CPA game, happens only before the challenge.
+#pragma once
+
+#include "leakage/game.hpp"
+#include "schemes/dlr_cca2.hpp"
+
+namespace dlr::leakage {
+
+template <group::BilinearGroup GG>
+class Cca2CmlGame {
+ public:
+  using Sys = schemes::DlrCca2System<GG>;
+  using GT = typename GG::GT;
+  using Ciphertext = typename Sys::Ciphertext;
+
+  struct Config {
+    schemes::DlrParams prm;
+    std::size_t id_bits = 32;
+    std::size_t b1 = 0;  // 0 -> lambda
+    std::size_t b2 = 0;  // 0 -> serialized |sk2|
+    std::uint64_t seed = 0;
+  };
+
+  using LeakagePlan = typename CmlGame<GG>::LeakagePlan;
+
+  struct PeriodView {
+    Bytes l1, l1_ref, l2, l2_ref;
+  };
+
+  struct View {
+    const typename Sys::Ibe::Bb::PublicParams* pp = nullptr;
+    std::vector<PeriodView> periods;
+  };
+
+  /// The decryption oracle handed to the adversary. Counts queries and
+  /// refuses the challenge ciphertext once it exists.
+  class Oracle {
+   public:
+    std::optional<GT> decrypt(const Ciphertext& ct) {
+      ++queries_;
+      if (challenge_ && game_->same_ciphertext(ct, **challenge_))
+        throw std::logic_error("CCA2 oracle: challenge ciphertext refused");
+      return game_->sys_->decrypt(ct);
+    }
+    [[nodiscard]] std::size_t queries() const { return queries_; }
+
+   private:
+    friend class Cca2CmlGame;
+    Cca2CmlGame* game_ = nullptr;
+    std::optional<const Ciphertext*> challenge_;
+    std::size_t queries_ = 0;
+  };
+
+  class Adversary {
+   public:
+    virtual ~Adversary() = default;
+    virtual bool wants_more_leakage(const View& view) = 0;
+    virtual LeakagePlan plan(std::size_t t, const View& view, Oracle& oracle) = 0;
+    virtual std::pair<GT, GT> choose_messages(const View& view, crypto::Rng& rng) = 0;
+    virtual int guess(const View& view, const Ciphertext& challenge, Oracle& oracle) = 0;
+  };
+
+  struct Result {
+    bool adversary_won = false;
+    bool aborted = false;
+    std::size_t periods = 0;
+    std::size_t oracle_queries = 0;
+  };
+
+  Cca2CmlGame(GG gg, Config cfg) : gg_(std::move(gg)), cfg_(cfg) {
+    if (cfg_.b1 == 0) cfg_.b1 = cfg_.prm.b1_bits();
+    if (cfg_.b2 == 0) cfg_.b2 = 8 * cfg_.prm.ell * gg_.sc_bytes();
+  }
+
+  Result run(Adversary& adv) {
+    Result res;
+    crypto::Rng root(cfg_.seed);
+    auto sys = Sys::create(gg_, cfg_.prm, cfg_.id_bits, cfg_.seed + 1);
+    sys_ = &sys;
+
+    Oracle oracle;
+    oracle.game_ = this;
+
+    View view;
+    view.pp = &sys.pp();
+    LeakageBudget budget1(cfg_.b1), budget2(cfg_.b2);
+
+    std::size_t t = 0;
+    auto bg_rng = root.fork("background");
+    while (adv.wants_more_leakage(view)) {
+      const auto plan = adv.plan(t, view, oracle);
+      if (!budget1.charge_period(plan.bits1, plan.bits1_ref) ||
+          !budget2.charge_period(plan.bits2, plan.bits2_ref)) {
+        res.aborted = true;
+        res.periods = t;
+        return res;
+      }
+      // Background decryption + msk refresh, as in the CPA game.
+      const auto bg =
+          Sys::enc(sys.ibe().scheme(), sys.pp(), gg_.gt_random(bg_rng), bg_rng);
+      (void)sys.decrypt(bg);
+      const Bytes snap1 = sys.ibe().p1().normal_snapshot().all();
+      const Bytes snap2 = sys.ibe().p2().normal_snapshot().all();
+      sys.refresh_msk();
+
+      PeriodView pv;
+      pv.l1 = eval_leakage(plan.h1, snap1, {}, plan.bits1).data;
+      pv.l2 = eval_leakage(plan.h2, snap2, {}, plan.bits2).data;
+      pv.l1_ref =
+          eval_leakage(plan.h1_ref, sys.ibe().p1().refresh_snapshot().all(), {}, plan.bits1_ref)
+              .data;
+      pv.l2_ref =
+          eval_leakage(plan.h2_ref, sys.ibe().p2().refresh_snapshot().all(), {}, plan.bits2_ref)
+              .data;
+      view.periods.push_back(std::move(pv));
+      ++t;
+    }
+    res.periods = t;
+
+    auto challenge_rng = root.fork("challenge");
+    const auto [m0, m1] = adv.choose_messages(view, challenge_rng);
+    const int b = challenge_rng.coin() ? 1 : 0;
+    const auto challenge =
+        Sys::enc(sys.ibe().scheme(), sys.pp(), b == 0 ? m0 : m1, challenge_rng);
+    oracle.challenge_ = &challenge;
+
+    const int guess = adv.guess(view, challenge, oracle);
+    res.adversary_won = (guess == b);
+    res.oracle_queries = oracle.queries();
+    sys_ = nullptr;
+    return res;
+  }
+
+  [[nodiscard]] bool same_ciphertext(const Ciphertext& a, const Ciphertext& b) const {
+    if (!(a.vk == b.vk)) return false;
+    ByteWriter wa, wb;
+    // sys_ is live whenever the oracle runs.
+    sys_->ibe().scheme().bb().ser_ciphertext(wa, a.inner);
+    sys_->ibe().scheme().bb().ser_ciphertext(wb, b.inner);
+    return wa.bytes() == wb.bytes() &&
+           Sys::Ots::serialize_sig(a.sig) == Sys::Ots::serialize_sig(b.sig);
+  }
+
+ private:
+  friend class Oracle;
+  GG gg_;
+  Config cfg_;
+  Sys* sys_ = nullptr;
+};
+
+}  // namespace dlr::leakage

@@ -1,0 +1,176 @@
+// The DIBE continual-memory-leakage game -- the paper states (Section 3)
+// that its DIBE definitions are the natural analogues of the DPKE ones:
+// standard IBE-CPA (adaptive extract oracle, challenge on an unqueried
+// identity) augmented with per-period leakage on both devices' secret
+// memory, which per Remark 4.1 contains the msk shares AND every extracted
+// identity-key share.
+#pragma once
+
+#include <set>
+
+#include "leakage/budget.hpp"
+#include "schemes/dlr_ibe.hpp"
+
+namespace dlr::leakage {
+
+template <group::BilinearGroup GG>
+class IbeCmlGame {
+ public:
+  using Sys = schemes::DlrIbeSystem<GG>;
+  using Ibe = schemes::DlrIbe<GG>;
+  using GT = typename GG::GT;
+  using Ciphertext = typename Ibe::Ciphertext;
+
+  struct Config {
+    schemes::DlrParams prm;
+    std::size_t id_bits = 32;
+    std::size_t b1 = 0;
+    std::size_t b2 = 0;
+    std::uint64_t seed = 0;
+  };
+
+  struct LeakagePlan {
+    LeakageFn h1, h1_ref, h2, h2_ref;
+    std::size_t bits1 = 0, bits1_ref = 0, bits2 = 0, bits2_ref = 0;
+  };
+
+  struct PeriodView {
+    Bytes l1, l1_ref, l2, l2_ref;
+  };
+
+  struct View {
+    const typename Ibe::Bb::PublicParams* pp = nullptr;
+    std::vector<PeriodView> periods;
+  };
+
+  /// Extract oracle: runs the distributed extract and returns the
+  /// *reconstructed* BB identity key (identity keys are not secret from
+  /// their owners; only the challenge identity is off limits).
+  class ExtractOracle {
+   public:
+    typename Ibe::Bb::IdentityKey extract(const std::string& id) {
+      game_->queried_.insert(id);
+      if (!game_->sys_->p1().has_id(id)) game_->sys_->extract(id);
+      const auto& share1 = game_->sys_->p1().id_share(id);
+      return {share1.r, game_->sys_->scheme().reconstruct(
+                            share1.unit, game_->sys_->p2().id_share(id))};
+    }
+
+   private:
+    friend class IbeCmlGame;
+    IbeCmlGame* game_ = nullptr;
+  };
+
+  class Adversary {
+   public:
+    virtual ~Adversary() = default;
+    virtual bool wants_more_leakage(const View& view) = 0;
+    virtual LeakagePlan plan(std::size_t t, const View& view, ExtractOracle& oracle) = 0;
+    /// Returns (challenge identity, m0, m1). The identity must be unqueried.
+    virtual std::tuple<std::string, GT, GT> choose_challenge(const View& view,
+                                                             crypto::Rng& rng) = 0;
+    virtual int guess(const View& view, const Ciphertext& challenge,
+                      ExtractOracle& oracle) = 0;
+  };
+
+  struct Result {
+    bool adversary_won = false;
+    bool aborted = false;               // leakage budget violation
+    bool invalid_challenge = false;     // challenge id was extract-queried
+    std::size_t periods = 0;
+    std::size_t extract_queries = 0;
+  };
+
+  IbeCmlGame(GG gg, Config cfg) : gg_(std::move(gg)), cfg_(cfg) {
+    if (cfg_.b1 == 0) cfg_.b1 = cfg_.prm.b1_bits();
+    if (cfg_.b2 == 0) cfg_.b2 = 8 * cfg_.prm.ell * gg_.sc_bytes();
+  }
+
+  Result run(Adversary& adv) {
+    Result res;
+    crypto::Rng root(cfg_.seed);
+    auto sys = Sys::create(gg_, cfg_.prm, cfg_.id_bits, cfg_.seed + 1);
+    sys_ = &sys;
+    queried_.clear();
+
+    ExtractOracle oracle;
+    oracle.game_ = this;
+
+    View view;
+    view.pp = &sys.pp();
+    LeakageBudget budget1(cfg_.b1), budget2(cfg_.b2);
+
+    std::size_t t = 0;
+    auto bg_rng = root.fork("background");
+    while (adv.wants_more_leakage(view)) {
+      const std::size_t queries_before = queried_.size();
+      const auto plan = adv.plan(t, view, oracle);
+      if (!budget1.charge_period(plan.bits1, plan.bits1_ref) ||
+          !budget2.charge_period(plan.bits2, plan.bits2_ref)) {
+        res.aborted = true;
+        res.periods = t;
+        sys_ = nullptr;
+        return res;
+      }
+      (void)queries_before;
+
+      // Background activity + refresh of the msk shares and of every live
+      // identity-key share (the paper's frequent-refresh convention).
+      const std::string bg_id = "background-" + std::to_string(t);
+      sys.extract(bg_id);
+      const auto bg_m = gg_.gt_random(bg_rng);
+      const auto bg_ct = sys.scheme().enc(sys.pp(), bg_id, bg_m, bg_rng);
+      (void)sys.decrypt(bg_id, bg_ct);
+      const Bytes snap1 = sys.p1().normal_snapshot().all();
+      const Bytes snap2 = sys.p2().normal_snapshot().all();
+      sys.refresh_msk();
+
+      PeriodView pv;
+      pv.l1 = eval_leakage(plan.h1, snap1, {}, plan.bits1).data;
+      pv.l2 = eval_leakage(plan.h2, snap2, {}, plan.bits2).data;
+      pv.l1_ref =
+          eval_leakage(plan.h1_ref, sys.p1().refresh_snapshot().all(), {}, plan.bits1_ref)
+              .data;
+      pv.l2_ref =
+          eval_leakage(plan.h2_ref, sys.p2().refresh_snapshot().all(), {}, plan.bits2_ref)
+              .data;
+      view.periods.push_back(std::move(pv));
+      // Drop the background identity to keep state bounded.
+      sys.p1().erase_id(bg_id);
+      sys.p2().erase_id(bg_id);
+      ++t;
+    }
+    res.periods = t;
+
+    auto challenge_rng = root.fork("challenge");
+    const auto [id, m0, m1] = adv.choose_challenge(view, challenge_rng);
+    if (queried_.contains(id)) {
+      res.invalid_challenge = true;
+      sys_ = nullptr;
+      return res;
+    }
+    const int b = challenge_rng.coin() ? 1 : 0;
+    const auto challenge = sys.scheme().enc(sys.pp(), id, b == 0 ? m0 : m1, challenge_rng);
+    const int guess = adv.guess(view, challenge, oracle);
+    // Post-challenge extract queries on the challenge id would be caught
+    // here in a fuller implementation; we conservatively re-check.
+    if (queried_.contains(id)) {
+      res.invalid_challenge = true;
+      sys_ = nullptr;
+      return res;
+    }
+    res.adversary_won = (guess == b);
+    res.extract_queries = queried_.size();
+    sys_ = nullptr;
+    return res;
+  }
+
+ private:
+  friend class ExtractOracle;
+  GG gg_;
+  Config cfg_;
+  Sys* sys_ = nullptr;
+  std::set<std::string> queried_;
+};
+
+}  // namespace dlr::leakage

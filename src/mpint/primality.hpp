@@ -1,0 +1,109 @@
+// Miller-Rabin primality testing over UInt<L>, and the type-A pairing
+// parameter search used to generate this repo's curve presets (see
+// tools/paramgen.cpp). Uses the slow schoolbook powmod -- these paths run at
+// setup/validation time only.
+#pragma once
+
+#include "crypto/rng.hpp"
+#include "mpint/uint.hpp"
+
+namespace dlr::mpint {
+
+/// Miller-Rabin with `rounds` random bases (error probability <= 4^-rounds).
+template <std::size_t L>
+bool is_probable_prime(const UInt<L>& n, crypto::Rng& rng, int rounds = 40) {
+  if (n < UInt<L>::from_u64(2)) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull}) {
+    const auto sp = UInt<L>::from_u64(p);
+    if (n == sp) return true;
+    if (mod(n, sp).is_zero()) return false;
+  }
+  // n - 1 = d * 2^s
+  const auto n1 = n - UInt<L>::from_u64(1);
+  std::size_t s = 0;
+  auto d = n1;
+  while (!d.is_odd()) {
+    d = shr(d, 1);
+    ++s;
+  }
+  const std::size_t nbits = n.bit_length();
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    UInt<L> a;
+    do {
+      Bytes b(8 * L, 0);
+      const std::size_t nbytes = (nbits + 7) / 8;
+      rng.fill(std::span<std::uint8_t>(b.data(), nbytes));
+      if (nbits % 8 != 0) b[nbytes - 1] &= static_cast<std::uint8_t>(0xff >> (8 - nbits % 8));
+      a = UInt<L>::from_bytes(b);
+    } while (a < UInt<L>::from_u64(2) || a >= n1);
+
+    auto x = powmod_slow(a, d, n);
+    if (x == UInt<L>::from_u64(1) || x == n1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < s; ++i) {
+      x = mulmod_slow(x, x, n);
+      if (x == n1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+/// Search result for type-A pairing parameters: q = r*h - 1 prime, q == 3
+/// (mod 4), r prime. (The curve y^2 = x^3 + x over F_q then has order q+1 =
+/// r*h with a pairing-friendly order-r subgroup.)
+template <std::size_t LQ, std::size_t LR>
+struct TypeAParams {
+  UInt<LQ> q;
+  UInt<LR> r;
+  UInt<12> h;
+};
+
+/// Deterministic search seeded by `seed`: draws an r_bits-bit prime r, then
+/// increments an h (kept divisible by 4 so q == 3 mod 4) until q = r*h - 1 is
+/// prime. q_bits must satisfy q_bits <= 64*LQ and q_bits - r_bits <= 768.
+template <std::size_t LQ, std::size_t LR>
+TypeAParams<LQ, LR> find_type_a_params(std::size_t q_bits, std::size_t r_bits,
+                                       std::uint64_t seed) {
+  if (r_bits > 64 * LR || q_bits > 64 * LQ || r_bits + 2 > q_bits ||
+      q_bits - r_bits > 768)
+    throw std::invalid_argument("find_type_a_params: inconsistent sizes");
+  crypto::Rng rng(seed);
+  // r: random r_bits-bit odd number until prime.
+  UInt<LR> r;
+  for (;;) {
+    Bytes b(8 * LR, 0);
+    rng.fill(std::span<std::uint8_t>(b.data(), (r_bits + 7) / 8));
+    r = UInt<LR>::from_bytes(b);
+    for (std::size_t i = r_bits; i < 64 * LR; ++i) r.set_bit(i, false);
+    r.set_bit(r_bits - 1, true);
+    r.set_bit(0, true);
+    if (is_probable_prime(r, rng, 32)) break;
+  }
+  // h: (q_bits - r_bits)-bit, divisible by 4; increment by 4 until q prime.
+  const std::size_t h_bits = q_bits - r_bits;
+  UInt<12> h;
+  {
+    Bytes b(96, 0);
+    rng.fill(std::span<std::uint8_t>(b.data(), (h_bits + 7) / 8));
+    h = UInt<12>::from_bytes(b);
+    for (std::size_t i = h_bits; i < 12 * 64; ++i) h.set_bit(i, false);
+    h.set_bit(h_bits - 1, true);
+    h.set_bit(0, false);
+    h.set_bit(1, false);
+  }
+  for (;;) {
+    const auto rh = mul_wide(resize<LQ>(r), h);  // UInt<LQ+12>
+    const auto q = resize<LQ>(rh) - UInt<LQ>::from_u64(1);
+    // (r*h must fit LQ limbs; if it overflowed, resize throws.)
+    if ((q.limb[0] & 3) == 3 && is_probable_prime(q, rng, 32))
+      return {q, r, h};
+    h = h + UInt<12>::from_u64(4);
+  }
+}
+
+}  // namespace dlr::mpint

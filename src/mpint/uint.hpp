@@ -1,0 +1,380 @@
+// Fixed-width little-endian multiprecision unsigned integers.
+//
+// UInt<L> is an array of L 64-bit limbs, limb 0 least significant. All
+// arithmetic is value-semantic and allocation-free. Division uses Knuth's
+// Algorithm D over 32-bit digits; multiplication is schoolbook (the operand
+// sizes in this library -- at most 8 limbs -- make Karatsuba pointless).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.hpp"
+
+namespace dlr::mpint {
+
+template <std::size_t L>
+struct UInt {
+  static_assert(L >= 1);
+  std::array<std::uint64_t, L> limb{};
+
+  static constexpr std::size_t kLimbs = L;
+  static constexpr std::size_t kBits = 64 * L;
+
+  constexpr UInt() = default;
+
+  static constexpr UInt zero() { return UInt{}; }
+
+  static constexpr UInt from_u64(std::uint64_t v) {
+    UInt r;
+    r.limb[0] = v;
+    return r;
+  }
+
+  static constexpr UInt from_limbs(std::initializer_list<std::uint64_t> ls) {
+    UInt r;
+    std::size_t i = 0;
+    for (auto v : ls) {
+      if (i >= L) throw std::invalid_argument("UInt::from_limbs: too many limbs");
+      r.limb[i++] = v;
+    }
+    return r;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const {
+    for (auto v : limb)
+      if (v != 0) return false;
+    return true;
+  }
+
+  [[nodiscard]] constexpr bool is_odd() const { return (limb[0] & 1) != 0; }
+
+  [[nodiscard]] constexpr bool bit(std::size_t i) const {
+    return i < kBits && ((limb[i / 64] >> (i % 64)) & 1) != 0;
+  }
+
+  constexpr void set_bit(std::size_t i, bool v) {
+    if (i >= kBits) throw std::out_of_range("UInt::set_bit");
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (v)
+      limb[i / 64] |= mask;
+    else
+      limb[i / 64] &= ~mask;
+  }
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] constexpr std::size_t bit_length() const {
+    for (std::size_t i = L; i-- > 0;) {
+      if (limb[i] != 0) return 64 * i + (64 - static_cast<std::size_t>(__builtin_clzll(limb[i])));
+    }
+    return 0;
+  }
+
+  constexpr auto operator<=>(const UInt& o) const {
+    for (std::size_t i = L; i-- > 0;) {
+      if (limb[i] != o.limb[i]) return limb[i] <=> o.limb[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  constexpr bool operator==(const UInt& o) const = default;
+
+  Bytes to_bytes() const {
+    ByteWriter w;
+    for (auto v : limb) w.u64(v);
+    return w.take();
+  }
+
+  static UInt from_bytes(std::span<const std::uint8_t> b) {
+    if (b.size() != 8 * L) throw std::invalid_argument("UInt::from_bytes: wrong size");
+    UInt r;
+    for (std::size_t i = 0; i < L; ++i) {
+      std::uint64_t v = 0;
+      for (int j = 0; j < 8; ++j) v |= static_cast<std::uint64_t>(b[8 * i + j]) << (8 * j);
+      r.limb[i] = v;
+    }
+    return r;
+  }
+
+  [[nodiscard]] std::string to_hex() const {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string s = "0x";
+    bool started = false;
+    for (std::size_t i = L; i-- > 0;) {
+      for (int nib = 15; nib >= 0; --nib) {
+        const auto d = static_cast<unsigned>((limb[i] >> (4 * nib)) & 0xf);
+        if (!started && d == 0 && !(i == 0 && nib == 0)) continue;
+        started = true;
+        s.push_back(kHex[d]);
+      }
+    }
+    return s;
+  }
+};
+
+// ---- primitive limb ops -----------------------------------------------------
+
+inline std::uint64_t addc(std::uint64_t a, std::uint64_t b, std::uint64_t& carry) {
+  const unsigned __int128 s = static_cast<unsigned __int128>(a) + b + carry;
+  carry = static_cast<std::uint64_t>(s >> 64);
+  return static_cast<std::uint64_t>(s);
+}
+
+inline std::uint64_t subb(std::uint64_t a, std::uint64_t b, std::uint64_t& borrow) {
+  const unsigned __int128 d =
+      static_cast<unsigned __int128>(a) - b - borrow;
+  borrow = (static_cast<std::uint64_t>(d >> 64) != 0) ? 1 : 0;
+  return static_cast<std::uint64_t>(d);
+}
+
+/// hi:lo = a*b
+inline void mul64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi, std::uint64_t& lo) {
+  const unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  hi = static_cast<std::uint64_t>(p >> 64);
+  lo = static_cast<std::uint64_t>(p);
+}
+
+// ---- wide ops ---------------------------------------------------------------
+
+template <std::size_t L>
+constexpr std::uint64_t add(UInt<L>& r, const UInt<L>& a, const UInt<L>& b) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < L; ++i) r.limb[i] = addc(a.limb[i], b.limb[i], carry);
+  return carry;
+}
+
+template <std::size_t L>
+constexpr std::uint64_t sub(UInt<L>& r, const UInt<L>& a, const UInt<L>& b) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < L; ++i) r.limb[i] = subb(a.limb[i], b.limb[i], borrow);
+  return borrow;
+}
+
+template <std::size_t L>
+UInt<L> operator+(const UInt<L>& a, const UInt<L>& b) {
+  UInt<L> r;
+  if (add(r, a, b) != 0) throw std::overflow_error("UInt: addition overflow");
+  return r;
+}
+
+template <std::size_t L>
+UInt<L> operator-(const UInt<L>& a, const UInt<L>& b) {
+  UInt<L> r;
+  if (sub(r, a, b) != 0) throw std::underflow_error("UInt: subtraction underflow");
+  return r;
+}
+
+/// Full product, no truncation.
+template <std::size_t LA, std::size_t LB>
+UInt<LA + LB> mul_wide(const UInt<LA>& a, const UInt<LB>& b) {
+  UInt<LA + LB> r{};
+  for (std::size_t i = 0; i < LA; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < LB; ++j) {
+      std::uint64_t hi, lo;
+      mul64(a.limb[i], b.limb[j], hi, lo);
+      std::uint64_t c2 = 0;
+      r.limb[i + j] = addc(r.limb[i + j], lo, c2);
+      std::uint64_t c3 = 0;
+      r.limb[i + j + 1] = addc(r.limb[i + j + 1], hi + c2, c3);
+      // hi + c2 cannot overflow: hi <= 2^64-2 when both operands are maximal.
+      carry = c3;
+      for (std::size_t k = i + j + 2; carry != 0 && k < LA + LB; ++k) {
+        std::uint64_t c4 = 0;
+        r.limb[k] = addc(r.limb[k], carry, c4);
+        carry = c4;
+      }
+    }
+  }
+  return r;
+}
+
+template <std::size_t L>
+UInt<L> shl(const UInt<L>& a, std::size_t k) {
+  UInt<L> r{};
+  const std::size_t limbshift = k / 64, bitshift = k % 64;
+  for (std::size_t i = L; i-- > 0;) {
+    if (i < limbshift) break;
+    std::uint64_t v = a.limb[i - limbshift] << bitshift;
+    if (bitshift != 0 && i > limbshift) v |= a.limb[i - limbshift - 1] >> (64 - bitshift);
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+template <std::size_t L>
+UInt<L> shr(const UInt<L>& a, std::size_t k) {
+  UInt<L> r{};
+  const std::size_t limbshift = k / 64, bitshift = k % 64;
+  for (std::size_t i = 0; i + limbshift < L; ++i) {
+    std::uint64_t v = a.limb[i + limbshift] >> bitshift;
+    if (bitshift != 0 && i + limbshift + 1 < L) v |= a.limb[i + limbshift + 1] << (64 - bitshift);
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+/// Truncate or zero-extend.
+template <std::size_t LO, std::size_t LI>
+UInt<LO> resize(const UInt<LI>& a) {
+  UInt<LO> r{};
+  for (std::size_t i = 0; i < LO && i < LI; ++i) r.limb[i] = a.limb[i];
+  if constexpr (LI > LO) {
+    for (std::size_t i = LO; i < LI; ++i)
+      if (a.limb[i] != 0) throw std::overflow_error("UInt::resize: truncation loses bits");
+  }
+  return r;
+}
+
+// ---- division (Knuth Algorithm D over 32-bit digits) ------------------------
+
+namespace detail {
+
+/// In-place digit vectors, least-significant first.
+inline void divmod_digits(std::vector<std::uint32_t> u, std::vector<std::uint32_t> v,
+                          std::vector<std::uint32_t>& q, std::vector<std::uint32_t>& r) {
+  while (!u.empty() && u.back() == 0) u.pop_back();
+  while (!v.empty() && v.back() == 0) v.pop_back();
+  if (v.empty()) throw std::domain_error("UInt: division by zero");
+  if (u.size() < v.size()) {
+    q.assign(1, 0);
+    r = u.empty() ? std::vector<std::uint32_t>{0} : u;
+    return;
+  }
+  if (v.size() == 1) {
+    const std::uint64_t d = v[0];
+    q.assign(u.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = u.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | u[i];
+      q[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    r.assign(1, static_cast<std::uint32_t>(rem));
+    return;
+  }
+
+  const int s = __builtin_clz(v.back());
+  const std::size_t n = v.size(), m = u.size() - n;
+  // Normalize so the divisor's top bit is set (s may be 0; guard the shifts).
+  std::vector<std::uint32_t> vn(n), un(u.size() + 1, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    std::uint64_t w = static_cast<std::uint64_t>(v[i]) << s;
+    if (s != 0 && i > 0) w |= v[i - 1] >> (32 - s);
+    vn[i] = static_cast<std::uint32_t>(w);
+  }
+  un[u.size()] = (s != 0) ? (u.back() >> (32 - s)) : 0;
+  for (std::size_t i = u.size(); i-- > 0;) {
+    std::uint64_t w = static_cast<std::uint64_t>(u[i]) << s;
+    if (s != 0 && i > 0) w |= u[i - 1] >> (32 - s);
+    un[i] = static_cast<std::uint32_t>(w);
+  }
+
+  q.assign(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t top = (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = top / vn[n - 1];
+    std::uint64_t rhat = top % vn[n - 1];
+    while (qhat >= (1ull << 32) ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= (1ull << 32)) break;
+    }
+    // Multiply and subtract.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    q[j] = static_cast<std::uint32_t>(qhat);
+    if (t < 0) {  // Add back.
+      --q[j];
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum = static_cast<std::uint64_t>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<std::uint32_t>(sum);
+        c = sum >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+    }
+  }
+  // Denormalize remainder.
+  r.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = static_cast<std::uint32_t>(
+        (un[i] >> s) | (s && i + 1 < un.size() ? (static_cast<std::uint64_t>(un[i + 1]) << (32 - s))
+                                               : 0));
+  }
+}
+
+template <std::size_t L>
+std::vector<std::uint32_t> to_digits(const UInt<L>& a) {
+  std::vector<std::uint32_t> d(2 * L);
+  for (std::size_t i = 0; i < L; ++i) {
+    d[2 * i] = static_cast<std::uint32_t>(a.limb[i]);
+    d[2 * i + 1] = static_cast<std::uint32_t>(a.limb[i] >> 32);
+  }
+  return d;
+}
+
+template <std::size_t L>
+UInt<L> from_digits(const std::vector<std::uint32_t>& d) {
+  UInt<L> r{};
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i / 2 >= L) {
+      if (d[i] != 0) throw std::overflow_error("UInt::from_digits: overflow");
+      continue;
+    }
+    r.limb[i / 2] |= static_cast<std::uint64_t>(d[i]) << (32 * (i % 2));
+  }
+  return r;
+}
+
+}  // namespace detail
+
+/// Floor division with remainder: a = q*b + r, 0 <= r < b.
+template <std::size_t LA, std::size_t LB>
+std::pair<UInt<LA>, UInt<LB>> divmod(const UInt<LA>& a, const UInt<LB>& b) {
+  std::vector<std::uint32_t> q, r;
+  detail::divmod_digits(detail::to_digits(a), detail::to_digits(b), q, r);
+  return {detail::from_digits<LA>(q), detail::from_digits<LB>(r)};
+}
+
+template <std::size_t LA, std::size_t LB>
+UInt<LB> mod(const UInt<LA>& a, const UInt<LB>& m) {
+  return divmod(a, m).second;
+}
+
+/// (a * b) mod m without Montgomery; for setup/validation paths only.
+template <std::size_t L>
+UInt<L> mulmod_slow(const UInt<L>& a, const UInt<L>& b, const UInt<L>& m) {
+  return mod(mul_wide(a, b), m);
+}
+
+/// a^e mod m, square-and-multiply; for setup/validation paths only.
+template <std::size_t L, std::size_t LE>
+UInt<L> powmod_slow(const UInt<L>& a, const UInt<LE>& e, const UInt<L>& m) {
+  UInt<L> result = mod(UInt<L>::from_u64(1), m);
+  UInt<L> base = mod(a, m);
+  const std::size_t nbits = e.bit_length();
+  for (std::size_t i = nbits; i-- > 0;) {
+    result = mulmod_slow(result, result, m);
+    if (e.bit(i)) result = mulmod_slow(result, base, m);
+  }
+  return result;
+}
+
+}  // namespace dlr::mpint

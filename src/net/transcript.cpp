@@ -1,0 +1,37 @@
+#include "net/transcript.hpp"
+
+namespace dlr::net {
+
+void Transcript::append(Message m) {
+  total_ += m.body.size();
+  msgs_.push_back(std::move(m));
+}
+
+Bytes Transcript::serialize() const {
+  ByteWriter w;
+  w.u64(msgs_.size());
+  for (const auto& m : msgs_) {
+    w.u8(static_cast<std::uint8_t>(m.from));
+    w.str(m.label);
+    w.blob(m.body);
+  }
+  return w.take();
+}
+
+void Transcript::clear() {
+  msgs_.clear();
+  total_ = 0;
+}
+
+const Bytes& Channel::send(DeviceId from, std::string label, Bytes body) {
+  tr_.append(Message{from, std::move(label), std::move(body)});
+  return tr_.messages().back().body;
+}
+
+Transcript Channel::take_transcript() {
+  Transcript t = std::move(tr_);
+  tr_ = Transcript{};
+  return t;
+}
+
+}  // namespace dlr::net

@@ -1,0 +1,91 @@
+// Public-channel machinery for the two-device protocols.
+//
+// Everything a message contains is public by definition of the model
+// (Section 3.2): the adversary sees the full communication transcript, and
+// the transcript is part of pub^t, the public input to leakage functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace dlr::net {
+
+enum class DeviceId : std::uint8_t { P1 = 1, P2 = 2 };
+
+[[nodiscard]] inline std::string to_string(DeviceId d) {
+  return d == DeviceId::P1 ? "P1" : "P2";
+}
+
+/// The three phases of a device's life within a time period (Section 3.2).
+enum class Phase : std::uint8_t { KeyGen = 0, Normal = 1, Refresh = 2 };
+
+struct Message {
+  DeviceId from;
+  std::string label;  // e.g. "dec.r1"
+  Bytes body;
+
+  [[nodiscard]] std::size_t size_bytes() const { return body.size(); }
+};
+
+/// Ordered record of all messages exchanged on the public channel.
+class Transcript {
+ public:
+  void append(Message m);
+
+  [[nodiscard]] const std::vector<Message>& messages() const { return msgs_; }
+  [[nodiscard]] std::size_t total_bytes() const { return total_; }
+  [[nodiscard]] std::size_t count() const { return msgs_.size(); }
+
+  /// Canonical serialization -- the `comm^t` component of pub^t.
+  [[nodiscard]] Bytes serialize() const;
+
+  void clear();
+
+ private:
+  std::vector<Message> msgs_;
+  std::size_t total_ = 0;
+};
+
+/// A synchronous 2-party channel that records every message.
+class Channel {
+ public:
+  /// Deliver a message, recording it in the transcript; returns the body for
+  /// the peer to consume.
+  const Bytes& send(DeviceId from, std::string label, Bytes body);
+
+  [[nodiscard]] const Transcript& transcript() const { return tr_; }
+  [[nodiscard]] Transcript take_transcript();
+
+ private:
+  Transcript tr_;
+};
+
+/// Serialized secret memory of one device during one phase (Section 3.2): the
+/// share, the secret randomness held, and intermediate computation results.
+/// This is the exact input handed to leakage functions.
+struct SecretSnapshot {
+  Bytes share;          // sk_i^t (current share; during refresh also sk^{t+1})
+  Bytes coins;          // r_i^t / r_i^{t,Ref}
+  Bytes intermediates;  // results of intermediate computations
+
+  [[nodiscard]] Bytes all() const {
+    ByteWriter w;
+    w.blob(share);
+    w.blob(coins);
+    w.blob(intermediates);
+    return w.take();
+  }
+
+  [[nodiscard]] std::size_t bits() const { return 8 * (share.size() + coins.size()); }
+
+  /// Secret-memory size in bits as the paper counts it for leakage *rates*:
+  /// the essential secret content (share + secret randomness).
+  [[nodiscard]] std::size_t essential_bits() const {
+    return 8 * (share.size() + coins.size());
+  }
+};
+
+}  // namespace dlr::net

@@ -1,0 +1,248 @@
+// Tate pairing on the type-A supersingular curve E: y^2 = x^3 + x over F_q,
+// q == 3 (mod 4), with distortion map phi(x, y) = (-x, i*y) into E(F_{q^2}).
+//
+//   e(P, Q) = f_{r,P}(phi(Q)) ^ ((q^2 - 1)/r),   P, Q in G = E(F_q)[r]
+//
+// The Miller loop runs in Jacobian coordinates with denominator elimination:
+// since q+1 = r*h, the final exponentiation (q^2-1)/r = (q-1)*h kills every
+// F_q^* factor, so vertical lines and all line denominators are dropped.
+// phi(Q) has x-coordinate in F_q and purely imaginary y-coordinate, making
+// line evaluations cost only F_q multiplications.
+//
+// The final exponentiation uses f^(q-1) = conj(f)/f (Frobenius on F_{q^2} is
+// conjugation) followed by an exponentiation by the cofactor h = (q+1)/r.
+// GT is the order-r subgroup of F_{q^2}^*; its elements have norm 1, so
+// inversion in GT is conjugation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "ec/curve.hpp"
+#include "field/fp2.hpp"
+
+namespace dlr::pairing {
+
+using mpint::UInt;
+
+/// Cofactors in this library fit in 12 limbs (SS1024's h is 768 bits).
+using Cofactor = UInt<12>;
+
+template <std::size_t LQ, std::size_t LR>
+class PairingCtx {
+ public:
+  using Fq = field::FpCtx<LQ>;
+  using Fq2 = field::Fp2Ctx<LQ>;
+  using Curve = ec::CurveCtx<LQ>;
+  using G = ec::AffinePoint<LQ>;   // source-group element
+  using GT = field::Fp2E<LQ>;      // target-group element (norm-1, order r)
+
+  PairingCtx(const UInt<LQ>& q, const UInt<LR>& r, const Cofactor& h, std::string name)
+      : fq_(q), fq2_(fq_), curve_(fq_), r_(r), h_(h), name_(std::move(name)) {
+    validate();
+    gen_ = find_generator();
+    gt_gen_ = pair(gen_, gen_);
+    if (fq2_.eq(gt_gen_, fq2_.one()))
+      throw std::logic_error("PairingCtx: degenerate pairing e(g, g) == 1");
+  }
+
+  [[nodiscard]] const Fq& fq() const { return fq_; }
+  [[nodiscard]] const Fq2& fq2() const { return fq2_; }
+  [[nodiscard]] const Curve& curve() const { return curve_; }
+  [[nodiscard]] const UInt<LR>& order() const { return r_; }
+  [[nodiscard]] const Cofactor& cofactor() const { return h_; }
+  [[nodiscard]] const G& generator() const { return gen_; }
+  [[nodiscard]] const GT& gt_generator() const { return gt_gen_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Group membership: on curve and killed by r.
+  [[nodiscard]] bool in_group(const G& p) const {
+    if (p.inf) return true;
+    if (!curve_.is_on_curve(p)) return false;
+    return curve_.mul(p, r_).inf;
+  }
+
+  /// Map a curve point of any order into the order-r subgroup.
+  [[nodiscard]] G clear_cofactor(const G& p) const { return curve_.mul(p, h_); }
+
+  /// Uniform element of G sampled *without a known discrete log* (the paper's
+  /// Section 5 remark requires the a_i and HPSKE coins to be sampled as raw
+  /// group elements so their dlogs never enter secret memory).
+  [[nodiscard]] G random_point(crypto::Rng& rng) const {
+    for (;;) {
+      const auto x = fq_.random(rng);
+      const bool sign = rng.coin();
+      const auto p = curve_.lift_x(x, sign);
+      if (!p) continue;
+      const auto g = clear_cofactor(*p);
+      if (!g.inf) return g;
+    }
+  }
+
+  /// Deterministic hash-to-group (used for the IBE's public matrix U).
+  [[nodiscard]] G hash_to_point(const Bytes& data) const {
+    for (std::uint32_t ctr = 0;; ++ctr) {
+      ByteWriter w;
+      w.str("dlr.h2g." + name_);
+      w.blob(data);
+      w.u32(ctr);
+      const auto digest = crypto::kdf(w.bytes(), 8 * LQ, "dlr.h2g.kdf");
+      auto v = UInt<LQ>::from_bytes(digest);
+      const auto x = fq_.from_uint(mpint::mod(mpint::resize<2 * LQ>(v), fq_.modulus()));
+      const auto p = curve_.lift_x(x, (digest[0] & 1) != 0);
+      if (!p) continue;
+      const auto g = clear_cofactor(*p);
+      if (!g.inf) return g;
+    }
+  }
+
+  /// Uniform element of GT without a known discrete log: x^((q-1)h) for
+  /// uniform x in F_{q^2}^* surjects onto the order-r subgroup.
+  [[nodiscard]] GT random_gt(crypto::Rng& rng) const {
+    for (;;) {
+      const auto x = fq2_.random_nonzero(rng);
+      const auto y = gt_from_field(x);
+      if (!fq2_.eq(y, fq2_.one())) return y;
+    }
+  }
+
+  /// Project an arbitrary nonzero field element onto GT.
+  [[nodiscard]] GT gt_from_field(const GT& x) const {
+    const auto u = fq2_.mul(fq2_.conj(x), fq2_.inv(x));  // x^(q-1)
+    return fq2_.pow(u, h_);
+  }
+
+  /// GT inversion: conjugation (elements have norm 1).
+  [[nodiscard]] GT gt_inv(const GT& x) const { return fq2_.conj(x); }
+
+  /// The Tate pairing, reduced (output in GT, e(P,Q)=1 iff P or Q infinite).
+  [[nodiscard]] GT pair(const G& p, const G& q) const {
+    if (p.inf || q.inf) return fq2_.one();
+    const auto f = miller(p, q);
+    return final_exp(f);
+  }
+
+  /// Miller function f_{r,P}(phi(Q)) before the final exponentiation.
+  [[nodiscard]] GT miller(const G& p, const G& q) const {
+    const auto& fq = fq_;
+    // phi(Q) = (-xQ, i yQ): the line formulas below absorb the x-negation
+    // (they are written in terms of xQ directly); yQ scales the imaginary
+    // part of every line value.
+    const auto yq = q.y;
+
+    GT f = fq2_.one();
+    ec::JacPoint<LQ> t = curve_.to_jac(p);
+    const std::size_t nbits = r_.bit_length();
+    for (std::size_t i = nbits - 1; i-- > 0;) {
+      // --- doubling step: line value then T <- 2T (shares intermediates) ---
+      {
+        const auto y2 = fq.sqr(t.Y);
+        const auto z2 = fq.sqr(t.Z);
+        const auto m = fq.add(fq.mul(three(), fq.sqr(t.X)), fq.sqr(z2));  // 3X^2 + Z^4
+        // line: real = -2Y^2 + m*(Z^2*xQ' + X) with xQ' = xS...
+        // derived with xS = -xQ:  real = -2Y^2 + m*(Z^2*(-xS) + X)? No:
+        // real = -2Y^2 + m*(Z^2*xQ + X) where xQ = -xS. Use xq = q.x.
+        const auto real = fq.sub(fq.mul(m, fq.add(fq.mul(z2, q.x), t.X)), fq.dbl(y2));
+        const auto imag = fq.mul(fq.mul(fq.dbl(fq.mul(t.Y, t.Z)), z2), yq);  // Z3*Z^2*yQ
+        const GT line{real, imag};
+        f = fq2_.mul(fq2_.sqr(f), line);
+        // T <- 2T
+        const auto s = fq.dbl(fq.dbl(fq.mul(t.X, y2)));
+        const auto x3 = fq.sub(fq.sqr(m), fq.dbl(s));
+        const auto y3 = fq.sub(fq.mul(m, fq.sub(s, x3)), fq.dbl(fq.dbl(fq.dbl(fq.sqr(y2)))));
+        const auto z3 = fq.dbl(fq.mul(t.Y, t.Z));
+        t = {x3, y3, z3};
+      }
+      if (r_.bit(i)) {
+        // --- mixed addition step: T <- T + P with line through T, P ---
+        const auto z1z1 = fq.sqr(t.Z);
+        const auto u2 = fq.mul(p.x, z1z1);
+        const auto s2 = fq.mul(p.y, fq.mul(z1z1, t.Z));
+        const auto hh = fq.sub(u2, t.X);
+        const auto rr = fq.sub(s2, t.Y);
+        if (fq.is_zero(hh)) {
+          // T == +-P. For odd prime r this is the final vertical line
+          // (T = -P, next T = infinity); the line x - xP lies in F_q and is
+          // erased by the final exponentiation.
+          if (!fq.is_zero(rr)) {
+            t = {fq.one(), fq.one(), fq.zero()};
+            continue;
+          }
+          throw std::logic_error("miller: unexpected doubling inside addition step");
+        }
+        const auto z3 = fq.mul(t.Z, hh);
+        // line: real = -Z3*yP + R*(xQ + xP); imag = Z3*yQ  (negated overall
+        // relative to the tangent convention -- an F_q^* factor, irrelevant).
+        const auto real = fq.sub(fq.mul(rr, fq.add(q.x, p.x)), fq.mul(z3, p.y));
+        const auto imag = fq.mul(z3, yq);
+        const GT line{real, imag};
+        f = fq2_.mul(f, line);
+        const auto h2 = fq.sqr(hh);
+        const auto h3 = fq.mul(h2, hh);
+        const auto v = fq.mul(t.X, h2);
+        const auto x3 = fq.sub(fq.sub(fq.sqr(rr), h3), fq.dbl(v));
+        const auto y3 = fq.sub(fq.mul(rr, fq.sub(v, x3)), fq.mul(t.Y, h3));
+        t = {x3, y3, z3};
+      }
+    }
+    return f;
+  }
+
+  /// f -> f^((q^2-1)/r) = (conj(f)/f)^h.
+  [[nodiscard]] GT final_exp(const GT& f) const {
+    const auto u = fq2_.mul(fq2_.conj(f), fq2_.inv(f));
+    return fq2_.pow(u, h_);
+  }
+
+ private:
+  void validate() const {
+    // r * h == q + 1 (so the curve order q+1 contains the order-r subgroup
+    // and the final exponentiation decomposes as (q-1)*h).
+    const auto rh = mpint::mul_wide(mpint::resize<LQ>(r_), h_);  // UInt<LQ+12>
+    const auto q1 = mpint::resize<LQ + 12>(fq_.modulus()) + mpint::UInt<LQ + 12>::from_u64(1);
+    if (rh != q1) throw std::invalid_argument("PairingCtx: r*h != q+1");
+    if ((fq_.modulus().limb[0] & 3) != 3)
+      throw std::invalid_argument("PairingCtx: q != 3 mod 4");
+  }
+
+  [[nodiscard]] G find_generator() const {
+    for (std::uint64_t xi = 1;; ++xi) {
+      const auto x = fq_.from_uint(UInt<LQ>::from_u64(xi));
+      const auto p = curve_.lift_x(x, false);
+      if (!p) continue;
+      const auto g = clear_cofactor(*p);
+      if (g.inf) continue;
+      if (!curve_.mul(g, r_).inf)
+        throw std::logic_error("PairingCtx: cofactor-cleared point not killed by r");
+      return g;
+    }
+  }
+
+  [[nodiscard]] UInt<LQ> three() const { return three_; }
+
+  Fq fq_;
+  Fq2 fq2_;
+  Curve curve_;
+  UInt<LR> r_;
+  Cofactor h_;
+  std::string name_;
+  G gen_{};
+  GT gt_gen_{};
+  UInt<LQ> three_ = fq_.from_uint(UInt<LQ>::from_u64(3));
+};
+
+// ---- presets ----------------------------------------------------------------
+
+/// Canonical PBC "a.param": |q| = 512, |r| = 160 (production-strength).
+std::shared_ptr<const PairingCtx<8, 3>> make_ss512();
+
+/// Reproduction-sized preset generated for this repo: |q| = 255, |r| = 64
+/// (fast; NOT cryptographically strong -- tests and statistics only).
+std::shared_ptr<const PairingCtx<4, 1>> make_ss256();
+
+/// High-margin preset generated for this repo: |q| = 1024, |r| = 256
+/// (comparable to PBC's a1-class sizes).
+std::shared_ptr<const PairingCtx<16, 4>> make_ss1024();
+
+}  // namespace dlr::pairing

@@ -1,0 +1,173 @@
+// Baseline schemes for the comparison experiments (T1, footnote 3 of the
+// paper; see DESIGN.md Section 5 for the substitution rationale).
+//
+//  * ElGamalGT       -- vanilla ElGamal in GT; the no-leakage-protection
+//                       reference point for cost.
+//  * Bhho            -- the BHHO/Naor-Segev-style leakage-resilient PKE over
+//                       G: pk = (g_1..g_w, h = prod g_i^{x_i}), sk = x.
+//                       Bounded-leakage resilient (leftover hash lemma), no
+//                       refresh: the scheme the paper's Pi_ss is inspired by.
+//  * BitwiseBhho     -- encrypts k-bit strings bit-by-bit with Bhho. This is
+//                       the *cost model* for BKKV [11]: omega(n)
+//                       exponentiations and omega(n) group elements per
+//                       plaintext, versus DLR's 2 exps / 2 elements for a
+//                       whole group element.
+#pragma once
+
+#include "group/bilinear.hpp"
+
+namespace dlr::schemes {
+
+template <group::BilinearGroup GG>
+class ElGamalGT {
+ public:
+  using Scalar = typename GG::Scalar;
+  using GT = typename GG::GT;
+
+  struct PublicKey {
+    GT g{};
+    GT h{};  // g^x
+  };
+  struct SecretKey {
+    Scalar x{};
+  };
+  struct Ciphertext {
+    GT c1{};
+    GT c2{};
+  };
+
+  explicit ElGamalGT(GG gg) : gg_(std::move(gg)) {}
+
+  std::pair<PublicKey, SecretKey> gen(crypto::Rng& rng) const {
+    const Scalar x = gg_.sc_random(rng);
+    const GT g = gg_.gt_gen();
+    return {PublicKey{g, gg_.gt_pow(g, x)}, SecretKey{x}};
+  }
+
+  Ciphertext enc(const PublicKey& pk, const GT& m, crypto::Rng& rng) const {
+    const Scalar t = gg_.sc_random(rng);
+    return {gg_.gt_pow(pk.g, t), gg_.gt_mul(m, gg_.gt_pow(pk.h, t))};
+  }
+
+  [[nodiscard]] GT dec(const SecretKey& sk, const Ciphertext& ct) const {
+    return gg_.gt_mul(ct.c2, gg_.gt_inv(gg_.gt_pow(ct.c1, sk.x)));
+  }
+
+  [[nodiscard]] std::size_t ciphertext_bytes() const { return 2 * gg_.gt_bytes(); }
+
+ private:
+  GG gg_;
+};
+
+template <group::BilinearGroup GG>
+class Bhho {
+ public:
+  using Scalar = typename GG::Scalar;
+  using G = typename GG::G;
+
+  struct PublicKey {
+    std::vector<G> g;  // g_1..g_w
+    G h{};             // prod g_i^{x_i}
+  };
+  struct SecretKey {
+    std::vector<Scalar> x;
+  };
+  struct Ciphertext {
+    std::vector<G> c;  // g_i^t
+    G c0{};            // m * h^t
+  };
+
+  Bhho(GG gg, std::size_t width) : gg_(std::move(gg)), width_(width) {
+    if (width_ == 0) throw std::invalid_argument("Bhho: width must be positive");
+  }
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  std::pair<PublicKey, SecretKey> gen(crypto::Rng& rng) const {
+    PublicKey pk;
+    SecretKey sk;
+    pk.g.reserve(width_);
+    sk.x.reserve(width_);
+    pk.h = gg_.g_id();
+    for (std::size_t i = 0; i < width_; ++i) {
+      pk.g.push_back(gg_.g_random(rng));
+      sk.x.push_back(gg_.sc_random(rng));
+      pk.h = gg_.g_mul(pk.h, gg_.g_pow(pk.g[i], sk.x[i]));
+    }
+    return {std::move(pk), std::move(sk)};
+  }
+
+  Ciphertext enc(const PublicKey& pk, const G& m, crypto::Rng& rng) const {
+    const Scalar t = gg_.sc_random(rng);
+    Ciphertext ct;
+    ct.c.reserve(width_);
+    for (std::size_t i = 0; i < width_; ++i) ct.c.push_back(gg_.g_pow(pk.g[i], t));
+    ct.c0 = gg_.g_mul(m, gg_.g_pow(pk.h, t));
+    return ct;
+  }
+
+  [[nodiscard]] G dec(const SecretKey& sk, const Ciphertext& ct) const {
+    if (ct.c.size() != width_ || sk.x.size() != width_)
+      throw std::invalid_argument("Bhho::dec: wrong width");
+    G mask = gg_.g_id();
+    for (std::size_t i = 0; i < width_; ++i)
+      mask = gg_.g_mul(mask, gg_.g_pow(ct.c[i], sk.x[i]));
+    return gg_.g_mul(ct.c0, gg_.g_inv(mask));
+  }
+
+  [[nodiscard]] std::size_t ciphertext_bytes() const { return (width_ + 1) * gg_.g_bytes(); }
+
+ private:
+  GG gg_;
+  std::size_t width_;
+};
+
+/// Bit-by-bit encryption over Bhho: bit b is encoded as g^b. The decryptor
+/// distinguishes identity from g. Cost profile matches the single-processor
+/// continual-leakage PKEs that encrypt single bits ([11] and, structurally,
+/// [29]).
+template <group::BilinearGroup GG>
+class BitwiseBhho {
+ public:
+  using Base = Bhho<GG>;
+  using PublicKey = typename Base::PublicKey;
+  using SecretKey = typename Base::SecretKey;
+  using Ciphertext = std::vector<typename Base::Ciphertext>;
+
+  BitwiseBhho(GG gg, std::size_t width) : gg_(std::move(gg)), base_(gg_, width) {}
+
+  std::pair<PublicKey, SecretKey> gen(crypto::Rng& rng) const { return base_.gen(rng); }
+
+  Ciphertext enc(const PublicKey& pk, const Bytes& msg, crypto::Rng& rng) const {
+    Ciphertext out;
+    out.reserve(8 * msg.size());
+    for (std::size_t i = 0; i < 8 * msg.size(); ++i) {
+      const bool bit = (msg[i / 8] >> (i % 8)) & 1;
+      out.push_back(base_.enc(pk, bit ? gg_.g_gen() : gg_.g_id(), rng));
+    }
+    return out;
+  }
+
+  [[nodiscard]] Bytes dec(const SecretKey& sk, const Ciphertext& ct) const {
+    if (ct.size() % 8 != 0) throw std::invalid_argument("BitwiseBhho::dec: partial byte");
+    Bytes out(ct.size() / 8, 0);
+    for (std::size_t i = 0; i < ct.size(); ++i) {
+      const auto m = base_.dec(sk, ct[i]);
+      if (gg_.g_eq(m, gg_.g_gen()))
+        out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      else if (!gg_.g_is_id(m))
+        throw std::invalid_argument("BitwiseBhho::dec: invalid bit encoding");
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t ciphertext_bytes(std::size_t msg_bytes) const {
+    return 8 * msg_bytes * base_.ciphertext_bytes();
+  }
+
+ private:
+  GG gg_;
+  Base base_;
+};
+
+}  // namespace dlr::schemes

@@ -1,0 +1,155 @@
+// Boneh-Boyen IBE [5], the bit-by-bit-identity variant the paper builds on
+// (Section 4.2):
+//
+//   pp  = (g, g1 = g^alpha, g2, U = (u_{j,0}, u_{j,1})_{j in [n_id]})
+//   msk = g2^alpha
+//   skID = (g^{r_1}, ..., g^{r_n}, M = g2^alpha * prod_j u_{j,b_j}^{r_j})
+//          where H(ID) = (b_1..b_n)
+//   Enc(ID, m in GT) = (g^t, (u_{j,b_j}^t)_j, m * e(g1,g2)^t)
+//   Dec: m = B * prod_j e(g^{r_j}, C_j) / e(A, M)
+//
+// This is both (a) the substrate whose master key the distributed schemes
+// share, and (b) the single-processor IBE baseline for the T1/F7 experiments.
+#pragma once
+
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "group/bilinear.hpp"
+
+namespace dlr::schemes {
+
+template <group::BilinearGroup GG>
+class BbIbe {
+ public:
+  using Scalar = typename GG::Scalar;
+  using G = typename GG::G;
+  using GT = typename GG::GT;
+
+  struct PublicParams {
+    G g{};
+    G g1{};  // g^alpha
+    G g2{};
+    std::vector<std::array<G, 2>> u;  // n_id rows
+    GT z{};                           // e(g1, g2), cached for encryption
+  };
+
+  struct MasterKey {
+    G msk{};  // g2^alpha
+  };
+
+  struct IdentityKey {
+    std::vector<G> r;  // g^{r_j}
+    G m{};             // g2^alpha * prod u^{r_j}
+  };
+
+  struct Ciphertext {
+    G a{};              // g^t
+    std::vector<G> c;   // u_{j,b_j}^t
+    GT b{};             // m * z^t
+  };
+
+  BbIbe(GG gg, std::size_t id_bits) : gg_(std::move(gg)), id_bits_(id_bits) {
+    if (id_bits_ == 0 || id_bits_ > 256)
+      throw std::invalid_argument("BbIbe: id_bits must be in [1, 256]");
+  }
+
+  [[nodiscard]] const GG& group() const { return gg_; }
+  [[nodiscard]] std::size_t id_bits() const { return id_bits_; }
+
+  /// Hash an identity string to its bit vector b_1..b_n.
+  [[nodiscard]] std::vector<bool> hash_id(const std::string& id) const {
+    const auto d = crypto::tagged_hash("dlr.bbibe.id", Bytes(id.begin(), id.end()));
+    std::vector<bool> bits(id_bits_);
+    for (std::size_t j = 0; j < id_bits_; ++j) bits[j] = (d[j / 8] >> (j % 8)) & 1;
+    return bits;
+  }
+
+  std::pair<PublicParams, MasterKey> setup(crypto::Rng& rng) const {
+    PublicParams pp;
+    pp.g = gg_.g_gen();
+    const Scalar alpha = gg_.sc_random(rng);
+    pp.g1 = gg_.g_pow(pp.g, alpha);
+    pp.g2 = gg_.g_random(rng);
+    pp.u.reserve(id_bits_);
+    for (std::size_t j = 0; j < id_bits_; ++j)
+      pp.u.push_back({gg_.g_random(rng), gg_.g_random(rng)});
+    pp.z = gg_.pair(pp.g1, pp.g2);
+    return {std::move(pp), MasterKey{gg_.g_pow(pp.g2, alpha)}};
+  }
+
+  IdentityKey extract(const PublicParams& pp, const MasterKey& mk, const std::string& id,
+                      crypto::Rng& rng) const {
+    const auto bits = hash_id(id);
+    IdentityKey sk;
+    sk.r.reserve(id_bits_);
+    std::vector<Scalar> rs;
+    std::vector<G> bases;
+    rs.reserve(id_bits_);
+    bases.reserve(id_bits_);
+    for (std::size_t j = 0; j < id_bits_; ++j) {
+      rs.push_back(gg_.sc_random(rng));
+      sk.r.push_back(gg_.g_pow(pp.g, rs.back()));
+      bases.push_back(pp.u[j][bits[j] ? 1 : 0]);
+    }
+    sk.m = gg_.g_mul(mk.msk, gg_.g_multi_pow(bases, rs));
+    return sk;
+  }
+
+  Ciphertext enc(const PublicParams& pp, const std::string& id, const GT& m,
+                 crypto::Rng& rng) const {
+    const auto bits = hash_id(id);
+    const Scalar t = gg_.sc_random(rng);
+    Ciphertext ct;
+    ct.a = gg_.g_pow(pp.g, t);
+    ct.c.reserve(id_bits_);
+    for (std::size_t j = 0; j < id_bits_; ++j)
+      ct.c.push_back(gg_.g_pow(pp.u[j][bits[j] ? 1 : 0], t));
+    ct.b = gg_.gt_mul(m, gg_.gt_pow(pp.z, t));
+    return ct;
+  }
+
+  [[nodiscard]] GT dec(const IdentityKey& sk, const Ciphertext& ct) const {
+    if (ct.c.size() != id_bits_ || sk.r.size() != id_bits_)
+      throw std::invalid_argument("BbIbe::dec: wrong component count");
+    // B * prod e(R_j, C_j) / e(A, M)
+    GT acc = ct.b;
+    for (std::size_t j = 0; j < id_bits_; ++j)
+      acc = gg_.gt_mul(acc, gg_.pair(sk.r[j], ct.c[j]));
+    return gg_.gt_mul(acc, gg_.gt_inv(gg_.pair(ct.a, sk.m)));
+  }
+
+  /// The correction factor prod_j e(R_j, C_j) -- computed by P1 alone in the
+  /// distributed decryption (it owns the R_j).
+  [[nodiscard]] GT pairing_correction(const std::vector<G>& r,
+                                      const std::vector<G>& c) const {
+    if (r.size() != id_bits_ || c.size() != id_bits_)
+      throw std::invalid_argument("BbIbe::pairing_correction: wrong size");
+    GT acc = gg_.gt_id();
+    for (std::size_t j = 0; j < id_bits_; ++j) acc = gg_.gt_mul(acc, gg_.pair(r[j], c[j]));
+    return acc;
+  }
+
+  // ---- serialization ------------------------------------------------------------
+  void ser_ciphertext(ByteWriter& w, const Ciphertext& ct) const {
+    gg_.g_ser(w, ct.a);
+    for (const auto& cj : ct.c) gg_.g_ser(w, cj);
+    gg_.gt_ser(w, ct.b);
+  }
+  [[nodiscard]] Ciphertext deser_ciphertext(ByteReader& r) const {
+    Ciphertext ct;
+    ct.a = gg_.g_deser(r);
+    ct.c.reserve(id_bits_);
+    for (std::size_t j = 0; j < id_bits_; ++j) ct.c.push_back(gg_.g_deser(r));
+    ct.b = gg_.gt_deser(r);
+    return ct;
+  }
+  [[nodiscard]] std::size_t ciphertext_bytes() const {
+    return (1 + id_bits_) * gg_.g_bytes() + gg_.gt_bytes();
+  }
+
+ private:
+  GG gg_;
+  std::size_t id_bits_;
+};
+
+}  // namespace dlr::schemes

@@ -1,0 +1,649 @@
+// DLR -- the paper's distributed public-key encryption scheme, CPA-secure
+// against continual memory leakage (Construction 5.3).
+//
+//   pk  = (p, g, e, Z = e(g1, g2)),  g1 = g^alpha
+//   sk1 = (a_1..a_l, Phi = g2^alpha * prod a_i^{s_i})   (device P1)
+//   sk2 = (s_1..s_l)                                    (device P2)
+//   Enc(m in GT) = (g^t, m * Z^t)
+//
+// Decryption and refresh are the paper's 3-move 2-party protocols, including
+// the two implementation remarks of Section 5.2:
+//   * fi/di reuse: P1 encrypts its share once per period under sk_comm over
+//     G (the f_i), and derives the decryption-protocol ciphertexts d_i by
+//     coordinate-wise pairing with A (pair_ct) -- the same sigma decrypts
+//     both, since e(A, b)^sigma = e(A, b^sigma).
+//   * coins are sampled directly as group elements, never as g^rho, so no
+//     discrete logarithms of coins ever reside in secret memory.
+//
+// P1 storage modes:
+//   * P1Mode::Plain   -- P1 stores sk1 itself (the construction as first
+//     presented). Secret memory of P1: sk1 + sk_comm.
+//   * P1Mode::Compact -- the "optimal leakage rate" remark: P1 stores only
+//     sk_comm; sk1 lives in *public* memory encrypted coordinate-wise under
+//     sk_comm, and P1 never holds more than one unencrypted coordinate.
+//     Secret memory of P1: sk_comm + one scratch group element
+//     (= kappa*log p + log p bits, the paper's m1 + log p).
+#pragma once
+
+#include <optional>
+
+#include "crypto/rng.hpp"
+#include "group/fixed_pow.hpp"
+#include "net/transcript.hpp"
+#include "schemes/hpske.hpp"
+#include "schemes/params.hpp"
+#include "schemes/pi_ss.hpp"
+
+namespace dlr::schemes {
+
+enum class P1Mode { Plain, Compact };
+
+template <group::BilinearGroup GG>
+struct DlrCore {
+  using Scalar = typename GG::Scalar;
+  using G = typename GG::G;
+  using GT = typename GG::GT;
+  using SS = PiSS<GG>;     // width l, over G
+  using HG = HpskeG<GG>;   // width kappa, over G
+  using HT = HpskeGT<GG>;  // width kappa, over GT
+  using CtG = typename HG::Ciphertext;
+  using CtT = typename HT::Ciphertext;
+  using SkComm = typename HG::SecretKey;  // sigma, shared across G and GT
+
+  struct PublicKey {
+    G g{};   // generator
+    GT z{};  // e(g1, g2)
+  };
+
+  struct Sk1 {
+    std::vector<G> a;
+    G phi{};
+  };
+
+  struct Sk2 {
+    std::vector<Scalar> s;
+  };
+
+  struct Ciphertext {
+    G a{};   // g^t
+    GT b{};  // m * Z^t
+  };
+
+  struct KeyGenResult {
+    PublicKey pk;
+    Sk1 sk1;
+    Sk2 sk2;
+    /// r^Gen: the secret randomness held during Gen (input to h^Gen).
+    Bytes gen_randomness;
+    /// The master secret key g2^alpha -- returned for tests only; a real
+    /// deployment erases it (the devices never need it).
+    G msk{};
+  };
+
+  static KeyGenResult gen(const GG& gg, const DlrParams& prm, crypto::Rng& rng) {
+    KeyGenResult out;
+    const Scalar alpha = gg.sc_random(rng);
+    const G g = gg.g_gen();
+    const G g1 = gg.g_pow(g, alpha);
+    const G g2 = gg.g_random(rng);
+    out.pk = PublicKey{g, gg.pair(g1, g2)};
+    out.msk = gg.g_pow(g2, alpha);
+
+    out.sk2.s.reserve(prm.ell);
+    for (std::size_t i = 0; i < prm.ell; ++i) out.sk2.s.push_back(gg.sc_random(rng));
+
+    out.sk1.a.reserve(prm.ell);
+    for (std::size_t i = 0; i < prm.ell; ++i) out.sk1.a.push_back(gg.g_random(rng));
+    out.sk1.phi = gg.g_mul(out.msk, gg.g_multi_pow(out.sk1.a, out.sk2.s));
+
+    ByteWriter w;
+    gg.sc_ser(w, alpha);
+    for (const auto& s : out.sk2.s) gg.sc_ser(w, s);
+    gg.g_ser(w, g2);
+    gg.g_ser(w, out.msk);
+    for (const auto& a : out.sk1.a) gg.g_ser(w, a);
+    gg.g_ser(w, out.sk1.phi);
+    out.gen_randomness = w.take();
+    return out;
+  }
+
+  static Ciphertext enc(const GG& gg, const PublicKey& pk, const GT& m, crypto::Rng& rng) {
+    return enc_with_t(gg, pk, m, gg.sc_random(rng));
+  }
+
+  static Ciphertext enc_with_t(const GG& gg, const PublicKey& pk, const GT& m,
+                               const Scalar& t) {
+    return Ciphertext{gg.g_pow(pk.g, t), gg.gt_mul(m, gg.gt_pow(pk.z, t))};
+  }
+
+  /// Precomputed public-key table for the heavy-encryptor setting. Only the
+  /// GT base Z = e(g1, g2) uses a comb table: GT multiplications are cheap
+  /// (F_{q^2} muls), so the table replaces ~|r| squarings with ~|r|/4 muls.
+  /// The G base deliberately does NOT -- affine G multiplications each cost a
+  /// field inversion, which would eat the entire saving (measured in F6).
+  struct PkTable {
+    PublicKey pk;
+    group::FixedPowGT<GG> z;
+    PkTable(const GG& gg, const PublicKey& pk_in) : pk(pk_in), z(gg, pk_in.z) {}
+  };
+
+  static Ciphertext enc_precomp(const GG& gg, const PkTable& tbl, const GT& m,
+                                crypto::Rng& rng) {
+    const Scalar t = gg.sc_random(rng);
+    return Ciphertext{gg.g_pow(tbl.pk.g, t), gg.gt_mul(m, tbl.z.pow(t))};
+  }
+
+  /// Non-distributed reference decryption (tests / baselines): requires the
+  /// reconstructed secret, never used by the devices.
+  static GT dec_reference(const GG& gg, const Sk1& sk1, const Sk2& sk2, const Ciphertext& c) {
+    // m = B * e(A, prod a^s / Phi) = B / e(A, g2^alpha)
+    const G inv_msk = gg.g_mul(gg.g_multi_pow(sk1.a, sk2.s), gg.g_inv(sk1.phi));
+    return gg.gt_mul(c.b, gg.pair(c.a, inv_msk));
+  }
+
+  /// Reconstruct msk from the two shares (test helper -- the protocols never
+  /// do this; that is the point of the sharing).
+  static G reconstruct_msk(const GG& gg, const Sk1& sk1, const Sk2& sk2) {
+    return gg.g_mul(sk1.phi, gg.g_inv(gg.g_multi_pow(sk1.a, sk2.s)));
+  }
+
+  /// Transport a G-HPSKE ciphertext to a GT-HPSKE ciphertext of the paired
+  /// plaintext: pair each coordinate with A. Correct under the same sigma
+  /// because e(A, b^sigma) = e(A, b)^sigma.
+  static CtT pair_ct(const GG& gg, const G& a, const CtG& ct) {
+    CtT out;
+    out.b.reserve(ct.b.size());
+    for (const auto& bi : ct.b) out.b.push_back(gg.pair(a, bi));
+    out.c0 = gg.pair(a, ct.c0);
+    return out;
+  }
+
+  // ---- key serialization ---------------------------------------------------------
+  static void ser_pk(const GG& gg, ByteWriter& w, const PublicKey& pk) {
+    gg.g_ser(w, pk.g);
+    gg.gt_ser(w, pk.z);
+  }
+  static PublicKey deser_pk(const GG& gg, ByteReader& r) {
+    PublicKey pk;
+    pk.g = gg.g_deser(r);
+    pk.z = gg.gt_deser(r);
+    return pk;
+  }
+  static void ser_sk1(const GG& gg, ByteWriter& w, const Sk1& sk1) {
+    w.u64(sk1.a.size());
+    for (const auto& ai : sk1.a) gg.g_ser(w, ai);
+    gg.g_ser(w, sk1.phi);
+  }
+  static Sk1 deser_sk1(const GG& gg, ByteReader& r) {
+    Sk1 sk1;
+    const auto n = r.u64();
+    sk1.a.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) sk1.a.push_back(gg.g_deser(r));
+    sk1.phi = gg.g_deser(r);
+    return sk1;
+  }
+  static void ser_sk2(const GG& gg, ByteWriter& w, const Sk2& sk2) {
+    w.u64(sk2.s.size());
+    for (const auto& si : sk2.s) gg.sc_ser(w, si);
+  }
+  static Sk2 deser_sk2(const GG& gg, ByteReader& r) {
+    Sk2 sk2;
+    const auto n = r.u64();
+    sk2.s.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) sk2.s.push_back(gg.sc_deser(r));
+    return sk2;
+  }
+
+  // ---- ciphertext serialization ------------------------------------------------
+  static void ser_ciphertext(const GG& gg, ByteWriter& w, const Ciphertext& c) {
+    gg.g_ser(w, c.a);
+    gg.gt_ser(w, c.b);
+  }
+  static Ciphertext deser_ciphertext(const GG& gg, ByteReader& r) {
+    Ciphertext c;
+    c.a = gg.g_deser(r);
+    c.b = gg.gt_deser(r);
+    return c;
+  }
+  static std::size_t ciphertext_bytes(const GG& gg) { return gg.g_bytes() + gg.gt_bytes(); }
+};
+
+// =============================================================================
+// Device P1 (main processor)
+// =============================================================================
+
+template <group::BilinearGroup GG>
+class DlrParty1 {
+ public:
+  using Core = DlrCore<GG>;
+  using Scalar = typename GG::Scalar;
+  using G = typename GG::G;
+  using GT = typename GG::GT;
+  using CtG = typename Core::CtG;
+  using CtT = typename Core::CtT;
+
+  DlrParty1(GG gg, DlrParams prm, typename Core::PublicKey pk, typename Core::Sk1 sk1,
+            P1Mode mode, crypto::Rng rng)
+      : gg_(std::move(gg)),
+        prm_(prm),
+        pk_(std::move(pk)),
+        mode_(mode),
+        hg_(gg_, prm.kappa),
+        ht_(gg_, prm.kappa),
+        rng_(std::move(rng)) {
+    if (sk1.a.size() != prm_.ell) throw std::invalid_argument("DlrParty1: bad share width");
+    if (mode_ == P1Mode::Plain) {
+      sk1_ = std::move(sk1);
+    } else {
+      // Compact mode: encrypt the share coordinate-wise under a fresh
+      // sk_comm and keep only sk_comm secret. The encrypted share is public.
+      sigma_ = hg_.gen(rng_);
+      enc_a_.reserve(prm_.ell);
+      for (const auto& ai : sk1.a) enc_a_.push_back(hg_.enc(*sigma_, ai, rng_));
+      enc_phi_ = hg_.enc(*sigma_, sk1.phi, rng_);
+    }
+  }
+
+  [[nodiscard]] const typename Core::PublicKey& pk() const { return pk_; }
+  [[nodiscard]] P1Mode mode() const { return mode_; }
+
+  /// Plain-mode share accessor (tests); throws in compact mode.
+  [[nodiscard]] const typename Core::Sk1& share() const {
+    if (!sk1_) throw std::logic_error("DlrParty1::share: compact mode stores no raw share");
+    return *sk1_;
+  }
+
+  /// Compact-mode public encrypted share (it is public memory).
+  [[nodiscard]] const std::vector<CtG>& encrypted_share() const { return enc_a_; }
+
+  /// Recover the raw share (test helper; in compact mode decrypts).
+  [[nodiscard]] typename Core::Sk1 recover_share_for_test() const {
+    if (sk1_) return *sk1_;
+    typename Core::Sk1 out;
+    out.a.reserve(prm_.ell);
+    for (const auto& ct : enc_a_) out.a.push_back(hg_.dec(*sigma_, ct));
+    out.phi = hg_.dec(*sigma_, *enc_phi_);
+    return out;
+  }
+
+  // ---- decryption protocol, P1 side ------------------------------------------
+
+  /// Round 1: send (d_1..d_l, dPhi, dB) -- HPSKE-over-GT encryptions of
+  /// e(A, a_i), e(A, Phi) and B under this period's sk_comm.
+  [[nodiscard]] Bytes dec_round1(const typename Core::Ciphertext& c) {
+    ensure_period_setup();
+    ByteWriter w;
+    for (const auto& fi : fs_) ht_.ser_ct(w, Core::pair_ct(gg_, c.a, fi));
+    ht_.ser_ct(w, Core::pair_ct(gg_, c.a, *fphi_));
+    const CtT db = ht_.enc(sigma_gt(), c.b, rng_);
+    ht_.ser_ct(w, db);
+    return w.take();
+  }
+
+  /// Round 3: decrypt P2's combined ciphertext to obtain the message.
+  [[nodiscard]] GT dec_finish(const Bytes& reply) {
+    ByteReader r(reply);
+    const CtT combined = ht_.deser_ct(r);
+    if (!r.done()) throw std::invalid_argument("dec_finish: trailing bytes");
+    return ht_.dec(sigma_gt(), combined);
+  }
+
+  // ---- refresh protocol, P1 side -----------------------------------------------
+
+  /// Round 1: send ((f_i, f'_i) for i in [l], fPhi). The f_i (and fPhi) are
+  /// the period's share encryptions, reused from the decryption protocol.
+  [[nodiscard]] Bytes ref_round1() {
+    ensure_period_setup();
+    // Sample the next-share randomness a'_1..a'_l and encrypt it. In compact
+    // mode each a'_i is held raw only transiently (one coordinate at a time).
+    next_a_.clear();
+    fprime_.clear();
+    fprime_.reserve(prm_.ell);
+    if (mode_ == P1Mode::Plain) {
+      next_a_.reserve(prm_.ell);
+      for (std::size_t i = 0; i < prm_.ell; ++i) {
+        next_a_.push_back(gg_.g_random(rng_));
+        fprime_.push_back(hg_.enc(*sigma_, next_a_.back(), rng_));
+      }
+    } else {
+      for (std::size_t i = 0; i < prm_.ell; ++i) {
+        const G ap = gg_.g_random(rng_);  // scratch: the only raw coordinate
+        fprime_.push_back(hg_.enc(*sigma_, ap, rng_));
+      }
+    }
+    ByteWriter w;
+    for (std::size_t i = 0; i < prm_.ell; ++i) {
+      hg_.ser_ct(w, fs_[i]);
+      hg_.ser_ct(w, fprime_[i]);
+    }
+    hg_.ser_ct(w, *fphi_);
+    return w.take();
+  }
+
+  /// Round 3: decrypt Phi' and install the new share; end the period.
+  void ref_finish(const Bytes& reply) {
+    ByteReader r(reply);
+    const CtG f = hg_.deser_ct(r);
+    if (!r.done()) throw std::invalid_argument("ref_finish: trailing bytes");
+    const G new_phi = hg_.dec(*sigma_, f);
+
+    capture_refresh_snapshot(new_phi);
+
+    if (mode_ == P1Mode::Plain) {
+      sk1_->a = std::move(next_a_);
+      sk1_->phi = new_phi;
+    } else {
+      // Rotate sk_comm: re-encrypt the new share coordinate-by-coordinate
+      // under a fresh key; at most one raw coordinate in memory at a time.
+      const auto sigma_next = hg_.gen(rng_);
+      std::vector<CtG> enc_a_next;
+      enc_a_next.reserve(prm_.ell);
+      for (const auto& fp : fprime_) {
+        const G scratch = hg_.dec(*sigma_, fp);
+        enc_a_next.push_back(hg_.enc(sigma_next, scratch, rng_));
+      }
+      const G scratch_phi = new_phi;
+      enc_phi_ = hg_.enc(sigma_next, scratch_phi, rng_);
+      enc_a_ = std::move(enc_a_next);
+      sigma_ = sigma_next;
+    }
+    end_period();
+  }
+
+  // ---- secret memory (Section 3.2) ----------------------------------------------
+
+  /// Secret memory during "all other times" of the current period.
+  [[nodiscard]] net::SecretSnapshot normal_snapshot() const {
+    net::SecretSnapshot snap;
+    ByteWriter share;
+    if (mode_ == P1Mode::Plain) {
+      ser_sk1(share, *sk1_);
+      if (sigma_) hg_.ser_sk(share, *sigma_);
+    } else {
+      if (sigma_) hg_.ser_sk(share, *sigma_);
+      // One scratch coordinate (zero-initialized placeholder slot).
+      gg_.g_ser(share, gg_.g_id());
+    }
+    snap.share = share.take();
+    return snap;
+  }
+
+  /// Secret memory during refresh of the most recrecently finished period.
+  [[nodiscard]] const net::SecretSnapshot& refresh_snapshot() const { return refresh_snap_; }
+
+  /// Essential secret-memory sizes in bits, for leakage-rate accounting.
+  [[nodiscard]] std::size_t secret_bits(net::Phase phase) const {
+    const std::size_t logp_bytes = gg_.sc_bytes();
+    const std::size_t g_bytes = gg_.g_bytes();
+    const std::size_t skcomm = prm_.kappa * logp_bytes;
+    std::size_t bytes = 0;
+    if (mode_ == P1Mode::Plain) {
+      const std::size_t sk1 = (prm_.ell + 1) * g_bytes;
+      bytes = (phase == net::Phase::Refresh) ? 2 * sk1 + skcomm : sk1 + skcomm;
+    } else {
+      bytes = (phase == net::Phase::Refresh) ? 2 * skcomm + g_bytes : skcomm + g_bytes;
+    }
+    return 8 * bytes;
+  }
+
+  /// Forcibly end the period (drops sk_comm and the cached f's).
+  void end_period() {
+    if (mode_ == P1Mode::Plain) sigma_.reset();
+    fs_.clear();
+    fphi_.reset();
+    fprime_.clear();
+    next_a_.clear();
+  }
+
+ private:
+  /// The same sigma vector viewed as a key for the GT-space HPSKE instance
+  /// (sk_comm is one scalar vector serving both element spaces).
+  [[nodiscard]] typename HpskeGT<GG>::SecretKey sigma_gt() const {
+    return typename HpskeGT<GG>::SecretKey{sigma_->s};
+  }
+
+  void ensure_period_setup() {
+    if (fphi_) return;
+    if (mode_ == P1Mode::Plain) {
+      sigma_ = hg_.gen(rng_);  // fresh sk_comm each period
+      fs_.clear();
+      fs_.reserve(prm_.ell);
+      for (const auto& ai : sk1_->a) fs_.push_back(hg_.enc(*sigma_, ai, rng_));
+      fphi_ = hg_.enc(*sigma_, sk1_->phi, rng_);
+    } else {
+      // Compact mode: the stored public encrypted share *is* (f_i, fPhi).
+      fs_ = enc_a_;
+      fphi_ = enc_phi_;
+    }
+  }
+
+  void capture_refresh_snapshot(const G& new_phi) {
+    ByteWriter share;
+    if (mode_ == P1Mode::Plain) {
+      ser_sk1(share, *sk1_);
+      for (const auto& ap : next_a_) gg_.g_ser(share, ap);
+      gg_.g_ser(share, new_phi);
+      if (sigma_) hg_.ser_sk(share, *sigma_);
+    } else {
+      hg_.ser_sk(share, *sigma_);
+      hg_.ser_sk(share, *sigma_);  // stands for sigma' (old+new key material)
+      gg_.g_ser(share, new_phi);   // scratch coordinate
+    }
+    refresh_snap_ = net::SecretSnapshot{share.take(), {}, {}};
+  }
+
+  void ser_sk1(ByteWriter& w, const typename Core::Sk1& sk1) const {
+    for (const auto& ai : sk1.a) gg_.g_ser(w, ai);
+    gg_.g_ser(w, sk1.phi);
+  }
+
+  GG gg_;
+  DlrParams prm_;
+  typename Core::PublicKey pk_;
+  P1Mode mode_;
+  HpskeG<GG> hg_;
+  HpskeGT<GG> ht_;
+  crypto::Rng rng_;
+
+  // Plain mode: the raw share. Compact mode: nullopt.
+  std::optional<typename Core::Sk1> sk1_;
+  // Compact mode: the publicly stored encrypted share.
+  std::vector<CtG> enc_a_;
+  std::optional<CtG> enc_phi_;
+
+  // Per-period state.
+  std::optional<typename Core::SkComm> sigma_;
+  std::vector<CtG> fs_;
+  std::optional<CtG> fphi_;
+  std::vector<CtG> fprime_;
+  std::vector<G> next_a_;
+  net::SecretSnapshot refresh_snap_;
+};
+
+// =============================================================================
+// Device P2 (auxiliary device / smart card)
+// =============================================================================
+//
+// P2's entire computational repertoire, by construction: sample uniform
+// scalars, and raise received group elements to those scalars and multiply
+// (ct_pow / ct_mul on opaque ciphertext coordinates). It performs no
+// pairings, no decryption, and holds no group elements of its own.
+
+template <group::BilinearGroup GG>
+class DlrParty2 {
+ public:
+  using Core = DlrCore<GG>;
+  using Scalar = typename GG::Scalar;
+  using CtG = typename Core::CtG;
+  using CtT = typename Core::CtT;
+
+  DlrParty2(GG gg, DlrParams prm, typename Core::Sk2 sk2, crypto::Rng rng)
+      : gg_(std::move(gg)),
+        prm_(prm),
+        hg_(gg_, prm.kappa),
+        ht_(gg_, prm.kappa),
+        sk2_(std::move(sk2)),
+        rng_(std::move(rng)) {
+    if (sk2_.s.size() != prm_.ell) throw std::invalid_argument("DlrParty2: bad share width");
+  }
+
+  [[nodiscard]] const typename Core::Sk2& share() const { return sk2_; }
+
+  /// Decryption round 2: given (d_1..d_l, dPhi, dB), return
+  /// dB * prod_i d_i^{s_i} / dPhi (coordinate-wise).
+  [[nodiscard]] Bytes dec_respond(const Bytes& msg) {
+    ByteReader r(msg);
+    std::vector<CtT> d;
+    d.reserve(prm_.ell);
+    for (std::size_t i = 0; i < prm_.ell; ++i) d.push_back(ht_.deser_ct(r));
+    const CtT dphi = ht_.deser_ct(r);
+    const CtT db = ht_.deser_ct(r);
+    if (!r.done()) throw std::invalid_argument("dec_respond: trailing bytes");
+
+    CtT acc = ht_.ct_mul(db, ht_.ct_multi_pow(d, sk2_.s));
+    acc = ht_.ct_mul(acc, ht_.ct_inv(dphi));
+    ByteWriter w;
+    ht_.ser_ct(w, acc);
+    return w.take();
+  }
+
+  /// Refresh round 2: given ((f_i, f'_i), fPhi), sample s', return
+  /// prod_i f'_i^{s'_i} / f_i^{s_i} * fPhi, and install s' as the new share.
+  [[nodiscard]] Bytes ref_respond(const Bytes& msg) {
+    ByteReader r(msg);
+    std::vector<CtG> f, fp;
+    f.reserve(prm_.ell);
+    fp.reserve(prm_.ell);
+    for (std::size_t i = 0; i < prm_.ell; ++i) {
+      f.push_back(hg_.deser_ct(r));
+      fp.push_back(hg_.deser_ct(r));
+    }
+    const CtG fphi = hg_.deser_ct(r);
+    if (!r.done()) throw std::invalid_argument("ref_respond: trailing bytes");
+
+    typename Core::Sk2 next;
+    next.s.reserve(prm_.ell);
+    for (std::size_t i = 0; i < prm_.ell; ++i) next.s.push_back(gg_.sc_random(rng_));
+
+    CtG acc = hg_.ct_mul(fphi, hg_.ct_multi_pow(fp, next.s));
+    acc = hg_.ct_mul(acc, hg_.ct_inv(hg_.ct_multi_pow(f, sk2_.s)));
+
+    capture_refresh_snapshot(next);
+    sk2_ = std::move(next);
+
+    ByteWriter w;
+    hg_.ser_ct(w, acc);
+    return w.take();
+  }
+
+  [[nodiscard]] net::SecretSnapshot normal_snapshot() const {
+    ByteWriter w;
+    for (const auto& s : sk2_.s) gg_.sc_ser(w, s);
+    return net::SecretSnapshot{w.take(), {}, {}};
+  }
+
+  [[nodiscard]] const net::SecretSnapshot& refresh_snapshot() const { return refresh_snap_; }
+
+  [[nodiscard]] std::size_t secret_bits(net::Phase phase) const {
+    const std::size_t sk2 = prm_.ell * gg_.sc_bytes();
+    return 8 * ((phase == net::Phase::Refresh) ? 2 * sk2 : sk2);
+  }
+
+ private:
+  void capture_refresh_snapshot(const typename Core::Sk2& next) {
+    ByteWriter w;
+    for (const auto& s : sk2_.s) gg_.sc_ser(w, s);
+    for (const auto& s : next.s) gg_.sc_ser(w, s);
+    refresh_snap_ = net::SecretSnapshot{w.take(), {}, {}};
+  }
+
+  GG gg_;
+  DlrParams prm_;
+  HpskeG<GG> hg_;
+  HpskeGT<GG> ht_;
+  typename Core::Sk2 sk2_;
+  crypto::Rng rng_;
+  net::SecretSnapshot refresh_snap_;
+};
+
+// =============================================================================
+// System driver: wires the two devices through a recording channel.
+// =============================================================================
+
+template <group::BilinearGroup GG>
+class DlrSystem {
+ public:
+  using Core = DlrCore<GG>;
+  using GT = typename GG::GT;
+
+  struct PeriodRecord {
+    net::Transcript transcript;
+    typename Core::Ciphertext dec_input;
+    GT dec_output{};
+  };
+
+  static DlrSystem create(GG gg, const DlrParams& prm, P1Mode mode, std::uint64_t seed) {
+    crypto::Rng root(seed);
+    auto gen_rng = root.fork("gen");
+    auto kg = Core::gen(gg, prm, gen_rng);
+    return DlrSystem(std::move(gg), prm, mode, std::move(kg), root.fork("p1"),
+                     root.fork("p2"));
+  }
+
+  [[nodiscard]] const typename Core::PublicKey& pk() const { return pk_; }
+  [[nodiscard]] const Bytes& gen_randomness() const { return gen_randomness_; }
+  [[nodiscard]] DlrParty1<GG>& p1() { return p1_; }
+  [[nodiscard]] DlrParty2<GG>& p2() { return p2_; }
+  [[nodiscard]] const DlrParty1<GG>& p1() const { return p1_; }
+  [[nodiscard]] const DlrParty2<GG>& p2() const { return p2_; }
+
+  /// Run the decryption protocol over a recording channel.
+  [[nodiscard]] GT decrypt(const typename Core::Ciphertext& c, net::Channel& ch) {
+    const auto& m1 = ch.send(net::DeviceId::P1, "dec.r1", p1_.dec_round1(c));
+    const auto& m2 = ch.send(net::DeviceId::P2, "dec.r2", p2_.dec_respond(m1));
+    return p1_.dec_finish(m2);
+  }
+
+  /// Run the refresh protocol over a recording channel.
+  void refresh(net::Channel& ch) {
+    const auto& m1 = ch.send(net::DeviceId::P1, "ref.r1", p1_.ref_round1());
+    const auto& m2 = ch.send(net::DeviceId::P2, "ref.r2", p2_.ref_respond(m1));
+    p1_.ref_finish(m2);
+  }
+
+  /// One full time period: decrypt c, then refresh (the paper's game loop).
+  [[nodiscard]] PeriodRecord run_period(const typename Core::Ciphertext& c) {
+    net::Channel ch;
+    PeriodRecord rec;
+    rec.dec_input = c;
+    rec.dec_output = decrypt(c, ch);
+    refresh(ch);
+    rec.transcript = ch.take_transcript();
+    return rec;
+  }
+
+  [[nodiscard]] GT decrypt(const typename Core::Ciphertext& c) {
+    net::Channel ch;
+    return decrypt(c, ch);
+  }
+
+  void refresh() {
+    net::Channel ch;
+    refresh(ch);
+  }
+
+ private:
+  DlrSystem(GG gg, const DlrParams& prm, P1Mode mode, typename Core::KeyGenResult kg,
+            crypto::Rng rng1, crypto::Rng rng2)
+      : pk_(kg.pk),
+        gen_randomness_(std::move(kg.gen_randomness)),
+        p1_(gg, prm, kg.pk, std::move(kg.sk1), mode, std::move(rng1)),
+        p2_(gg, prm, std::move(kg.sk2), std::move(rng2)) {}
+
+  typename Core::PublicKey pk_;
+  Bytes gen_randomness_;
+  DlrParty1<GG> p1_;
+  DlrParty2<GG> p2_;
+};
+
+}  // namespace dlr::schemes

@@ -1,0 +1,32 @@
+// Pi_comm -- homomorphic proxy secret key encryption (HPSKE, Definition 5.1),
+// concrete construction of Lemma 5.2:
+//
+//   sk_comm = (sigma_1..sigma_kappa);  Enc'(m) = (b_1..b_kappa, m*prod b^sigma)
+//
+// Required properties:
+//  (1) coordinate-wise ciphertext product decrypts to the plaintext product
+//      (MaskedEnc::ct_mul); this lets P2 operate on P1's encrypted share
+//      without knowing sk_comm ("proxy").
+//  (2) l uniform plaintexts keep >= log p + 2 log(1/eps) pseudo average
+//      min-entropy given their ciphertexts and lambda bits of leakage on
+//      (sk_comm, plaintexts, coins) -- under the 2Lin assumption. The
+//      entropy accounting behind this bound is implemented in
+//      leakage/rates.hpp; statistical evidence on tiny groups is produced by
+//      bench_f8_refresh_distribution.
+//
+// A "HPSKE for l, G, GT" is this construction over both element spaces; the
+// decryption protocol transports a G-ciphertext to a GT-ciphertext of the
+// paired plaintext via coordinate-wise pairing (Dlr::pair_ct).
+#pragma once
+
+#include "schemes/masked_enc.hpp"
+
+namespace dlr::schemes {
+
+template <group::BilinearGroup GG>
+using HpskeG = MaskedEnc<GG, SpaceG>;
+
+template <group::BilinearGroup GG>
+using HpskeGT = MaskedEnc<GG, SpaceGT>;
+
+}  // namespace dlr::schemes

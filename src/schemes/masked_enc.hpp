@@ -1,0 +1,182 @@
+// The shared algebraic core of the paper's Pi_ss (Section 4.1) and Pi_comm /
+// HPSKE (Lemma 5.2): a secret-key encryption scheme over a group G' with
+//
+//   Gen:  sk = (s_1, ..., s_w)   uniform in Z_p^w
+//   Enc:  (b_1, ..., b_w, m * prod_i b_i^{s_i})   with uniform b_i in G'
+//   Dec:  c_0 / prod_i c_i^{s_i}
+//
+// Coordinate-wise multiplication of ciphertexts is a homomorphism:
+//   Dec(c * c') = Dec(c) * Dec(c')   (Definition 5.1, part 1)
+//
+// The b_i are sampled *directly as group elements* -- never as g^rho for a
+// known rho -- per the paper's "hiding discrete logs of random coins" remark:
+// the secret memory must not contain the coins' discrete logarithms.
+#pragma once
+
+#include <vector>
+
+#include "schemes/spaces.hpp"
+
+namespace dlr::schemes {
+
+template <group::BilinearGroup GG, template <class> class Space>
+class MaskedEnc {
+ public:
+  using Sp = Space<GG>;
+  using Elem = typename Sp::Elem;
+  using Scalar = typename GG::Scalar;
+
+  struct SecretKey {
+    std::vector<Scalar> s;
+  };
+
+  struct Ciphertext {
+    std::vector<Elem> b;  // the "coins", public components
+    Elem c0{};            // masked message
+
+    bool operator==(const Ciphertext&) const = default;
+  };
+
+  MaskedEnc(GG gg, std::size_t width) : gg_(std::move(gg)), width_(width) {
+    if (width_ == 0) throw std::invalid_argument("MaskedEnc: width must be positive");
+  }
+
+  [[nodiscard]] const GG& group() const { return gg_; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  [[nodiscard]] SecretKey gen(crypto::Rng& rng) const {
+    SecretKey sk;
+    sk.s.reserve(width_);
+    for (std::size_t i = 0; i < width_; ++i) sk.s.push_back(gg_.sc_random(rng));
+    return sk;
+  }
+
+  /// Encrypt with fresh uniform coins.
+  [[nodiscard]] Ciphertext enc(const SecretKey& sk, const Elem& m, crypto::Rng& rng) const {
+    std::vector<Elem> coins;
+    coins.reserve(width_);
+    for (std::size_t i = 0; i < width_; ++i) coins.push_back(Sp::random(gg_, rng));
+    return enc_with_coins(sk, m, coins);
+  }
+
+  /// Encrypt with caller-supplied coins (used by tests and the fi/di reuse).
+  [[nodiscard]] Ciphertext enc_with_coins(const SecretKey& sk, const Elem& m,
+                                          std::vector<Elem> coins) const {
+    check_key(sk);
+    if (coins.size() != width_) throw std::invalid_argument("MaskedEnc: wrong coin count");
+    const Elem mask = Sp::multi_pow(gg_, coins, sk.s);
+    return Ciphertext{std::move(coins), Sp::mul(gg_, m, mask)};
+  }
+
+  [[nodiscard]] Elem dec(const SecretKey& sk, const Ciphertext& ct) const {
+    check_key(sk);
+    check_ct(ct);
+    const Elem mask = Sp::multi_pow(gg_, ct.b, sk.s);
+    return Sp::mul(gg_, ct.c0, Sp::inv(gg_, mask));
+  }
+
+  /// Coordinate-wise product: Dec(ct_mul(x, y)) = Dec(x) * Dec(y).
+  [[nodiscard]] Ciphertext ct_mul(const Ciphertext& x, const Ciphertext& y) const {
+    check_ct(x);
+    check_ct(y);
+    Ciphertext r;
+    r.b.reserve(width_);
+    for (std::size_t i = 0; i < width_; ++i) r.b.push_back(Sp::mul(gg_, x.b[i], y.b[i]));
+    r.c0 = Sp::mul(gg_, x.c0, y.c0);
+    return r;
+  }
+
+  /// Coordinate-wise inverse: Dec(ct_inv(x)) = Dec(x)^{-1}.
+  [[nodiscard]] Ciphertext ct_inv(const Ciphertext& x) const {
+    check_ct(x);
+    Ciphertext r;
+    r.b.reserve(width_);
+    for (const auto& e : x.b) r.b.push_back(Sp::inv(gg_, e));
+    r.c0 = Sp::inv(gg_, x.c0);
+    return r;
+  }
+
+  /// Coordinate-wise power: Dec(ct_pow(x, k)) = Dec(x)^k.
+  [[nodiscard]] Ciphertext ct_pow(const Ciphertext& x, const Scalar& k) const {
+    check_ct(x);
+    Ciphertext r;
+    r.b.reserve(width_);
+    for (const auto& e : x.b) r.b.push_back(Sp::pow(gg_, e, k));
+    r.c0 = Sp::pow(gg_, x.c0, k);
+    return r;
+  }
+
+  /// Coordinate-wise multi-exponentiation: prod_i cts[i]^{ks[i]}, i.e.
+  /// Dec(ct_multi_pow(cts, ks)) = prod_i Dec(cts[i])^{ks[i]}. This is P2's
+  /// whole job in the decryption/refresh protocols, done with one shared
+  /// doubling chain per ciphertext coordinate.
+  [[nodiscard]] Ciphertext ct_multi_pow(std::span<const Ciphertext> cts,
+                                        std::span<const Scalar> ks) const {
+    if (cts.size() != ks.size())
+      throw std::invalid_argument("MaskedEnc::ct_multi_pow: size mismatch");
+    Ciphertext r = ct_one();
+    if (cts.empty()) return r;
+    std::vector<Elem> column(cts.size());
+    for (std::size_t j = 0; j < width_; ++j) {
+      for (std::size_t i = 0; i < cts.size(); ++i) {
+        check_ct(cts[i]);
+        column[i] = cts[i].b[j];
+      }
+      r.b[j] = Sp::multi_pow(gg_, column, ks);
+    }
+    for (std::size_t i = 0; i < cts.size(); ++i) column[i] = cts[i].c0;
+    r.c0 = Sp::multi_pow(gg_, column, ks);
+    return r;
+  }
+
+  /// Identity ciphertext (encrypts 1 with identity coins); the unit of ct_mul.
+  [[nodiscard]] Ciphertext ct_one() const {
+    Ciphertext r;
+    r.b.assign(width_, Sp::id(gg_));
+    r.c0 = Sp::id(gg_);
+    return r;
+  }
+
+  /// Re-randomize by multiplying with a fresh encryption of 1.
+  [[nodiscard]] Ciphertext rerandomize(const SecretKey& sk, const Ciphertext& ct,
+                                       crypto::Rng& rng) const {
+    return ct_mul(ct, enc(sk, Sp::id(gg_), rng));
+  }
+
+  // ---- serialization ----------------------------------------------------------
+  void ser_sk(ByteWriter& w, const SecretKey& sk) const {
+    for (const auto& s : sk.s) gg_.sc_ser(w, s);
+  }
+  [[nodiscard]] SecretKey deser_sk(ByteReader& r) const {
+    SecretKey sk;
+    sk.s.reserve(width_);
+    for (std::size_t i = 0; i < width_; ++i) sk.s.push_back(gg_.sc_deser(r));
+    return sk;
+  }
+  void ser_ct(ByteWriter& w, const Ciphertext& ct) const {
+    for (const auto& e : ct.b) Sp::ser(gg_, w, e);
+    Sp::ser(gg_, w, ct.c0);
+  }
+  [[nodiscard]] Ciphertext deser_ct(ByteReader& r) const {
+    Ciphertext ct;
+    ct.b.reserve(width_);
+    for (std::size_t i = 0; i < width_; ++i) ct.b.push_back(Sp::deser(gg_, r));
+    ct.c0 = Sp::deser(gg_, r);
+    return ct;
+  }
+  [[nodiscard]] std::size_t sk_bytes() const { return width_ * gg_.sc_bytes(); }
+  [[nodiscard]] std::size_t ct_bytes() const { return (width_ + 1) * Sp::bytes(gg_); }
+
+ private:
+  void check_key(const SecretKey& sk) const {
+    if (sk.s.size() != width_) throw std::invalid_argument("MaskedEnc: wrong key width");
+  }
+  void check_ct(const Ciphertext& ct) const {
+    if (ct.b.size() != width_) throw std::invalid_argument("MaskedEnc: wrong ciphertext width");
+  }
+
+  GG gg_;
+  std::size_t width_;
+};
+
+}  // namespace dlr::schemes

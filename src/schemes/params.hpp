@@ -1,0 +1,55 @@
+// Parameter derivation for the DLR family (paper, Section 5 preamble):
+//
+//   epsilon = 2^{-n}
+//   kappa   = 1 + (lambda + 2*log(1/eps)) / log p
+//   l       = 7 + 3*kappa + 2*log(1/eps) / log p
+//
+// With log p = n (an n-bit prime group order) these give kappa = 1 +
+// ceil((lambda + 2n)/n) and l = 9 + 3*kappa, and |sk_comm| = kappa*log p =
+// lambda + 3n, matching the proof sketch in Section 6.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace dlr::schemes {
+
+struct DlrParams {
+  std::size_t n = 0;       // security parameter (== log p here)
+  std::size_t lambda = 0;  // leakage parameter (bits per period from P1)
+  std::size_t log_p = 0;   // bits of the group order
+  std::size_t kappa = 0;   // HPSKE width |sk_comm|/log p
+  std::size_t ell = 0;     // Pi_ss width |sk_2|/log p
+
+  static constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+    return (a + b - 1) / b;
+  }
+
+  /// Derive parameters for a group with `log_p`-bit order; n defaults to
+  /// log_p (the paper's convention: p is an n-bit prime).
+  static DlrParams derive(std::size_t log_p, std::size_t lambda, std::size_t n = 0) {
+    if (log_p < 2) throw std::invalid_argument("DlrParams: log_p too small");
+    if (n == 0) n = log_p;
+    DlrParams prm;
+    prm.n = n;
+    prm.lambda = lambda;
+    prm.log_p = log_p;
+    prm.kappa = 1 + ceil_div(lambda + 2 * n, log_p);
+    prm.ell = 7 + 3 * prm.kappa + ceil_div(2 * n, log_p);
+    return prm;
+  }
+
+  /// |sk_comm| in bits (the paper's m1 for the compact P1 storage mode).
+  [[nodiscard]] std::size_t skcomm_bits() const { return kappa * log_p; }
+  /// |sk_2| in bits (the paper's m2).
+  [[nodiscard]] std::size_t sk2_bits() const { return ell * log_p; }
+
+  /// Theorem 4.1 leakage bound for P1: b1 = (1 - c*n/(lambda + c*n)) * m1
+  /// with c = 3 for this construction (|sk_comm| = lambda + 3n), i.e. b1 =
+  /// lambda bits.
+  [[nodiscard]] std::size_t b1_bits() const { return lambda; }
+  /// Theorem 4.1 bound for P2: b2 = m2 (the whole share may leak).
+  [[nodiscard]] std::size_t b2_bits() const { return sk2_bits(); }
+};
+
+}  // namespace dlr::schemes

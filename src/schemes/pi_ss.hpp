@@ -1,0 +1,18 @@
+// Pi_ss -- the paper's secondary symmetric scheme (Section 4.1), used to
+// secret-share the Boneh-Boyen master key msk = g2^alpha between the devices:
+// P2 holds sk_ss = (s_1..s_l); P1 holds Enc_ss(g2^alpha) = (a_1..a_l, Phi).
+//
+// This *is* the leakage-resilient secret sharing: by the leftover hash lemma
+// the map (a_i) x (s_i) -> prod a_i^{s_i} is a pairwise-independent-style
+// extractor, so Phi's mask retains entropy even under bounded leakage on the
+// s_i (the BHHO/Naor-Segev argument).
+#pragma once
+
+#include "schemes/masked_enc.hpp"
+
+namespace dlr::schemes {
+
+template <group::BilinearGroup GG>
+using PiSS = MaskedEnc<GG, SpaceG>;
+
+}  // namespace dlr::schemes

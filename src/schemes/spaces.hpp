@@ -1,0 +1,51 @@
+// Message-space adapters: the paper's secondary scheme Pi_ss and the HPSKE
+// Pi_comm are the same algebraic construction instantiated over G or over GT
+// ("a HPSKE for l, G, GT", Definition 5.1). These adapters let one template
+// serve both element types.
+#pragma once
+
+#include "group/bilinear.hpp"
+
+namespace dlr::schemes {
+
+template <group::BilinearGroup GG>
+struct SpaceG {
+  using Elem = typename GG::G;
+  static Elem random(const GG& gg, crypto::Rng& rng) { return gg.g_random(rng); }
+  static Elem mul(const GG& gg, const Elem& a, const Elem& b) { return gg.g_mul(a, b); }
+  static Elem inv(const GG& gg, const Elem& a) { return gg.g_inv(a); }
+  static Elem pow(const GG& gg, const Elem& a, const typename GG::Scalar& s) {
+    return gg.g_pow(a, s);
+  }
+  static Elem multi_pow(const GG& gg, std::span<const Elem> as,
+                        std::span<const typename GG::Scalar> ss) {
+    return gg.g_multi_pow(as, ss);
+  }
+  static Elem id(const GG& gg) { return gg.g_id(); }
+  static bool eq(const GG& gg, const Elem& a, const Elem& b) { return gg.g_eq(a, b); }
+  static void ser(const GG& gg, ByteWriter& w, const Elem& a) { gg.g_ser(w, a); }
+  static Elem deser(const GG& gg, ByteReader& r) { return gg.g_deser(r); }
+  static std::size_t bytes(const GG& gg) { return gg.g_bytes(); }
+};
+
+template <group::BilinearGroup GG>
+struct SpaceGT {
+  using Elem = typename GG::GT;
+  static Elem random(const GG& gg, crypto::Rng& rng) { return gg.gt_random(rng); }
+  static Elem mul(const GG& gg, const Elem& a, const Elem& b) { return gg.gt_mul(a, b); }
+  static Elem inv(const GG& gg, const Elem& a) { return gg.gt_inv(a); }
+  static Elem pow(const GG& gg, const Elem& a, const typename GG::Scalar& s) {
+    return gg.gt_pow(a, s);
+  }
+  static Elem multi_pow(const GG& gg, std::span<const Elem> as,
+                        std::span<const typename GG::Scalar> ss) {
+    return gg.gt_multi_pow(as, ss);
+  }
+  static Elem id(const GG& gg) { return gg.gt_id(); }
+  static bool eq(const GG& gg, const Elem& a, const Elem& b) { return gg.gt_eq(a, b); }
+  static void ser(const GG& gg, ByteWriter& w, const Elem& a) { gg.gt_ser(w, a); }
+  static Elem deser(const GG& gg, ByteReader& r) { return gg.gt_deser(r); }
+  static std::size_t bytes(const GG& gg) { return gg.gt_bytes(); }
+};
+
+}  // namespace dlr::schemes

@@ -1,0 +1,119 @@
+// Secure storage on continually leaky devices (paper Sections 1.1 and 4.4):
+// store Enc_pk(s) on one leaky device and the key shares on the devices,
+// refresh everything periodically.
+//
+// Concretely: a uniform GT element k is drawn as a KEM key; the payload is
+// XOR-encrypted under KDF(k); the DLR ciphertext of k sits in device 1's
+// *public* memory next to P1's share, and P2 holds the other share. Each
+// period the DLR shares are refreshed AND the KEM ciphertext is
+// re-randomized (Enc is ElGamal-like: (A, B) -> (A*g^u, B*Z^u) encrypts the
+// same k under fresh randomness), so no fixed ciphertext/key pair survives
+// across periods. Retrieval runs the 2-party decryption protocol.
+#pragma once
+
+#include "crypto/chacha20.hpp"
+#include "schemes/dlr.hpp"
+
+namespace dlr::storage {
+
+template <group::BilinearGroup GG>
+class LeakyStore {
+ public:
+  using Core = schemes::DlrCore<GG>;
+  using GT = typename GG::GT;
+
+  static LeakyStore create(GG gg, const schemes::DlrParams& prm, schemes::P1Mode mode,
+                           std::uint64_t seed) {
+    return LeakyStore(std::move(gg), prm, mode, seed);
+  }
+
+  /// Store a payload (replaces any previous one).
+  void put(const Bytes& payload) {
+    const GT k = gg_.gt_random(rng_);
+    kem_ct_ = Core::enc(gg_, sys_.pk(), k, rng_);
+    blob_ = seal(k, payload);
+  }
+
+  /// Retrieve the payload via the 2-party decryption protocol.
+  [[nodiscard]] Bytes get() {
+    if (!kem_ct_) throw std::logic_error("LeakyStore::get: nothing stored");
+    net::Channel ch;
+    return get(ch);
+  }
+
+  [[nodiscard]] Bytes get(net::Channel& ch) {
+    const GT k = sys_.decrypt(*kem_ct_, ch);
+    return unseal(k, blob_);
+  }
+
+  /// One refresh period: re-randomize the stored KEM ciphertext and refresh
+  /// the key shares. After this, *nothing* in either device's memory is the
+  /// same as before, yet get() still returns the payload.
+  void refresh_period() {
+    if (kem_ct_) {
+      const auto u = gg_.sc_random(rng_);
+      kem_ct_->a = gg_.g_mul(kem_ct_->a, gg_.g_pow(sys_.pk().g, u));
+      kem_ct_->b = gg_.gt_mul(kem_ct_->b, gg_.gt_pow(sys_.pk().z, u));
+    }
+    sys_.refresh();
+  }
+
+  [[nodiscard]] schemes::DlrSystem<GG>& system() { return sys_; }
+  [[nodiscard]] const std::optional<typename Core::Ciphertext>& kem_ciphertext() const {
+    return kem_ct_;
+  }
+  [[nodiscard]] const Bytes& sealed_blob() const { return blob_; }
+
+  /// Total public storage overhead beyond the payload itself.
+  [[nodiscard]] std::size_t overhead_bytes() const {
+    return Core::ciphertext_bytes(gg_) + 16;  // KEM ct + seal header
+  }
+
+ private:
+  LeakyStore(GG gg, const schemes::DlrParams& prm, schemes::P1Mode mode, std::uint64_t seed)
+      : gg_(gg),
+        sys_(schemes::DlrSystem<GG>::create(gg, prm, mode, seed)),
+        rng_(crypto::Rng(seed).fork("store")) {}
+
+  [[nodiscard]] Bytes key_material(const GT& k) const {
+    ByteWriter w;
+    gg_.gt_ser(w, k);
+    return crypto::kdf(w.bytes(), 44, "dlr.store.kem");  // 32B key + 12B nonce
+  }
+
+  [[nodiscard]] Bytes seal(const GT& k, const Bytes& payload) const {
+    const auto km = key_material(k);
+    Bytes out = payload;
+    crypto::ChaCha20 cc{std::span<const std::uint8_t>(km.data(), 32),
+                        std::span<const std::uint8_t>(km.data() + 32, 12)};
+    cc.xor_stream(out);
+    // Append an integrity tag so corrupted retrieval is detected.
+    ByteWriter w;
+    w.blob(out);
+    const auto tag = crypto::tagged_hash("dlr.store.tag", km + out);
+    w.raw(std::span<const std::uint8_t>(tag.data(), 16));
+    return w.take();
+  }
+
+  [[nodiscard]] Bytes unseal(const GT& k, const Bytes& blob) const {
+    const auto km = key_material(k);
+    ByteReader r(blob);
+    Bytes ct = r.blob();
+    const auto tag = r.raw(16);
+    const auto expect = crypto::tagged_hash("dlr.store.tag", km + ct);
+    if (!std::equal(tag.begin(), tag.end(), expect.begin()))
+      throw std::runtime_error("LeakyStore: integrity check failed");
+    crypto::ChaCha20 cc{std::span<const std::uint8_t>(km.data(), 32),
+                        std::span<const std::uint8_t>(km.data() + 32, 12)};
+    cc.xor_stream(ct);
+    return ct;
+  }
+
+  GG gg_;
+  schemes::DlrSystem<GG> sys_;
+  crypto::Rng rng_;
+  std::optional<typename Core::Ciphertext> kem_ct_;
+  Bytes blob_;
+};
+
+}  // namespace dlr::storage

@@ -1,0 +1,125 @@
+// Tests for the comparison baselines (ElGamal-GT, BHHO, bitwise BHHO) and
+// for the structural cost facts the T1 experiment reports.
+#include <gtest/gtest.h>
+
+#include "group/counting_group.hpp"
+#include "group/mock_group.hpp"
+#include "group/tate_group.hpp"
+#include "schemes/baselines.hpp"
+
+namespace dlr::schemes {
+namespace {
+
+using crypto::Rng;
+using group::make_mock;
+using group::MockGroup;
+
+TEST(ElGamalGTTest, RoundTrip) {
+  const auto gg = make_mock();
+  ElGamalGT<MockGroup> eg(gg);
+  Rng rng(2300);
+  auto [pk, sk] = eg.gen(rng);
+  for (int i = 0; i < 20; ++i) {
+    const auto m = gg.gt_random(rng);
+    EXPECT_TRUE(gg.gt_eq(eg.dec(sk, eg.enc(pk, m, rng)), m));
+  }
+}
+
+TEST(ElGamalGTTest, WrongKeyFails) {
+  const auto gg = make_mock();
+  ElGamalGT<MockGroup> eg(gg);
+  Rng rng(2301);
+  auto [pk, sk] = eg.gen(rng);
+  auto [pk2, sk2] = eg.gen(rng);
+  const auto m = gg.gt_random(rng);
+  EXPECT_FALSE(gg.gt_eq(eg.dec(sk2, eg.enc(pk, m, rng)), m));
+}
+
+TEST(BhhoTest, RoundTripAcrossWidths) {
+  const auto gg = make_mock();
+  Rng rng(2302);
+  for (std::size_t w : {1u, 2u, 5u, 16u}) {
+    Bhho<MockGroup> scheme(gg, w);
+    auto [pk, sk] = scheme.gen(rng);
+    for (int i = 0; i < 10; ++i) {
+      const auto m = gg.g_random(rng);
+      EXPECT_TRUE(gg.g_eq(scheme.dec(sk, scheme.enc(pk, m, rng)), m));
+    }
+  }
+}
+
+TEST(BhhoTest, ZeroWidthRejected) {
+  EXPECT_THROW(Bhho<MockGroup>(make_mock(), 0), std::invalid_argument);
+}
+
+TEST(BhhoTest, WidthMismatchRejected) {
+  const auto gg = make_mock();
+  Rng rng(2303);
+  Bhho<MockGroup> s3(gg, 3);
+  Bhho<MockGroup> s4(gg, 4);
+  auto [pk3, sk3] = s3.gen(rng);
+  auto [pk4, sk4] = s4.gen(rng);
+  const auto ct = s3.enc(pk3, gg.g_random(rng), rng);
+  EXPECT_THROW((void)s4.dec(sk4, ct), std::invalid_argument);
+}
+
+TEST(BitwiseBhhoTest, RoundTrip) {
+  const auto gg = make_mock();
+  BitwiseBhho<MockGroup> scheme(gg, 3);
+  Rng rng(2304);
+  auto [pk, sk] = scheme.gen(rng);
+  const Bytes msg{0xde, 0xad, 0xbe, 0xef, 0x00, 0xff};
+  const auto ct = scheme.enc(pk, msg, rng);
+  EXPECT_EQ(ct.size(), 8 * msg.size());
+  EXPECT_EQ(scheme.dec(sk, ct), msg);
+}
+
+TEST(BitwiseBhhoTest, EmptyMessage) {
+  const auto gg = make_mock();
+  BitwiseBhho<MockGroup> scheme(gg, 2);
+  Rng rng(2305);
+  auto [pk, sk] = scheme.gen(rng);
+  EXPECT_TRUE(scheme.dec(sk, scheme.enc(pk, {}, rng)).empty());
+}
+
+// ---- structural cost facts used by experiment T1 -----------------------------------
+
+TEST(CostModelTest, BitwiseCostsScaleWithMessageBits) {
+  using CG = group::CountingGroup<MockGroup>;
+  CG gg(make_mock());
+  Rng rng(2306);
+  const std::size_t width = 4;
+  BitwiseBhho<CG> scheme(gg, width);
+  auto [pk, sk] = scheme.gen(rng);
+  gg.reset_counts();
+  const Bytes msg(16, 0xa5);  // 128 bits
+  (void)scheme.enc(pk, msg, rng);
+  // (width + 1) exponentiations per bit: the omega(n)-per-plaintext profile.
+  EXPECT_EQ(gg.counts().exps(), 128 * (width + 1));
+}
+
+TEST(CostModelTest, ElGamalConstantCost) {
+  using CG = group::CountingGroup<MockGroup>;
+  CG gg(make_mock());
+  Rng rng(2307);
+  ElGamalGT<CG> eg(gg);
+  auto [pk, sk] = eg.gen(rng);
+  const auto m = gg.gt_random(rng);
+  gg.reset_counts();
+  (void)eg.enc(pk, m, rng);
+  EXPECT_EQ(gg.counts().gt_pow, 2u);  // c1 = g^t and h^t: constant-cost enc
+  EXPECT_EQ(gg.counts().pairings, 0u);
+}
+
+TEST(CostModelTest, CiphertextSizes) {
+  const auto gg = make_mock();
+  ElGamalGT<MockGroup> eg(gg);
+  Bhho<MockGroup> bh(gg, 8);
+  BitwiseBhho<MockGroup> bb(gg, 8);
+  EXPECT_EQ(eg.ciphertext_bytes(), 2 * gg.gt_bytes());
+  EXPECT_EQ(bh.ciphertext_bytes(), 9 * gg.g_bytes());
+  EXPECT_EQ(bb.ciphertext_bytes(16), 128 * 9 * gg.g_bytes());
+}
+
+}  // namespace
+}  // namespace dlr::schemes

@@ -1,0 +1,156 @@
+// Tests for the CCA2 continual-leakage game: oracle behavior, the
+// challenge-query restriction, budgets, and a malleation adversary that the
+// BCHK transform must defeat.
+#include <gtest/gtest.h>
+
+#include "group/mock_group.hpp"
+#include "leakage/game_cca2.hpp"
+
+namespace dlr::leakage {
+namespace {
+
+using crypto::Rng;
+using group::make_mock;
+using group::MockGroup;
+using schemes::DlrParams;
+
+DlrParams mock_params() {
+  auto gg = make_mock();
+  return DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+}
+
+using Game = Cca2CmlGame<MockGroup>;
+
+/// Exercises the oracle on self-made ciphertexts, then guesses blind.
+class OracleUser final : public Game::Adversary {
+ public:
+  OracleUser(MockGroup gg, std::size_t periods, bool try_challenge_query = false)
+      : gg_(std::move(gg)), periods_(periods), try_challenge_(try_challenge_query) {}
+
+  bool wants_more_leakage(const Game::View& v) override {
+    return v.periods.size() < periods_;
+  }
+
+  Game::LeakagePlan plan(std::size_t, const Game::View& v, Game::Oracle& oracle) override {
+    // Use the oracle *during* the leakage phase on a self-encrypted message.
+    Rng rng(900 + v.periods.size());
+    const auto m = gg_.gt_random(rng);
+    const auto ct = Game::Sys::enc(*scheme_, *v.pp, m, rng);
+    const auto out = oracle.decrypt(ct);
+    oracle_worked_ = out.has_value() && gg_.gt_eq(*out, m);
+    Game::LeakagePlan p;
+    p.h1 = p.h1_ref = p.h2 = p.h2_ref = no_leakage();
+    return p;
+  }
+
+  std::pair<group::MockGT, group::MockGT> choose_messages(const Game::View&,
+                                                          Rng& rng) override {
+    return {gg_.gt_random(rng), gg_.gt_random(rng)};
+  }
+
+  int guess(const Game::View&, const Game::Ciphertext& challenge,
+            Game::Oracle& oracle) override {
+    if (try_challenge_) {
+      EXPECT_THROW((void)oracle.decrypt(challenge), std::logic_error);
+      challenge_refused_ = true;
+    } else {
+      // Mauling the challenge breaks the OTS signature: oracle must reject.
+      auto mauled = challenge;
+      mauled.inner.b = gg_.gt_mul(mauled.inner.b, gg_.gt_gen());
+      const auto out = oracle.decrypt(mauled);
+      maul_rejected_ = !out.has_value();
+    }
+    return 0;
+  }
+
+  void set_scheme(const schemes::DlrIbe<MockGroup>* s) { scheme_ = s; }
+  [[nodiscard]] bool oracle_worked() const { return oracle_worked_; }
+  [[nodiscard]] bool maul_rejected() const { return maul_rejected_; }
+  [[nodiscard]] bool challenge_refused() const { return challenge_refused_; }
+
+ private:
+  MockGroup gg_;
+  std::size_t periods_;
+  bool try_challenge_;
+  const schemes::DlrIbe<MockGroup>* scheme_ = nullptr;
+  bool oracle_worked_ = false;
+  bool maul_rejected_ = false;
+  bool challenge_refused_ = false;
+};
+
+// The scheme object is only needed for enc inside plan(); construct a twin.
+schemes::DlrIbe<MockGroup> twin_scheme() {
+  return schemes::DlrIbe<MockGroup>(make_mock(), mock_params(), 32);
+}
+
+TEST(Cca2GameTest, OracleAnswersHonestQueries) {
+  const auto gg = make_mock();
+  Game game(gg, {mock_params(), 32, 0, 0, 77});
+  OracleUser adv(gg, 2);
+  const auto scheme = twin_scheme();
+  adv.set_scheme(&scheme);
+  const auto res = game.run(adv);
+  EXPECT_FALSE(res.aborted);
+  EXPECT_TRUE(adv.oracle_worked());
+  EXPECT_GE(res.oracle_queries, 3u);  // 2 during leakage + 1 at guess
+}
+
+TEST(Cca2GameTest, MauledChallengeRejectedByOracle) {
+  const auto gg = make_mock();
+  Game game(gg, {mock_params(), 32, 0, 0, 78});
+  OracleUser adv(gg, 1);
+  const auto scheme = twin_scheme();
+  adv.set_scheme(&scheme);
+  (void)game.run(adv);
+  EXPECT_TRUE(adv.maul_rejected());
+}
+
+TEST(Cca2GameTest, ChallengeQueryRefused) {
+  const auto gg = make_mock();
+  Game game(gg, {mock_params(), 32, 0, 0, 79});
+  OracleUser adv(gg, 1, /*try_challenge_query=*/true);
+  const auto scheme = twin_scheme();
+  adv.set_scheme(&scheme);
+  (void)game.run(adv);
+  EXPECT_TRUE(adv.challenge_refused());
+}
+
+class GreedyCca2 final : public Game::Adversary {
+ public:
+  GreedyCca2(MockGroup gg, std::size_t bits) : gg_(std::move(gg)), bits_(bits) {}
+  bool wants_more_leakage(const Game::View& v) override { return v.periods.empty(); }
+  Game::LeakagePlan plan(std::size_t, const Game::View&, Game::Oracle&) override {
+    Game::LeakagePlan p;
+    p.h1 = window_bits(0, bits_);
+    p.bits1 = bits_;
+    p.h1_ref = p.h2 = p.h2_ref = no_leakage();
+    return p;
+  }
+  std::pair<group::MockGT, group::MockGT> choose_messages(const Game::View&,
+                                                          Rng& rng) override {
+    return {gg_.gt_random(rng), gg_.gt_random(rng)};
+  }
+  int guess(const Game::View&, const Game::Ciphertext&, Game::Oracle&) override { return 0; }
+
+ private:
+  MockGroup gg_;
+  std::size_t bits_;
+};
+
+TEST(Cca2GameTest, BudgetEnforced) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  {
+    Game game(gg, {prm, 32, 0, 0, 80});
+    GreedyCca2 adv(gg, prm.b1_bits() + 1);
+    EXPECT_TRUE(game.run(adv).aborted);
+  }
+  {
+    Game game(gg, {prm, 32, 0, 0, 81});
+    GreedyCca2 adv(gg, prm.b1_bits());
+    EXPECT_FALSE(game.run(adv).aborted);
+  }
+}
+
+}  // namespace
+}  // namespace dlr::leakage

@@ -1,0 +1,204 @@
+// Tests for the Section 6 reduction machinery: the Z_p linear solver and the
+// distinguisher's fake game (uniform sk1, constrained sk2, planted BDDH
+// tuple), including the statistical claims the proof relies on.
+#include <gtest/gtest.h>
+
+#include "analysis/fake_game.hpp"
+#include "analysis/stats.hpp"
+
+namespace dlr::analysis {
+namespace {
+
+using crypto::Rng;
+using group::make_mock;
+using group::make_mock_tiny;
+using group::MockGroup;
+
+// ---- MatZp ------------------------------------------------------------------
+
+TEST(MatZpTest, SolvesSquareSystem) {
+  // over Z_101: x + 2y = 5, 3x + 4y = 6  =>  x = 99, y = 54? solve & verify.
+  MatZp m(2, 2, 101);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 3;
+  m.at(1, 1) = 4;
+  Rng rng(1);
+  const auto x = m.sample_solution({5, 6}, rng);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(((*x)[0] + 2 * (*x)[1]) % 101, 5u);
+  EXPECT_EQ((3 * (*x)[0] + 4 * (*x)[1]) % 101, 6u);
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(MatZpTest, DetectsInconsistency) {
+  // x + y = 1, 2x + 2y = 3 (mod 101): inconsistent.
+  MatZp m(2, 2, 101);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 2;
+  Rng rng(2);
+  EXPECT_FALSE(m.sample_solution({1, 3}, rng).has_value());
+  EXPECT_EQ(m.rank(), 1u);
+  // Consistent dependent system is fine.
+  EXPECT_TRUE(m.sample_solution({1, 2}, rng).has_value());
+}
+
+TEST(MatZpTest, UnderdeterminedSolutionsAreRandomizedButValid) {
+  // One equation, three unknowns: x + y + z = 7 (mod 1009).
+  MatZp m(1, 3, 1009);
+  m.at(0, 0) = m.at(0, 1) = m.at(0, 2) = 1;
+  Rng rng(3);
+  std::set<std::vector<std::uint64_t>> seen;
+  for (int i = 0; i < 20; ++i) {
+    const auto x = m.sample_solution({7}, rng);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(((*x)[0] + (*x)[1] + (*x)[2]) % 1009, 7u);
+    seen.insert(*x);
+  }
+  EXPECT_GT(seen.size(), 15u);  // free variables actually vary
+}
+
+TEST(MatZpTest, UniformSolutionDistribution) {
+  // x + y = 0 mod 5: solutions {(t, -t)}; x-coordinate must be uniform.
+  MatZp m(1, 2, 5);
+  m.at(0, 0) = m.at(0, 1) = 1;
+  Rng rng(4);
+  EmpiricalDist d;
+  for (int i = 0; i < 5000; ++i) d.add((*m.sample_solution({0}, rng))[0]);
+  EXPECT_LT(d.chi_square_uniform(5), chi_square_critical_99(4));
+}
+
+TEST(MatZpTest, RhsSizeMismatchThrows) {
+  MatZp m(2, 2, 101);
+  Rng rng(5);
+  EXPECT_THROW((void)m.sample_solution({1}, rng), std::invalid_argument);
+}
+
+// ---- BDDH tuples ---------------------------------------------------------------
+
+TEST(BddhTest, RealTupleHasCorrectTarget) {
+  const auto gg = make_mock();
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) {
+    const auto tup = sample_bddh(gg, true, rng);
+    // T == e(g^a, g^b)^c == e(g,g)^{abc}: verify via dlogs (mock oracle).
+    const auto abc = gg.sc_mul(gg.sc_mul(gg.dlog(tup.ga), gg.dlog(tup.gb)), gg.dlog(tup.gc));
+    EXPECT_EQ(gg.dlog_gt(tup.t), abc);
+  }
+}
+
+// ---- the fake game ---------------------------------------------------------------
+
+schemes::DlrParams params_for(const MockGroup& gg) {
+  return schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+}
+
+TEST(FakeGameTest, FakePeriodIsProtocolConsistent) {
+  const auto gg = make_mock();
+  const auto prm = params_for(gg);
+  Rng rng(20);
+  const auto tup = sample_bddh(gg, true, rng);
+  FakeGame fake(gg, prm, tup);
+  for (int i = 0; i < 20; ++i) {
+    const auto p = fake.fake_period(rng);
+    EXPECT_TRUE(fake.period_consistent(p)) << "iteration " << i;
+    EXPECT_EQ(p.sk2.s.size(), prm.ell);
+  }
+}
+
+TEST(FakeGameTest, PlantedChallengeDecryptsUnderRealTuple) {
+  // With T = e(g,g)^{abc}, the planted challenge is a *valid* encryption of
+  // m_b under the planted pk -- the fake and real games coincide on it.
+  const auto gg = make_mock();
+  const auto prm = params_for(gg);
+  Rng rng(21);
+  const auto tup = sample_bddh(gg, true, rng);
+  FakeGame fake(gg, prm, tup);
+  const auto m = gg.gt_random(rng);
+  const auto ch = fake.challenge(m);
+  // m = B / e(A, g)^{dlog z}: use mock dlogs to check it is consistent:
+  // B - m == pair(gc, g)^ab => dlog: t == c * a * b.
+  EXPECT_EQ(gg.sc_sub(gg.dlog_gt(ch.b), gg.dlog_gt(m)), gg.dlog_gt(tup.t));
+  const auto ab = gg.sc_mul(gg.dlog(tup.ga), gg.dlog(tup.gb));
+  EXPECT_EQ(gg.dlog_gt(fake.pk().z), ab);
+}
+
+TEST(FakeGameTest, RefreshReplyDecryptsToNextPhi) {
+  const auto gg = make_mock();
+  const auto prm = params_for(gg);
+  Rng rng(22);
+  FakeGame fake(gg, prm, sample_bddh(gg, true, rng));
+  const auto p = fake.fake_period(rng);
+
+  // Next-period sk2 (in the proof this is the next solved s'; any works).
+  std::vector<std::uint64_t> s_next;
+  for (std::size_t i = 0; i < prm.ell; ++i) s_next.push_back(gg.sc_random(rng));
+  const auto f = fake.refresh_reply(p, s_next);
+
+  // Dec'(f) must equal Phi * prod a'_i^{s'_i} / prod a_i^{s_i}.
+  schemes::HpskeG<MockGroup> hg(gg, prm.kappa);
+  std::vector<group::MockG> aprime;
+  for (const auto& fp : p.fprime) aprime.push_back(hg.dec(p.sigma, fp));
+  auto expect = gg.g_mul(p.sk1.phi, gg.g_multi_pow(aprime, s_next));
+  expect = gg.g_mul(expect, gg.g_inv(gg.g_multi_pow(p.sk1.a, p.sk2.s)));
+  EXPECT_TRUE(gg.g_eq(hg.dec(p.sigma, f), expect));
+}
+
+TEST(FakeGameTest, FullRankResamplingIsRare) {
+  const auto gg = make_mock();
+  const auto prm = params_for(gg);
+  Rng rng(23);
+  FakeGame fake(gg, prm, sample_bddh(gg, true, rng));
+  std::size_t total_resamples = 0;
+  for (int i = 0; i < 10; ++i) total_resamples += fake.fake_period(rng).resamples;
+  EXPECT_LE(total_resamples, 2u);  // rank deficiency has probability ~ l/p
+}
+
+// ---- the proof's statistical claims, measured on a tiny group ----------------------
+
+TEST(FakeGameStatsTest, Sk2MarginalMatchesRealGame) {
+  // Proof step (i): the joint distribution of (pk, C*, sk2) is identical in
+  // aux and fake. Here: the marginal of sk2's first coordinate is uniform in
+  // both the real scheme and the fake game.
+  const auto gg = make_mock_tiny(101);
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+  EmpiricalDist real_s, fake_s;
+  for (std::uint64_t i = 0; i < 1500; ++i) {
+    auto sys = schemes::DlrSystem<MockGroup>::create(gg, prm, schemes::P1Mode::Plain,
+                                                     40000 + i);
+    real_s.add(sys.p2().share().s[0]);
+    Rng rng(50000 + i);
+    FakeGame fake(gg, prm, sample_bddh(gg, true, rng));
+    fake_s.add(fake.fake_period(rng).sk2.s[0]);
+  }
+  const auto crit = chi_square_critical_99(100);
+  EXPECT_LT(real_s.chi_square_uniform(101), crit);
+  EXPECT_LT(fake_s.chi_square_uniform(101), crit);
+  EXPECT_LT(real_s.statistical_distance(fake_s), 0.15);  // sampling noise scale
+}
+
+TEST(FakeGameStatsTest, RandomTMakesChallengeIndependentOfMessage) {
+  // The second half of the argument: when T is uniform, the challenge hides
+  // m_b information-theoretically -- B = m_b * T is uniform whatever m_b is.
+  const auto gg = make_mock_tiny(101);
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+  const auto m0 = gg.gt_pow(gg.gt_gen(), 3);
+  const auto m1 = gg.gt_pow(gg.gt_gen(), 77);
+  EmpiricalDist d0, d1;
+  Rng rng(600);
+  for (int i = 0; i < 4000; ++i) {
+    FakeGame f0(gg, prm, sample_bddh(gg, false, rng));
+    d0.add(gg.dlog_gt(f0.challenge(m0).b));
+    FakeGame f1(gg, prm, sample_bddh(gg, false, rng));
+    d1.add(gg.dlog_gt(f1.challenge(m1).b));
+  }
+  const auto crit = chi_square_critical_99(100);
+  EXPECT_LT(d0.chi_square_uniform(101), crit);
+  EXPECT_LT(d1.chi_square_uniform(101), crit);
+  EXPECT_LT(d0.statistical_distance(d1), 0.15);
+}
+
+}  // namespace
+}  // namespace dlr::analysis

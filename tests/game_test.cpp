@@ -1,0 +1,357 @@
+// Tests for the CML game machinery (Definition 3.2): budget accounting with
+// the carry rule, leakage-function plumbing, abort behavior, and the
+// share-accumulation attack that separates refresh-on from refresh-off.
+#include <gtest/gtest.h>
+
+#include "analysis/attacks.hpp"
+#include "group/mock_group.hpp"
+#include "leakage/game.hpp"
+
+namespace dlr::leakage {
+namespace {
+
+using analysis::GuessingAdversary;
+using analysis::ShareAccumulationAdversary;
+using crypto::Rng;
+using group::make_mock;
+using group::MockGroup;
+using schemes::DlrParams;
+using schemes::P1Mode;
+
+DlrParams mock_params() {
+  auto gg = make_mock();
+  return DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+}
+
+// ---- LeakageBudget ------------------------------------------------------------
+
+TEST(LeakageBudgetTest, SimpleWithinBound) {
+  LeakageBudget b(100);
+  EXPECT_TRUE(b.charge_period(60, 40));
+  EXPECT_EQ(b.carried_bits(), 40u);
+  EXPECT_EQ(b.lifetime_bits(), 100u);
+}
+
+TEST(LeakageBudgetTest, CarryRuleEnforced) {
+  LeakageBudget b(100);
+  ASSERT_TRUE(b.charge_period(0, 80));  // carry 80 into next period
+  // Next period: 80 + 30 > 100 must fail...
+  EXPECT_FALSE(b.charge_period(30, 0));
+  // ...and failing charges nothing: 80 + 20 <= 100 still fine.
+  EXPECT_TRUE(b.charge_period(20, 0));
+  EXPECT_EQ(b.carried_bits(), 0u);
+}
+
+TEST(LeakageBudgetTest, ExactBoundaryAllowed) {
+  LeakageBudget b(100);
+  EXPECT_TRUE(b.charge_period(100, 0));
+  EXPECT_TRUE(b.charge_period(0, 100));
+  EXPECT_FALSE(b.charge_period(1, 0));  // carry 100 + 1 > 100
+  EXPECT_TRUE(b.charge_period(0, 0));
+  EXPECT_TRUE(b.charge_period(1, 0));   // carry cleared
+}
+
+TEST(LeakageBudgetTest, KeygenCharge) {
+  LeakageBudget b(100);
+  EXPECT_FALSE(b.charge_keygen(11, 10));
+  EXPECT_TRUE(b.charge_keygen(10, 10));
+  EXPECT_EQ(b.carried_bits(), 10u);
+  EXPECT_FALSE(b.charge_period(95, 0));
+  EXPECT_TRUE(b.charge_period(90, 0));
+}
+
+TEST(EntropyBudgetTest, ChargesDeclaredEntropyNotLength) {
+  // Footnote 1: entropy-shrinking accounting. A long but low-entropy output
+  // (e.g. a constant-padded window) charges only its declared entropy loss.
+  EntropyBudget b(100);
+  // A 10000-"bit-long" leakage declared to lose only 60 bits of entropy.
+  EXPECT_TRUE(b.charge_period(60, 0));
+  EXPECT_TRUE(b.charge_period(0, 100));
+  EXPECT_FALSE(b.charge_period(1, 0));  // carry rule identical to Def 3.2
+  EXPECT_EQ(b.bound_bits(), 100u);
+  EXPECT_EQ(b.lifetime_bits(), 160u);
+  // Contrast: the length-based budget would have aborted immediately on a
+  // 10000-bit output.
+  LeakageBudget len(100);
+  EXPECT_FALSE(len.charge_period(10000, 0));
+}
+
+TEST(LeakageBudgetTest, LifetimeIsUnbounded) {
+  LeakageBudget b(10);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(b.charge_period(10, 0));
+  EXPECT_EQ(b.lifetime_bits(), 10000u);  // total >> bound: continual leakage
+}
+
+// ---- leakage functions ---------------------------------------------------------
+
+TEST(LeakageFnTest, ExtractBitsBasics) {
+  const Bytes src{0b10110100, 0xff};
+  const auto w = extract_bits(src, 2, 4);  // bits 2..5 of byte 0: 1,0,1,1
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], 0b1101);
+}
+
+TEST(LeakageFnTest, ExtractBitsWraps) {
+  const Bytes src{0x01};  // bit 0 set
+  const auto w = extract_bits(src, 7, 2);  // bits 7, 0 -> 0, 1
+  EXPECT_EQ(w[0], 0b10);
+}
+
+TEST(LeakageFnTest, WindowAndHashedShapes) {
+  const Bytes secret(16, 0xaa);
+  const Bytes pub{};
+  EXPECT_EQ(window_bits(0, 12)(secret, pub).size(), 2u);
+  EXPECT_EQ(hashed_bits(20)(secret, pub).size(), 3u);
+  EXPECT_TRUE(no_leakage()(secret, pub).empty());
+}
+
+TEST(LeakageFnTest, EvalEnforcesDeclaredLength) {
+  const Bytes secret(16, 1);
+  // A cheating function that returns more than it declared.
+  LeakageFn cheat = [](const Bytes& s, const Bytes&) { return s; };
+  EXPECT_THROW((void)eval_leakage(cheat, secret, {}, 8), std::length_error);
+  EXPECT_NO_THROW((void)eval_leakage(cheat, secret, {}, 128));
+}
+
+TEST(LeakageFnTest, HashedLeakageDependsOnSecretAndPub) {
+  const Bytes s1(8, 1), s2(8, 2), pub1{9}, pub2{10};
+  const auto f = hashed_bits(64);
+  EXPECT_NE(f(s1, pub1), f(s2, pub1));
+  EXPECT_NE(f(s1, pub1), f(s1, pub2));
+}
+
+// ---- the game -------------------------------------------------------------------
+
+TEST(CmlGameTest, RunsWithNoLeakage) {
+  const auto gg = make_mock();
+  typename CmlGame<MockGroup>::Config cfg{mock_params(), P1Mode::Plain, 0, 0, 0, false, 42};
+  CmlGame<MockGroup> game(gg, cfg);
+  GuessingAdversary<MockGroup> adv(gg, 5);
+  const auto res = game.run(adv);
+  EXPECT_FALSE(res.aborted);
+  EXPECT_EQ(res.periods, 5u);
+  EXPECT_EQ(res.leaked_bits_p1, 0u);
+}
+
+TEST(CmlGameTest, DefaultBoundsComeFromParams) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 0, 0, 0, false, 1};
+  CmlGame<MockGroup> game(gg, cfg);
+  EXPECT_EQ(game.config().b1, prm.b1_bits());
+  EXPECT_EQ(game.config().b2, 8 * prm.ell * gg.sc_bytes());  // serialized |sk2|
+}
+
+// An adversary that deliberately over-asks on P1.
+class GreedyAdversary final : public CmlGame<MockGroup>::Adversary {
+ public:
+  using Game = CmlGame<MockGroup>;
+  explicit GreedyAdversary(MockGroup gg, std::size_t bits) : gg_(std::move(gg)), bits_(bits) {}
+  bool wants_more_leakage(const Game::View& v) override { return v.periods.empty(); }
+  Game::LeakagePlan plan(std::size_t, const Game::View&) override {
+    Game::LeakagePlan p;
+    p.h1 = window_bits(0, bits_);
+    p.bits1 = bits_;
+    p.h1_ref = p.h2 = p.h2_ref = no_leakage();
+    return p;
+  }
+  std::pair<group::MockGT, group::MockGT> choose_messages(const Game::View&,
+                                                          Rng& rng) override {
+    return {gg_.gt_random(rng), gg_.gt_random(rng)};
+  }
+  int guess(const Game::View&, const Game::Ciphertext&) override { return 0; }
+
+ private:
+  MockGroup gg_;
+  std::size_t bits_;
+};
+
+TEST(CmlGameTest, OverBudgetAborts) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 0, 0, 0, false, 7};
+  CmlGame<MockGroup> game(gg, cfg);
+  GreedyAdversary adv(gg, prm.b1_bits() + 1);
+  const auto res = game.run(adv);
+  EXPECT_TRUE(res.aborted);
+  EXPECT_FALSE(res.adversary_won);
+}
+
+TEST(CmlGameTest, AtBudgetDoesNotAbort) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 0, 0, 0, false, 8};
+  CmlGame<MockGroup> game(gg, cfg);
+  GreedyAdversary adv(gg, prm.b1_bits());
+  EXPECT_FALSE(game.run(adv).aborted);
+}
+
+TEST(CmlGameTest, KeygenLeakageRespectsB0) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+
+  class KeygenAdv final : public CmlGame<MockGroup>::Adversary {
+   public:
+    using Game = CmlGame<MockGroup>;
+    KeygenAdv(MockGroup gg, std::size_t bits) : gg_(std::move(gg)), bits_(bits) {}
+    std::optional<std::pair<LeakageFn, std::size_t>> keygen_leakage(
+        const Game::View&) override {
+      return std::make_pair(window_bits(0, bits_), bits_);
+    }
+    bool wants_more_leakage(const Game::View&) override { return false; }
+    Game::LeakagePlan plan(std::size_t, const Game::View&) override { return {}; }
+    std::pair<group::MockGT, group::MockGT> choose_messages(const Game::View&,
+                                                            Rng& rng) override {
+      return {gg_.gt_random(rng), gg_.gt_random(rng)};
+    }
+    int guess(const Game::View&, const Game::Ciphertext&) override { return 0; }
+    MockGroup gg_;
+    std::size_t bits_;
+  };
+
+  typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 6, 0, 0, false, 9};
+  {
+    CmlGame<MockGroup> game(gg, cfg);
+    KeygenAdv ok(gg, 6);
+    EXPECT_FALSE(game.run(ok).aborted);
+  }
+  {
+    CmlGame<MockGroup> game(gg, cfg);
+    KeygenAdv greedy(gg, 7);
+    EXPECT_TRUE(game.run(greedy).aborted);
+  }
+}
+
+TEST(CmlGameTest, MultipleDecryptionsPerPeriod) {
+  // The paper's "extensions allowing multiple executions of the decryption
+  // protocol at each time period are simple" -- exercised here: 4 decs per
+  // period, all outputs correct, all recorded in the view.
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+
+  class Checker final : public CmlGame<MockGroup>::Adversary {
+   public:
+    using Game = CmlGame<MockGroup>;
+    explicit Checker(MockGroup gg) : gg_(std::move(gg)) {}
+    bool wants_more_leakage(const Game::View& v) override { return v.periods.size() < 2; }
+    Game::LeakagePlan plan(std::size_t, const Game::View&) override {
+      Game::LeakagePlan p;
+      p.h1 = p.h1_ref = p.h2 = p.h2_ref = no_leakage();
+      return p;
+    }
+    std::pair<group::MockGT, group::MockGT> choose_messages(const Game::View& v,
+                                                            Rng& rng) override {
+      for (const auto& pv : v.periods) extra_counts_.push_back(pv.extra_decs.size());
+      return {gg_.gt_random(rng), gg_.gt_random(rng)};
+    }
+    int guess(const Game::View&, const Game::Ciphertext&) override { return 0; }
+    std::vector<std::size_t> extra_counts_;
+    MockGroup gg_;
+  };
+
+  typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 0, 0, 0, false, 77, 4};
+  CmlGame<MockGroup> game(gg, cfg);
+  Checker adv(gg);
+  const auto res = game.run(adv);
+  EXPECT_FALSE(res.aborted);
+  ASSERT_EQ(adv.extra_counts_.size(), 2u);
+  EXPECT_EQ(adv.extra_counts_[0], 3u);  // 4 decs = 1 primary + 3 extra
+  EXPECT_EQ(adv.extra_counts_[1], 3u);
+}
+
+TEST(CmlGameTest, CustomCiphertextDistribution) {
+  // The background distribution C(n, pk, t) is pluggable (Definition 3.2);
+  // here C always encrypts gt_gen^t so the adversary can verify, via the
+  // public dec output in pub^t, that the challenger really runs C.
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+
+  class Checker final : public CmlGame<MockGroup>::Adversary {
+   public:
+    using Game = CmlGame<MockGroup>;
+    explicit Checker(MockGroup gg) : gg_(std::move(gg)) {}
+    bool wants_more_leakage(const Game::View& v) override { return v.periods.size() < 3; }
+    Game::LeakagePlan plan(std::size_t, const Game::View&) override {
+      Game::LeakagePlan p;
+      p.h1 = p.h1_ref = p.h2 = p.h2_ref = no_leakage();
+      return p;
+    }
+    std::pair<group::MockGT, group::MockGT> choose_messages(const Game::View& v,
+                                                            Rng& rng) override {
+      for (std::size_t t = 0; t < v.periods.size(); ++t) {
+        ok_ = ok_ && gg_.gt_eq(v.periods[t].dec_output,
+                               gg_.gt_pow(gg_.gt_gen(), gg_.sc_from_u64(t)));
+      }
+      return {gg_.gt_random(rng), gg_.gt_random(rng)};
+    }
+    int guess(const Game::View&, const Game::Ciphertext&) override { return 0; }
+    bool ok_ = true;
+    MockGroup gg_;
+  };
+
+  typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 0, 0, 0, false, 99};
+  CmlGame<MockGroup> game(gg, cfg);
+  Checker adv(gg);
+  const auto res = game.run(adv, [](const MockGroup& g, const auto& pk, std::size_t t,
+                                    Rng& rng) {
+    return schemes::DlrCore<MockGroup>::enc(
+        g, pk, g.gt_pow(g.gt_gen(), g.sc_from_u64(t)), rng);
+  });
+  EXPECT_FALSE(res.aborted);
+  EXPECT_TRUE(adv.ok_);
+}
+
+// ---- the refresh separation (core security demonstration) -----------------------
+
+TEST(ShareAccumulationTest, BreaksUnrefreshedScheme) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  std::size_t wins = 0;
+  const std::size_t trials = 10;
+  for (std::size_t i = 0; i < trials; ++i) {
+    typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 0, 0, 0,
+                                            /*disable_refresh=*/true, 100 + i};
+    CmlGame<MockGroup> game(gg, cfg);
+    ShareAccumulationAdversary<MockGroup> adv(gg, prm);
+    const auto res = game.run(adv);
+    ASSERT_FALSE(res.aborted) << "the attack stays within the per-period budget";
+    EXPECT_TRUE(adv.key_recovered()) << "trial " << i;
+    if (res.adversary_won) ++wins;
+  }
+  EXPECT_EQ(wins, trials);  // full key recovery -> wins every time
+}
+
+TEST(ShareAccumulationTest, RefreshDefeatsTheSameAttack) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  std::size_t wins = 0;
+  const std::size_t trials = 40;
+  for (std::size_t i = 0; i < trials; ++i) {
+    typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 0, 0, 0,
+                                            /*disable_refresh=*/false, 200 + i};
+    CmlGame<MockGroup> game(gg, cfg);
+    ShareAccumulationAdversary<MockGroup> adv(gg, prm);
+    const auto res = game.run(adv);
+    ASSERT_FALSE(res.aborted);
+    EXPECT_FALSE(adv.key_recovered()) << "trial " << i;
+    if (res.adversary_won) ++wins;
+  }
+  // Should be a coin flip: loose 99.9%-ish binomial bounds around 20/40.
+  EXPECT_GT(wins, 7u);
+  EXPECT_LT(wins, 33u);
+}
+
+TEST(ShareAccumulationTest, LifetimeLeakageExceedsKeySize) {
+  // The point of the continual model: total leakage across the game is far
+  // larger than any share, yet (with refresh) the scheme survives.
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  typename CmlGame<MockGroup>::Config cfg{prm, P1Mode::Plain, 0, 0, 0, false, 300};
+  CmlGame<MockGroup> game(gg, cfg);
+  ShareAccumulationAdversary<MockGroup> adv(gg, prm);
+  const auto res = game.run(adv);
+  EXPECT_GT(res.leaked_bits_p2, prm.sk2_bits() * 5);
+}
+
+}  // namespace
+}  // namespace dlr::leakage

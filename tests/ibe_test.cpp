@@ -1,0 +1,270 @@
+// Tests for the Boneh-Boyen IBE substrate and the distributed DLRIBE:
+// correctness across identities, distributed extract/decrypt/refresh,
+// msk- and id-key share refresh invariants (Remark 4.1), transcripts.
+#include <gtest/gtest.h>
+
+#include "group/mock_group.hpp"
+#include "group/tate_group.hpp"
+#include "schemes/dlr_ibe.hpp"
+
+namespace dlr::schemes {
+namespace {
+
+using crypto::Rng;
+using group::make_mock;
+using group::make_tate_ss256;
+using group::MockGroup;
+
+DlrParams mock_params() {
+  auto gg = make_mock();
+  return DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+}
+
+// ---- single-processor BB IBE -------------------------------------------------
+
+TEST(BbIbeTest, EncDecRoundTrip) {
+  const auto gg = make_mock();
+  BbIbe<MockGroup> ibe(gg, 32);
+  Rng rng(2000);
+  auto [pp, mk] = ibe.setup(rng);
+  for (const std::string id : {"alice@example.com", "bob@example.com", "x"}) {
+    const auto sk = ibe.extract(pp, mk, id, rng);
+    for (int i = 0; i < 5; ++i) {
+      const auto m = gg.gt_random(rng);
+      const auto ct = ibe.enc(pp, id, m, rng);
+      EXPECT_TRUE(gg.gt_eq(ibe.dec(sk, ct), m));
+    }
+  }
+}
+
+TEST(BbIbeTest, WrongIdentityKeyFails) {
+  const auto gg = make_mock();
+  BbIbe<MockGroup> ibe(gg, 32);
+  Rng rng(2001);
+  auto [pp, mk] = ibe.setup(rng);
+  const auto sk_bob = ibe.extract(pp, mk, "bob", rng);
+  const auto m = gg.gt_random(rng);
+  const auto ct = ibe.enc(pp, "alice", m, rng);
+  EXPECT_FALSE(gg.gt_eq(ibe.dec(sk_bob, ct), m));
+}
+
+TEST(BbIbeTest, ExtractIsRandomizedButFunctional) {
+  const auto gg = make_mock();
+  BbIbe<MockGroup> ibe(gg, 16);
+  Rng rng(2002);
+  auto [pp, mk] = ibe.setup(rng);
+  const auto sk1 = ibe.extract(pp, mk, "carol", rng);
+  const auto sk2 = ibe.extract(pp, mk, "carol", rng);
+  EXPECT_FALSE(gg.g_eq(sk1.m, sk2.m));  // fresh randomness
+  const auto m = gg.gt_random(rng);
+  const auto ct = ibe.enc(pp, "carol", m, rng);
+  EXPECT_TRUE(gg.gt_eq(ibe.dec(sk1, ct), m));
+  EXPECT_TRUE(gg.gt_eq(ibe.dec(sk2, ct), m));
+}
+
+TEST(BbIbeTest, HashIdDeterministicAndLength) {
+  const auto gg = make_mock();
+  BbIbe<MockGroup> ibe(gg, 48);
+  EXPECT_EQ(ibe.hash_id("x").size(), 48u);
+  EXPECT_EQ(ibe.hash_id("x"), ibe.hash_id("x"));
+  EXPECT_NE(ibe.hash_id("x"), ibe.hash_id("y"));
+}
+
+TEST(BbIbeTest, CiphertextSerialization) {
+  const auto gg = make_mock();
+  BbIbe<MockGroup> ibe(gg, 16);
+  Rng rng(2003);
+  auto [pp, mk] = ibe.setup(rng);
+  const auto m = gg.gt_random(rng);
+  const auto ct = ibe.enc(pp, "dave", m, rng);
+  ByteWriter w;
+  ibe.ser_ciphertext(w, ct);
+  EXPECT_EQ(w.size(), ibe.ciphertext_bytes());
+  ByteReader r(w.bytes());
+  const auto ct2 = ibe.deser_ciphertext(r);
+  const auto sk = ibe.extract(pp, mk, "dave", rng);
+  EXPECT_TRUE(gg.gt_eq(ibe.dec(sk, ct2), m));
+}
+
+TEST(BbIbeTest, BadIdBitsRejected) {
+  EXPECT_THROW(BbIbe<MockGroup>(make_mock(), 0), std::invalid_argument);
+  EXPECT_THROW(BbIbe<MockGroup>(make_mock(), 257), std::invalid_argument);
+}
+
+TEST(BbIbeTest, TateRoundTrip) {
+  const auto gg = make_tate_ss256();
+  BbIbe<group::TateSS256> ibe(gg, 8);
+  Rng rng(2004);
+  auto [pp, mk] = ibe.setup(rng);
+  const auto sk = ibe.extract(pp, mk, "eve", rng);
+  const auto m = gg.gt_random(rng);
+  const auto ct = ibe.enc(pp, "eve", m, rng);
+  EXPECT_TRUE(gg.gt_eq(ibe.dec(sk, ct), m));
+}
+
+// ---- distributed DLRIBE ---------------------------------------------------------
+
+TEST(DlrIbeTest, DistributedExtractAndDecrypt) {
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 32, 2100);
+  Rng rng(2101);
+  for (const std::string id : {"alice", "bob"}) {
+    sys.extract(id);
+    for (int i = 0; i < 5; ++i) {
+      const auto m = gg.gt_random(rng);
+      const auto ct = sys.scheme().enc(sys.pp(), id, m, rng);
+      EXPECT_TRUE(gg.gt_eq(sys.decrypt(id, ct), m));
+    }
+  }
+}
+
+TEST(DlrIbeTest, DistributedMatchesTate) {
+  const auto gg = make_tate_ss256();
+  const auto prm = DlrParams::derive(gg.scalar_bits(), 16);
+  auto sys = DlrIbeSystem<group::TateSS256>::create(gg, prm, 4, 2102);
+  Rng rng(2103);
+  sys.extract("z");
+  const auto m = gg.gt_random(rng);
+  const auto ct = sys.scheme().enc(sys.pp(), "z", m, rng);
+  EXPECT_TRUE(gg.gt_eq(sys.decrypt("z", ct), m));
+}
+
+TEST(DlrIbeTest, MskSharingReconstructs) {
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 2104);
+  EXPECT_TRUE(gg.g_eq(
+      sys.scheme().reconstruct(sys.p1().msk_share(), sys.p2().msk_share()),
+      sys.msk_for_test()));
+}
+
+TEST(DlrIbeTest, IdKeySharingReconstructsBbKey) {
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 2105);
+  sys.extract("frank");
+  // Reconstructed M must be a valid BB identity key for the R_j held by P1.
+  const auto& share1 = sys.p1().id_share("frank");
+  const auto m_rec = sys.scheme().reconstruct(share1.unit, sys.p2().id_share("frank"));
+  typename BbIbe<MockGroup>::IdentityKey sk{share1.r, m_rec};
+  Rng rng(2106);
+  const auto msg = gg.gt_random(rng);
+  const auto ct = sys.scheme().enc(sys.pp(), "frank", msg, rng);
+  EXPECT_TRUE(gg.gt_eq(sys.scheme().bb().dec(sk, ct), msg));
+}
+
+TEST(DlrIbeTest, MskRefreshKeepsBothKindsOfKeysWorking) {
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 2107);
+  Rng rng(2108);
+  sys.extract("grace");
+  const auto msk0 = sys.msk_for_test();
+  for (int t = 0; t < 5; ++t) {
+    sys.refresh_msk();
+    // msk invariant under refresh.
+    EXPECT_TRUE(gg.g_eq(
+        sys.scheme().reconstruct(sys.p1().msk_share(), sys.p2().msk_share()), msk0));
+    // Old identity keys still decrypt.
+    const auto m = gg.gt_random(rng);
+    const auto ct = sys.scheme().enc(sys.pp(), "grace", m, rng);
+    EXPECT_TRUE(gg.gt_eq(sys.decrypt("grace", ct), m));
+    // And new extractions still work.
+    const auto id = "user" + std::to_string(t);
+    sys.extract(id);
+    const auto m2 = gg.gt_random(rng);
+    EXPECT_TRUE(gg.gt_eq(sys.decrypt(id, sys.scheme().enc(sys.pp(), id, m2, rng)), m2));
+  }
+}
+
+TEST(DlrIbeTest, IdKeyRefreshChangesSharesNotKey) {
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 2109);
+  Rng rng(2110);
+  sys.extract("heidi");
+  const auto m_before =
+      sys.scheme().reconstruct(sys.p1().id_share("heidi").unit, sys.p2().id_share("heidi"));
+  const auto s_before = sys.p2().id_share("heidi").s;
+  for (int t = 0; t < 5; ++t) {
+    sys.refresh_id("heidi");
+    EXPECT_TRUE(gg.g_eq(sys.scheme().reconstruct(sys.p1().id_share("heidi").unit,
+                                                 sys.p2().id_share("heidi")),
+                        m_before));
+    EXPECT_FALSE(sys.p2().id_share("heidi").s == s_before);
+    const auto m = gg.gt_random(rng);
+    EXPECT_TRUE(
+        gg.gt_eq(sys.decrypt("heidi", sys.scheme().enc(sys.pp(), "heidi", m, rng)), m));
+  }
+}
+
+TEST(DlrIbeTest, TranscriptShape) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, prm, 16, 2111);
+  net::Channel ch;
+  sys.extract("ivy", ch);
+  const auto& ms = ch.transcript().messages();
+  ASSERT_EQ(ms.size(), 2u);
+  EXPECT_EQ(ms[0].label, "ext.r1");
+  // Extract round 1 = (f_i, f'_i)_i + f_{PhiW}: 2l+1 G-HPSKE ciphertexts.
+  EXPECT_EQ(ms[0].size_bytes(), (2 * prm.ell + 1) * (prm.kappa + 1) * gg.g_bytes());
+  EXPECT_EQ(ms[1].size_bytes(), (prm.kappa + 1) * gg.g_bytes());
+}
+
+TEST(DlrIbeTest, UnknownIdentityThrows) {
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 2112);
+  Rng rng(2113);
+  const auto ct = sys.scheme().enc(sys.pp(), "nobody", gg.gt_random(rng), rng);
+  EXPECT_THROW((void)sys.decrypt("nobody", ct), std::out_of_range);
+}
+
+TEST(DlrIbeTest, EraseIdForgets) {
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 2114);
+  sys.extract("tmp");
+  EXPECT_TRUE(sys.p1().has_id("tmp"));
+  sys.p1().erase_id("tmp");
+  sys.p2().erase_id("tmp");
+  EXPECT_FALSE(sys.p1().has_id("tmp"));
+  EXPECT_EQ(sys.p1().id_count(), 0u);
+}
+
+TEST(DlrIbeTest, RerandomizeIdKeyExtension) {
+  // The BB-key re-randomization extension: R_j and the blinded M both change,
+  // P2's share is untouched, and decryption still works.
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 2116);
+  Rng rng(2117);
+  sys.extract("judy");
+  const auto r_before = sys.p1().id_share("judy").r;
+  const auto phi_before = sys.p1().id_share("judy").unit.phi;
+  const auto s_before = sys.p2().id_share("judy").s;
+
+  auto rr_rng = Rng(2118);
+  sys.p1().rerandomize_id_key("judy", rr_rng);
+
+  EXPECT_FALSE(gg.g_eq(sys.p1().id_share("judy").r[0], r_before[0]));
+  EXPECT_FALSE(gg.g_eq(sys.p1().id_share("judy").unit.phi, phi_before));
+  EXPECT_TRUE(sys.p2().id_share("judy").s == s_before);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto m = gg.gt_random(rng);
+    const auto ct = sys.scheme().enc(sys.pp(), "judy", m, rng);
+    EXPECT_TRUE(gg.gt_eq(sys.decrypt("judy", ct), m));
+  }
+  // Composes with share refresh.
+  sys.refresh_id("judy");
+  const auto m = gg.gt_random(rng);
+  EXPECT_TRUE(gg.gt_eq(sys.decrypt("judy", sys.scheme().enc(sys.pp(), "judy", m, rng)), m));
+}
+
+TEST(DlrIbeTest, SnapshotGrowsWithIdentities) {
+  const auto gg = make_mock();
+  auto sys = DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 2115);
+  const auto before = sys.p1().normal_snapshot().bits();
+  sys.extract("k1");
+  sys.extract("k2");
+  const auto after = sys.p1().normal_snapshot().bits();
+  EXPECT_GT(after, before);  // Remark 4.1: id-key shares are leakable memory
+}
+
+}  // namespace
+}  // namespace dlr::schemes

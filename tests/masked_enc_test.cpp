@@ -1,0 +1,177 @@
+// Tests for the Pi_ss / HPSKE shared core: correctness, the Definition 5.1
+// part-1 homomorphism, re-randomization, serialization, input validation.
+#include <gtest/gtest.h>
+
+#include "group/mock_group.hpp"
+#include "group/tate_group.hpp"
+#include "schemes/hpske.hpp"
+#include "schemes/pi_ss.hpp"
+
+namespace dlr::schemes {
+namespace {
+
+using crypto::Rng;
+using group::make_mock;
+using group::make_tate_ss256;
+using group::MockGroup;
+
+template <class Enc>
+void roundtrip_battery(const Enc& enc, std::uint64_t seed, int iters) {
+  Rng rng(seed);
+  for (int i = 0; i < iters; ++i) {
+    const auto sk = enc.gen(rng);
+    const auto m = Enc::Sp::random(enc.group(), rng);
+    const auto ct = enc.enc(sk, m, rng);
+    EXPECT_TRUE(Enc::Sp::eq(enc.group(), enc.dec(sk, ct), m));
+    // Wrong key fails to decrypt (overwhelmingly).
+    const auto sk2 = enc.gen(rng);
+    EXPECT_FALSE(Enc::Sp::eq(enc.group(), enc.dec(sk2, ct), m));
+  }
+}
+
+template <class Enc>
+void homomorphism_battery(const Enc& enc, std::uint64_t seed, int iters) {
+  Rng rng(seed);
+  const auto& gg = enc.group();
+  for (int i = 0; i < iters; ++i) {
+    const auto sk = enc.gen(rng);
+    const auto m0 = Enc::Sp::random(gg, rng);
+    const auto m1 = Enc::Sp::random(gg, rng);
+    const auto c0 = enc.enc(sk, m0, rng);
+    const auto c1 = enc.enc(sk, m1, rng);
+    // Definition 5.1 (1): Dec(c0 * c1) = m0 * m1.
+    EXPECT_TRUE(Enc::Sp::eq(gg, enc.dec(sk, enc.ct_mul(c0, c1)), Enc::Sp::mul(gg, m0, m1)));
+    // Inverse and power.
+    EXPECT_TRUE(Enc::Sp::eq(gg, enc.dec(sk, enc.ct_inv(c0)), Enc::Sp::inv(gg, m0)));
+    const auto k = gg.sc_random(rng);
+    EXPECT_TRUE(Enc::Sp::eq(gg, enc.dec(sk, enc.ct_pow(c0, k)), Enc::Sp::pow(gg, m0, k)));
+    // ct_one is the unit.
+    EXPECT_TRUE(c0.b.size() == enc.ct_mul(c0, enc.ct_one()).b.size());
+    EXPECT_TRUE(Enc::Sp::eq(gg, enc.dec(sk, enc.ct_mul(c0, enc.ct_one())), m0));
+    // Re-randomization preserves the plaintext but changes the ciphertext.
+    const auto cr = enc.rerandomize(sk, c0, rng);
+    EXPECT_TRUE(Enc::Sp::eq(gg, enc.dec(sk, cr), m0));
+    EXPECT_FALSE(cr == c0);
+  }
+}
+
+template <class Enc>
+void serialization_battery(const Enc& enc, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto sk = enc.gen(rng);
+  const auto m = Enc::Sp::random(enc.group(), rng);
+  const auto ct = enc.enc(sk, m, rng);
+
+  ByteWriter w;
+  enc.ser_sk(w, sk);
+  EXPECT_EQ(w.size(), enc.sk_bytes());
+  enc.ser_ct(w, ct);
+  EXPECT_EQ(w.size(), enc.sk_bytes() + enc.ct_bytes());
+
+  ByteReader r(w.bytes());
+  const auto sk2 = enc.deser_sk(r);
+  const auto ct2 = enc.deser_ct(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_TRUE(Enc::Sp::eq(enc.group(), enc.dec(sk2, ct2), m));
+}
+
+TEST(PiSsTest, RoundTripMock) { roundtrip_battery(PiSS<MockGroup>(make_mock(), 21), 600, 100); }
+TEST(PiSsTest, HomomorphismMock) {
+  homomorphism_battery(PiSS<MockGroup>(make_mock(), 21), 601, 100);
+}
+TEST(PiSsTest, SerializationMock) { serialization_battery(PiSS<MockGroup>(make_mock(), 21), 602); }
+
+TEST(HpskeTest, RoundTripMockG) {
+  roundtrip_battery(HpskeG<MockGroup>(make_mock(), 4), 603, 100);
+}
+TEST(HpskeTest, RoundTripMockGT) {
+  roundtrip_battery(HpskeGT<MockGroup>(make_mock(), 4), 604, 100);
+}
+TEST(HpskeTest, HomomorphismMockG) {
+  homomorphism_battery(HpskeG<MockGroup>(make_mock(), 4), 605, 100);
+}
+TEST(HpskeTest, HomomorphismMockGT) {
+  homomorphism_battery(HpskeGT<MockGroup>(make_mock(), 4), 606, 100);
+}
+
+using Tate = group::TateSS256;
+TEST(PiSsTest, RoundTripTate) { roundtrip_battery(PiSS<Tate>(make_tate_ss256(), 9), 607, 2); }
+TEST(HpskeTest, RoundTripTateG) {
+  roundtrip_battery(HpskeG<Tate>(make_tate_ss256(), 3), 608, 2);
+}
+TEST(HpskeTest, RoundTripTateGT) {
+  roundtrip_battery(HpskeGT<Tate>(make_tate_ss256(), 3), 609, 2);
+}
+TEST(HpskeTest, HomomorphismTateG) {
+  homomorphism_battery(HpskeG<Tate>(make_tate_ss256(), 3), 610, 1);
+}
+TEST(HpskeTest, HomomorphismTateGT) {
+  homomorphism_battery(HpskeGT<Tate>(make_tate_ss256(), 3), 611, 1);
+}
+TEST(HpskeTest, SerializationTateG) {
+  serialization_battery(HpskeG<Tate>(make_tate_ss256(), 3), 612);
+}
+TEST(HpskeTest, SerializationTateGT) {
+  serialization_battery(HpskeGT<Tate>(make_tate_ss256(), 3), 613);
+}
+
+// Property sweep over widths.
+class MaskedEncWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MaskedEncWidth, RoundTripAndHomomorphism) {
+  const auto w = GetParam();
+  PiSS<MockGroup> enc(make_mock(), w);
+  roundtrip_battery(enc, 700 + w, 20);
+  homomorphism_battery(enc, 800 + w, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MaskedEncWidth, ::testing::Values(1, 2, 3, 5, 9, 21, 64));
+
+TEST(MaskedEncTest, ZeroWidthRejected) {
+  EXPECT_THROW(PiSS<MockGroup>(make_mock(), 0), std::invalid_argument);
+}
+
+TEST(MaskedEncTest, WrongWidthInputsRejected) {
+  PiSS<MockGroup> e3(make_mock(), 3);
+  PiSS<MockGroup> e4(make_mock(), 4);
+  Rng rng(615);
+  const auto sk3 = e3.gen(rng);
+  const auto sk4 = e4.gen(rng);
+  const auto m = make_mock().g_random(rng);
+  EXPECT_THROW((void)e4.enc(sk3, m, rng), std::invalid_argument);
+  const auto ct3 = e3.enc(sk3, m, rng);
+  EXPECT_THROW((void)e4.dec(sk4, ct3), std::invalid_argument);
+  const auto ct4 = e4.enc(sk4, m, rng);
+  EXPECT_THROW((void)e4.ct_mul(ct4, ct3), std::invalid_argument);
+}
+
+TEST(MaskedEncTest, EncWithCoinsIsDeterministic) {
+  PiSS<MockGroup> enc(make_mock(), 5);
+  Rng rng(616);
+  const auto sk = enc.gen(rng);
+  const auto m = make_mock().g_random(rng);
+  std::vector<group::MockG> coins;
+  for (int i = 0; i < 5; ++i) coins.push_back(make_mock().g_random(rng));
+  const auto c1 = enc.enc_with_coins(sk, m, coins);
+  const auto c2 = enc.enc_with_coins(sk, m, coins);
+  EXPECT_TRUE(c1 == c2);
+  EXPECT_THROW((void)enc.enc_with_coins(sk, m, {}), std::invalid_argument);
+}
+
+// The "same sigma decrypts G- and GT-ciphertexts" fact that the decryption
+// protocol's pair_ct trick relies on.
+TEST(HpskeTest, SharedSigmaAcrossSpaces) {
+  const auto gg = make_mock();
+  HpskeG<MockGroup> hg(gg, 4);
+  HpskeGT<MockGroup> ht(gg, 4);
+  Rng rng(617);
+  const auto sigma = hg.gen(rng);
+  // Same scalar vector works as a key for the GT instance.
+  typename HpskeGT<MockGroup>::SecretKey sigma_t{sigma.s};
+  const auto m = gg.gt_random(rng);
+  const auto ct = ht.enc(sigma_t, m, rng);
+  EXPECT_TRUE(gg.gt_eq(ht.dec(sigma_t, ct), m));
+}
+
+}  // namespace
+}  // namespace dlr::schemes

@@ -1,0 +1,243 @@
+// Unit tests for the fixed-width multiprecision integer layer.
+#include "mpint/uint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+
+namespace dlr::mpint {
+namespace {
+
+using U2 = UInt<2>;
+using U4 = UInt<4>;
+
+U4 rand_u4(crypto::Rng& rng, std::size_t bits = 256) {
+  Bytes b(32, 0);
+  const std::size_t nbytes = (bits + 7) / 8;
+  rng.fill(std::span<std::uint8_t>(b.data(), nbytes));
+  if (bits % 8 != 0) b[nbytes - 1] &= static_cast<std::uint8_t>(0xff >> (8 - bits % 8));
+  return U4::from_bytes(b);
+}
+
+TEST(UIntTest, ZeroAndFromU64) {
+  EXPECT_TRUE(U4::zero().is_zero());
+  EXPECT_FALSE(U4::from_u64(1).is_zero());
+  EXPECT_EQ(U4::from_u64(42).limb[0], 42u);
+  EXPECT_EQ(U4::from_u64(42).limb[1], 0u);
+}
+
+TEST(UIntTest, BitLength) {
+  EXPECT_EQ(U4::zero().bit_length(), 0u);
+  EXPECT_EQ(U4::from_u64(1).bit_length(), 1u);
+  EXPECT_EQ(U4::from_u64(0xff).bit_length(), 8u);
+  U4 v{};
+  v.limb[3] = 1;
+  EXPECT_EQ(v.bit_length(), 193u);
+}
+
+TEST(UIntTest, BitAccess) {
+  auto v = U4::from_u64(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  v.set_bit(100, true);
+  EXPECT_TRUE(v.bit(100));
+  v.set_bit(100, false);
+  EXPECT_FALSE(v.bit(100));
+  EXPECT_FALSE(v.bit(1000));  // out of range reads as 0
+}
+
+TEST(UIntTest, Comparison) {
+  const auto a = U2::from_u64(5);
+  const auto b = U2::from_u64(7);
+  U2 c{};
+  c.limb[1] = 1;  // 2^64
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, U2::from_u64(5));
+}
+
+TEST(UIntTest, AddSubRoundTrip) {
+  crypto::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = rand_u4(rng, 255);
+    const auto b = rand_u4(rng, 255);
+    const auto s = a + b;
+    EXPECT_EQ(s - b, a);
+    EXPECT_EQ(s - a, b);
+  }
+}
+
+TEST(UIntTest, AddOverflowThrows) {
+  U4 max{};
+  for (auto& l : max.limb) l = ~0ull;
+  EXPECT_THROW((void)(max + U4::from_u64(1)), std::overflow_error);
+}
+
+TEST(UIntTest, SubUnderflowThrows) {
+  EXPECT_THROW((void)(U4::from_u64(1) - U4::from_u64(2)), std::underflow_error);
+}
+
+TEST(UIntTest, MulWideSmall) {
+  const auto p = mul_wide(U2::from_u64(7), U2::from_u64(6));
+  EXPECT_EQ(p, (UInt<4>::from_u64(42)));
+}
+
+TEST(UIntTest, MulWideCrossLimb) {
+  U2 a{}, b{};
+  a.limb[0] = ~0ull;  // 2^64 - 1
+  b.limb[0] = ~0ull;
+  const auto p = mul_wide(a, b);  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(p.limb[0], 1ull);
+  EXPECT_EQ(p.limb[1], ~0ull - 1);  // 2^64 - 2
+  EXPECT_EQ(p.limb[2], 0u);
+}
+
+TEST(UIntTest, MulDivRoundTrip) {
+  crypto::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = rand_u4(rng);
+    auto b = rand_u4(rng, 128);
+    if (b.is_zero()) b = U4::from_u64(1);
+    const auto [q, r] = divmod(a, b);
+    EXPECT_LT(r, b);
+    // a == q*b + r
+    const auto qb = mul_wide(q, b);
+    auto recon = resize<8>(r);
+    recon = qb + recon;
+    EXPECT_EQ(resize<4>(recon), a) << "iteration " << i;
+  }
+}
+
+TEST(UIntTest, DivByZeroThrows) {
+  EXPECT_THROW((void)divmod(U4::from_u64(5), U4::zero()), std::domain_error);
+}
+
+TEST(UIntTest, DivSmallDivisor) {
+  const auto [q, r] = divmod(U4::from_u64(1000), U4::from_u64(7));
+  EXPECT_EQ(q, U4::from_u64(142));
+  EXPECT_EQ(r, U4::from_u64(6));
+}
+
+TEST(UIntTest, DivNumeratorSmallerThanDenominator) {
+  const auto [q, r] = divmod(U4::from_u64(5), U4::from_u64(100));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, U4::from_u64(5));
+}
+
+TEST(UIntTest, ShiftLeftRight) {
+  crypto::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = rand_u4(rng, 200);
+    const std::size_t k = rng.below(56);
+    EXPECT_EQ(shr(shl(a, k), k), a);
+  }
+  EXPECT_EQ(shl(U4::from_u64(1), 64).limb[1], 1u);
+  EXPECT_EQ(shr(shl(U4::from_u64(1), 200), 200), U4::from_u64(1));
+}
+
+TEST(UIntTest, ResizeRoundTripAndOverflow) {
+  const auto a = U2::from_u64(12345);
+  EXPECT_EQ(resize<2>(resize<4>(a)), a);
+  U4 big{};
+  big.limb[3] = 7;
+  EXPECT_THROW((void)resize<2>(big), std::overflow_error);
+}
+
+TEST(UIntTest, BytesRoundTrip) {
+  crypto::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = rand_u4(rng);
+    EXPECT_EQ(U4::from_bytes(a.to_bytes()), a);
+  }
+  EXPECT_THROW((void)U4::from_bytes(Bytes(7)), std::invalid_argument);
+}
+
+TEST(UIntTest, HexFormatting) {
+  EXPECT_EQ(U4::zero().to_hex(), "0x0");
+  EXPECT_EQ(U4::from_u64(255).to_hex(), "0xff");
+  U4 v{};
+  v.limb[1] = 0xab;
+  EXPECT_EQ(v.to_hex(), "0xab0000000000000000");
+}
+
+TEST(UIntTest, ModMatchesDivmod) {
+  crypto::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = rand_u4(rng);
+    auto m = rand_u4(rng, 100);
+    if (m.is_zero()) m = U4::from_u64(3);
+    EXPECT_EQ(mod(a, m), divmod(a, m).second);
+  }
+}
+
+TEST(UIntTest, PowmodSlowKnownValues) {
+  // 3^20 mod 1000 = 3486784401 mod 1000 = 401
+  const auto m = U2::from_u64(1000);
+  EXPECT_EQ(powmod_slow(U2::from_u64(3), U2::from_u64(20), m), U2::from_u64(401));
+  // Fermat: a^(p-1) = 1 mod p for prime p
+  const auto p = U2::from_u64(1000003);
+  EXPECT_EQ(powmod_slow(U2::from_u64(2), p - U2::from_u64(1), p), U2::from_u64(1));
+}
+
+TEST(UIntTest, MulmodSlowCommutes) {
+  crypto::Rng rng(6);
+  auto m = rand_u4(rng, 200);
+  m.set_bit(0, true);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = mod(rand_u4(rng), m);
+    const auto b = mod(rand_u4(rng), m);
+    EXPECT_EQ(mulmod_slow(a, b, m), mulmod_slow(b, a, m));
+  }
+}
+
+TEST(UIntTest, FromLimbsTooManyThrows) {
+  EXPECT_THROW((void)U2::from_limbs({1, 2, 3}), std::invalid_argument);
+}
+
+// ---- division known-answer tests, including the Knuth D6 "add back" branch ----
+
+UInt<8> parse_hex(const std::string& s) {
+  UInt<8> v{};
+  for (std::size_t i = 2; i < s.size(); ++i) {  // skip "0x"
+    const char c = s[i];
+    const std::uint64_t d = (c >= '0' && c <= '9') ? static_cast<std::uint64_t>(c - '0')
+                                                   : static_cast<std::uint64_t>(c - 'a' + 10);
+    v = shl(v, 4);
+    v.limb[0] |= d;
+  }
+  return v;
+}
+
+TEST(UIntTest, DivisionKnownAnswers) {
+  // First three rows are the classic Hacker's Delight divmnu cases that
+  // force the rare D6 add-back step; ground truth computed externally.
+  struct Case {
+    const char *a, *b, *q, *r;
+  };
+  const Case cases[] = {
+      {"0x80000000000000000000", "0x8000fffe0000", "0xfffe0007", "0x7ff5000e0000"},
+      {"0x80000000fffffffe00000000", "0x80000000ffffffff", "0xffffffff",
+       "0x7fffffffffffffff"},
+      {"0x800000000000000000000003", "0x200000000000000000000001", "0x3",
+       "0x200000000000000000000000"},
+      {"0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff",
+       "0xffffffffffffffffffffffffffffffff", "0x100000000000000000000000000000001", "0x0"},
+      {"0x8000000000000000000000000000000000000000000000000000000000000000", "0x3",
+       "0x2aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "0x2"},
+      {"0x3039", "0x100000000000000000000000000000000000000000000000007", "0x0", "0x3039"},
+      {"0xffffffffffffffffffffffffffffffffffffffffffffffff", "0x1",
+       "0xffffffffffffffffffffffffffffffffffffffffffffffff", "0x0"},
+  };
+  for (const auto& c : cases) {
+    const auto a = parse_hex(c.a);
+    const auto b = parse_hex(c.b);
+    const auto [q, r] = divmod(a, b);
+    EXPECT_EQ(q, parse_hex(c.q)) << c.a << " / " << c.b;
+    EXPECT_EQ(resize<8>(r), parse_hex(c.r)) << c.a << " % " << c.b;
+  }
+}
+
+}  // namespace
+}  // namespace dlr::mpint

@@ -1,0 +1,214 @@
+// Tests for the support layers: transcripts/channels, statistics estimators,
+// leakage-rate formulas, parameter derivation, and the counting decorator.
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hpp"
+#include "group/counting_group.hpp"
+#include "group/mock_group.hpp"
+#include "leakage/rates.hpp"
+#include "net/transcript.hpp"
+#include "schemes/params.hpp"
+
+namespace dlr {
+namespace {
+
+using crypto::Rng;
+
+// ---- net ---------------------------------------------------------------------
+
+TEST(TranscriptTest, AppendAndTotals) {
+  net::Transcript tr;
+  tr.append({net::DeviceId::P1, "a", Bytes{1, 2, 3}});
+  tr.append({net::DeviceId::P2, "b", Bytes{4}});
+  EXPECT_EQ(tr.count(), 2u);
+  EXPECT_EQ(tr.total_bytes(), 4u);
+  EXPECT_EQ(tr.messages()[1].label, "b");
+  tr.clear();
+  EXPECT_EQ(tr.count(), 0u);
+  EXPECT_EQ(tr.total_bytes(), 0u);
+}
+
+TEST(TranscriptTest, SerializeIsInjectiveOnStructure) {
+  net::Transcript t1, t2;
+  t1.append({net::DeviceId::P1, "a", Bytes{1, 2}});
+  t2.append({net::DeviceId::P1, "a", Bytes{1}});
+  t2.append({net::DeviceId::P1, "", Bytes{2}});
+  EXPECT_NE(t1.serialize(), t2.serialize());  // length-prefixing prevents splicing
+}
+
+TEST(ChannelTest, RecordsAndReturnsBody) {
+  net::Channel ch;
+  const auto& body = ch.send(net::DeviceId::P1, "msg", Bytes{9, 9});
+  EXPECT_EQ(body, (Bytes{9, 9}));
+  EXPECT_EQ(ch.transcript().count(), 1u);
+  auto tr = ch.take_transcript();
+  EXPECT_EQ(tr.count(), 1u);
+  EXPECT_EQ(ch.transcript().count(), 0u);  // channel reset after take
+}
+
+TEST(SecretSnapshotTest, AllIsLengthPrefixedConcatenation) {
+  net::SecretSnapshot s{Bytes{1, 2}, Bytes{3}, Bytes{}};
+  const Bytes all = s.all();
+  ByteReader r(all);
+  EXPECT_EQ(r.blob(), (Bytes{1, 2}));
+  EXPECT_EQ(r.blob(), (Bytes{3}));
+  EXPECT_EQ(r.blob(), Bytes{});
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(s.bits(), 8u * 3);
+}
+
+// ---- analysis/stats ---------------------------------------------------------------
+
+TEST(EmpiricalDistTest, UniformSamplesLookUniform) {
+  Rng rng(3000);
+  analysis::EmpiricalDist d;
+  for (int i = 0; i < 20000; ++i) d.add(rng.below(16));
+  EXPECT_LT(d.distance_to_uniform(16), 0.05);
+  EXPECT_LT(d.chi_square_uniform(16), analysis::chi_square_critical_99(15));
+  EXPECT_GT(d.min_entropy(), 3.7);
+  EXPECT_GT(d.shannon_entropy(), 3.95);
+  EXPECT_LE(d.shannon_entropy(), 4.0 + 1e-9);
+  EXPECT_GE(d.shannon_entropy(), d.collision_entropy() - 1e-9);
+  EXPECT_GE(d.collision_entropy(), d.min_entropy() - 1e-9);
+}
+
+TEST(EmpiricalDistTest, PointMassHasZeroEntropy) {
+  analysis::EmpiricalDist d;
+  for (int i = 0; i < 100; ++i) d.add(7);
+  EXPECT_DOUBLE_EQ(d.min_entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(d.shannon_entropy(), 0.0);
+  EXPECT_NEAR(d.distance_to_uniform(16), 1.0 - 1.0 / 16, 1e-12);
+}
+
+TEST(EmpiricalDistTest, StatisticalDistanceProperties) {
+  analysis::EmpiricalDist a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.add(i % 4);
+    b.add(i % 4);
+  }
+  EXPECT_DOUBLE_EQ(a.statistical_distance(b), 0.0);
+  analysis::EmpiricalDist c;
+  for (int i = 0; i < 100; ++i) c.add(1000 + i % 4);  // disjoint support
+  EXPECT_DOUBLE_EQ(a.statistical_distance(c), 1.0);
+  EXPECT_DOUBLE_EQ(c.statistical_distance(a), 1.0);  // symmetric
+}
+
+TEST(EmpiricalDistTest, EmptyThrows) {
+  analysis::EmpiricalDist d;
+  EXPECT_THROW((void)d.min_entropy(), std::logic_error);
+  EXPECT_THROW((void)d.distance_to_uniform(4), std::logic_error);
+}
+
+TEST(WilsonTest, BasicProperties) {
+  const auto w = analysis::wilson(50, 100);
+  EXPECT_NEAR(w.center, 0.5, 0.01);
+  EXPECT_LT(w.low, 0.5);
+  EXPECT_GT(w.high, 0.5);
+  // More trials -> tighter interval.
+  const auto w2 = analysis::wilson(500, 1000);
+  EXPECT_LT(w2.high - w2.low, w.high - w.low);
+  // Extremes stay in [0, 1].
+  EXPECT_GE(analysis::wilson(0, 10).low, 0.0);
+  EXPECT_LE(analysis::wilson(10, 10).high, 1.0);
+  EXPECT_THROW((void)analysis::wilson(1, 0), std::invalid_argument);
+}
+
+TEST(AdvantageTest, MapsWinRate) {
+  const auto a = analysis::advantage_from_wins(75, 100);
+  EXPECT_NEAR(a.advantage, 0.5, 0.05);
+  const auto b = analysis::advantage_from_wins(50, 100);
+  EXPECT_NEAR(b.advantage, 0.0, 0.05);
+  EXPECT_LT(b.low, 0.0);
+  EXPECT_GT(b.high, 0.0);
+}
+
+TEST(ChiSquareCriticalTest, KnownValues) {
+  // chi2_{0.99}(10) ~ 23.21, chi2_{0.99}(100) ~ 135.81
+  EXPECT_NEAR(analysis::chi_square_critical_99(10), 23.21, 0.7);
+  EXPECT_NEAR(analysis::chi_square_critical_99(100), 135.81, 1.5);
+  EXPECT_THROW((void)analysis::chi_square_critical_99(0), std::invalid_argument);
+}
+
+// ---- params / rates -----------------------------------------------------------------
+
+TEST(DlrParamsTest, PaperFormulas) {
+  // With log p = n: kappa = 1 + ceil((lambda+2n)/n), l = 9 + 3kappa,
+  // |sk_comm| = kappa*log p = lambda + 3n (when n | lambda).
+  const auto prm = schemes::DlrParams::derive(160, 160);
+  EXPECT_EQ(prm.kappa, 4u);
+  EXPECT_EQ(prm.ell, 21u);
+  EXPECT_EQ(prm.skcomm_bits(), prm.lambda + 3 * prm.n);
+  EXPECT_EQ(prm.b1_bits(), prm.lambda);
+  EXPECT_EQ(prm.b2_bits(), prm.sk2_bits());
+
+  const auto p2 = schemes::DlrParams::derive(160, 1600);
+  EXPECT_EQ(p2.kappa, 1u + (1600 + 320) / 160);
+  EXPECT_EQ(p2.ell, 7 + 3 * p2.kappa + 2);
+}
+
+TEST(DlrParamsTest, CeilDivisionRounding) {
+  const auto prm = schemes::DlrParams::derive(61, 100);  // non-divisible
+  EXPECT_EQ(prm.kappa, 1 + (100 + 2 * 61 + 60) / 61);
+  EXPECT_THROW((void)schemes::DlrParams::derive(1, 1), std::invalid_argument);
+}
+
+TEST(RatesTest, PaperRatesLimits) {
+  // rho1 -> 1 and rho1_ref -> 1/2 as lambda -> infinity.
+  const auto small = leakage::paper_rates(schemes::DlrParams::derive(160, 160));
+  const auto big = leakage::paper_rates(schemes::DlrParams::derive(160, 160 * 1000));
+  EXPECT_LT(small.p1, big.p1);
+  EXPECT_GT(big.p1, 0.99);
+  EXPECT_GT(big.p1_ref, 0.49);
+  EXPECT_LT(big.p1_ref, 0.51);
+  EXPECT_DOUBLE_EQ(small.p2, 1.0);
+  EXPECT_DOUBLE_EQ(small.p2_ref, 1.0);
+}
+
+TEST(RatesTest, ComparatorTableQuotesThePaper) {
+  const auto rows = leakage::comparator_table();
+  ASSERT_GE(rows.size(), 8u);
+  // The constants the paper quotes in Section 1.2.1.
+  bool found258 = false, found672 = false, found_zero = false;
+  for (const auto& r : rows) {
+    if (std::abs(r.refresh_rate - 1.0 / 258) < 1e-9) found258 = true;
+    if (std::abs(r.refresh_rate - 1.0 / 672) < 1e-9) found672 = true;
+    if (r.refresh_rate == 0.0) found_zero = true;
+  }
+  EXPECT_TRUE(found258);
+  EXPECT_TRUE(found672);
+  EXPECT_TRUE(found_zero);
+  EXPECT_EQ(rows[0].refresh_rate, 0.5);  // ours
+}
+
+// ---- counting group ---------------------------------------------------------------------
+
+TEST(CountingGroupTest, CountsAndSharesAcrossCopies) {
+  group::CountingGroup<group::MockGroup> gg(group::make_mock());
+  auto copy = gg;  // shares the counter block
+  Rng rng(3100);
+  const auto p = gg.g_random(rng);
+  const auto s = copy.sc_random(rng);
+  (void)copy.g_pow(p, s);
+  (void)gg.pair(p, p);
+  EXPECT_EQ(gg.counts().g_random, 1u);
+  EXPECT_EQ(gg.counts().sc_random, 1u);
+  EXPECT_EQ(gg.counts().g_pow, 1u);
+  EXPECT_EQ(gg.counts().pairings, 1u);
+  gg.reset_counts();
+  EXPECT_EQ(copy.counts().pairings, 0u);
+}
+
+TEST(CountingGroupTest, DiffOperator) {
+  group::CountingGroup<group::MockGroup> gg(group::make_mock());
+  Rng rng(3101);
+  const auto p = gg.g_random(rng);
+  const auto before = gg.snapshot();
+  (void)gg.g_mul(p, p);
+  (void)gg.g_mul(p, p);
+  const auto delta = gg.snapshot() - before;
+  EXPECT_EQ(delta.g_mul, 2u);
+  EXPECT_EQ(delta.g_random, 0u);
+}
+
+}  // namespace
+}  // namespace dlr

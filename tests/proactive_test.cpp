@@ -1,0 +1,164 @@
+// Tests for the proactive-ElGamal comparison scheme and the model-contrast
+// attack: drift-tracking over a public channel defeats classical proactive
+// refresh, while DLR's HPSKE-protected refresh resists the same strategy
+// (the F11 experiment's core, in unit-test form).
+#include <gtest/gtest.h>
+
+#include "group/mock_group.hpp"
+#include "schemes/dlr.hpp"
+#include "schemes/proactive_elgamal.hpp"
+
+namespace dlr::schemes {
+namespace {
+
+using crypto::Rng;
+using group::make_mock;
+using group::MockGroup;
+
+TEST(ProactiveElGamalTest, EncDecRoundTrip) {
+  const auto gg = make_mock();
+  ProactiveElGamal<MockGroup> pe(gg, ChannelMode::Private, 8000);
+  Rng rng(8001);
+  for (int i = 0; i < 20; ++i) {
+    const auto m = gg.g_random(rng);
+    net::Channel ch;
+    EXPECT_TRUE(gg.g_eq(pe.dec(pe.enc(m, rng), ch), m));
+  }
+}
+
+TEST(ProactiveElGamalTest, RefreshPreservesKeyAndChangesShares) {
+  const auto gg = make_mock();
+  ProactiveElGamal<MockGroup> pe(gg, ChannelMode::Private, 8002);
+  const auto x = pe.reconstruct_for_test();
+  const auto x1_before = pe.compromise_p1();
+  Rng rng(8003);
+  for (int t = 0; t < 5; ++t) {
+    net::Channel ch;
+    pe.refresh(ch);
+    EXPECT_EQ(pe.reconstruct_for_test(), x);
+    const auto m = gg.g_random(rng);
+    net::Channel ch2;
+    EXPECT_TRUE(gg.g_eq(pe.dec(pe.enc(m, rng), ch2), m));
+  }
+  EXPECT_NE(pe.compromise_p1(), x1_before);
+}
+
+TEST(ProactiveElGamalTest, FullCompromiseOfOneDeviceIsUseless) {
+  // The proactive model's strength: x1 alone is an independent uniform
+  // scalar, information-theoretically independent of x = x1 + x2.
+  const auto gg = make_mock();
+  Rng rng(8004);
+  // Over many fresh systems, (x1, x) are jointly "random-looking": x1 == x
+  // about 1/r of the time etc. Cheap sanity proxy: x1 never *determines* the
+  // reconstruction across systems with the same x1-seed but different x2.
+  ProactiveElGamal<MockGroup> a(gg, ChannelMode::Private, 1);
+  ProactiveElGamal<MockGroup> b(gg, ChannelMode::Private, 2);
+  EXPECT_NE(a.reconstruct_for_test(), b.reconstruct_for_test());
+}
+
+TEST(ProactiveElGamalTest, PublicChannelRefreshLeaksDelta) {
+  const auto gg = make_mock();
+  ProactiveElGamal<MockGroup> pe(gg, ChannelMode::Public, 8005);
+  const auto x1_0 = pe.compromise_p1();
+  net::Channel ch;
+  pe.refresh(ch);
+  // The adversary reads delta straight off the transcript...
+  ASSERT_EQ(ch.transcript().count(), 1u);
+  ByteReader r(ch.transcript().messages()[0].body);
+  const auto delta = gg.sc_deser(r);
+  // ...and tracks the new share exactly.
+  EXPECT_EQ(pe.compromise_p1(), gg.sc_add(x1_0, delta));
+}
+
+TEST(ProactiveElGamalTest, PrivateChannelRefreshLeaksNothing) {
+  const auto gg = make_mock();
+  ProactiveElGamal<MockGroup> pe(gg, ChannelMode::Private, 8006);
+  net::Channel ch;
+  pe.refresh(ch);
+  EXPECT_EQ(ch.transcript().messages()[0].body.size(), 1u);  // content-free notice
+}
+
+// The model contrast, end to end: an adversary that (a) leaks a few bits of
+// P1's share per period and (b) reads the public refresh traffic.
+//
+// Against public-channel proactive ElGamal, share drift is fully known, so
+// period-t bits remain valid statements about the *current* share: after
+// enough periods the adversary owns x1 -- and combined with the SAME
+// strategy against P2 (b2 = m2 in our model!) it owns x and decrypts.
+//
+// Against DLR, the refresh transcript is HPSKE ciphertexts; accumulated bits
+// go stale every period (already shown in game_test); here we check the
+// transcripts differ structurally: no DLR refresh message determines the
+// share update.
+TEST(ProactiveVsDlrTest, DriftTrackingBreaksProactiveNotDlr) {
+  const auto gg = make_mock();
+  Rng rng(8007);
+
+  // --- proactive, public channel ------------------------------------------------
+  ProactiveElGamal<MockGroup> pe(gg, ChannelMode::Public, 8008);
+  const std::size_t share_bits = 8 * gg.sc_bytes();
+  const std::size_t window = 8;  // tiny per-period leakage
+  Bytes acc(gg.sc_bytes(), 0);
+  std::uint64_t drift = 0;  // total delta since period 0 (read off the wire)
+  const std::size_t periods = (share_bits + window - 1) / window;
+  for (std::size_t t = 0; t < periods; ++t) {
+    // Leak `window` bits of the *current* x1, positions t*window...
+    const auto secret = pe.p1_secret();
+    for (std::size_t i = 0; i < window; ++i) {
+      const std::size_t pos = t * window + i;
+      if (pos >= share_bits) break;
+      // The adversary normalizes the current share back to x1^0 using the
+      // tracked drift -- possible only because delta is public.
+      // x1^t = x1^0 + drift  =>  it leaks bits of (x1^t - drift).
+      ByteReader r(secret);
+      const auto x1_t = gg.sc_deser(r);
+      const auto x1_0 = gg.sc_sub(x1_t, gg.sc_from_u64(drift % gg.order_u64()));
+      ByteWriter w;
+      gg.sc_ser(w, x1_0);
+      const auto& norm = w.bytes();
+      if ((norm[pos / 8] >> (pos % 8)) & 1)
+        acc[pos / 8] |= static_cast<std::uint8_t>(1u << (pos % 8));
+    }
+    net::Channel ch;
+    pe.refresh(ch);
+    ByteReader r(ch.transcript().messages()[0].body);
+    drift = (drift + gg.sc_deser(r)) % gg.order_u64();
+  }
+  // Reassembled x1^0 + tracked drift == current x1: full recovery.
+  ByteReader r(acc);
+  const auto x1_0_recovered = gg.sc_deser(r);
+  const auto x1_now = gg.sc_add(x1_0_recovered, gg.sc_from_u64(drift % gg.order_u64()));
+  EXPECT_EQ(x1_now, pe.compromise_p1());
+
+  // --- DLR -----------------------------------------------------------------------
+  // Its refresh transcript consists of HPSKE ciphertexts; P2's new share s'
+  // is sampled locally and never appears on the wire in any recoverable
+  // form. Structural check: the refresh reply is width kappa+1 ciphertext
+  // coordinates, and two refreshes of the same system produce unrelated
+  // transcripts (no drift to track).
+  const auto prm = DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+  auto sys = DlrSystem<MockGroup>::create(gg, prm, P1Mode::Plain, 8009);
+  net::Channel ch1, ch2;
+  sys.refresh(ch1);
+  sys.refresh(ch2);
+  EXPECT_NE(ch1.transcript().serialize(), ch2.transcript().serialize());
+  const auto s_after = sys.p2().share().s;
+  // Nothing in the transcript equals any share coordinate (the coordinates
+  // are HPSKE-masked): compare raw bytes.
+  const auto tr = ch2.transcript().serialize();
+  ByteWriter w;
+  for (const auto& s : s_after) gg.sc_ser(w, s);
+  const auto share_bytes = w.bytes();
+  // A sliding-window containment check: the serialized share does not appear
+  // in the transcript.
+  const auto& hay = tr;
+  bool found = false;
+  if (share_bytes.size() <= hay.size()) {
+    for (std::size_t off = 0; off + share_bytes.size() <= hay.size() && !found; ++off)
+      found = std::equal(share_bytes.begin(), share_bytes.end(), hay.begin() + off);
+  }
+  EXPECT_FALSE(found);
+}
+
+}  // namespace
+}  // namespace dlr::schemes

@@ -1,0 +1,140 @@
+// Long-run randomized soak: drive a DLR system, an IBE system and a leaky
+// store through hundreds of randomly interleaved operations, checking
+// correctness invariants after every step. This is the "does state ever rot"
+// test that unit tests structurally cannot catch.
+#include <gtest/gtest.h>
+
+#include "group/mock_group.hpp"
+#include "schemes/dlr_ibe.hpp"
+#include "storage/leaky_store.hpp"
+
+namespace dlr {
+namespace {
+
+using crypto::Rng;
+using group::make_mock;
+using group::MockGroup;
+using schemes::DlrParams;
+using schemes::P1Mode;
+
+DlrParams mock_params() {
+  auto gg = make_mock();
+  return DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+}
+
+TEST(SoakTest, DlrRandomOperationSequence) {
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  for (const auto mode : {P1Mode::Plain, P1Mode::Compact}) {
+    auto sys = schemes::DlrSystem<MockGroup>::create(gg, prm, mode, 8800);
+    Rng rng(8801);
+    const auto msk0 = schemes::DlrCore<MockGroup>::reconstruct_msk(
+        gg, mode == P1Mode::Plain ? sys.p1().share() : sys.p1().recover_share_for_test(),
+        sys.p2().share());
+    int refreshes = 0, decs = 0;
+    for (int step = 0; step < 300; ++step) {
+      switch (rng.below(3)) {
+        case 0: {  // encrypt + distributed decrypt
+          const auto m = gg.gt_random(rng);
+          const auto c = schemes::DlrCore<MockGroup>::enc(gg, sys.pk(), m, rng);
+          ASSERT_TRUE(gg.gt_eq(sys.decrypt(c), m)) << "step " << step;
+          ++decs;
+          break;
+        }
+        case 1:  // refresh
+          sys.refresh();
+          ++refreshes;
+          break;
+        default: {  // full period
+          const auto m = gg.gt_random(rng);
+          const auto c = schemes::DlrCore<MockGroup>::enc(gg, sys.pk(), m, rng);
+          const auto rec = sys.run_period(c);
+          ASSERT_TRUE(gg.gt_eq(rec.dec_output, m)) << "step " << step;
+          ++refreshes;
+          ++decs;
+          break;
+        }
+      }
+    }
+    EXPECT_GT(refreshes, 50);
+    EXPECT_GT(decs, 50);
+    // The invariant of the whole design: msk never changed.
+    EXPECT_TRUE(gg.g_eq(
+        schemes::DlrCore<MockGroup>::reconstruct_msk(
+            gg, mode == P1Mode::Plain ? sys.p1().share() : sys.p1().recover_share_for_test(),
+            sys.p2().share()),
+        msk0));
+  }
+}
+
+TEST(SoakTest, IbeRandomOperationSequence) {
+  const auto gg = make_mock();
+  auto sys = schemes::DlrIbeSystem<MockGroup>::create(gg, mock_params(), 16, 8900);
+  Rng rng(8901);
+  std::vector<std::string> ids;
+  for (int step = 0; step < 150; ++step) {
+    switch (rng.below(4)) {
+      case 0: {  // extract a fresh identity
+        const auto id = "user" + std::to_string(ids.size());
+        sys.extract(id);
+        ids.push_back(id);
+        break;
+      }
+      case 1: {  // encrypt/decrypt to a random known identity
+        if (ids.empty()) break;
+        const auto& id = ids[rng.below(ids.size())];
+        const auto m = gg.gt_random(rng);
+        const auto ct = sys.scheme().enc(sys.pp(), id, m, rng);
+        ASSERT_TRUE(gg.gt_eq(sys.decrypt(id, ct), m)) << "step " << step;
+        break;
+      }
+      case 2:  // refresh msk shares
+        sys.refresh_msk();
+        break;
+      default: {  // refresh or re-randomize a random identity key
+        if (ids.empty()) break;
+        const auto& id = ids[rng.below(ids.size())];
+        if (rng.coin()) {
+          sys.refresh_id(id);
+        } else {
+          sys.p1().rerandomize_id_key(id, rng);
+        }
+        break;
+      }
+    }
+  }
+  // Every identity ever extracted still decrypts.
+  for (const auto& id : ids) {
+    const auto m = gg.gt_random(rng);
+    ASSERT_TRUE(gg.gt_eq(sys.decrypt(id, sys.scheme().enc(sys.pp(), id, m, rng)), m));
+  }
+  EXPECT_GT(ids.size(), 10u);
+}
+
+TEST(SoakTest, StoreRandomOperationSequence) {
+  auto store = storage::LeakyStore<MockGroup>::create(make_mock(), mock_params(),
+                                                      P1Mode::Plain, 9000);
+  Rng rng(9001);
+  Bytes current;
+  bool stored = false;
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.below(3)) {
+      case 0:
+        current = rng.bytes(rng.below(300));
+        store.put(current);
+        stored = true;
+        break;
+      case 1:
+        store.refresh_period();
+        break;
+      default:
+        if (stored) {
+          ASSERT_EQ(store.get(), current) << "step " << step;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlr

@@ -1,0 +1,133 @@
+// Tests for the secure-storage-on-leaky-devices application (Section 4.4):
+// put/get round trips, survival across many refresh periods, the
+// re-randomization property, and integrity failure detection.
+#include <gtest/gtest.h>
+
+#include "group/mock_group.hpp"
+#include "group/tate_group.hpp"
+#include "storage/leaky_store.hpp"
+
+namespace dlr::storage {
+namespace {
+
+using crypto::Rng;
+using group::make_mock;
+using group::MockGroup;
+using schemes::DlrParams;
+using schemes::P1Mode;
+
+DlrParams mock_params() {
+  auto gg = make_mock();
+  return DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+}
+
+TEST(LeakyStoreTest, PutGetRoundTrip) {
+  auto store = LeakyStore<MockGroup>::create(make_mock(), mock_params(), P1Mode::Plain, 2400);
+  const Bytes payload{'s', 'e', 'c', 'r', 'e', 't'};
+  store.put(payload);
+  EXPECT_EQ(store.get(), payload);
+  EXPECT_EQ(store.get(), payload);  // repeatable
+}
+
+TEST(LeakyStoreTest, EmptyAndLargePayloads) {
+  auto store = LeakyStore<MockGroup>::create(make_mock(), mock_params(), P1Mode::Plain, 2401);
+  store.put({});
+  EXPECT_TRUE(store.get().empty());
+  Rng rng(2402);
+  const Bytes big = rng.bytes(100000);
+  store.put(big);
+  EXPECT_EQ(store.get(), big);
+}
+
+TEST(LeakyStoreTest, GetWithoutPutThrows) {
+  auto store = LeakyStore<MockGroup>::create(make_mock(), mock_params(), P1Mode::Plain, 2403);
+  EXPECT_THROW((void)store.get(), std::logic_error);
+}
+
+TEST(LeakyStoreTest, SurvivesManyRefreshPeriods) {
+  auto store = LeakyStore<MockGroup>::create(make_mock(), mock_params(), P1Mode::Plain, 2404);
+  const Bytes payload{'d', 'u', 'r', 'a', 'b', 'l', 'e'};
+  store.put(payload);
+  for (int t = 0; t < 25; ++t) {
+    store.refresh_period();
+    ASSERT_EQ(store.get(), payload) << "period " << t;
+  }
+}
+
+TEST(LeakyStoreTest, CompactModeWorksToo) {
+  auto store =
+      LeakyStore<MockGroup>::create(make_mock(), mock_params(), P1Mode::Compact, 2405);
+  const Bytes payload{'c'};
+  store.put(payload);
+  for (int t = 0; t < 5; ++t) {
+    store.refresh_period();
+    ASSERT_EQ(store.get(), payload);
+  }
+}
+
+TEST(LeakyStoreTest, RefreshReRandomizesEverything) {
+  const auto gg = make_mock();
+  auto store = LeakyStore<MockGroup>::create(gg, mock_params(), P1Mode::Plain, 2406);
+  store.put({'x'});
+  const auto kem0 = *store.kem_ciphertext();
+  const auto sk2_0 = store.system().p2().share();
+  store.refresh_period();
+  const auto kem1 = *store.kem_ciphertext();
+  // KEM ciphertext changed but still encrypts the same KEM key.
+  EXPECT_FALSE(gg.g_eq(kem0.a, kem1.a));
+  EXPECT_FALSE(gg.gt_eq(kem0.b, kem1.b));
+  // Key shares changed.
+  EXPECT_FALSE(store.system().p2().share().s == sk2_0.s);
+  // Payload still retrievable.
+  EXPECT_EQ(store.get(), Bytes{'x'});
+}
+
+TEST(LeakyStoreTest, TamperedBlobDetected) {
+  const auto gg = make_mock();
+  auto store = LeakyStore<MockGroup>::create(gg, mock_params(), P1Mode::Plain, 2407);
+  store.put({'t', 'a', 'g', 'g', 'e', 'd'});
+  // Corrupt the sealed blob through the public accessor path by re-putting a
+  // manually corrupted copy: simulate bit rot on device 1's public memory.
+  auto& mutable_blob = const_cast<Bytes&>(store.sealed_blob());
+  mutable_blob[9] ^= 1;
+  EXPECT_THROW((void)store.get(), std::runtime_error);
+}
+
+TEST(LeakyStoreTest, OverheadIsConstant) {
+  const auto gg = make_mock();
+  auto store = LeakyStore<MockGroup>::create(gg, mock_params(), P1Mode::Plain, 2408);
+  // Overhead independent of payload size (hybrid encryption).
+  EXPECT_EQ(store.overhead_bytes(),
+            schemes::DlrCore<MockGroup>::ciphertext_bytes(gg) + 16);
+}
+
+TEST(LeakyStoreTest, PutOverwritesPreviousPayload) {
+  auto store = LeakyStore<MockGroup>::create(make_mock(), mock_params(), P1Mode::Plain, 2410);
+  store.put({'o', 'l', 'd'});
+  store.refresh_period();
+  store.put({'n', 'e', 'w'});
+  EXPECT_EQ(store.get(), (Bytes{'n', 'e', 'w'}));
+}
+
+TEST(LeakyStoreTest, IndependentStoresDoNotInterfere) {
+  auto a = LeakyStore<MockGroup>::create(make_mock(), mock_params(), P1Mode::Plain, 2411);
+  auto b = LeakyStore<MockGroup>::create(make_mock(), mock_params(), P1Mode::Plain, 2412);
+  a.put({'a'});
+  b.put({'b'});
+  a.refresh_period();
+  EXPECT_EQ(a.get(), Bytes{'a'});
+  EXPECT_EQ(b.get(), Bytes{'b'});
+}
+
+TEST(LeakyStoreTest, TateBackend) {
+  const auto gg = group::make_tate_ss256();
+  const auto prm = DlrParams::derive(gg.scalar_bits(), 16);
+  auto store = LeakyStore<group::TateSS256>::create(gg, prm, P1Mode::Plain, 2409);
+  const Bytes payload{'p', 'q'};
+  store.put(payload);
+  store.refresh_period();
+  EXPECT_EQ(store.get(), payload);
+}
+
+}  // namespace
+}  // namespace dlr::storage
