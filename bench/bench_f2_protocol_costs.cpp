@@ -59,7 +59,7 @@ void run_one(const std::string& label, GG base, std::size_t lambda, Table& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlr;
   using namespace dlr::bench;
 
@@ -81,5 +81,6 @@ int main() {
       "(Section 1.1), so it can be a smart card. All pairing work sits on P1.\n"
       "Costs grow linearly in l*kappa = O(lambda^2/n^2), the price of tolerating\n"
       "a (1-o(1)) leakage fraction.\n");
+  export_json_if_requested(argc, argv, "bench_f2_protocol_costs");
   return 0;
 }

@@ -13,7 +13,7 @@
 #include "bench_util.hpp"
 #include "group/mock_group.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlr;
   using namespace dlr::bench;
 
@@ -102,5 +102,6 @@ int main() {
       "and its advantage CI straddles 0 at every horizon. Lifetime leakage at the\n"
       "longest horizon is far larger than |sk1| + |sk2|: leakage is bounded per\n"
       "period, unbounded over the lifetime (the continual-memory-leakage model).\n");
+  export_json_if_requested(argc, argv, "bench_f3_refresh_ablation");
   return 0;
 }

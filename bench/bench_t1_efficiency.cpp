@@ -32,7 +32,7 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("T1: encryption-efficiency comparison",
          "paper Section 1.2.1 'efficiency' + footnote 3");
 
@@ -134,5 +134,6 @@ int main() {
       "is protocol-bound (it pays pairings for leakage resilience), which is the\n"
       "auxiliary-device trade the paper describes in Section 1.1.\n",
       "hundreds of");
+  export_json_if_requested(argc, argv, "bench_t1_efficiency");
   return 0;
 }

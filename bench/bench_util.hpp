@@ -6,9 +6,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
+
+#include "telemetry/export.hpp"
 
 namespace dlr::bench {
 
@@ -53,10 +56,27 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Median-of-runs wall time in milliseconds. A compiler barrier after each
-/// run keeps the optimizer from eliding result computations whose values the
-/// timed lambda discards.
+/// DLR_BENCH_RUNS environment override for time_ms run counts (0 = unset).
+/// Lets telemetry-driven comparisons raise the sample count without touching
+/// per-call-site defaults.
+inline int env_runs_override() {
+  if (const char* e = std::getenv("DLR_BENCH_RUNS")) {
+    const int v = std::atoi(e);
+    if (v > 0) return v;
+  }
+  return 0;
+}
+
+/// Median-of-runs wall time in milliseconds, after one discarded warmup run
+/// (caches/branch predictors/lazy per-period state settle before the first
+/// sample). A compiler barrier after each run keeps the optimizer from
+/// eliding result computations whose values the timed lambda discards.
+/// DLR_BENCH_RUNS overrides `runs` when set.
 inline double time_ms(const std::function<void()>& fn, int runs = 3) {
+  if (const int env = env_runs_override()) runs = env;
+  if (runs < 1) runs = 1;
+  fn();  // warmup, discarded
+  asm volatile("" ::: "memory");
   std::vector<double> samples;
   samples.reserve(runs);
   for (int i = 0; i < runs; ++i) {
@@ -96,6 +116,28 @@ inline std::string fmt_bytes(std::size_t b) {
 inline void banner(const std::string& title, const std::string& source) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("    (reproduces: %s)\n\n", source.c_str());
+}
+
+/// Value of a `--json <path>` / `--json=<path>` flag; empty if absent.
+inline std::string json_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) return argv[i + 1];
+    if (a.rfind("--json=", 0) == 0) return a.substr(7);
+  }
+  return {};
+}
+
+/// If the user passed --json, dump the global telemetry registry + span table
+/// as JSON lines (works -- with empty content -- in a DLR_TELEMETRY=OFF
+/// build, so the flag never breaks).
+inline void export_json_if_requested(int argc, char** argv, const std::string& bench) {
+  const std::string path = json_flag(argc, argv);
+  if (path.empty()) return;
+  if (telemetry::export_global_jsonl(path, bench))
+    std::printf("\ntelemetry: wrote %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "\ntelemetry: FAILED to write %s\n", path.c_str());
 }
 
 }  // namespace dlr::bench

@@ -8,11 +8,18 @@
 //
 // Copies share the counter block, so handing a CountingGroup<GG> to a party
 // and reading the counts afterwards Just Works.
+//
+// Every operation is also published live into the global telemetry registry
+// under per-backend labels ("group.exp{backend=ss512}", ...), so a protocol
+// run leaves its group-op profile queryable/exportable without the caller
+// threading OpCounts around. Handles are resolved once per CountingGroup and
+// the increments are relaxed atomics; with DLR_TELEMETRY=OFF they vanish.
 #pragma once
 
 #include <memory>
 
 #include "group/bilinear.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dlr::group {
 
@@ -63,7 +70,18 @@ class CountingGroup {
   using GT = typename GG::GT;
 
   explicit CountingGroup(GG inner)
-      : inner_(std::move(inner)), counts_(std::make_shared<OpCounts>()) {}
+      : inner_(std::move(inner)), counts_(std::make_shared<OpCounts>()) {
+    const telemetry::Labels backend{{"backend", inner_.name()}};
+    auto& reg = telemetry::Registry::global();
+    tm_exp_ = &reg.counter("group.exp", backend);
+    tm_mul_ = &reg.counter("group.mul", backend);
+    tm_inv_ = &reg.counter("group.inv", backend);
+    tm_pairing_ = &reg.counter("group.pairing", backend);
+    tm_multi_pow_ = &reg.counter("group.multi_pow", backend);
+    tm_multi_pow_terms_ = &reg.counter("group.multi_pow_terms", backend);
+    tm_random_ = &reg.counter("group.random", backend);
+    tm_hash_ = &reg.counter("group.hash_to_g", backend);
+  }
 
   [[nodiscard]] const OpCounts& counts() const { return *counts_; }
   [[nodiscard]] OpCounts snapshot() const { return *counts_; }
@@ -73,6 +91,7 @@ class CountingGroup {
   [[nodiscard]] std::size_t scalar_bits() const { return inner_.scalar_bits(); }
   [[nodiscard]] Scalar sc_random(crypto::Rng& rng) const {
     ++counts_->sc_random;
+    tm_random_->add();
     return inner_.sc_random(rng);
   }
   [[nodiscard]] Scalar sc_from_u64(std::uint64_t v) const { return inner_.sc_from_u64(v); }
@@ -94,29 +113,36 @@ class CountingGroup {
   [[nodiscard]] G g_id() const { return inner_.g_id(); }
   [[nodiscard]] G g_random(crypto::Rng& rng) const {
     ++counts_->g_random;
+    tm_random_->add();
     return inner_.g_random(rng);
   }
   [[nodiscard]] G g_mul(const G& a, const G& b) const {
     ++counts_->g_mul;
+    tm_mul_->add();
     return inner_.g_mul(a, b);
   }
   [[nodiscard]] G g_inv(const G& a) const {
     ++counts_->g_inv;
+    tm_inv_->add();
     return inner_.g_inv(a);
   }
   [[nodiscard]] G g_pow(const G& a, const Scalar& s) const {
     ++counts_->g_pow;
+    tm_exp_->add();
     return inner_.g_pow(a, s);
   }
   [[nodiscard]] bool g_eq(const G& a, const G& b) const { return inner_.g_eq(a, b); }
   [[nodiscard]] bool g_is_id(const G& a) const { return inner_.g_is_id(a); }
   [[nodiscard]] G hash_to_g(const Bytes& d) const {
     ++counts_->hash_to_g;
+    tm_hash_->add();
     return inner_.hash_to_g(d);
   }
   [[nodiscard]] G g_multi_pow(std::span<const G> as, std::span<const Scalar> ss) const {
     ++counts_->multi_pows;
     counts_->multi_pow_terms += as.size();
+    tm_multi_pow_->add();
+    tm_multi_pow_terms_->add(as.size());
     return inner_.g_multi_pow(as, ss);
   }
 
@@ -124,18 +150,22 @@ class CountingGroup {
   [[nodiscard]] GT gt_id() const { return inner_.gt_id(); }
   [[nodiscard]] GT gt_random(crypto::Rng& rng) const {
     ++counts_->gt_random;
+    tm_random_->add();
     return inner_.gt_random(rng);
   }
   [[nodiscard]] GT gt_mul(const GT& a, const GT& b) const {
     ++counts_->gt_mul;
+    tm_mul_->add();
     return inner_.gt_mul(a, b);
   }
   [[nodiscard]] GT gt_inv(const GT& a) const {
     ++counts_->gt_inv;
+    tm_inv_->add();
     return inner_.gt_inv(a);
   }
   [[nodiscard]] GT gt_pow(const GT& a, const Scalar& s) const {
     ++counts_->gt_pow;
+    tm_exp_->add();
     return inner_.gt_pow(a, s);
   }
   [[nodiscard]] bool gt_eq(const GT& a, const GT& b) const { return inner_.gt_eq(a, b); }
@@ -143,11 +173,14 @@ class CountingGroup {
   [[nodiscard]] GT gt_multi_pow(std::span<const GT> ts, std::span<const Scalar> ss) const {
     ++counts_->multi_pows;
     counts_->multi_pow_terms += ts.size();
+    tm_multi_pow_->add();
+    tm_multi_pow_terms_->add(ts.size());
     return inner_.gt_multi_pow(ts, ss);
   }
 
   [[nodiscard]] GT pair(const G& a, const G& b) const {
     ++counts_->pairings;
+    tm_pairing_->add();
     return inner_.pair(a, b);
   }
 
@@ -166,6 +199,15 @@ class CountingGroup {
  private:
   GG inner_;
   std::shared_ptr<OpCounts> counts_;
+  // Registry handles (stable for the process lifetime; shared across copies).
+  telemetry::Counter* tm_exp_ = nullptr;
+  telemetry::Counter* tm_mul_ = nullptr;
+  telemetry::Counter* tm_inv_ = nullptr;
+  telemetry::Counter* tm_pairing_ = nullptr;
+  telemetry::Counter* tm_multi_pow_ = nullptr;
+  telemetry::Counter* tm_multi_pow_terms_ = nullptr;
+  telemetry::Counter* tm_random_ = nullptr;
+  telemetry::Counter* tm_hash_ = nullptr;
 };
 
 }  // namespace dlr::group

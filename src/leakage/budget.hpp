@@ -15,8 +15,10 @@
 #include <functional>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "crypto/bytes.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dlr::leakage {
 
@@ -33,9 +35,26 @@ LeakageOutput eval_leakage(const LeakageFn& fn, const Bytes& secret, const Bytes
                            std::size_t max_bits);
 
 /// Per-device budget tracker for the CML game.
+///
+/// A non-empty `device` label ("P1", "P2", ...) additionally publishes the
+/// tracker's state as telemetry gauges after every charge:
+///   leak.budget.<device>  -- the per-period bound b_i (constant)
+///   leak.bits.<device>    -- lifetime bits leaked so far (unbounded)
+///   leak.carry.<device>   -- bits carried into the current period
+/// Gauges describe the most recent game when several run in one process.
 class LeakageBudget {
  public:
-  explicit LeakageBudget(std::size_t bound_bits) : bound_(bound_bits) {}
+  explicit LeakageBudget(std::size_t bound_bits, const std::string& device = {})
+      : bound_(bound_bits) {
+    if (!device.empty()) {
+      auto& reg = telemetry::Registry::global();
+      g_bits_ = &reg.gauge("leak.bits." + device);
+      g_carry_ = &reg.gauge("leak.carry." + device);
+      g_budget_ = &reg.gauge("leak.budget." + device);
+      g_budget_->set(static_cast<double>(bound_));
+      publish();
+    }
+  }
 
   [[nodiscard]] std::size_t bound_bits() const { return bound_; }
   [[nodiscard]] std::size_t carried_bits() const { return carry_; }
@@ -46,6 +65,7 @@ class LeakageBudget {
     if (carry_ + normal_bits + refresh_bits > bound_) return false;
     carry_ = refresh_bits;  // the refresh leakage saw the next share too
     total_ += normal_bits + refresh_bits;
+    publish();
     return true;
   }
 
@@ -54,6 +74,7 @@ class LeakageBudget {
     if (bits > keygen_bound) return false;
     carry_ = bits;
     total_ += bits;
+    publish();
     return true;
   }
 
@@ -62,9 +83,18 @@ class LeakageBudget {
   [[nodiscard]] std::size_t lifetime_bits() const { return total_; }
 
  private:
+  void publish() {
+    if (!g_bits_) return;
+    g_bits_->set(static_cast<double>(total_));
+    g_carry_->set(static_cast<double>(carry_));
+  }
+
   std::size_t bound_;
   std::size_t carry_ = 0;
   std::size_t total_ = 0;
+  telemetry::Gauge* g_bits_ = nullptr;
+  telemetry::Gauge* g_carry_ = nullptr;
+  telemetry::Gauge* g_budget_ = nullptr;
 };
 
 /// Entropy-shrinking accounting (paper footnote 1 / Naor-Segev [32]): instead
@@ -77,7 +107,8 @@ class LeakageBudget {
 /// is identical to Definition 3.2's.
 class EntropyBudget {
  public:
-  explicit EntropyBudget(std::size_t bound_bits) : inner_(bound_bits) {}
+  explicit EntropyBudget(std::size_t bound_bits, const std::string& device = {})
+      : inner_(bound_bits, device) {}
 
   /// Charge declared entropy losses (in bits) for one period. Output length
   /// is deliberately NOT examined.

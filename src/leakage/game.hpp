@@ -128,7 +128,7 @@ class CmlGame {
     View view;
     view.pk = sys.pk();
 
-    LeakageBudget budget1(cfg_.b1), budget2(cfg_.b2);
+    LeakageBudget budget1(cfg_.b1, "P1"), budget2(cfg_.b2, "P2");
 
     // 2. Leakage on key generation (charged to both devices' carry).
     if (auto kg = adv.keygen_leakage(view)) {

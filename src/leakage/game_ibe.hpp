@@ -98,7 +98,7 @@ class IbeCmlGame {
 
     View view;
     view.pp = &sys.pp();
-    LeakageBudget budget1(cfg_.b1), budget2(cfg_.b2);
+    LeakageBudget budget1(cfg_.b1, "P1"), budget2(cfg_.b2, "P2");
 
     std::size_t t = 0;
     auto bg_rng = root.fork("background");

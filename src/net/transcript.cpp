@@ -1,5 +1,8 @@
 #include "net/transcript.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace dlr::net {
 
 void Transcript::append(Message m) {
@@ -24,6 +27,15 @@ void Transcript::clear() {
 }
 
 const Bytes& Channel::send(DeviceId from, std::string label, Bytes body) {
+  // Registry totals plus per-phase attribution on whichever protocol span is
+  // open (dlr.dec, dlr.refresh, ...). Handles resolve once per process.
+  static telemetry::Counter& c_msgs = telemetry::Registry::global().counter("net.msgs");
+  static telemetry::Counter& c_bytes = telemetry::Registry::global().counter("net.bytes");
+  c_msgs.add();
+  c_bytes.add(body.size());
+  telemetry::span_attr_add("net.msgs", 1);
+  telemetry::span_attr_add("net.bytes", static_cast<double>(body.size()));
+
   tr_.append(Message{from, std::move(label), std::move(body)});
   return tr_.messages().back().body;
 }

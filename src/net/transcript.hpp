@@ -79,10 +79,19 @@ struct SecretSnapshot {
     return w.take();
   }
 
-  [[nodiscard]] std::size_t bits() const { return 8 * (share.size() + coins.size()); }
+  /// Size of the full leakage-function input (Section 3.2): share, coins,
+  /// AND intermediate computation results -- everything in secret memory
+  /// while the phase runs. This is |all()|'s payload, the domain a leakage
+  /// function h_i^t may read.
+  [[nodiscard]] std::size_t bits() const {
+    return 8 * (share.size() + coins.size() + intermediates.size());
+  }
 
   /// Secret-memory size in bits as the paper counts it for leakage *rates*:
-  /// the essential secret content (share + secret randomness).
+  /// only the essential secret content (share + secret randomness). The rate
+  /// convention quotes leakage against m_i, the mandated storage, so
+  /// transient intermediates are deliberately excluded here even though
+  /// bits() (the leakage-function input) includes them.
   [[nodiscard]] std::size_t essential_bits() const {
     return 8 * (share.size() + coins.size());
   }

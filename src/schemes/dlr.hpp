@@ -31,6 +31,7 @@
 #include "group/fixed_pow.hpp"
 #include "net/transcript.hpp"
 #include "schemes/hpske.hpp"
+#include "telemetry/trace.hpp"
 #include "schemes/params.hpp"
 #include "schemes/pi_ss.hpp"
 
@@ -81,6 +82,7 @@ struct DlrCore {
   };
 
   static KeyGenResult gen(const GG& gg, const DlrParams& prm, crypto::Rng& rng) {
+    telemetry::ScopedSpan span("dlr.keygen");
     KeyGenResult out;
     const Scalar alpha = gg.sc_random(rng);
     const G g = gg.g_gen();
@@ -113,6 +115,7 @@ struct DlrCore {
 
   static Ciphertext enc_with_t(const GG& gg, const PublicKey& pk, const GT& m,
                                const Scalar& t) {
+    telemetry::ScopedSpan span("dlr.enc");
     return Ciphertext{gg.g_pow(pk.g, t), gg.gt_mul(m, gg.gt_pow(pk.z, t))};
   }
 
@@ -129,6 +132,7 @@ struct DlrCore {
 
   static Ciphertext enc_precomp(const GG& gg, const PkTable& tbl, const GT& m,
                                 crypto::Rng& rng) {
+    telemetry::ScopedSpan span("dlr.enc");
     const Scalar t = gg.sc_random(rng);
     return Ciphertext{gg.g_pow(tbl.pk.g, t), gg.gt_mul(m, tbl.z.pow(t))};
   }
@@ -271,6 +275,7 @@ class DlrParty1 {
   /// Round 1: send (d_1..d_l, dPhi, dB) -- HPSKE-over-GT encryptions of
   /// e(A, a_i), e(A, Phi) and B under this period's sk_comm.
   [[nodiscard]] Bytes dec_round1(const typename Core::Ciphertext& c) {
+    telemetry::ScopedSpan span("dec.round1");
     ensure_period_setup();
     ByteWriter w;
     for (const auto& fi : fs_) ht_.ser_ct(w, Core::pair_ct(gg_, c.a, fi));
@@ -282,6 +287,7 @@ class DlrParty1 {
 
   /// Round 3: decrypt P2's combined ciphertext to obtain the message.
   [[nodiscard]] GT dec_finish(const Bytes& reply) {
+    telemetry::ScopedSpan span("dec.finish");
     ByteReader r(reply);
     const CtT combined = ht_.deser_ct(r);
     if (!r.done()) throw std::invalid_argument("dec_finish: trailing bytes");
@@ -293,6 +299,7 @@ class DlrParty1 {
   /// Round 1: send ((f_i, f'_i) for i in [l], fPhi). The f_i (and fPhi) are
   /// the period's share encryptions, reused from the decryption protocol.
   [[nodiscard]] Bytes ref_round1() {
+    telemetry::ScopedSpan span("ref.round1");
     ensure_period_setup();
     // Sample the next-share randomness a'_1..a'_l and encrypt it. In compact
     // mode each a'_i is held raw only transiently (one coordinate at a time).
@@ -322,6 +329,7 @@ class DlrParty1 {
 
   /// Round 3: decrypt Phi' and install the new share; end the period.
   void ref_finish(const Bytes& reply) {
+    telemetry::ScopedSpan span("ref.finish");
     ByteReader r(reply);
     const CtG f = hg_.deser_ct(r);
     if (!r.done()) throw std::invalid_argument("ref_finish: trailing bytes");
@@ -492,6 +500,7 @@ class DlrParty2 {
   /// Decryption round 2: given (d_1..d_l, dPhi, dB), return
   /// dB * prod_i d_i^{s_i} / dPhi (coordinate-wise).
   [[nodiscard]] Bytes dec_respond(const Bytes& msg) {
+    telemetry::ScopedSpan span("dec.round2");
     ByteReader r(msg);
     std::vector<CtT> d;
     d.reserve(prm_.ell);
@@ -510,6 +519,7 @@ class DlrParty2 {
   /// Refresh round 2: given ((f_i, f'_i), fPhi), sample s', return
   /// prod_i f'_i^{s'_i} / f_i^{s_i} * fPhi, and install s' as the new share.
   [[nodiscard]] Bytes ref_respond(const Bytes& msg) {
+    telemetry::ScopedSpan span("ref.round2");
     ByteReader r(msg);
     std::vector<CtG> f, fp;
     f.reserve(prm_.ell);
@@ -599,6 +609,7 @@ class DlrSystem {
 
   /// Run the decryption protocol over a recording channel.
   [[nodiscard]] GT decrypt(const typename Core::Ciphertext& c, net::Channel& ch) {
+    telemetry::ScopedSpan span("dlr.dec");
     const auto& m1 = ch.send(net::DeviceId::P1, "dec.r1", p1_.dec_round1(c));
     const auto& m2 = ch.send(net::DeviceId::P2, "dec.r2", p2_.dec_respond(m1));
     return p1_.dec_finish(m2);
@@ -606,6 +617,7 @@ class DlrSystem {
 
   /// Run the refresh protocol over a recording channel.
   void refresh(net::Channel& ch) {
+    telemetry::ScopedSpan span("dlr.refresh");
     const auto& m1 = ch.send(net::DeviceId::P1, "ref.r1", p1_.ref_round1());
     const auto& m2 = ch.send(net::DeviceId::P2, "ref.r2", p2_.ref_respond(m1));
     p1_.ref_finish(m2);

@@ -17,6 +17,7 @@
 
 #include "crypto/ots.hpp"
 #include "schemes/dlr_ibe.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dlr::schemes {
 
@@ -44,6 +45,7 @@ class DlrCca2System {
   /// Encryption is non-interactive and uses only public values.
   static Ciphertext enc(const Ibe& scheme, const typename Ibe::Bb::PublicParams& pp,
                         const GT& m, crypto::Rng& rng) {
+    telemetry::ScopedSpan span("cca2.enc");
     auto kp = Ots::keygen(rng);
     Ciphertext out;
     out.vk = kp.vk;
@@ -62,6 +64,7 @@ class DlrCca2System {
   }
 
   [[nodiscard]] std::optional<GT> decrypt(const Ciphertext& ct, net::Channel& ch) {
+    telemetry::ScopedSpan span("cca2.dec");
     ByteWriter w;
     ibe_.scheme().bb().ser_ciphertext(w, ct.inner);
     if (!Ots::verify(ct.vk, w.bytes(), ct.sig)) return std::nullopt;

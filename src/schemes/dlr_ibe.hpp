@@ -23,6 +23,7 @@
 
 #include "net/transcript.hpp"
 #include "schemes/bb_ibe.hpp"
+#include "telemetry/trace.hpp"
 #include "schemes/dlr.hpp"
 
 namespace dlr::schemes {
@@ -79,6 +80,7 @@ class DlrIbe {
   [[nodiscard]] const Bb& bb() const { return bb_; }
 
   KeyGenResult gen(crypto::Rng& rng) const {
+    telemetry::ScopedSpan span("ibe.keygen");
     KeyGenResult out;
     auto [pp, mk] = bb_.setup(rng);
     out.pp = std::move(pp);
@@ -98,6 +100,7 @@ class DlrIbe {
   /// Encryption is plain BB encryption under the unchanged public params.
   Ciphertext enc(const typename Bb::PublicParams& pp, const std::string& id, const GT& m,
                  crypto::Rng& rng) const {
+    telemetry::ScopedSpan span("ibe.enc");
     return bb_.enc(pp, id, m, rng);
   }
 
@@ -479,6 +482,7 @@ class DlrIbeSystem {
   [[nodiscard]] const typename GG::G& msk_for_test() const { return msk_; }
 
   void extract(const std::string& id, net::Channel& ch) {
+    telemetry::ScopedSpan span("ibe.extract");
     const auto& m1 = ch.send(net::DeviceId::P1, "ext.r1", p1_.ext_round1(id));
     const auto& m2 = ch.send(net::DeviceId::P2, "ext.r2", p2_.ext_respond(id, m1));
     p1_.ext_finish(m2);
@@ -486,18 +490,21 @@ class DlrIbeSystem {
 
   [[nodiscard]] GT decrypt(const std::string& id, const typename Scheme::Ciphertext& c,
                            net::Channel& ch) {
+    telemetry::ScopedSpan span("ibe.dec");
     const auto& m1 = ch.send(net::DeviceId::P1, "dec.r1", p1_.dec_round1(id, c));
     const auto& m2 = ch.send(net::DeviceId::P2, "dec.r2", p2_.dec_respond(id, m1));
     return p1_.dec_finish(m2);
   }
 
   void refresh_msk(net::Channel& ch) {
+    telemetry::ScopedSpan span("ibe.refresh_msk");
     const auto& m1 = ch.send(net::DeviceId::P1, "refmsk.r1", p1_.ref_round1_msk());
     const auto& m2 = ch.send(net::DeviceId::P2, "refmsk.r2", p2_.ref_respond_msk(m1));
     p1_.ref_finish(m2);
   }
 
   void refresh_id(const std::string& id, net::Channel& ch) {
+    telemetry::ScopedSpan span("ibe.refresh_id");
     const auto& m1 = ch.send(net::DeviceId::P1, "refid.r1", p1_.ref_round1_id(id));
     const auto& m2 = ch.send(net::DeviceId::P2, "refid.r2", p2_.ref_respond_id(id, m1));
     p1_.ref_finish(m2);

@@ -25,6 +25,7 @@
 #include "crypto/rng.hpp"
 #include "net/transcript.hpp"
 #include "group/bilinear.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dlr::schemes {
 
@@ -51,6 +52,7 @@ class ProactiveElGamal {
   [[nodiscard]] const G& pk() const { return h_; }
 
   Ciphertext enc(const G& m, crypto::Rng& rng) const {
+    telemetry::ScopedSpan span("proactive.enc");
     const Scalar t = gg_.sc_random(rng);
     return {gg_.g_pow(gg_.g_gen(), t), gg_.g_mul(m, gg_.g_pow(h_, t))};
   }
@@ -58,6 +60,7 @@ class ProactiveElGamal {
   /// 2-party decryption over a recording channel: P1's partial decryption is
   /// public (that much matches DLR's model).
   [[nodiscard]] G dec(const Ciphertext& c, net::Channel& ch) const {
+    telemetry::ScopedSpan span("proactive.dec");
     const G partial1 = gg_.g_pow(c.u, x1_);
     ByteWriter w;
     gg_.g_ser(w, partial1);
@@ -70,6 +73,7 @@ class ProactiveElGamal {
   /// serialized onto the channel (no private channel exists in the paper's
   /// model); in Private mode it is assumed to move out of band.
   void refresh(net::Channel& ch) {
+    telemetry::ScopedSpan span("proactive.refresh");
     const Scalar delta = gg_.sc_random(rng_);
     if (mode_ == ChannelMode::Public) {
       ByteWriter w;

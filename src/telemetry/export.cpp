@@ -1,0 +1,274 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace dlr::telemetry {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Position just past `"key":` in `line`, or npos.
+std::size_t after_key(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  return pos == std::string::npos ? std::string::npos : pos + needle.size();
+}
+
+bool parse_string_at(const std::string& s, std::size_t pos, std::string& out,
+                     std::size_t* end = nullptr) {
+  if (pos >= s.size() || s[pos] != '"') return false;
+  out.clear();
+  for (std::size_t i = pos + 1; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\\' && i + 1 < s.size()) {
+      const char n = s[++i];
+      switch (n) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default: out += n; break;  // \" \\ \/ and anything else: literal
+      }
+    } else if (c == '"') {
+      if (end) *end = i + 1;
+      return true;
+    } else {
+      out += c;
+    }
+  }
+  return false;
+}
+
+bool field_str(const std::string& line, const std::string& key, std::string& out) {
+  const auto pos = after_key(line, key);
+  return pos != std::string::npos && parse_string_at(line, pos, out);
+}
+
+bool field_num(const std::string& line, const std::string& key, double& out) {
+  const auto pos = after_key(line, key);
+  if (pos == std::string::npos) return false;
+  out = std::strtod(line.c_str() + pos, nullptr);
+  return true;
+}
+
+/// Parse the flat numeric object `{"k":1,"k2":2.5}` starting at `pos`.
+void parse_attrs_at(const std::string& s, std::size_t pos,
+                    std::vector<std::pair<std::string, double>>& out) {
+  if (pos >= s.size() || s[pos] != '{') return;
+  std::size_t i = pos + 1;
+  while (i < s.size() && s[i] != '}') {
+    std::string key;
+    std::size_t after = 0;
+    if (!parse_string_at(s, i, key, &after)) break;
+    i = after;
+    if (i >= s.size() || s[i] != ':') break;
+    char* num_end = nullptr;
+    const double v = std::strtod(s.c_str() + i + 1, &num_end);
+    out.emplace_back(std::move(key), v);
+    i = static_cast<std::size_t>(num_end - s.c_str());
+    if (i < s.size() && s[i] == ',') ++i;
+  }
+}
+
+void append_attrs_json(std::string& out, const std::vector<std::pair<std::string, double>>& attrs) {
+  out += "{";
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i) out += ",";
+    out += "\"";
+    out += json_escape(attrs[i].first);
+    out += "\":";
+    out += fmt_double(attrs[i].second);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_text(const Snapshot& snap, const std::vector<Span>& spans) {
+  std::string out = "== telemetry summary ==\n";
+  std::size_t width = 0;
+  for (const auto& c : snap.counters) width = std::max(width, c.name.size());
+  for (const auto& g : snap.gauges) width = std::max(width, g.name.size());
+
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& c : snap.counters)
+      out += "  " + c.name + std::string(width - c.name.size() + 2, ' ') + fmt_u64(c.value) +
+             "\n";
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& g : snap.gauges)
+      out += "  " + g.name + std::string(width - g.name.size() + 2, ' ') +
+             fmt_double(g.value) + "\n";
+  }
+  if (!snap.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& h : snap.histograms)
+      out += "  " + h.name + "  count=" + fmt_u64(h.count) + " sum=" + fmt_double(h.sum) +
+             "\n";
+  }
+
+  if (!spans.empty()) {
+    out += "spans (completion order, indent = nesting):\n";
+    std::unordered_map<std::uint64_t, const Span*> by_id;
+    for (const auto& s : spans) by_id[s.id] = &s;
+    const std::size_t cap = 200;
+    for (std::size_t i = 0; i < spans.size() && i < cap; ++i) {
+      const Span& s = spans[i];
+      std::size_t depth = 0;
+      for (auto it = by_id.find(s.parent); it != by_id.end();
+           it = by_id.find(it->second->parent))
+        ++depth;
+      out += "  " + std::string(2 * depth, ' ') + s.label + "  " +
+             fmt_double(s.duration_ms()) + " ms";
+      for (const auto& [k, v] : s.attrs) out += "  " + k + "=" + fmt_double(v);
+      out += "\n";
+    }
+    if (spans.size() > cap)
+      out += "  ... " + fmt_u64(spans.size() - cap) + " more spans elided\n";
+  }
+  return out;
+}
+
+std::string to_jsonl(const ExportMeta& meta, const Snapshot& snap,
+                     const std::vector<Span>& spans) {
+  std::string out;
+  out += "{\"type\":\"meta\",\"run\":\"" + json_escape(meta.run) + "\",\"telemetry\":\"" +
+         (DLR_TELEMETRY_ENABLED ? "on" : "off") + "\"}\n";
+  for (const auto& c : snap.counters)
+    out += "{\"type\":\"counter\",\"name\":\"" + json_escape(c.name) +
+           "\",\"value\":" + fmt_u64(c.value) + "}\n";
+  for (const auto& g : snap.gauges)
+    out += "{\"type\":\"gauge\",\"name\":\"" + json_escape(g.name) +
+           "\",\"value\":" + fmt_double(g.value) + "}\n";
+  for (const auto& h : snap.histograms) {
+    out += "{\"type\":\"histogram\",\"name\":\"" + json_escape(h.name) +
+           "\",\"count\":" + fmt_u64(h.count) + ",\"sum\":" + fmt_double(h.sum) +
+           ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ",";
+      out += fmt_double(h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ",";
+      out += fmt_u64(h.buckets[i]);
+    }
+    out += "]}\n";
+  }
+  for (const auto& s : spans) {
+    out += "{\"type\":\"span\",\"id\":" + fmt_u64(s.id) + ",\"parent\":" + fmt_u64(s.parent) +
+           ",\"label\":\"" + json_escape(s.label) + "\",\"start_ns\":" +
+           fmt_u64(static_cast<std::uint64_t>(s.start_ns)) +
+           ",\"dur_ms\":" + fmt_double(s.duration_ms()) + ",\"attrs\":";
+    append_attrs_json(out, s.attrs);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const std::vector<Span>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (i) out += ",";
+    out += "{\"name\":\"" + json_escape(s.label) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":1" +
+           ",\"ts\":" + fmt_double(static_cast<double>(s.start_ns) / 1e3) +
+           ",\"dur\":" + fmt_double(static_cast<double>(s.end_ns - s.start_ns) / 1e3) +
+           ",\"args\":";
+    append_attrs_json(out, s.attrs);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool export_global_jsonl(const std::string& path, const std::string& run_label) {
+  const std::string body = to_jsonl(ExportMeta{run_label}, Registry::global().snapshot(),
+                                    Tracer::global().spans());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+Imported import_jsonl(const std::string& text) {
+  Imported out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+
+    std::string type;
+    if (!field_str(line, "type", type)) continue;
+    if (type == "meta") {
+      field_str(line, "run", out.run);
+    } else if (type == "counter") {
+      std::string name;
+      double v = 0;
+      if (field_str(line, "name", name) && field_num(line, "value", v))
+        out.counters[name] = static_cast<std::uint64_t>(v);
+    } else if (type == "gauge") {
+      std::string name;
+      double v = 0;
+      if (field_str(line, "name", name) && field_num(line, "value", v)) out.gauges[name] = v;
+    } else if (type == "histogram") {
+      ++out.histograms;
+    } else if (type == "span") {
+      Span s;
+      double num = 0;
+      if (field_num(line, "id", num)) s.id = static_cast<std::uint64_t>(num);
+      if (field_num(line, "parent", num)) s.parent = static_cast<std::uint64_t>(num);
+      field_str(line, "label", s.label);
+      if (field_num(line, "start_ns", num)) s.start_ns = static_cast<std::int64_t>(num);
+      if (field_num(line, "dur_ms", num))
+        s.end_ns = s.start_ns + static_cast<std::int64_t>(num * 1e6);
+      const auto apos = after_key(line, "attrs");
+      if (apos != std::string::npos) parse_attrs_at(line, apos, s.attrs);
+      out.spans.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace dlr::telemetry

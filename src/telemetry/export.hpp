@@ -1,0 +1,54 @@
+// Exporters -- pillar 3 of the telemetry layer.
+//
+// Three output formats over a (Snapshot, spans) pair:
+//   * to_text:          human-readable summary (counters/gauges/histograms +
+//                       an indented span tree), for terminal inspection;
+//   * to_jsonl:         machine-readable JSON lines, one object per metric /
+//                       span -- the diffable BENCH_*.json format the bench
+//                       binaries write via --json;
+//   * to_chrome_trace:  Chrome about:tracing / Perfetto trace_event JSON.
+//
+// import_jsonl parses to_jsonl output back (round-trip), which is what makes
+// bench output comparable across PRs by script rather than by eyeball.
+//
+// The exporters compile identically with telemetry off -- they simply see
+// empty snapshots -- so a --json flag keeps working in a no-op build.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace dlr::telemetry {
+
+/// Run-level metadata stamped into the first line of every JSONL export.
+struct ExportMeta {
+  std::string run;  // e.g. the bench binary's name
+};
+
+[[nodiscard]] std::string to_text(const Snapshot& snap, const std::vector<Span>& spans);
+[[nodiscard]] std::string to_jsonl(const ExportMeta& meta, const Snapshot& snap,
+                                   const std::vector<Span>& spans);
+[[nodiscard]] std::string to_chrome_trace(const std::vector<Span>& spans);
+
+/// Snapshot the global registry + tracer and write JSONL to `path`.
+/// Returns false on I/O failure.
+bool export_global_jsonl(const std::string& path, const std::string& run_label);
+
+/// Parsed-back view of a JSONL export.
+struct Imported {
+  std::string run;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::size_t histograms = 0;
+  std::vector<Span> spans;  // attrs included; bucket detail not re-imported
+};
+[[nodiscard]] Imported import_jsonl(const std::string& text);
+
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace dlr::telemetry

@@ -1,0 +1,132 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace dlr::telemetry {
+
+std::string render_name(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<double> default_time_bounds_ms() {
+  return {0.001, 0.01, 0.1, 1, 5, 10, 50, 100, 500, 1000, 5000};
+}
+
+#if DLR_TELEMETRY_ENABLED
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_time_bounds_ms();
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lk(mu_);
+  ++buckets_[idx];
+  sum_ += v;
+  ++count_;
+}
+
+HistogramRow Histogram::row(std::string name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return HistogramRow{std::move(name), bounds_, buckets_, sum_, count_};
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sum_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  sum_ = 0;
+  count_ = 0;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  const std::string key = render_name(name, labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  const std::string key = render_name(name, labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds,
+                               const Labels& labels) {
+  const std::string key = render_name(name, labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[key];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [k, c] : counters_) s.counters.push_back({k, c->value()});
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [k, g] : gauges_) s.gauges.push_back({k, g->value()});
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [k, h] : histograms_) s.histograms.push_back(h->row(k));
+  return s;
+}
+
+std::uint64_t Registry::counter_value(const std::string& rendered) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(rendered);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double Registry::gauge_value(const std::string& rendered) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = gauges_.find(rendered);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+std::uint64_t Registry::sum_counters(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it)
+    total += it->second->value();
+  return total;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [k, c] : counters_) c->reset();
+  for (auto& [k, g] : gauges_) g->reset();
+  for (auto& [k, h] : histograms_) h->reset();
+}
+
+#endif  // DLR_TELEMETRY_ENABLED
+
+}  // namespace dlr::telemetry

@@ -1,0 +1,218 @@
+// Metrics registry -- pillar 1 of the telemetry layer.
+//
+// Thread-safe named counters, gauges, and fixed-bucket histograms behind a
+// process-global registry, plus an RAII scoped timer. Metric handles returned
+// by the registry are stable for the life of the process; Registry::reset()
+// zeroes values in place and never invalidates a handle, so hot-path code may
+// resolve a handle once and keep incrementing through it.
+//
+// The whole layer is compile-time removable: configure with
+// -DDLR_TELEMETRY=OFF and every class below collapses to an inline no-op stub
+// with the same API, so instrumented code compiles unchanged and the hot path
+// carries zero instructions of overhead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef DLR_TELEMETRY_ENABLED
+#define DLR_TELEMETRY_ENABLED 1
+#endif
+
+namespace dlr::telemetry {
+
+/// Optional key=value qualifiers appended to a metric name, Prometheus-style:
+/// counter("group.exp", {{"backend", "ss512"}}) lives in the registry under
+/// the rendered name "group.exp{backend=ss512}".
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+[[nodiscard]] std::string render_name(const std::string& name, const Labels& labels);
+
+// Snapshot rows are plain data and exist in both build modes, so the
+// exporters compile identically with telemetry off (they see empty
+// snapshots).
+struct CounterRow {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeRow {
+  std::string name;
+  double value = 0;
+};
+struct HistogramRow {
+  std::string name;
+  std::vector<double> bounds;          // inclusive upper bounds; +inf implicit
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+  double sum = 0;
+  std::uint64_t count = 0;
+};
+struct Snapshot {
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
+/// Default histogram bounds for millisecond durations (log-ish spacing).
+[[nodiscard]] std::vector<double> default_time_bounds_ms();
+
+#if DLR_TELEMETRY_ENABLED
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bucket bounds in ascending order; an
+  /// implicit +inf bucket catches the rest. Empty = default_time_bounds_ms().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double v);
+  [[nodiscard]] HistogramRow row(std::string name = {}) const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> buckets_;
+  double sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  /// Find-or-create. Handles are stable; safe to cache across reset().
+  [[nodiscard]] Counter& counter(const std::string& name, const Labels& labels = {});
+  [[nodiscard]] Gauge& gauge(const std::string& name, const Labels& labels = {});
+  [[nodiscard]] Histogram& histogram(const std::string& name, std::vector<double> bounds = {},
+                                     const Labels& labels = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Value of an exact rendered name; 0 / 0.0 if absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& rendered) const;
+  [[nodiscard]] double gauge_value(const std::string& rendered) const;
+  /// Sum of every counter whose rendered name starts with `prefix` (so
+  /// sum_counters("group.exp") totals all backends' labeled variants).
+  [[nodiscard]] std::uint64_t sum_counters(const std::string& prefix) const;
+
+  /// Zero every metric in place. Registrations (and cached handles) survive.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII wall-clock timer: records elapsed milliseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(&h), t0_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto t1 = std::chrono::steady_clock::now();
+    h_->observe(std::chrono::duration<double, std::milli>(t1 - t0_).count());
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+#else  // !DLR_TELEMETRY_ENABLED -- no-op stubs, identical API
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  void add(double) {}
+  [[nodiscard]] double value() const { return 0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> = {}) {}
+  void observe(double) {}
+  [[nodiscard]] HistogramRow row(std::string = {}) const { return {}; }
+  [[nodiscard]] std::uint64_t count() const { return 0; }
+  [[nodiscard]] double sum() const { return 0; }
+  void reset() {}
+};
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  [[nodiscard]] Counter& counter(const std::string&, const Labels& = {}) {
+    static Counter c;
+    return c;
+  }
+  [[nodiscard]] Gauge& gauge(const std::string&, const Labels& = {}) {
+    static Gauge g;
+    return g;
+  }
+  [[nodiscard]] Histogram& histogram(const std::string&, std::vector<double> = {},
+                                     const Labels& = {}) {
+    static Histogram h;
+    return h;
+  }
+  [[nodiscard]] Snapshot snapshot() const { return {}; }
+  [[nodiscard]] std::uint64_t counter_value(const std::string&) const { return 0; }
+  [[nodiscard]] double gauge_value(const std::string&) const { return 0; }
+  [[nodiscard]] std::uint64_t sum_counters(const std::string&) const { return 0; }
+  void reset() {}
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#endif  // DLR_TELEMETRY_ENABLED
+
+}  // namespace dlr::telemetry

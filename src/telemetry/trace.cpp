@@ -1,0 +1,90 @@
+#include "telemetry/trace.hpp"
+
+#if DLR_TELEMETRY_ENABLED
+
+#include <chrono>
+
+namespace dlr::telemetry {
+
+namespace {
+
+/// Monotonic nanoseconds since the first call (process-local epoch keeps the
+/// exported numbers small and diff-friendly).
+std::int64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch).count();
+}
+
+// Per-thread stack of open spans; the back is the current span.
+thread_local std::vector<Span> t_open;
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+std::uint64_t Tracer::begin(const char* label) {
+  Span s;
+  s.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  s.parent = t_open.empty() ? 0 : t_open.back().id;
+  s.label = label;
+  s.start_ns = now_ns();
+  const std::uint64_t id = s.id;
+  t_open.push_back(std::move(s));
+  return id;
+}
+
+void Tracer::end(std::uint64_t id) {
+  while (!t_open.empty()) {
+    Span s = std::move(t_open.back());
+    t_open.pop_back();
+    s.end_ns = now_ns();
+    const bool match = s.id == id;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (finished_.size() < kMaxFinished)
+        finished_.push_back(std::move(s));
+      else
+        ++dropped_;
+    }
+    if (match) return;
+  }
+}
+
+void Tracer::attr_add(const std::string& key, double delta) {
+  if (t_open.empty()) return;
+  auto& attrs = t_open.back().attrs;
+  for (auto& [k, v] : attrs) {
+    if (k == key) {
+      v += delta;
+      return;
+    }
+  }
+  attrs.emplace_back(key, delta);
+}
+
+bool Tracer::in_span() const { return !t_open.empty(); }
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return finished_;
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+void Tracer::reset() {
+  t_open.clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  finished_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace dlr::telemetry
+
+#endif  // DLR_TELEMETRY_ENABLED

@@ -1,0 +1,131 @@
+// Span tracer -- pillar 2 of the telemetry layer.
+//
+// Nested wall-clock spans with labels ("keygen", "dec.round1", "refresh.P1",
+// ...) and per-span numeric attribute bags (bytes sent, group ops, leakage
+// bits). Spans nest via a thread-local stack: the innermost open span is the
+// "current" span, and Channel::send etc. attach attributes to it blindly --
+// attaching outside any span is a silent no-op, so library code never needs
+// to know whether a caller is tracing.
+//
+// Finished spans accumulate in a bounded global buffer (completion order)
+// from which the exporters emit a flat span table or Chrome trace_event
+// JSON. With -DDLR_TELEMETRY=OFF everything here is an inline no-op.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"  // DLR_TELEMETRY_ENABLED
+
+namespace dlr::telemetry {
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root span
+  std::string label;
+  std::int64_t start_ns = 0;  // process-local monotonic epoch
+  std::int64_t end_ns = 0;
+  std::vector<std::pair<std::string, double>> attrs;
+
+  [[nodiscard]] double duration_ms() const {
+    return static_cast<double>(end_ns - start_ns) / 1e6;
+  }
+  [[nodiscard]] double attr_or(const std::string& key, double dflt) const {
+    for (const auto& [k, v] : attrs)
+      if (k == key) return v;
+    return dflt;
+  }
+};
+
+#if DLR_TELEMETRY_ENABLED
+
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& global();
+
+  /// Open a span as a child of the current one; returns its id.
+  std::uint64_t begin(const char* label);
+  /// Close span `id`. Spans close LIFO; any inner spans still open are closed
+  /// too (defensive -- ScopedSpan makes mismatches impossible).
+  void end(std::uint64_t id);
+
+  /// Accumulate `delta` onto attribute `key` of the current span (innermost
+  /// open span of this thread). No-op outside any span.
+  void attr_add(const std::string& key, double delta);
+  [[nodiscard]] bool in_span() const;
+
+  /// Finished spans, in completion order.
+  [[nodiscard]] std::vector<Span> spans() const;
+  /// Spans discarded after the buffer hit kMaxFinished (soak-run safety).
+  [[nodiscard]] std::size_t dropped() const;
+
+  /// Drop all finished spans and this thread's open stack. Call between
+  /// measured sections, never while other threads hold open spans.
+  void reset();
+
+  static constexpr std::size_t kMaxFinished = std::size_t{1} << 18;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> finished_;
+  std::size_t dropped_ = 0;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+/// RAII span. Label must be a literal / outlive-the-call string.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* label) : id_(Tracer::global().begin(label)) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { Tracer::global().end(id_); }
+
+  void attr_add(const std::string& key, double delta) {
+    Tracer::global().attr_add(key, delta);
+  }
+
+ private:
+  std::uint64_t id_;
+};
+
+/// Attach to whatever span is currently open (no-op outside spans).
+inline void span_attr_add(const std::string& key, double delta) {
+  Tracer::global().attr_add(key, delta);
+}
+
+#else  // !DLR_TELEMETRY_ENABLED
+
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& global() {
+    static Tracer t;
+    return t;
+  }
+  std::uint64_t begin(const char*) { return 0; }
+  void end(std::uint64_t) {}
+  void attr_add(const std::string&, double) {}
+  [[nodiscard]] bool in_span() const { return false; }
+  [[nodiscard]] std::vector<Span> spans() const { return {}; }
+  [[nodiscard]] std::size_t dropped() const { return 0; }
+  void reset() {}
+  static constexpr std::size_t kMaxFinished = 0;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  void attr_add(const char*, double) {}
+  void attr_add(const std::string&, double) {}
+};
+
+inline void span_attr_add(const std::string&, double) {}
+inline void span_attr_add(const char*, double) {}
+
+#endif  // DLR_TELEMETRY_ENABLED
+
+}  // namespace dlr::telemetry

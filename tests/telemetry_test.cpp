@@ -1,0 +1,302 @@
+// Telemetry layer tests: metric primitives, registry, nested-span linkage,
+// JSONL export round-trip, and end-to-end instrumentation of a DistDec +
+// Refresh run (nonzero group-op counters, phase spans, channel byte attrs,
+// leakage gauges).
+//
+// The whole suite also builds with -DDLR_TELEMETRY=OFF; the hook-dependent
+// assertions flip to their no-op expectations (zero counters, no spans), so
+// CI can pin the disabled path.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "group/counting_group.hpp"
+#include "group/mock_group.hpp"
+#include "leakage/budget.hpp"
+#include "net/transcript.hpp"
+#include "schemes/dlr.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace dlr {
+namespace {
+
+using telemetry::Registry;
+using telemetry::Tracer;
+
+void reset_telemetry() {
+  Registry::global().reset();
+  Tracer::global().reset();
+}
+
+// ---- metric primitives --------------------------------------------------------
+
+TEST(TelemetryMetricsTest, CounterAddAndValue) {
+  telemetry::Counter c;
+  c.add();
+  c.add(41);
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_EQ(c.value(), 42u);
+#endif
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TelemetryMetricsTest, CounterIsThreadSafe) {
+  telemetry::Counter c;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  for (auto& t : ts) t.join();
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_EQ(c.value(), 40000u);
+#else
+  EXPECT_EQ(c.value(), 0u);
+#endif
+}
+
+TEST(TelemetryMetricsTest, GaugeSetAndAdd) {
+  telemetry::Gauge g;
+  g.set(10.5);
+  g.add(-0.5);
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+#else
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+#endif
+}
+
+TEST(TelemetryMetricsTest, HistogramBucketsAndMoments) {
+  telemetry::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);   // bucket 0: <= 1
+  h.observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.observe(5.0);   // bucket 1
+  h.observe(999.0); // overflow bucket
+#if DLR_TELEMETRY_ENABLED
+  const auto row = h.row("t");
+  ASSERT_EQ(row.buckets.size(), 4u);
+  EXPECT_EQ(row.buckets[0], 2u);
+  EXPECT_EQ(row.buckets[1], 1u);
+  EXPECT_EQ(row.buckets[2], 0u);
+  EXPECT_EQ(row.buckets[3], 1u);
+  EXPECT_EQ(row.count, 4u);
+  EXPECT_DOUBLE_EQ(row.sum, 1005.5);
+#else
+  EXPECT_EQ(h.count(), 0u);
+#endif
+}
+
+TEST(TelemetryMetricsTest, RegistryFindOrCreateAndLabels) {
+  reset_telemetry();
+  auto& reg = Registry::global();
+  auto& a = reg.counter("test.reg", {{"k", "v1"}});
+  auto& b = reg.counter("test.reg", {{"k", "v2"}});
+  a.add(3);
+  b.add(4);
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_NE(&a, &b);  // distinct label sets are distinct metrics
+  EXPECT_EQ(&a, &reg.counter("test.reg", {{"k", "v1"}}));
+  EXPECT_EQ(reg.counter_value("test.reg{k=v1}"), 3u);
+  EXPECT_EQ(reg.counter_value("test.reg{k=v2}"), 4u);
+  EXPECT_EQ(reg.sum_counters("test.reg"), 7u);
+#else
+  EXPECT_EQ(reg.sum_counters("test.reg"), 0u);
+#endif
+}
+
+TEST(TelemetryMetricsTest, ResetZeroesButKeepsHandles) {
+  reset_telemetry();
+  auto& c = Registry::global().counter("test.reset");
+  c.add(9);
+  Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_EQ(Registry::global().counter_value("test.reset"), 2u);
+#endif
+}
+
+TEST(TelemetryMetricsTest, ScopedTimerObservesIntoHistogram) {
+  telemetry::Histogram h;
+  { telemetry::ScopedTimer t(h); }
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+#else
+  EXPECT_EQ(h.count(), 0u);
+#endif
+}
+
+// ---- tracer -------------------------------------------------------------------
+
+TEST(TelemetryTraceTest, NestedSpansLinkToParents) {
+  reset_telemetry();
+  {
+    telemetry::ScopedSpan outer("outer");
+    outer.attr_add("x", 1);
+    {
+      telemetry::ScopedSpan inner("inner");
+      telemetry::span_attr_add("y", 2);
+      telemetry::span_attr_add("y", 3);  // accumulates on the same key
+    }
+  }
+  const auto spans = Tracer::global().spans();
+#if DLR_TELEMETRY_ENABLED
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner finishes first.
+  EXPECT_EQ(spans[0].label, "inner");
+  EXPECT_EQ(spans[1].label, "outer");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_DOUBLE_EQ(spans[0].attr_or("y", 0), 5.0);
+  EXPECT_DOUBLE_EQ(spans[1].attr_or("x", 0), 1.0);
+  EXPECT_GE(spans[1].duration_ms(), spans[0].duration_ms());
+#else
+  EXPECT_TRUE(spans.empty());
+#endif
+}
+
+TEST(TelemetryTraceTest, AttrOutsideSpanIsNoop) {
+  reset_telemetry();
+  telemetry::span_attr_add("ignored", 1);  // must not crash
+  EXPECT_FALSE(Tracer::global().in_span());
+  EXPECT_TRUE(Tracer::global().spans().empty());
+}
+
+// ---- export / import round-trip ----------------------------------------------
+
+TEST(TelemetryExportTest, JsonlRoundTrip) {
+  reset_telemetry();
+  auto& reg = Registry::global();
+  reg.counter("rt.count", {{"backend", "mock"}}).add(123);
+  reg.gauge("rt.gauge").set(2.5);
+  reg.histogram("rt.hist", {1.0, 2.0}).observe(1.5);
+  {
+    telemetry::ScopedSpan s("rt.span \"quoted\"");
+    telemetry::span_attr_add("net.bytes", 77);
+  }
+
+  const std::string jsonl = telemetry::to_jsonl(telemetry::ExportMeta{"unit"},
+                                                reg.snapshot(), Tracer::global().spans());
+  const auto back = telemetry::import_jsonl(jsonl);
+  EXPECT_EQ(back.run, "unit");
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_EQ(back.counters.at("rt.count{backend=mock}"), 123u);
+  EXPECT_DOUBLE_EQ(back.gauges.at("rt.gauge"), 2.5);
+  EXPECT_EQ(back.histograms, 1u);
+  ASSERT_EQ(back.spans.size(), 1u);
+  EXPECT_EQ(back.spans[0].label, "rt.span \"quoted\"");
+  EXPECT_DOUBLE_EQ(back.spans[0].attr_or("net.bytes", 0), 77.0);
+#else
+  EXPECT_TRUE(back.counters.empty());
+  EXPECT_TRUE(back.spans.empty());
+#endif
+}
+
+TEST(TelemetryExportTest, TextAndChromeFormatsAreWellFormed) {
+  reset_telemetry();
+  Registry::global().counter("fmt.c").add(1);
+  { telemetry::ScopedSpan s("fmt.span"); }
+  const auto snap = Registry::global().snapshot();
+  const auto spans = Tracer::global().spans();
+  const std::string text = telemetry::to_text(snap, spans);
+  EXPECT_NE(text.find("telemetry summary"), std::string::npos);
+  const std::string chrome = telemetry::to_chrome_trace(spans);
+  EXPECT_EQ(chrome.front(), '{');
+  EXPECT_EQ(chrome.back(), '}');
+  EXPECT_NE(chrome.find("traceEvents"), std::string::npos);
+}
+
+// ---- end-to-end: an instrumented DistDec + Refresh run -------------------------
+
+TEST(TelemetryEndToEndTest, DistDecAndRefreshProduceCountersSpansAndGauges) {
+  reset_telemetry();
+  using CG = group::CountingGroup<group::MockGroup>;
+  CG gg(group::make_mock());
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+  auto sys = schemes::DlrSystem<CG>::create(gg, prm, schemes::P1Mode::Plain, 1234);
+
+  crypto::Rng rng(7);
+  const auto m = gg.gt_random(rng);
+  const auto c = schemes::DlrCore<CG>::enc(gg, sys.pk(), m, rng);
+
+  net::Channel ch;
+  EXPECT_TRUE(gg.gt_eq(sys.decrypt(c, ch), m));
+  sys.refresh(ch);
+
+  // Leakage budget gauges, charged as the CML challenger would.
+  leakage::LeakageBudget b1(512, "P1");
+  ASSERT_TRUE(b1.charge_period(100, 50));
+
+  auto& reg = Registry::global();
+  const auto spans = Tracer::global().spans();
+#if DLR_TELEMETRY_ENABLED
+  // Per-backend group-op counters are live in the registry.
+  EXPECT_GT(reg.sum_counters("group.exp"), 0u);
+  EXPECT_GT(reg.sum_counters("group.mul"), 0u);
+  EXPECT_GT(reg.sum_counters("group.pairing"), 0u);
+  const std::string backend = gg.inner().name();
+  EXPECT_GT(reg.counter_value("group.exp{backend=" + backend + "}"), 0u);
+  // OpCounts and the registry agree on the shared-everything totals.
+  EXPECT_EQ(reg.counter_value("group.pairing{backend=" + backend + "}"),
+            gg.counts().pairings);
+
+  // Channel byte accounting: registry totals match the recorded transcript.
+  EXPECT_EQ(reg.counter_value("net.msgs"), ch.transcript().count());
+  EXPECT_EQ(reg.counter_value("net.bytes"), ch.transcript().total_bytes());
+
+  // Phase spans exist, nest correctly, and carry the channel bytes.
+  auto find = [&](const std::string& label) -> const telemetry::Span* {
+    for (const auto& s : spans)
+      if (s.label == label) return &s;
+    return nullptr;
+  };
+  const auto* dec = find("dlr.dec");
+  const auto* r1 = find("dec.round1");
+  const auto* ref = find("dlr.refresh");
+  ASSERT_NE(dec, nullptr);
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(ref, nullptr);
+  ASSERT_NE(find("dec.round2"), nullptr);
+  ASSERT_NE(find("ref.round1"), nullptr);
+  ASSERT_NE(find("ref.round2"), nullptr);
+  EXPECT_EQ(r1->parent, dec->id);
+  EXPECT_GE(dec->duration_ms(), 0.0);
+  EXPECT_GT(dec->attr_or("net.bytes", 0), 0.0);
+  EXPECT_GT(ref->attr_or("net.bytes", 0), 0.0);
+  EXPECT_DOUBLE_EQ(dec->attr_or("net.bytes", 0) + ref->attr_or("net.bytes", 0),
+                   static_cast<double>(ch.transcript().total_bytes()));
+
+  // Leakage gauges.
+  EXPECT_DOUBLE_EQ(reg.gauge_value("leak.budget.P1"), 512.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("leak.bits.P1"), 150.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("leak.carry.P1"), 50.0);
+
+  // And the whole run exports as JSONL in one piece.
+  const auto back = telemetry::import_jsonl(telemetry::to_jsonl(
+      telemetry::ExportMeta{"e2e"}, reg.snapshot(), spans));
+  EXPECT_EQ(back.counters.at("net.bytes"), ch.transcript().total_bytes());
+  EXPECT_FALSE(back.spans.empty());
+#else
+  // Disabled build: hooks are no-ops, the protocol still works (asserted
+  // above), and nothing accumulates anywhere.
+  EXPECT_EQ(reg.sum_counters("group.exp"), 0u);
+  EXPECT_EQ(reg.counter_value("net.bytes"), 0u);
+  EXPECT_TRUE(spans.empty());
+  EXPECT_DOUBLE_EQ(reg.gauge_value("leak.bits.P1"), 0.0);
+#endif
+}
+
+// ---- SecretSnapshot bit conventions (satellite of this PR) ---------------------
+
+TEST(TelemetrySnapshotConventionTest, BitsIncludesIntermediatesEssentialDoesNot) {
+  net::SecretSnapshot s{Bytes{1, 2}, Bytes{3}, Bytes{4, 5, 6}};
+  EXPECT_EQ(s.bits(), 8u * 6);            // full leakage-function input
+  EXPECT_EQ(s.essential_bits(), 8u * 3);  // rate denominator: share + coins
+}
+
+}  // namespace
+}  // namespace dlr
