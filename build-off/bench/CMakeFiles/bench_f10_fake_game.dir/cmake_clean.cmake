@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_fake_game.dir/bench_f10_fake_game.cpp.o"
+  "CMakeFiles/bench_f10_fake_game.dir/bench_f10_fake_game.cpp.o.d"
+  "bench_f10_fake_game"
+  "bench_f10_fake_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_fake_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_proactive.dir/bench_f11_proactive.cpp.o"
+  "CMakeFiles/bench_f11_proactive.dir/bench_f11_proactive.cpp.o.d"
+  "bench_f11_proactive"
+  "bench_f11_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_rate_vs_lambda.dir/bench_f1_rate_vs_lambda.cpp.o"
+  "CMakeFiles/bench_f1_rate_vs_lambda.dir/bench_f1_rate_vs_lambda.cpp.o.d"
+  "bench_f1_rate_vs_lambda"
+  "bench_f1_rate_vs_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_rate_vs_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f1_rate_vs_lambda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_protocol_costs.dir/bench_f2_protocol_costs.cpp.o"
+  "CMakeFiles/bench_f2_protocol_costs.dir/bench_f2_protocol_costs.cpp.o.d"
+  "bench_f2_protocol_costs"
+  "bench_f2_protocol_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_protocol_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

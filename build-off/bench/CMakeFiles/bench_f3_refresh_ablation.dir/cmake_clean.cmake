@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_refresh_ablation.dir/bench_f3_refresh_ablation.cpp.o"
+  "CMakeFiles/bench_f3_refresh_ablation.dir/bench_f3_refresh_ablation.cpp.o.d"
+  "bench_f3_refresh_ablation"
+  "bench_f3_refresh_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_refresh_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

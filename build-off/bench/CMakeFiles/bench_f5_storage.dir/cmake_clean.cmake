@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_storage.dir/bench_f5_storage.cpp.o"
+  "CMakeFiles/bench_f5_storage.dir/bench_f5_storage.cpp.o.d"
+  "bench_f5_storage"
+  "bench_f5_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_micro.dir/bench_f6_micro.cpp.o"
+  "CMakeFiles/bench_f6_micro.dir/bench_f6_micro.cpp.o.d"
+  "bench_f6_micro"
+  "bench_f6_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_ibe.dir/bench_f7_ibe.cpp.o"
+  "CMakeFiles/bench_f7_ibe.dir/bench_f7_ibe.cpp.o.d"
+  "bench_f7_ibe"
+  "bench_f7_ibe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_ibe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

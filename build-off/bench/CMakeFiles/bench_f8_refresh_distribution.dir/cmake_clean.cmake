@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_refresh_distribution.dir/bench_f8_refresh_distribution.cpp.o"
+  "CMakeFiles/bench_f8_refresh_distribution.dir/bench_f8_refresh_distribution.cpp.o.d"
+  "bench_f8_refresh_distribution"
+  "bench_f8_refresh_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_refresh_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

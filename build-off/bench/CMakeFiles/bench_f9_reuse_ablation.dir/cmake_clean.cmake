@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_reuse_ablation.dir/bench_f9_reuse_ablation.cpp.o"
+  "CMakeFiles/bench_f9_reuse_ablation.dir/bench_f9_reuse_ablation.cpp.o.d"
+  "bench_f9_reuse_ablation"
+  "bench_f9_reuse_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_reuse_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

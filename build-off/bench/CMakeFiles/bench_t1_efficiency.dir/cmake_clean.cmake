@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_efficiency.dir/bench_t1_efficiency.cpp.o"
+  "CMakeFiles/bench_t1_efficiency.dir/bench_t1_efficiency.cpp.o.d"
+  "bench_t1_efficiency"
+  "bench_t1_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_leakage_rates.dir/bench_t2_leakage_rates.cpp.o"
+  "CMakeFiles/bench_t2_leakage_rates.dir/bench_t2_leakage_rates.cpp.o.d"
+  "bench_t2_leakage_rates"
+  "bench_t2_leakage_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_leakage_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auxiliary_device.dir/auxiliary_device.cpp.o"
+  "CMakeFiles/auxiliary_device.dir/auxiliary_device.cpp.o.d"
+  "auxiliary_device"
+  "auxiliary_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auxiliary_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

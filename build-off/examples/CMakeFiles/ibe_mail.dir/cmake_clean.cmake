@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibe_mail.dir/ibe_mail.cpp.o"
+  "CMakeFiles/ibe_mail.dir/ibe_mail.cpp.o.d"
+  "ibe_mail"
+  "ibe_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibe_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

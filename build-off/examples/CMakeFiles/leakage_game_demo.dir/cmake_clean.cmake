@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_game_demo.dir/leakage_game_demo.cpp.o"
+  "CMakeFiles/leakage_game_demo.dir/leakage_game_demo.cpp.o.d"
+  "leakage_game_demo"
+  "leakage_game_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_game_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

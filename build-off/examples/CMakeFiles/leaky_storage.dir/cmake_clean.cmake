@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaky_storage.dir/leaky_storage.cpp.o"
+  "CMakeFiles/leaky_storage.dir/leaky_storage.cpp.o.d"
+  "leaky_storage"
+  "leaky_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaky_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

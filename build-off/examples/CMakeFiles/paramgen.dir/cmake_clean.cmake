@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paramgen.dir/paramgen.cpp.o"
+  "CMakeFiles/paramgen.dir/paramgen.cpp.o.d"
+  "paramgen"
+  "paramgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paramgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

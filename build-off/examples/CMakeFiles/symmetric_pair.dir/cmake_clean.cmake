@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_pair.dir/symmetric_pair.cpp.o"
+  "CMakeFiles/symmetric_pair.dir/symmetric_pair.cpp.o.d"
+  "symmetric_pair"
+  "symmetric_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

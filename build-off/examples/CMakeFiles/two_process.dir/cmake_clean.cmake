@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_process.dir/two_process.cpp.o"
+  "CMakeFiles/two_process.dir/two_process.cpp.o.d"
+  "two_process"
+  "two_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-off/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-off/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;dlr_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_auxiliary_device "/root/repo/build-off/examples/auxiliary_device")
+set_tests_properties(example_auxiliary_device PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;dlr_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_leaky_storage "/root/repo/build-off/examples/leaky_storage")
+set_tests_properties(example_leaky_storage PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;dlr_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ibe_mail "/root/repo/build-off/examples/ibe_mail")
+set_tests_properties(example_ibe_mail PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;dlr_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_leakage_game_demo "/root/repo/build-off/examples/leakage_game_demo")
+set_tests_properties(example_leakage_game_demo PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;dlr_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_paramgen "/root/repo/build-off/examples/paramgen")
+set_tests_properties(example_paramgen PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;dlr_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_symmetric_pair "/root/repo/build-off/examples/symmetric_pair")
+set_tests_properties(example_symmetric_pair PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;15;dlr_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_two_process "/root/repo/build-off/examples/two_process")
+set_tests_properties(example_two_process PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;16;dlr_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/stats.cpp" "src/CMakeFiles/dlrlib.dir/analysis/stats.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/analysis/stats.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/CMakeFiles/dlrlib.dir/crypto/chacha20.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/crypto/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/ots.cpp" "src/CMakeFiles/dlrlib.dir/crypto/ots.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/crypto/ots.cpp.o.d"
+  "/root/repo/src/crypto/rng.cpp" "src/CMakeFiles/dlrlib.dir/crypto/rng.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/crypto/rng.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/dlrlib.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/group/mock_group.cpp" "src/CMakeFiles/dlrlib.dir/group/mock_group.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/group/mock_group.cpp.o.d"
+  "/root/repo/src/group/tate_group.cpp" "src/CMakeFiles/dlrlib.dir/group/tate_group.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/group/tate_group.cpp.o.d"
+  "/root/repo/src/leakage/budget.cpp" "src/CMakeFiles/dlrlib.dir/leakage/budget.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/leakage/budget.cpp.o.d"
+  "/root/repo/src/leakage/rates.cpp" "src/CMakeFiles/dlrlib.dir/leakage/rates.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/leakage/rates.cpp.o.d"
+  "/root/repo/src/net/transcript.cpp" "src/CMakeFiles/dlrlib.dir/net/transcript.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/net/transcript.cpp.o.d"
+  "/root/repo/src/telemetry/export.cpp" "src/CMakeFiles/dlrlib.dir/telemetry/export.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/telemetry/export.cpp.o.d"
+  "/root/repo/src/telemetry/metrics.cpp" "src/CMakeFiles/dlrlib.dir/telemetry/metrics.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/telemetry/metrics.cpp.o.d"
+  "/root/repo/src/telemetry/trace.cpp" "src/CMakeFiles/dlrlib.dir/telemetry/trace.cpp.o" "gcc" "src/CMakeFiles/dlrlib.dir/telemetry/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrlib.dir/analysis/stats.cpp.o"
+  "CMakeFiles/dlrlib.dir/analysis/stats.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/crypto/chacha20.cpp.o"
+  "CMakeFiles/dlrlib.dir/crypto/chacha20.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/crypto/ots.cpp.o"
+  "CMakeFiles/dlrlib.dir/crypto/ots.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/crypto/rng.cpp.o"
+  "CMakeFiles/dlrlib.dir/crypto/rng.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/dlrlib.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/group/mock_group.cpp.o"
+  "CMakeFiles/dlrlib.dir/group/mock_group.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/group/tate_group.cpp.o"
+  "CMakeFiles/dlrlib.dir/group/tate_group.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/leakage/budget.cpp.o"
+  "CMakeFiles/dlrlib.dir/leakage/budget.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/leakage/rates.cpp.o"
+  "CMakeFiles/dlrlib.dir/leakage/rates.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/net/transcript.cpp.o"
+  "CMakeFiles/dlrlib.dir/net/transcript.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/telemetry/export.cpp.o"
+  "CMakeFiles/dlrlib.dir/telemetry/export.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/telemetry/metrics.cpp.o"
+  "CMakeFiles/dlrlib.dir/telemetry/metrics.cpp.o.d"
+  "CMakeFiles/dlrlib.dir/telemetry/trace.cpp.o"
+  "CMakeFiles/dlrlib.dir/telemetry/trace.cpp.o.d"
+  "libdlrlib.a"
+  "libdlrlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

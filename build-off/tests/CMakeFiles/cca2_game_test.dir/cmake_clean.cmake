@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca2_game_test.dir/cca2_game_test.cpp.o"
+  "CMakeFiles/cca2_game_test.dir/cca2_game_test.cpp.o.d"
+  "cca2_game_test"
+  "cca2_game_test.pdb"
+  "cca2_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca2_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

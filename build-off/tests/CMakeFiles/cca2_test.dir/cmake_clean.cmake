@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca2_test.dir/cca2_test.cpp.o"
+  "CMakeFiles/cca2_test.dir/cca2_test.cpp.o.d"
+  "cca2_test"
+  "cca2_test.pdb"
+  "cca2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

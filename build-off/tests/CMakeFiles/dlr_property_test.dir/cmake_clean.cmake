@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlr_property_test.dir/dlr_property_test.cpp.o"
+  "CMakeFiles/dlr_property_test.dir/dlr_property_test.cpp.o.d"
+  "dlr_property_test"
+  "dlr_property_test.pdb"
+  "dlr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fake_game_test.dir/fake_game_test.cpp.o"
+  "CMakeFiles/fake_game_test.dir/fake_game_test.cpp.o.d"
+  "fake_game_test"
+  "fake_game_test.pdb"
+  "fake_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fake_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

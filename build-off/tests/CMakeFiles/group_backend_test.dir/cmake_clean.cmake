@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_backend_test.dir/group_backend_test.cpp.o"
+  "CMakeFiles/group_backend_test.dir/group_backend_test.cpp.o.d"
+  "group_backend_test"
+  "group_backend_test.pdb"
+  "group_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

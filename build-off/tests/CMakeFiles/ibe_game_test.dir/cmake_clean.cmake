@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibe_game_test.dir/ibe_game_test.cpp.o"
+  "CMakeFiles/ibe_game_test.dir/ibe_game_test.cpp.o.d"
+  "ibe_game_test"
+  "ibe_game_test.pdb"
+  "ibe_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibe_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

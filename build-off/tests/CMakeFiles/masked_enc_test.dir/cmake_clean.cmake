@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masked_enc_test.dir/masked_enc_test.cpp.o"
+  "CMakeFiles/masked_enc_test.dir/masked_enc_test.cpp.o.d"
+  "masked_enc_test"
+  "masked_enc_test.pdb"
+  "masked_enc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masked_enc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

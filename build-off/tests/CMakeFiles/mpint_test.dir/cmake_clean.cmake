@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpint_test.dir/mpint_test.cpp.o"
+  "CMakeFiles/mpint_test.dir/mpint_test.cpp.o.d"
+  "mpint_test"
+  "mpint_test.pdb"
+  "mpint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

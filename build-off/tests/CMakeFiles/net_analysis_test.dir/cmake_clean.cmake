@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_analysis_test.dir/net_analysis_test.cpp.o"
+  "CMakeFiles/net_analysis_test.dir/net_analysis_test.cpp.o.d"
+  "net_analysis_test"
+  "net_analysis_test.pdb"
+  "net_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_fuzz_test.dir/sweep_fuzz_test.cpp.o"
+  "CMakeFiles/sweep_fuzz_test.dir/sweep_fuzz_test.cpp.o.d"
+  "sweep_fuzz_test"
+  "sweep_fuzz_test.pdb"
+  "sweep_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

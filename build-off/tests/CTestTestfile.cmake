@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-off/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-off/tests/mpint_test[1]_include.cmake")
+include("/root/repo/build-off/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build-off/tests/field_test[1]_include.cmake")
+include("/root/repo/build-off/tests/pairing_test[1]_include.cmake")
+include("/root/repo/build-off/tests/group_backend_test[1]_include.cmake")
+include("/root/repo/build-off/tests/masked_enc_test[1]_include.cmake")
+include("/root/repo/build-off/tests/dlr_test[1]_include.cmake")
+include("/root/repo/build-off/tests/game_test[1]_include.cmake")
+include("/root/repo/build-off/tests/ibe_test[1]_include.cmake")
+include("/root/repo/build-off/tests/cca2_test[1]_include.cmake")
+include("/root/repo/build-off/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-off/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-off/tests/cca2_game_test[1]_include.cmake")
+include("/root/repo/build-off/tests/net_analysis_test[1]_include.cmake")
+include("/root/repo/build-off/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build-off/tests/dlr_property_test[1]_include.cmake")
+include("/root/repo/build-off/tests/sweep_fuzz_test[1]_include.cmake")
+include("/root/repo/build-off/tests/fake_game_test[1]_include.cmake")
+include("/root/repo/build-off/tests/ibe_game_test[1]_include.cmake")
+include("/root/repo/build-off/tests/perf_paths_test[1]_include.cmake")
+include("/root/repo/build-off/tests/proactive_test[1]_include.cmake")
+include("/root/repo/build-off/tests/soak_test[1]_include.cmake")
