@@ -1,0 +1,131 @@
+// T3: decryption-service throughput -- requests/sec of the multi-threaded
+// P2Server (src/service/) over real loopback TCP, swept across worker-pool
+// sizes and concurrent-client counts.
+//
+// The backend is the mock group with a large leakage parameter, so each
+// DistDec round 2 is ~ell HPSKE ciphertext exponentiations: enough work per
+// request for the worker pool to matter, cheap enough to sweep in seconds.
+// Every request is a real network round trip (frame codec + CRC + session
+// mux), so the numbers include the full transport stack, not just the crypto.
+//
+// On a single-core host the worker sweep measures coordination overhead
+// rather than speedup -- rows report, they do not assert; bench gauges
+// bench.rps{workers=..,clients=..} land in the --json export.
+//
+//   bench_t3_service_throughput [--requests N] [--lambda L] [--json out.jsonl]
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "group/mock_group.hpp"
+#include "service/client.hpp"
+#include "service/p2_server.hpp"
+
+namespace {
+
+using namespace dlr;
+using group::MockGroup;
+using Core = schemes::DlrCore<MockGroup>;
+
+struct Config {
+  int requests = 200;     // total per sweep point, split across clients
+  std::size_t lambda = 2048;
+};
+
+int int_flag(int argc, char** argv, const char* name, int def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  return def;
+}
+
+struct Fixture {
+  MockGroup gg = group::make_mock();
+  schemes::DlrParams prm;
+  Core::KeyGenResult kg;
+  std::shared_ptr<service::P1Runtime<MockGroup>> p1;
+
+  explicit Fixture(std::size_t lambda) {
+    prm = schemes::DlrParams::derive(gg.scalar_bits(), lambda);
+    crypto::Rng rng(424242);
+    kg = Core::gen(gg, prm, rng);
+    p1 = std::make_shared<service::P1Runtime<MockGroup>>(
+        gg, prm, kg.pk, kg.sk1, schemes::P1Mode::Plain, crypto::Rng(1));
+  }
+};
+
+/// One sweep point: W workers, C clients, `requests` total decryptions.
+/// Returns requests/sec of the whole run (wall clock, all clients).
+double run_point(Fixture& fx, int workers, int clients, int requests) {
+  typename service::P2Server<MockGroup>::Options sopt;
+  sopt.workers = workers;
+  service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2, crypto::Rng(2), sopt);
+  server.start();
+
+  // Pre-encrypt outside the timed region; every client thread gets its own
+  // connection (DecryptionClient) and its own slice of the work.
+  const int per_client = (requests + clients - 1) / clients;
+  crypto::Rng rng(5000 + workers * 100 + clients);
+  std::vector<typename Core::Ciphertext> cts;
+  cts.reserve(per_client);
+  for (int i = 0; i < per_client; ++i)
+    cts.push_back(Core::enc(fx.gg, fx.kg.pk, fx.gg.gt_random(rng), rng));
+
+  std::vector<std::unique_ptr<service::DecryptionClient<MockGroup>>> conns;
+  conns.reserve(clients);
+  for (int c = 0; c < clients; ++c)
+    conns.push_back(std::make_unique<service::DecryptionClient<MockGroup>>(
+        fx.p1, server.port()));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  ts.reserve(clients);
+  for (int c = 0; c < clients; ++c)
+    ts.emplace_back([&, c] {
+      for (const auto& ct : cts) bench::sink(conns[static_cast<std::size_t>(c)]->decrypt(ct));
+    });
+  for (auto& t : ts) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  for (auto& c : conns) c->close();
+  server.stop();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double total = static_cast<double>(per_client) * clients;
+  return total / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.requests = int_flag(argc, argv, "--requests", cfg.requests);
+  cfg.lambda = static_cast<std::size_t>(
+      int_flag(argc, argv, "--lambda", static_cast<int>(cfg.lambda)));
+
+  Fixture fx(cfg.lambda);
+  bench::banner("T3: decryption-service throughput (req/s over loopback TCP)",
+                "service deployment of Construction 5.3, §1.1/§4.4");
+  std::printf("backend=mock  lambda=%zu  kappa=%zu  ell=%zu  requests/point=%d  hw_threads=%u\n\n",
+              cfg.lambda, fx.prm.kappa, fx.prm.ell, cfg.requests,
+              std::thread::hardware_concurrency());
+
+  auto& reg = telemetry::Registry::global();
+  bench::Table table({"workers", "clients", "req/s", "ms/req (offered)"});
+  auto point = [&](int workers, int clients) {
+    const double rps = run_point(fx, workers, clients, cfg.requests);
+    reg.gauge("bench.rps", {{"workers", std::to_string(workers)},
+                            {"clients", std::to_string(clients)}})
+        .set(rps);
+    table.row({std::to_string(workers), std::to_string(clients), bench::fmt(rps, 1),
+               bench::fmt(1000.0 / rps * clients, 3)});
+  };
+
+  // Sweep 1: worker scaling at a fixed client fan-in.
+  for (const int w : {1, 2, 4, 8}) point(w, 8);
+  // Sweep 2: client fan-in at a fixed pool.
+  for (const int c : {2, 4, 16}) point(4, c);
+
+  table.print();
+  bench::export_json_if_requested(argc, argv, "bench_t3_service_throughput");
+  return 0;
+}

@@ -1,56 +1,51 @@
 // Actually-distributed execution: P1 and P2 live in two separate OS
 // processes connected only by a socketpair -- there is no shared address
 // space that could accidentally hold both shares, which is the physical
-// premise of the whole paper. The parent runs P1 (and plays the encryptor);
-// the child runs P2. Message framing is a 4-byte length prefix.
-#include <sys/socket.h>
+// premise of the whole paper.
+//
+// The wire is the src/transport/ stack: CRC-checked length-prefixed frames
+// (hard cap transport::kMaxFrameBytes -- a corrupt or hostile length prefix
+// is a typed TransportError, never an unchecked allocation, never abort()),
+// session-multiplexed over the socketpair, surfaced to the protocol code as
+// a net::Channel (transport::MuxChannel), so the party objects run exactly
+// the code the in-process driver runs.
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
-#include <cstring>
+#include <memory>
 
 #include "group/tate_group.hpp"
 #include "schemes/dlr.hpp"
+#include "transport/channel.hpp"
 
 namespace {
 
 using namespace dlr;
 using GG = group::TateSS256;
 
-void send_msg(int fd, const Bytes& b) {
-  const std::uint32_t n = static_cast<std::uint32_t>(b.size());
-  std::uint8_t hdr[4] = {static_cast<std::uint8_t>(n), static_cast<std::uint8_t>(n >> 8),
-                         static_cast<std::uint8_t>(n >> 16),
-                         static_cast<std::uint8_t>(n >> 24)};
-  if (write(fd, hdr, 4) != 4) std::abort();
-  std::size_t off = 0;
-  while (off < b.size()) {
-    const auto k = write(fd, b.data() + off, b.size() - off);
-    if (k <= 0) std::abort();
-    off += static_cast<std::size_t>(k);
-  }
-}
+constexpr std::uint32_t kProtocolSession = 1;
+constexpr int kPeriods = 3;
 
-Bytes recv_msg(int fd) {
-  std::uint8_t hdr[4];
-  std::size_t got = 0;
-  while (got < 4) {
-    const auto k = read(fd, hdr + got, 4 - got);
-    if (k <= 0) std::abort();
-    got += static_cast<std::size_t>(k);
+int run_p2(transport::Socket sock, schemes::DlrParty2<GG> p2) {
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      std::move(sock), transport::TransportOptions{}));
+  const auto session = mux.open_with_id(kProtocolSession);
+  transport::MuxChannel ch(*session, net::DeviceId::P2);
+  try {
+    for (int period = 0; period < kPeriods; ++period) {
+      const Bytes& dec1 = ch.recv();
+      ch.send(net::DeviceId::P2, "dec.r2", p2.dec_respond(dec1));
+      const Bytes& ref1 = ch.recv();
+      ch.send(net::DeviceId::P2, "ref.r2", p2.ref_respond(ref1));
+    }
+  } catch (const transport::TransportError& e) {
+    std::fprintf(stderr, "P2: transport error [%s]: %s\n",
+                 transport::errc_name(e.code()), e.what());
+    return 1;
   }
-  const std::uint32_t n = static_cast<std::uint32_t>(hdr[0]) | (hdr[1] << 8) |
-                          (hdr[2] << 16) | (static_cast<std::uint32_t>(hdr[3]) << 24);
-  Bytes b(n);
-  std::size_t off = 0;
-  while (off < n) {
-    const auto k = read(fd, b.data() + off, n - off);
-    if (k <= 0) std::abort();
-    off += static_cast<std::size_t>(k);
-  }
-  return b;
+  return 0;
 }
 
 }  // namespace
@@ -64,11 +59,7 @@ int main() {
   crypto::Rng gen_rng(20120716);
   auto kg = schemes::DlrCore<GG>::gen(gg, prm, gen_rng);
 
-  int sv[2];
-  if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-    std::perror("socketpair");
-    return 1;
-  }
+  auto [parent_sock, child_sock] = transport::Socket::pair();
 
   const pid_t pid = fork();
   if (pid < 0) {
@@ -78,37 +69,44 @@ int main() {
 
   if (pid == 0) {
     // ---- child: device P2 (e.g. the smart card) ------------------------------
-    close(sv[0]);
+    parent_sock.close();
     schemes::DlrParty2<GG> p2(gg, prm, std::move(kg.sk2), crypto::Rng(2));
-    for (int period = 0; period < 3; ++period) {
-      const Bytes dec1 = recv_msg(sv[1]);
-      send_msg(sv[1], p2.dec_respond(dec1));
-      const Bytes ref1 = recv_msg(sv[1]);
-      send_msg(sv[1], p2.ref_respond(ref1));
-    }
-    close(sv[1]);
-    _exit(0);
+    _exit(run_p2(std::move(child_sock), std::move(p2)));
   }
 
   // ---- parent: device P1 (the main processor) + the encrypting user ---------
-  close(sv[1]);
+  child_sock.close();
   schemes::DlrParty1<GG> p1(gg, prm, kg.pk, std::move(kg.sk1), schemes::P1Mode::Plain,
                             crypto::Rng(1));
   crypto::Rng rng = crypto::Rng::from_os_entropy();
   bool all_ok = true;
-  for (int period = 0; period < 3; ++period) {
-    const auto m = gg.gt_random(rng);
-    const auto c = schemes::DlrCore<GG>::enc(gg, kg.pk, m, rng);
-    send_msg(sv[0], p1.dec_round1(c));
-    const auto out = p1.dec_finish(recv_msg(sv[0]));
-    const bool ok = gg.gt_eq(out, m);
-    all_ok = all_ok && ok;
-    std::printf("period %d: cross-process decryption %s\n", period, ok ? "CORRECT" : "WRONG");
-    send_msg(sv[0], p1.ref_round1());
-    p1.ref_finish(recv_msg(sv[0]));
-    std::printf("period %d: cross-process refresh done\n", period);
+  {
+    transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+        std::move(parent_sock), transport::TransportOptions{}));
+    const auto session = mux.open_with_id(kProtocolSession);
+    transport::MuxChannel ch(*session, net::DeviceId::P1);
+    try {
+      for (int period = 0; period < kPeriods; ++period) {
+        const auto m = gg.gt_random(rng);
+        const auto c = schemes::DlrCore<GG>::enc(gg, kg.pk, m, rng);
+        ch.send(net::DeviceId::P1, "dec.r1", p1.dec_round1(c));
+        const auto out = p1.dec_finish(ch.recv());
+        const bool ok = gg.gt_eq(out, m);
+        all_ok = all_ok && ok;
+        std::printf("period %d: cross-process decryption %s\n", period,
+                    ok ? "CORRECT" : "WRONG");
+        ch.send(net::DeviceId::P1, "ref.r1", p1.ref_round1());
+        p1.ref_finish(ch.recv());
+        std::printf("period %d: cross-process refresh done\n", period);
+      }
+    } catch (const transport::TransportError& e) {
+      std::fprintf(stderr, "P1: transport error [%s]: %s\n",
+                   transport::errc_name(e.code()), e.what());
+      all_ok = false;
+    }
+    std::printf("public transcript: %zu messages, %zu bytes over the wire\n",
+                ch.transcript().count(), ch.transcript().total_bytes());
   }
-  close(sv[0]);
   int status = 0;
   waitpid(pid, &status, 0);
   std::printf("child exited %s; shares never shared an address space.\n",

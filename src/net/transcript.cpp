@@ -27,6 +27,10 @@ void Transcript::clear() {
 }
 
 const Bytes& Channel::send(DeviceId from, std::string label, Bytes body) {
+  return record(from, std::move(label), std::move(body));
+}
+
+const Bytes& Channel::record(DeviceId from, std::string label, Bytes body) {
   // Registry totals plus per-phase attribution on whichever protocol span is
   // open (dlr.dec, dlr.refresh, ...). Handles resolve once per process.
   static telemetry::Counter& c_msgs = telemetry::Registry::global().counter("net.msgs");

@@ -50,14 +50,27 @@ class Transcript {
 };
 
 /// A synchronous 2-party channel that records every message.
+///
+/// `send` is virtual: subclasses (e.g. transport::MuxChannel) forward the
+/// message over a real wire in addition to recording it, so protocol code
+/// written against Channel& runs unchanged whether the peer shares the
+/// process or sits across a socket. The transcript-recording contract is
+/// identical either way -- the channel is public in the model regardless of
+/// its physical realization.
 class Channel {
  public:
+  virtual ~Channel() = default;
+
   /// Deliver a message, recording it in the transcript; returns the body for
   /// the peer to consume.
-  const Bytes& send(DeviceId from, std::string label, Bytes body);
+  virtual const Bytes& send(DeviceId from, std::string label, Bytes body);
 
   [[nodiscard]] const Transcript& transcript() const { return tr_; }
   [[nodiscard]] Transcript take_transcript();
+
+ protected:
+  /// Record a message in the transcript + telemetry (the base `send`).
+  const Bytes& record(DeviceId from, std::string label, Bytes body);
 
  private:
   Transcript tr_;

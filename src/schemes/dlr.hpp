@@ -275,23 +275,49 @@ class DlrParty1 {
   /// Round 1: send (d_1..d_l, dPhi, dB) -- HPSKE-over-GT encryptions of
   /// e(A, a_i), e(A, Phi) and B under this period's sk_comm.
   [[nodiscard]] Bytes dec_round1(const typename Core::Ciphertext& c) {
-    telemetry::ScopedSpan span("dec.round1");
     ensure_period_setup();
+    return dec_round1(c, rng_);
+  }
+
+  /// Concurrent-read variant for the service runtime: requires the period to
+  /// be set up already (prepare_period(), or any mutating protocol call) and
+  /// takes the caller's rng, so it is const -- many decryption sessions may
+  /// run it under a shared lock while refresh holds the exclusive one.
+  [[nodiscard]] Bytes dec_round1(const typename Core::Ciphertext& c, crypto::Rng& rng) const {
+    telemetry::ScopedSpan span("dec.round1");
+    if (!fphi_) throw std::logic_error("dec_round1: period not prepared");
     ByteWriter w;
     for (const auto& fi : fs_) ht_.ser_ct(w, Core::pair_ct(gg_, c.a, fi));
     ht_.ser_ct(w, Core::pair_ct(gg_, c.a, *fphi_));
-    const CtT db = ht_.enc(sigma_gt(), c.b, rng_);
+    const CtT db = ht_.enc(sigma_gt(), c.b, rng);
     ht_.ser_ct(w, db);
     return w.take();
   }
 
   /// Round 3: decrypt P2's combined ciphertext to obtain the message.
-  [[nodiscard]] GT dec_finish(const Bytes& reply) {
+  [[nodiscard]] GT dec_finish(const Bytes& reply) { return dec_finish_with(sigma_gt(), reply); }
+
+  /// Finish with an explicitly captured period key (period_sigma_gt() taken
+  /// at round-1 time). Lets an in-flight decryption complete correctly even
+  /// if a refresh rotated the period state during the network round trip.
+  [[nodiscard]] GT dec_finish_with(const typename HpskeGT<GG>::SecretKey& sigma,
+                                   const Bytes& reply) const {
     telemetry::ScopedSpan span("dec.finish");
     ByteReader r(reply);
     const CtT combined = ht_.deser_ct(r);
     if (!r.done()) throw std::invalid_argument("dec_finish: trailing bytes");
-    return ht_.dec(sigma_gt(), combined);
+    return ht_.dec(sigma, combined);
+  }
+
+  /// Force this period's sk_comm + share encryptions into existence (the
+  /// mutating half of dec_round1, split out so the service layer can do all
+  /// mutation under an exclusive lock and all round-1 work under shared).
+  void prepare_period() { ensure_period_setup(); }
+
+  /// Copy of this period's sk_comm viewed over GT, for dec_finish_with.
+  [[nodiscard]] typename HpskeGT<GG>::SecretKey period_sigma_gt() const {
+    if (!sigma_) throw std::logic_error("period_sigma_gt: period not prepared");
+    return sigma_gt();
   }
 
   // ---- refresh protocol, P1 side -----------------------------------------------
@@ -498,8 +524,10 @@ class DlrParty2 {
   [[nodiscard]] const typename Core::Sk2& share() const { return sk2_; }
 
   /// Decryption round 2: given (d_1..d_l, dPhi, dB), return
-  /// dB * prod_i d_i^{s_i} / dPhi (coordinate-wise).
-  [[nodiscard]] Bytes dec_respond(const Bytes& msg) {
+  /// dB * prod_i d_i^{s_i} / dPhi (coordinate-wise). Const -- reads only the
+  /// current share, so the service runtime executes many of these
+  /// concurrently under a shared lock (refresh takes the exclusive one).
+  [[nodiscard]] Bytes dec_respond(const Bytes& msg) const {
     telemetry::ScopedSpan span("dec.round2");
     ByteReader r(msg);
     std::vector<CtT> d;

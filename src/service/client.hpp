@@ -1,0 +1,211 @@
+// Client side of the DLR decryption service: the main processor P1 serving
+// many local user threads, speaking to the remote auxiliary device P2Server.
+//
+// P1Runtime holds the singular P1 share behind a shared_mutex. Decryption
+// round-1 construction runs under the shared lock (dec_round1 is const given
+// a prepared period and a caller rng); the refresh protocol runs under the
+// exclusive lock and bumps the local epoch when it completes. A decryption's
+// period key (sigma) is captured at round-1 time, so an in-flight request
+// finishes correctly even when a refresh rotates the period during the
+// network round trip -- the server's epoch coordinator is what rejects the
+// requests that actually raced the share rotation.
+//
+// DecryptionClient is one connection's view: it multiplexes every request
+// (one mux session each) over a single FramedConn, auto-refreshes every K
+// decryptions when configured, and decrypt() retries retryable service
+// errors (StaleEpoch/Draining) after waiting for the local epoch to catch
+// up. Several DecryptionClients may share one P1Runtime to fan out over
+// multiple connections.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <shared_mutex>
+
+#include "crypto/rng.hpp"
+#include "schemes/dlr.hpp"
+#include "service/protocol.hpp"
+#include "telemetry/trace.hpp"
+#include "transport/mux.hpp"
+
+namespace dlr::service {
+
+template <group::BilinearGroup GG>
+class P1Runtime {
+ public:
+  using Core = schemes::DlrCore<GG>;
+  using GT = typename GG::GT;
+
+  struct DecSnapshot {
+    std::uint64_t epoch = 0;
+    Bytes round1;
+    typename schemes::HpskeGT<GG>::SecretKey sigma;  // period key for finish
+  };
+
+  P1Runtime(GG gg, schemes::DlrParams prm, typename Core::PublicKey pk,
+            typename Core::Sk1 sk1, schemes::P1Mode mode, crypto::Rng rng)
+      : p1_(std::move(gg), prm, std::move(pk), std::move(sk1), mode, std::move(rng)) {
+    p1_.prepare_period();
+  }
+
+  /// Build round 1 + capture (epoch, period key) consistently under the
+  /// shared lock. `rng` is the calling thread's own generator.
+  [[nodiscard]] DecSnapshot begin_decrypt(const typename Core::Ciphertext& c,
+                                          crypto::Rng& rng) {
+    std::shared_lock lock(mu_);
+    DecSnapshot snap;
+    snap.round1 = p1_.dec_round1(c, rng);
+    snap.sigma = p1_.period_sigma_gt();
+    std::lock_guard elock(epoch_mu_);
+    snap.epoch = epoch_;
+    return snap;
+  }
+
+  /// Decrypt the server's reply with the snapshot's period key. Touches only
+  /// immutable P1 members, so no lock is needed.
+  [[nodiscard]] GT finish_decrypt(const DecSnapshot& snap, const Bytes& reply) const {
+    return p1_.dec_finish_with(snap.sigma, reply);
+  }
+
+  /// Run the refresh protocol under the exclusive lock. `round_trip` is
+  /// called with (current epoch, ref round 1) and must return ref round 2
+  /// (ServiceError/TransportError propagate; P1 state is then unchanged and
+  /// no epoch bump happens). On success the period is re-prepared and the
+  /// local epoch advances, waking decrypt() retries.
+  template <class RoundTrip>
+  void refresh(RoundTrip&& round_trip) {
+    std::unique_lock lock(mu_);
+    std::uint64_t e;
+    {
+      std::lock_guard elock(epoch_mu_);
+      e = epoch_;
+    }
+    const Bytes r1 = p1_.ref_round1();
+    const Bytes r2 = round_trip(e, r1);
+    p1_.ref_finish(r2);
+    p1_.prepare_period();
+    {
+      std::lock_guard elock(epoch_mu_);
+      ++epoch_;
+    }
+    epoch_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const {
+    std::lock_guard lock(epoch_mu_);
+    return epoch_;
+  }
+
+  /// Wait (bounded) for the epoch to move past `seen` -- used by decrypt()
+  /// retries so they re-issue only after the in-progress refresh lands.
+  void wait_epoch_change(std::uint64_t seen, transport::Millis timeout) {
+    std::unique_lock lock(epoch_mu_);
+    epoch_cv_.wait_for(lock, timeout, [&] { return epoch_ != seen; });
+  }
+
+  /// Current share (tests: msk-constancy checks). Takes the exclusive lock.
+  [[nodiscard]] typename Core::Sk1 share_for_test() {
+    std::unique_lock lock(mu_);
+    return p1_.recover_share_for_test();
+  }
+
+ private:
+  schemes::DlrParty1<GG> p1_;
+  std::shared_mutex mu_;             // guards p1_ mutation vs. round-1 reads
+  mutable std::mutex epoch_mu_;      // guards epoch_ (cv companion)
+  std::condition_variable epoch_cv_;
+  std::uint64_t epoch_ = 0;
+};
+
+template <group::BilinearGroup GG>
+class DecryptionClient {
+ public:
+  using Core = schemes::DlrCore<GG>;
+  using GT = typename GG::GT;
+
+  struct Options {
+    transport::TransportOptions transport{};
+    transport::Millis request_timeout{10000};
+    int max_retries = 8;        // retryable-error retries per decrypt()
+    int auto_refresh_every = 0;  // run Refresh every K decryptions (0 = never)
+  };
+
+  DecryptionClient(std::shared_ptr<P1Runtime<GG>> p1, std::uint16_t port, Options opt = {})
+      : p1_(std::move(p1)),
+        opt_(opt),
+        mux_(std::make_shared<transport::FramedConn>(
+            transport::connect_loopback(port, opt.transport), opt.transport)) {}
+
+  [[nodiscard]] P1Runtime<GG>& p1() { return *p1_; }
+  [[nodiscard]] std::uint64_t epoch() const { return p1_->epoch(); }
+
+  /// One DistDec round trip; throws ServiceError (retryable() for
+  /// StaleEpoch/Draining) and TransportError.
+  [[nodiscard]] GT decrypt_once(const typename Core::Ciphertext& c) {
+    telemetry::ScopedSpan span("svc.client.dec");
+    thread_local crypto::Rng rng = crypto::Rng::from_os_entropy();
+    const auto snap = p1_->begin_decrypt(c, rng);
+    auto sess = mux_.open();
+    sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
+               kLabelDecReq, encode_request(snap.epoch, snap.round1));
+    const Bytes r2 = expect_ok(sess->recv(opt_.request_timeout), kLabelDecOk);
+    return p1_->finish_decrypt(snap, r2);
+  }
+
+  /// DistDec with the auto-refresh policy and retry of retryable errors.
+  [[nodiscard]] GT decrypt(const typename Core::Ciphertext& c) {
+    maybe_auto_refresh();
+    for (int attempt = 0;; ++attempt) {
+      const std::uint64_t seen = p1_->epoch();
+      try {
+        return decrypt_once(c);
+      } catch (const ServiceError& e) {
+        if (!e.retryable() || attempt >= opt_.max_retries) throw;
+        telemetry::Registry::global().counter("svc.client.retries").add();
+        // The epoch bump lands when the (local) refresher finishes; bounded
+        // wait covers the Draining race where our epoch is already current.
+        p1_->wait_epoch_change(seen, transport::Millis{50});
+      }
+    }
+  }
+
+  /// Run the Refresh protocol over this connection, advancing the epoch.
+  void refresh() {
+    telemetry::ScopedSpan span("svc.client.refresh");
+    p1_->refresh([&](std::uint64_t epoch, const Bytes& r1) {
+      auto sess = mux_.open();
+      sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
+                 kLabelRefReq, encode_request(epoch, r1));
+      return expect_ok(sess->recv(opt_.request_timeout), kLabelRefOk);
+    });
+  }
+
+  void close() { mux_.stop(); }
+
+ private:
+  void maybe_auto_refresh() {
+    if (opt_.auto_refresh_every <= 0) return;
+    const auto n = dec_count_.fetch_add(1) + 1;
+    if (n % static_cast<std::uint64_t>(opt_.auto_refresh_every) != 0) return;
+    // One refresher at a time per client; losers skip (their decrypts would
+    // only pile onto the drain).
+    bool expected = false;
+    if (!refreshing_.compare_exchange_strong(expected, true)) return;
+    try {
+      refresh();
+    } catch (...) {
+      refreshing_.store(false);
+      throw;
+    }
+    refreshing_.store(false);
+  }
+
+  std::shared_ptr<P1Runtime<GG>> p1_;
+  Options opt_;
+  transport::SessionMux mux_;
+  std::atomic<std::uint64_t> dec_count_{0};
+  std::atomic<bool> refreshing_{false};
+};
+
+}  // namespace dlr::service

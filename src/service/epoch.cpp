@@ -1,0 +1,88 @@
+#include "service/epoch.hpp"
+
+#include "telemetry/metrics.hpp"
+
+namespace dlr::service {
+
+namespace {
+telemetry::Gauge& epoch_gauge() {
+  static telemetry::Gauge& g = telemetry::Registry::global().gauge("svc.epoch");
+  return g;
+}
+telemetry::Gauge& inflight_gauge() {
+  static telemetry::Gauge& g = telemetry::Registry::global().gauge("svc.inflight");
+  return g;
+}
+telemetry::Counter& stale_counter() {
+  static telemetry::Counter& c = telemetry::Registry::global().counter("svc.stale");
+  return c;
+}
+}  // namespace
+
+EpochCoordinator::EpochCoordinator(std::uint64_t initial_epoch) : epoch_(initial_epoch) {
+  std::lock_guard lock(mu_);
+  publish_locked();
+}
+
+EpochCoordinator::Admit EpochCoordinator::begin_decrypt(std::uint64_t request_epoch) {
+  std::lock_guard lock(mu_);
+  if (draining_) {
+    stale_counter().add();
+    return Admit::Draining;
+  }
+  if (request_epoch != epoch_) {
+    stale_counter().add();
+    return Admit::Stale;
+  }
+  ++inflight_;
+  publish_locked();
+  return Admit::Accepted;
+}
+
+void EpochCoordinator::end_decrypt() {
+  {
+    std::lock_guard lock(mu_);
+    --inflight_;
+    publish_locked();
+  }
+  cv_.notify_all();
+}
+
+EpochCoordinator::Admit EpochCoordinator::begin_refresh(std::uint64_t request_epoch) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return !draining_; });  // one refresh at a time
+  if (request_epoch != epoch_) {
+    stale_counter().add();
+    return Admit::Stale;
+  }
+  draining_ = true;
+  cv_.wait(lock, [&] { return inflight_ == 0; });
+  return Admit::Accepted;
+}
+
+void EpochCoordinator::finish_refresh(bool success) {
+  {
+    std::lock_guard lock(mu_);
+    if (success) ++epoch_;
+    draining_ = false;
+    publish_locked();
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t EpochCoordinator::epoch() const {
+  std::lock_guard lock(mu_);
+  return epoch_;
+}
+
+std::uint64_t EpochCoordinator::inflight() const {
+  std::lock_guard lock(mu_);
+  return inflight_;
+}
+
+void EpochCoordinator::publish_locked() {
+  epoch_gauge().set(static_cast<double>(epoch_));
+  inflight_gauge().set(static_cast<double>(inflight_));
+}
+
+}  // namespace dlr::service

@@ -1,0 +1,61 @@
+// Epoch-coordinated refresh: the server-side admission state machine.
+//
+// The key shares move through numbered epochs; every refresh bumps the epoch
+// by one. Decryption requests carry the client's epoch and are admitted only
+// when it matches and no refresh is pending:
+//
+//        Serving ----begin_refresh----> Draining ----inflight==0----> Refreshing
+//           ^                            (new decs rejected Draining)     |
+//           |                                                             |
+//           +------------- finish_refresh (epoch += 1 on success) --------+
+//
+// Guarantees: a refresh never overlaps an in-flight decryption (drain), two
+// refreshes never overlap (begin_refresh serializes), and a decryption
+// admitted for epoch e always runs against the epoch-e share. Rejections
+// (StaleEpoch / Draining) are retryable by construction -- the client's own
+// refresh completion advances its epoch and it re-issues.
+//
+// Gauges svc.epoch and svc.inflight track the machine; svc.stale counts
+// rejections.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dlr::service {
+
+class EpochCoordinator {
+ public:
+  enum class Admit { Accepted, Stale, Draining };
+
+  explicit EpochCoordinator(std::uint64_t initial_epoch = 0);
+
+  /// Admission for a decryption request claiming `request_epoch`. Accepted
+  /// increments the in-flight count; the caller MUST pair it with
+  /// end_decrypt().
+  [[nodiscard]] Admit begin_decrypt(std::uint64_t request_epoch);
+  void end_decrypt();
+
+  /// Admission for a refresh request. Blocks while another refresh drains or
+  /// runs; then rejects a stale epoch, or enters Draining and blocks until
+  /// every admitted decryption has ended. Accepted MUST be paired with
+  /// finish_refresh().
+  [[nodiscard]] Admit begin_refresh(std::uint64_t request_epoch);
+  /// Leave the refresh state; bumps the epoch iff the refresh succeeded.
+  void finish_refresh(bool success);
+
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::uint64_t inflight() const;
+
+ private:
+  void publish_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_;
+  std::uint64_t inflight_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace dlr::service

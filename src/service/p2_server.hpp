@@ -1,0 +1,261 @@
+// P2Server -- the paper's long-lived auxiliary device (§1.1, §4.4) as a
+// multi-threaded network service.
+//
+// The server owns the P2 share and answers DistDec round-2 and Refresh
+// round-2 requests from the P1-side client over framed, session-multiplexed
+// TCP. Thread architecture (one arrow = one thread kind):
+//
+//   accept thread --------> per-connection reader threads ---> WorkerPool
+//   (Listener::accept)      (FramedConn::recv_blocking,        (dec/ref jobs;
+//                            enqueue only, no crypto)           all crypto here)
+//
+// Shared-state discipline:
+//   * the DlrParty2 share sits behind a shared_mutex: decryption jobs hold it
+//     shared (dec_respond is const), the refresh job holds it exclusive;
+//   * the EpochCoordinator admits requests, drains in-flight decryptions
+//     before a refresh, and rejects stale/raced requests with retryable
+//     service errors;
+//   * responses are sent through the connection's thread-safe FramedConn.
+//
+// Every request runs in a svc.dec / svc.refresh span; svc.requests,
+// svc.refreshes and svc.stale count outcomes.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "schemes/dlr.hpp"
+#include "service/epoch.hpp"
+#include "service/protocol.hpp"
+#include "service/worker_pool.hpp"
+#include "telemetry/trace.hpp"
+#include "transport/endpoint.hpp"
+
+namespace dlr::service {
+
+template <group::BilinearGroup GG>
+class P2Server {
+ public:
+  using Core = schemes::DlrCore<GG>;
+
+  struct Options {
+    int workers = 4;
+    std::size_t queue_cap = 1024;
+    transport::TransportOptions transport{};
+  };
+
+  P2Server(GG gg, schemes::DlrParams prm, typename Core::Sk2 sk2, crypto::Rng rng,
+           Options opt)
+      : opt_(opt),
+        p2_(std::move(gg), prm, std::move(sk2), std::move(rng)),
+        pool_(opt.workers, opt.queue_cap) {}
+
+  ~P2Server() { stop(); }
+  P2Server(const P2Server&) = delete;
+  P2Server& operator=(const P2Server&) = delete;
+
+  /// Bind a loopback listener (port 0 = ephemeral) and start serving.
+  void start(std::uint16_t port = 0) {
+    listener_ = transport::Listener::loopback(port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::uint64_t epoch() const { return coord_.epoch(); }
+  [[nodiscard]] std::uint64_t inflight() const { return coord_.inflight(); }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_.load(); }
+  [[nodiscard]] std::uint64_t refreshes_served() const { return refreshes_.load(); }
+
+  /// Current P2 share (tests: msk-constancy checks). Takes the share lock.
+  [[nodiscard]] typename Core::Sk2 share_for_test() const {
+    std::shared_lock lock(p2_mu_);
+    return p2_.share();
+  }
+
+  /// Orderly shutdown: close the listener, hang up every connection, join
+  /// readers, drain the worker pool. Idempotent.
+  void stop() {
+    if (stopping_.exchange(true)) {
+      if (accept_thread_.joinable()) accept_thread_.join();
+      return;
+    }
+    listener_.close();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::lock_guard lock(conns_mu_);
+      for (auto& c : conns_) c->conn->shutdown();
+    }
+    // Stop the pool before joining readers: a reader blocked in submit()
+    // (queue full) is released by stop(), and queued jobs answering hung-up
+    // connections fail their send and are swallowed by the job's catch.
+    pool_.stop();
+    {
+      std::lock_guard lock(conns_mu_);
+      for (auto& c : conns_)
+        if (c->reader.joinable()) c->reader.join();
+    }
+  }
+
+ private:
+  struct ConnState {
+    std::shared_ptr<transport::FramedConn> conn;
+    std::thread reader;
+  };
+
+  void accept_loop() {
+    for (;;) {
+      transport::Socket sock;
+      try {
+        sock = listener_.accept(transport::Millis{200});
+      } catch (const transport::TransportError& e) {
+        if (e.code() == transport::Errc::Timeout) {
+          if (stopping_.load()) return;
+          continue;
+        }
+        return;  // listener closed
+      }
+      auto st = std::make_shared<ConnState>();
+      st->conn = std::make_shared<transport::FramedConn>(std::move(sock), opt_.transport);
+      st->reader = std::thread([this, conn = st->conn] { reader_loop(conn); });
+      std::lock_guard lock(conns_mu_);
+      conns_.push_back(std::move(st));
+    }
+  }
+
+  void reader_loop(std::shared_ptr<transport::FramedConn> conn) {
+    for (;;) {
+      transport::Frame f;
+      try {
+        f = conn->recv_blocking();
+      } catch (const transport::TransportError&) {
+        return;  // closed / corrupt stream: connection is done
+      }
+      if (f.type != transport::FrameType::Data) continue;
+      if (!pool_.submit([this, conn, f = std::move(f)]() mutable {
+            handle(*conn, std::move(f));
+          }))
+        return;  // pool stopping
+    }
+  }
+
+  void handle(transport::FramedConn& conn, transport::Frame f) {
+    try {
+      if (f.label == kLabelDecReq) {
+        handle_dec(conn, f);
+      } else if (f.label == kLabelRefReq) {
+        handle_ref(conn, f);
+      } else {
+        send_err(conn, f.session, ServiceErrc::BadRequest, "unknown label '" + f.label + "'");
+      }
+    } catch (const transport::TransportError&) {
+      // Response could not be delivered (client gone): nothing left to do.
+    } catch (const std::exception& e) {
+      try {
+        send_err(conn, f.session, ServiceErrc::Internal, e.what());
+      } catch (...) {
+      }
+    }
+  }
+
+  void handle_dec(transport::FramedConn& conn, const transport::Frame& f) {
+    telemetry::ScopedSpan span("svc.dec");
+    Request req;
+    try {
+      req = decode_request(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
+      return;
+    }
+    switch (coord_.begin_decrypt(req.epoch)) {
+      case EpochCoordinator::Admit::Stale:
+        send_err(conn, f.session, ServiceErrc::StaleEpoch, "request epoch " +
+                     std::to_string(req.epoch) + " != " + std::to_string(coord_.epoch()));
+        return;
+      case EpochCoordinator::Admit::Draining:
+        send_err(conn, f.session, ServiceErrc::Draining, "refresh in progress");
+        return;
+      case EpochCoordinator::Admit::Accepted:
+        break;
+    }
+    Bytes reply;
+    bool bad_request = false;
+    std::string err;
+    try {
+      std::shared_lock lock(p2_mu_);
+      reply = p2_.dec_respond(req.round1);
+    } catch (const std::exception& e) {
+      bad_request = true;  // malformed round-1 payload (deser/width errors)
+      err = e.what();
+    }
+    coord_.end_decrypt();
+    requests_.fetch_add(1);
+    if (bad_request) {
+      send_err(conn, f.session, ServiceErrc::BadRequest, err);
+      return;
+    }
+    conn.send(transport::Frame{f.session, transport::FrameType::Data,
+                               static_cast<std::uint8_t>(net::DeviceId::P2), kLabelDecOk,
+                               std::move(reply)});
+  }
+
+  void handle_ref(transport::FramedConn& conn, const transport::Frame& f) {
+    telemetry::ScopedSpan span("svc.refresh");
+    Request req;
+    try {
+      req = decode_request(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
+      return;
+    }
+    if (coord_.begin_refresh(req.epoch) != EpochCoordinator::Admit::Accepted) {
+      send_err(conn, f.session, ServiceErrc::StaleEpoch, "refresh epoch " +
+                   std::to_string(req.epoch) + " != " + std::to_string(coord_.epoch()));
+      return;
+    }
+    Bytes reply;
+    bool ok = false;
+    std::string err;
+    try {
+      std::unique_lock lock(p2_mu_);
+      reply = p2_.ref_respond(req.round1);
+      ok = true;
+    } catch (const std::exception& e) {
+      err = e.what();
+    }
+    coord_.finish_refresh(ok);
+    if (!ok) {
+      send_err(conn, f.session, ServiceErrc::BadRequest, err);
+      return;
+    }
+    refreshes_.fetch_add(1);
+    conn.send(transport::Frame{f.session, transport::FrameType::Data,
+                               static_cast<std::uint8_t>(net::DeviceId::P2), kLabelRefOk,
+                               std::move(reply)});
+  }
+
+  void send_err(transport::FramedConn& conn, std::uint32_t session, ServiceErrc code,
+                const std::string& msg) {
+    conn.send(transport::Frame{session, transport::FrameType::Error,
+                               static_cast<std::uint8_t>(net::DeviceId::P2), kLabelErr,
+                               encode_error(code, coord_.epoch(), msg)});
+  }
+
+  Options opt_;
+  schemes::DlrParty2<GG> p2_;
+  mutable std::shared_mutex p2_mu_;
+  EpochCoordinator coord_;
+  WorkerPool pool_;
+  transport::Listener listener_;
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<ConnState>> conns_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> refreshes_{0};
+};
+
+}  // namespace dlr::service

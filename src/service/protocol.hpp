@@ -1,0 +1,120 @@
+// Wire schema of the DLR decryption service, layered on transport frames.
+//
+// Every request is one Data frame on its own mux session; the response is one
+// Data frame (label *.ok) or one Error frame (label svc.err) on the same
+// session. Requests carry the client's view of the key epoch; the server
+// coordinator rejects mismatches with StaleEpoch and requests that land
+// while a refresh drains/runs with Draining -- both retryable: the client
+// re-issues once its epoch catches up.
+//
+//   svc.dec  (Data)  body = u64 epoch | blob dec.r1      -> svc.dec.ok | svc.err
+//   svc.ref  (Data)  body = u64 epoch | blob ref.r1      -> svc.ref.ok | svc.err
+//   svc.err  (Error) body = u8 code | u64 server_epoch | str message
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "transport/frame.hpp"
+
+namespace dlr::service {
+
+inline constexpr char kLabelDecReq[] = "svc.dec";
+inline constexpr char kLabelDecOk[] = "svc.dec.ok";
+inline constexpr char kLabelRefReq[] = "svc.ref";
+inline constexpr char kLabelRefOk[] = "svc.ref.ok";
+inline constexpr char kLabelErr[] = "svc.err";
+
+enum class ServiceErrc : std::uint8_t {
+  StaleEpoch = 1,  // request epoch != server epoch; retry after local refresh
+  Draining = 2,    // a refresh is draining/running; retry shortly
+  BadRequest = 3,  // request did not parse
+  Internal = 4,    // server-side exception
+  Shutdown = 5,    // server is stopping
+};
+
+[[nodiscard]] constexpr const char* service_errc_name(ServiceErrc c) {
+  switch (c) {
+    case ServiceErrc::StaleEpoch: return "StaleEpoch";
+    case ServiceErrc::Draining: return "Draining";
+    case ServiceErrc::BadRequest: return "BadRequest";
+    case ServiceErrc::Internal: return "Internal";
+    case ServiceErrc::Shutdown: return "Shutdown";
+  }
+  return "Unknown";
+}
+
+/// A decoded svc.err response. StaleEpoch and Draining are transient
+/// consequences of epoch-coordinated refresh, not failures of the request
+/// itself -- callers retry them (DecryptionClient::decrypt does so itself).
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ServiceErrc code, std::uint64_t server_epoch, const std::string& msg)
+      : std::runtime_error(std::string("service: ") + service_errc_name(code) + ": " + msg),
+        code_(code),
+        server_epoch_(server_epoch) {}
+
+  [[nodiscard]] ServiceErrc code() const { return code_; }
+  [[nodiscard]] std::uint64_t server_epoch() const { return server_epoch_; }
+  [[nodiscard]] bool retryable() const {
+    return code_ == ServiceErrc::StaleEpoch || code_ == ServiceErrc::Draining;
+  }
+
+ private:
+  ServiceErrc code_;
+  std::uint64_t server_epoch_;
+};
+
+struct Request {
+  std::uint64_t epoch = 0;
+  Bytes round1;
+};
+
+[[nodiscard]] inline Bytes encode_request(std::uint64_t epoch, const Bytes& round1) {
+  ByteWriter w;
+  w.u64(epoch);
+  w.blob(round1);
+  return w.take();
+}
+
+[[nodiscard]] inline Request decode_request(const Bytes& body) {
+  ByteReader r(body);
+  Request req;
+  req.epoch = r.u64();
+  req.round1 = r.blob();
+  if (!r.done()) throw std::invalid_argument("service request: trailing bytes");
+  return req;
+}
+
+[[nodiscard]] inline Bytes encode_error(ServiceErrc code, std::uint64_t server_epoch,
+                                        const std::string& msg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(code));
+  w.u64(server_epoch);
+  w.str(msg);
+  return w.take();
+}
+
+[[nodiscard]] inline ServiceError decode_error(const Bytes& body) {
+  ByteReader r(body);
+  const auto code = static_cast<ServiceErrc>(r.u8());
+  const std::uint64_t epoch = r.u64();
+  const std::string msg = r.str();
+  return {code, epoch, msg};
+}
+
+/// Classify a response frame: return the body of a successful `ok_label`
+/// response, or throw the decoded ServiceError / a transport Protocol error.
+[[nodiscard]] inline Bytes expect_ok(transport::Frame f, const char* ok_label) {
+  if (f.type == transport::FrameType::Error && f.label == kLabelErr)
+    throw decode_error(f.body);
+  if (f.type != transport::FrameType::Data || f.label != ok_label)
+    throw transport::TransportError(
+        transport::Errc::Protocol,
+        "expected '" + std::string(ok_label) + "', got label '" + f.label + "'");
+  return std::move(f.body);
+}
+
+}  // namespace dlr::service

@@ -1,0 +1,49 @@
+// Fixed-size worker pool with a bounded job queue.
+//
+// submit() blocks when the queue is full (backpressure onto the connection
+// reader threads rather than unbounded memory growth) and returns false once
+// the pool is stopping. stop() lets queued jobs drain, then joins. Gauge
+// svc.queue_depth tracks the backlog.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dlr::service {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers, std::size_t queue_cap = 1024);
+  ~WorkerPool() { stop(); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueue a job; blocks while the queue is at capacity. Returns false
+  /// (job dropped) if the pool is stopping.
+  bool submit(std::function<void()> job);
+
+  /// Stop accepting jobs, drain the queue, join the workers. Idempotent.
+  void stop();
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+  [[nodiscard]] std::size_t queued() const;
+
+ private:
+  void run();
+
+  mutable std::mutex mu_;
+  std::mutex join_mu_;
+  std::condition_variable cv_nonempty_;
+  std::condition_variable cv_nonfull_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_cap_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dlr::service

@@ -1,0 +1,119 @@
+// Blocking-style socket endpoints with poll()-based deadlines.
+//
+// Every file descriptor here is non-blocking under the hood; send_all /
+// recv_exact loop poll()+read/write so each call honours a configurable
+// deadline and surfaces Timeout / ConnectionClosed / Io as typed
+// TransportErrors. connect_loopback retries a bounded number of times with
+// doubling backoff (counted in the transport.retries telemetry counter).
+//
+// FramedConn layers the frame codec on a Socket: writes are mutex-serialized
+// so many worker threads can reply over one shared connection, reads are
+// single-consumer (one reader/pump thread per connection, the SessionMux
+// pattern). shutdown() from any thread wakes a blocked reader with
+// ConnectionClosed, which is the orderly way to stop a pump thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "transport/frame.hpp"
+
+namespace dlr::transport {
+
+using Millis = std::chrono::milliseconds;
+
+struct TransportOptions {
+  Millis send_timeout{10000};
+  Millis recv_timeout{10000};
+  int connect_retries = 8;        // additional attempts after the first
+  Millis connect_backoff{10};     // doubles per retry, capped at 500ms
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// RAII non-blocking socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd);
+  Socket(Socket&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  /// Connected AF_UNIX stream pair (same-host two-process setups).
+  static std::pair<Socket, Socket> pair();
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Write the whole span before `timeout` elapses, else Timeout.
+  void send_all(std::span<const std::uint8_t> data, Millis timeout);
+  /// Read exactly out.size() bytes; EOF mid-read is ConnectionClosed.
+  /// timeout == nullopt blocks indefinitely (used by pump threads, which are
+  /// woken by shutdown()).
+  void recv_exact(std::span<std::uint8_t> out, std::optional<Millis> timeout);
+
+  /// Wake any blocked reader/writer on this fd with ConnectionClosed.
+  /// Safe to call from another thread while recv/send are in flight.
+  void shutdown_both() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loopback TCP listener (port 0 = ephemeral; port() reports the binding).
+class Listener {
+ public:
+  Listener() = default;
+  static Listener loopback(std::uint16_t port = 0);
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return sock_.valid(); }
+
+  /// Accept one connection; throws Timeout if none arrives in time and
+  /// ConnectionClosed once close()/shutdown() has been called.
+  Socket accept(Millis timeout);
+
+  void close() noexcept { sock_.shutdown_both(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:port with bounded retries + doubling backoff.
+/// Each re-attempt increments the transport.retries counter; exhausting the
+/// budget throws RetriesExhausted.
+Socket connect_loopback(std::uint16_t port, const TransportOptions& opt = {});
+
+/// Frame-granular connection over a Socket. Thread-safe concurrent send();
+/// recv() is single-consumer.
+class FramedConn {
+ public:
+  FramedConn(Socket sock, TransportOptions opt) : sock_(std::move(sock)), opt_(opt) {}
+
+  void send(const Frame& f);
+  /// timeout == nullopt -> options().recv_timeout; Millis{0} via
+  /// recv_blocking() below waits forever.
+  Frame recv(std::optional<Millis> timeout);
+  Frame recv() { return recv(opt_.recv_timeout); }
+  /// Block until a frame arrives or the connection dies (pump threads).
+  Frame recv_blocking() { return recv(std::nullopt); }
+
+  [[nodiscard]] const TransportOptions& options() const { return opt_; }
+  void shutdown() noexcept { sock_.shutdown_both(); }
+
+ private:
+  Socket sock_;
+  TransportOptions opt_;
+  std::mutex send_mu_;
+};
+
+}  // namespace dlr::transport

@@ -1,0 +1,124 @@
+#include "transport/frame.hpp"
+
+#include <array>
+
+namespace dlr::transport {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+std::uint32_t rd_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const auto b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void check_frame_len(std::uint32_t len, std::uint32_t max_frame_bytes) {
+  if (len > max_frame_bytes)
+    throw TransportError(Errc::FrameTooLarge,
+                         "length prefix " + std::to_string(len) + " exceeds cap " +
+                             std::to_string(max_frame_bytes));
+  if (len < kPayloadFixedBytes)
+    throw TransportError(Errc::Malformed,
+                         "length prefix " + std::to_string(len) + " below minimum payload");
+}
+
+Bytes encode_frame(const Frame& f) {
+  if (f.label.size() > 255)
+    throw TransportError(Errc::Malformed, "label longer than 255 bytes");
+  const std::size_t payload_len = kPayloadFixedBytes + f.label.size() + f.body.size();
+  if (payload_len > kMaxFrameBytes)
+    throw TransportError(Errc::FrameTooLarge,
+                         "frame payload " + std::to_string(payload_len) + " exceeds cap " +
+                             std::to_string(kMaxFrameBytes));
+
+  ByteWriter payload;
+  payload.u32(f.session);
+  payload.u8(static_cast<std::uint8_t>(f.type));
+  payload.u8(f.from);
+  payload.u8(static_cast<std::uint8_t>(f.label.size()));
+  payload.raw({reinterpret_cast<const std::uint8_t*>(f.label.data()), f.label.size()});
+  payload.raw(f.body);
+
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload.bytes()));
+  w.raw(payload.bytes());
+  return w.take();
+}
+
+Frame decode_payload(std::span<const std::uint8_t> payload) {
+  if (payload.size() < kPayloadFixedBytes)
+    throw TransportError(Errc::Malformed, "payload shorter than fixed fields");
+  Frame f;
+  f.session = rd_u32(payload.data());
+  const std::uint8_t type = payload[4];
+  if (type < static_cast<std::uint8_t>(FrameType::Data) ||
+      type > static_cast<std::uint8_t>(FrameType::Close))
+    throw TransportError(Errc::Malformed, "unknown frame type " + std::to_string(type));
+  f.type = static_cast<FrameType>(type);
+  f.from = payload[5];
+  if (f.from > 2)
+    throw TransportError(Errc::Malformed, "bad device id " + std::to_string(f.from));
+  const std::size_t label_len = payload[6];
+  if (kPayloadFixedBytes + label_len > payload.size())
+    throw TransportError(Errc::Malformed, "label length overruns payload");
+  f.label.assign(reinterpret_cast<const char*>(payload.data()) + kPayloadFixedBytes, label_len);
+  f.body.assign(payload.begin() + static_cast<std::ptrdiff_t>(kPayloadFixedBytes + label_len),
+                payload.end());
+  return f;
+}
+
+Frame decode_checked(std::uint32_t crc, std::span<const std::uint8_t> payload) {
+  const std::uint32_t actual = crc32(payload);
+  if (actual != crc)
+    throw TransportError(Errc::ChecksumMismatch, "payload CRC mismatch");
+  return decode_payload(payload);
+}
+
+void FrameDeframer::feed(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  // Validate the length prefix as soon as it is complete, so an oversize
+  // frame is rejected long before its payload could be buffered.
+  if (buf_.size() >= 4) check_frame_len(rd_u32(buf_.data()), max_frame_bytes_);
+}
+
+std::optional<Frame> FrameDeframer::poll() {
+  if (buf_.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t len = rd_u32(buf_.data());
+  check_frame_len(len, max_frame_bytes_);
+  if (buf_.size() < kFrameHeaderBytes + len) return std::nullopt;
+  const std::uint32_t crc = rd_u32(buf_.data() + 4);
+  Frame f = decode_checked(
+      crc, {buf_.data() + kFrameHeaderBytes, static_cast<std::size_t>(len)});
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + len));
+  if (buf_.size() >= 4) check_frame_len(rd_u32(buf_.data()), max_frame_bytes_);
+  return f;
+}
+
+void FrameDeframer::finish() const {
+  if (!buf_.empty())
+    throw TransportError(Errc::Truncated, "stream ended inside a frame (" +
+                                              std::to_string(buf_.size()) +
+                                              " pending bytes)");
+}
+
+}  // namespace dlr::transport

@@ -1,0 +1,100 @@
+// Session multiplexing: many logical channels over one FramedConn.
+//
+// A SessionMux owns the connection's single reader ("pump") thread. Incoming
+// frames are routed by session id into per-session queues; a Session handle
+// is the receive end of one queue plus a send path that stamps its id on
+// outgoing frames. When the connection dies (peer close, checksum failure,
+// shutdown) every open session is poisoned with the terminal error, so no
+// receiver can block forever.
+//
+// Sends from any thread are safe (FramedConn serializes writers); each
+// Session's recv() is single-consumer. Frames for unknown sessions are
+// dropped and counted (transport.orphan_frames) -- responses racing a client
+// that gave up are expected in a soft-teardown world, not an error.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "transport/endpoint.hpp"
+
+namespace dlr::transport {
+
+class SessionMux {
+  struct SessionState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Frame> queue;
+    bool poisoned = false;
+    Errc poison_code = Errc::SessionClosed;
+    std::string poison_what;
+  };
+
+ public:
+  /// Receive/send handle for one logical session. Destroying the handle
+  /// unregisters the session; late frames for it become orphans.
+  class Session {
+   public:
+    Session(SessionMux* mux, std::uint32_t id, std::shared_ptr<SessionState> st)
+        : mux_(mux), id_(id), st_(std::move(st)) {}
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    ~Session() { mux_->unregister(id_); }
+
+    [[nodiscard]] std::uint32_t id() const { return id_; }
+
+    void send(FrameType type, std::uint8_t from, std::string label, Bytes body) {
+      mux_->conn().send(Frame{id_, type, from, std::move(label), std::move(body)});
+    }
+
+    /// Next frame for this session; throws the mux's terminal TransportError
+    /// once poisoned and Timeout if `timeout` elapses first.
+    Frame recv(std::optional<Millis> timeout = std::nullopt);
+
+   private:
+    SessionMux* mux_;
+    std::uint32_t id_;
+    std::shared_ptr<SessionState> st_;
+  };
+
+  /// Takes ownership of the connection and starts the pump thread.
+  explicit SessionMux(std::shared_ptr<FramedConn> conn);
+  ~SessionMux() { stop(); }
+  SessionMux(const SessionMux&) = delete;
+  SessionMux& operator=(const SessionMux&) = delete;
+
+  /// Open a session with a fresh id (client side; ids count up from 1).
+  [[nodiscard]] std::unique_ptr<Session> open();
+  /// Open a session with an agreed-upon id (both ends of a static pairing).
+  [[nodiscard]] std::unique_ptr<Session> open_with_id(std::uint32_t id);
+
+  [[nodiscard]] FramedConn& conn() { return *conn_; }
+  [[nodiscard]] std::uint64_t orphaned() const { return orphans_.load(); }
+
+  /// Shut the connection down, join the pump, poison all sessions. Idempotent.
+  void stop();
+
+ private:
+  friend class Session;
+  void pump();
+  void poison_all(Errc code, const std::string& what);
+  void unregister(std::uint32_t id);
+
+  std::shared_ptr<FramedConn> conn_;
+  std::mutex mu_;  // guards sessions_ + next_id_
+  std::map<std::uint32_t, std::shared_ptr<SessionState>> sessions_;
+  std::uint32_t next_id_ = 1;
+  std::atomic<std::uint64_t> orphans_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes stop(); guards stopped_
+  bool stopped_ = false;
+  std::thread pump_thread_;
+};
+
+}  // namespace dlr::transport

@@ -1,0 +1,327 @@
+// Service runtime: epoch admission state machine, the end-to-end decryption
+// service over real sockets, and refresh/decrypt interleaving under
+// multi-threaded load (the continual-leakage deployment loop of §1.1/§4.4 run
+// as a server workload).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "group/mock_group.hpp"
+#include "service/client.hpp"
+#include "service/p2_server.hpp"
+
+namespace dlr::service {
+namespace {
+
+using group::make_mock;
+using group::MockGroup;
+using Core = schemes::DlrCore<MockGroup>;
+
+schemes::DlrParams mock_params() {
+  const auto gg = make_mock();
+  return schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+}
+
+// ---- epoch coordinator --------------------------------------------------------
+
+TEST(EpochCoordinatorTest, StaleEpochRejectedBeforeTouchingTheShare) {
+  EpochCoordinator c(3);
+  EXPECT_EQ(c.begin_decrypt(2), EpochCoordinator::Admit::Stale);
+  EXPECT_EQ(c.begin_decrypt(4), EpochCoordinator::Admit::Stale);
+  EXPECT_EQ(c.inflight(), 0u);
+  EXPECT_EQ(c.begin_decrypt(3), EpochCoordinator::Admit::Accepted);
+  EXPECT_EQ(c.inflight(), 1u);
+  c.end_decrypt();
+  EXPECT_EQ(c.inflight(), 0u);
+}
+
+TEST(EpochCoordinatorTest, RefreshDrainsInflightAndRejectsNewDecrypts) {
+  EpochCoordinator c;
+  ASSERT_EQ(c.begin_decrypt(0), EpochCoordinator::Admit::Accepted);
+
+  std::atomic<bool> refreshed{false};
+  std::thread refresher([&] {
+    ASSERT_EQ(c.begin_refresh(0), EpochCoordinator::Admit::Accepted);
+    refreshed.store(true);
+    c.finish_refresh(true);
+  });
+
+  // Wait until the refresher is draining: new decryptions bounce as Draining.
+  // (Polls that land before draining_ is set are Accepted and must be paired
+  // with end_decrypt, or the drain we are waiting for would never finish.)
+  for (;;) {
+    const auto admit = c.begin_decrypt(0);
+    if (admit == EpochCoordinator::Admit::Draining) break;
+    ASSERT_EQ(admit, EpochCoordinator::Admit::Accepted);
+    c.end_decrypt();
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(refreshed.load()) << "refresh ran while a decryption was in flight";
+
+  c.end_decrypt();  // drain completes; refresher proceeds
+  refresher.join();
+  EXPECT_TRUE(refreshed.load());
+  EXPECT_EQ(c.epoch(), 1u);
+  EXPECT_EQ(c.begin_decrypt(1), EpochCoordinator::Admit::Accepted);
+  c.end_decrypt();
+}
+
+TEST(EpochCoordinatorTest, FailedRefreshKeepsTheEpoch) {
+  EpochCoordinator c;
+  ASSERT_EQ(c.begin_refresh(0), EpochCoordinator::Admit::Accepted);
+  c.finish_refresh(false);
+  EXPECT_EQ(c.epoch(), 0u);
+  ASSERT_EQ(c.begin_refresh(0), EpochCoordinator::Admit::Accepted);
+  c.finish_refresh(true);
+  EXPECT_EQ(c.epoch(), 1u);
+}
+
+TEST(EpochCoordinatorTest, ConcurrentRefreshesSerialize) {
+  EpochCoordinator c;
+  constexpr int kRefreshers = 4;
+  std::vector<std::thread> ts;
+  std::atomic<int> accepted{0};
+  for (int i = 0; i < kRefreshers; ++i)
+    ts.emplace_back([&] {
+      // Each claims whatever the current epoch is; losers see Stale.
+      for (;;) {
+        const auto e = c.epoch();
+        const auto admit = c.begin_refresh(e);
+        if (admit == EpochCoordinator::Admit::Accepted) {
+          accepted.fetch_add(1);
+          c.finish_refresh(true);
+          return;
+        }
+        // Stale: epoch moved between read and admission; retry once more.
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(accepted.load(), kRefreshers);
+  EXPECT_EQ(c.epoch(), static_cast<std::uint64_t>(kRefreshers));
+}
+
+// ---- end-to-end service -------------------------------------------------------
+
+struct Service {
+  MockGroup gg = make_mock();
+  schemes::DlrParams prm = mock_params();
+  Core::KeyGenResult kg;
+  std::unique_ptr<P2Server<MockGroup>> server;
+  std::shared_ptr<P1Runtime<MockGroup>> p1;
+
+  explicit Service(int workers = 4, std::uint64_t seed = 7000) {
+    crypto::Rng rng(seed);
+    kg = Core::gen(gg, prm, rng);
+    typename P2Server<MockGroup>::Options opt;
+    opt.workers = workers;
+    server = std::make_unique<P2Server<MockGroup>>(gg, prm, kg.sk2, crypto::Rng(seed + 1),
+                                                   opt);
+    server->start();
+    p1 = std::make_shared<P1Runtime<MockGroup>>(gg, prm, kg.pk, kg.sk1,
+                                                schemes::P1Mode::Plain,
+                                                crypto::Rng(seed + 2));
+  }
+  ~Service() { server->stop(); }
+
+  DecryptionClient<MockGroup> client(typename DecryptionClient<MockGroup>::Options opt = {}) {
+    return DecryptionClient<MockGroup>(p1, server->port(), opt);
+  }
+};
+
+TEST(ServiceTest, DecryptOverRealSocketsIsCorrect) {
+  Service svc;
+  auto client = svc.client();
+  crypto::Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    EXPECT_TRUE(svc.gg.gt_eq(client.decrypt_once(c), m));
+  }
+  EXPECT_EQ(svc.server->requests_served(), 5u);
+  EXPECT_EQ(svc.server->epoch(), 0u);
+}
+
+TEST(ServiceTest, RefreshAdvancesBothEpochsAndDecryptionStillWorks) {
+  Service svc;
+  auto client = svc.client();
+  crypto::Rng rng(2);
+  for (int round = 0; round < 3; ++round) {
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    EXPECT_TRUE(svc.gg.gt_eq(client.decrypt_once(c), m));
+    client.refresh();
+    EXPECT_EQ(client.epoch(), static_cast<std::uint64_t>(round + 1));
+    EXPECT_EQ(svc.server->epoch(), static_cast<std::uint64_t>(round + 1));
+  }
+  // The sharing rotated three times; the shared secret did not move.
+  const auto sk1 = svc.p1->share_for_test();
+  const auto sk2 = svc.server->share_for_test();
+  EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk));
+}
+
+TEST(ServiceTest, StaleEpochIsDeterministicallyRejectedAndRetryable) {
+  Service svc;
+  auto client = svc.client();
+  crypto::Rng rng(3);
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+
+  // Hand-roll a request claiming a future epoch over a raw mux connection.
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      transport::connect_loopback(svc.server->port()), transport::TransportOptions{}));
+  auto sess = mux.open();
+  sess->send(transport::FrameType::Data, 1, kLabelDecReq,
+             encode_request(999, svc.p1->begin_decrypt(c, rng).round1));
+  const auto resp = sess->recv(transport::Millis{5000});
+  EXPECT_EQ(resp.type, transport::FrameType::Error);
+  const ServiceError err = decode_error(resp.body);
+  EXPECT_EQ(err.code(), ServiceErrc::StaleEpoch);
+  EXPECT_TRUE(err.retryable());
+  EXPECT_EQ(err.server_epoch(), 0u);
+}
+
+TEST(ServiceTest, MalformedRequestsGetBadRequestNotACrash) {
+  Service svc;
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      transport::connect_loopback(svc.server->port()), transport::TransportOptions{}));
+
+  // Body that is not even a valid request encoding.
+  {
+    auto sess = mux.open();
+    sess->send(transport::FrameType::Data, 1, kLabelDecReq, Bytes{0xFF, 0x01});
+    const ServiceError err = decode_error(sess->recv(transport::Millis{5000}).body);
+    EXPECT_EQ(err.code(), ServiceErrc::BadRequest);
+    EXPECT_FALSE(err.retryable());
+  }
+  // Valid envelope at the right epoch, garbage round-1 payload inside.
+  {
+    auto sess = mux.open();
+    sess->send(transport::FrameType::Data, 1, kLabelDecReq,
+               encode_request(0, Bytes{1, 2, 3, 4, 5}));
+    const ServiceError err = decode_error(sess->recv(transport::Millis{5000}).body);
+    EXPECT_EQ(err.code(), ServiceErrc::BadRequest);
+  }
+  // Unknown label.
+  {
+    auto sess = mux.open();
+    sess->send(transport::FrameType::Data, 1, "svc.bogus", Bytes{});
+    const ServiceError err = decode_error(sess->recv(transport::Millis{5000}).body);
+    EXPECT_EQ(err.code(), ServiceErrc::BadRequest);
+  }
+  // The server survives all of it and still serves real requests.
+  auto client = svc.client();
+  crypto::Rng rng(4);
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+  EXPECT_TRUE(svc.gg.gt_eq(client.decrypt_once(c), m));
+}
+
+// ---- refresh/decrypt interleaving under load ----------------------------------
+
+TEST(ServiceInterleaveTest, HammerWithAutoRefreshEveryKDecryptsCorrectly) {
+  // N client threads hammer DistDec through one client while the auto-refresh
+  // policy rotates the shares every K requests. Every decrypt() must return
+  // the right plaintext (retries of StaleEpoch/Draining happen inside), and
+  // afterwards the reconstructed msk must be the original one.
+  Service svc(/*workers=*/4);
+  typename DecryptionClient<MockGroup>::Options opt;
+  opt.auto_refresh_every = 7;  // K
+  auto client = svc.client(opt);
+
+  constexpr int kThreads = 4;   // N
+  constexpr int kPerThread = 12;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      crypto::Rng rng(9000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto m = svc.gg.gt_random(rng);
+        const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+        try {
+          if (!svc.gg.gt_eq(client.decrypt(c), m)) wrong.fetch_add(1);
+        } catch (const std::exception&) {
+          wrong.fetch_add(1);  // decrypt() retries retryables; anything else fails
+        }
+      }
+    });
+  for (auto& t : ts) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GE(svc.server->epoch(), 1u) << "auto-refresh never fired";
+  EXPECT_EQ(svc.server->epoch(), client.epoch());
+  const auto sk1 = svc.p1->share_for_test();
+  const auto sk2 = svc.server->share_for_test();
+  EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk))
+      << "refresh under load changed the shared msk";
+}
+
+TEST(ServiceInterleaveTest, RawDecryptsRacingRefreshesAreCorrectOrRetryable) {
+  // No client-side retry loop here: decrypt_once racing explicit refreshes
+  // must either return the correct plaintext or throw a *retryable*
+  // ServiceError -- silent wrong answers and non-retryable failures both fail
+  // the test.
+  Service svc(/*workers=*/4);
+  auto dec_client = svc.client();
+  auto ref_client = svc.client();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> wrong{0}, nonretryable{0}, ok{0}, retryable{0};
+
+  std::thread refresher([&] {
+    while (!done.load()) {
+      ref_client.refresh();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  constexpr int kThreads = 3;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      crypto::Rng rng(7700 + t);
+      for (int i = 0; i < 15; ++i) {
+        const auto m = svc.gg.gt_random(rng);
+        const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+        try {
+          if (svc.gg.gt_eq(dec_client.decrypt_once(c), m))
+            ok.fetch_add(1);
+          else
+            wrong.fetch_add(1);
+        } catch (const ServiceError& e) {
+          (e.retryable() ? retryable : nonretryable).fetch_add(1);
+        }
+      }
+    });
+  for (auto& t : ts) t.join();
+  done.store(true);
+  refresher.join();
+
+  EXPECT_EQ(wrong.load(), 0) << "a raced decryption returned a wrong plaintext";
+  EXPECT_EQ(nonretryable.load(), 0) << "a raced decryption failed non-retryably";
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GE(svc.server->epoch(), 1u);
+
+  const auto sk1 = svc.p1->share_for_test();
+  const auto sk2 = svc.server->share_for_test();
+  EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk));
+}
+
+TEST(ServiceTest, StopIsOrderlyAndIdempotent) {
+  Service svc;
+  {
+    auto client = svc.client();
+    crypto::Rng rng(5);
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    (void)client.decrypt_once(c);
+    client.close();
+  }
+  svc.server->stop();
+  svc.server->stop();
+}
+
+}  // namespace
+}  // namespace dlr::service

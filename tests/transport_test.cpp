@@ -1,0 +1,353 @@
+// Transport layer: frame codec round-trips and its never-crash/never-accept
+// contract under mutation (truncation, extension, bit flips, hostile length
+// prefixes), socket endpoints with deadlines and bounded retries, session
+// multiplexing, and the MuxChannel transcript contract.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+#include "transport/channel.hpp"
+
+namespace dlr::transport {
+namespace {
+
+Frame sample_frame() {
+  return Frame{7, FrameType::Data, 1, "dec.r1", Bytes{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42}};
+}
+
+// ---- frame codec --------------------------------------------------------------
+
+TEST(FrameCodecTest, RoundTrip) {
+  for (const Frame& f : {
+           sample_frame(),
+           Frame{0, FrameType::Close, 0, "", Bytes{}},
+           Frame{0xFFFFFFFFu, FrameType::Error, 2, "svc.err", Bytes(1000, 0xAB)},
+           Frame{1, FrameType::Data, 2, std::string(255, 'x'), Bytes{1}},
+       }) {
+    const Bytes wire = encode_frame(f);
+    FrameDeframer d;
+    d.feed(wire);
+    const auto got = d.poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, f);
+    EXPECT_FALSE(d.poll().has_value());
+    EXPECT_NO_THROW(d.finish());
+  }
+}
+
+TEST(FrameCodecTest, MaxFrameBytesIsTheDocumentedConstant) {
+  // The 32-bit length prefix is capped by a *named* constant -- the cap is
+  // part of the wire contract (DESIGN.md), not an incidental buffer size.
+  static_assert(kMaxFrameBytes == (1u << 24));
+  static_assert(kFrameHeaderBytes == 8);
+}
+
+TEST(FrameCodecTest, OversizeLengthPrefixRejectedBeforeAllocation) {
+  // Hand-craft a header claiming a ~4 GiB payload: the deframer must throw
+  // FrameTooLarge the moment the prefix is complete, without buffering.
+  const Bytes evil = {0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x00};
+  FrameDeframer d;
+  try {
+    d.feed(evil);
+    FAIL() << "oversize length prefix accepted";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::FrameTooLarge);
+  }
+  EXPECT_THROW(check_frame_len(kMaxFrameBytes + 1), TransportError);
+  EXPECT_NO_THROW(check_frame_len(kMaxFrameBytes));
+}
+
+TEST(FrameCodecTest, EncodeRejectsOversizeAndBadLabel) {
+  Frame f = sample_frame();
+  f.label = std::string(256, 'x');
+  try {
+    (void)encode_frame(f);
+    FAIL() << "256-byte label accepted";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::Malformed);
+  }
+  f = sample_frame();
+  f.body.resize(kMaxFrameBytes);  // payload = fixed + label + body > cap
+  try {
+    (void)encode_frame(f);
+    FAIL() << "over-cap frame accepted";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::FrameTooLarge);
+  }
+}
+
+TEST(FrameCodecTest, TruncationAlwaysTyped) {
+  const Bytes wire = encode_frame(sample_frame());
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    FrameDeframer d;
+    d.feed({wire.data(), cut});
+    EXPECT_FALSE(d.poll().has_value()) << "partial frame yielded a frame at cut " << cut;
+    try {
+      d.finish();
+      FAIL() << "truncation at " << cut << " not detected";
+    } catch (const TransportError& e) {
+      EXPECT_EQ(e.code(), Errc::Truncated);
+    }
+  }
+}
+
+TEST(FrameCodecTest, TrailingGarbageAlwaysTyped) {
+  const Bytes wire = encode_frame(sample_frame());
+  // Tails shorter than a header leave the stream mid-frame (Truncated); a
+  // tail long enough to read as a length prefix may instead be rejected as a
+  // hostile prefix (FrameTooLarge/Malformed). Either way: typed, never silent.
+  for (const Bytes tail :
+       {Bytes{0x01}, Bytes{0x00, 0x00, 0x00}, Bytes(kFrameHeaderBytes - 1, 0x5A)}) {
+    Bytes stream = wire;
+    stream.insert(stream.end(), tail.begin(), tail.end());
+    FrameDeframer d;
+    bool threw = false;
+    std::size_t frames = 0;
+    try {
+      d.feed(stream);
+      while (const auto f = d.poll()) {
+        EXPECT_EQ(*f, sample_frame());
+        ++frames;
+      }
+      d.finish();
+    } catch (const TransportError&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "trailing garbage silently swallowed (tail " << tail.size() << "B)";
+    EXPECT_LE(frames, 1u);
+  }
+}
+
+TEST(FrameCodecTest, EverySingleBitFlipIsATypedErrorNeverASilentAccept) {
+  const Frame original = sample_frame();
+  const Bytes wire = encode_frame(original);
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    Bytes mut = wire;
+    mut[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    bool typed = false;
+    bool produced_frame = false;
+    try {
+      FrameDeframer d;
+      d.feed(mut);
+      while (const auto f = d.poll()) {
+        produced_frame = true;
+        EXPECT_NE(*f, original) << "bit " << bit << ": mutation decoded as the original";
+      }
+      d.finish();
+    } catch (const TransportError&) {
+      typed = true;
+    } catch (...) {
+      FAIL() << "bit " << bit << ": non-TransportError escaped";
+    }
+    // The CRC covers the payload and the header fields feed the length/CRC
+    // checks, so every flip must surface as a typed error somewhere -- a
+    // "successfully" decoded mutated frame would be silent corruption.
+    EXPECT_TRUE(typed) << "bit " << bit << ": no typed error raised";
+    EXPECT_FALSE(produced_frame) << "bit " << bit << ": mutated stream yielded a frame";
+  }
+}
+
+TEST(FrameCodecTest, ChunkedFeedReassemblesMultipleFrames) {
+  const Frame a = sample_frame();
+  const Frame b{9, FrameType::Error, 2, "svc.err", Bytes{1, 2, 3}};
+  Bytes stream = encode_frame(a);
+  const Bytes wb = encode_frame(b);
+  stream.insert(stream.end(), wb.begin(), wb.end());
+
+  FrameDeframer d;
+  std::vector<Frame> got;
+  for (std::size_t i = 0; i < stream.size(); ++i) {  // worst case: 1 byte at a time
+    d.feed({stream.data() + i, 1});
+    while (auto f = d.poll()) got.push_back(std::move(*f));
+  }
+  EXPECT_NO_THROW(d.finish());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], a);
+  EXPECT_EQ(got[1], b);
+}
+
+// ---- endpoints ----------------------------------------------------------------
+
+TEST(EndpointTest, SocketpairFramedExchange) {
+  auto [sa, sb] = Socket::pair();
+  FramedConn ca(std::move(sa), {});
+  FramedConn cb(std::move(sb), {});
+  const Frame f = sample_frame();
+  ca.send(f);
+  EXPECT_EQ(cb.recv(), f);
+  Frame g = f;
+  g.session = 42;
+  g.body = Bytes(100000, 0x77);  // larger than one socket buffer write
+  cb.send(g);
+  EXPECT_EQ(ca.recv(), g);
+}
+
+TEST(EndpointTest, RecvTimeoutIsTyped) {
+  auto [sa, sb] = Socket::pair();
+  FramedConn ca(std::move(sa), {});
+  try {
+    (void)ca.recv(Millis{50});
+    FAIL() << "recv on silent peer returned";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::Timeout);
+  }
+}
+
+TEST(EndpointTest, PeerCloseIsConnectionClosed) {
+  auto [sa, sb] = Socket::pair();
+  FramedConn ca(std::move(sa), {});
+  { Socket dead = std::move(sb); }  // peer end destroyed
+  try {
+    (void)ca.recv(Millis{1000});
+    FAIL() << "recv from closed peer returned";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::ConnectionClosed);
+  }
+}
+
+TEST(EndpointTest, LoopbackListenerAcceptConnect) {
+  auto listener = Listener::loopback();
+  ASSERT_NE(listener.port(), 0);
+  Socket client_side;
+  std::thread t([&] { client_side = connect_loopback(listener.port()); });
+  Socket server_side = listener.accept(Millis{2000});
+  t.join();
+  FramedConn server(std::move(server_side), {});
+  FramedConn client(std::move(client_side), {});
+  client.send(sample_frame());
+  EXPECT_EQ(server.recv(), sample_frame());
+}
+
+TEST(EndpointTest, ConnectRetriesAreBoundedAndCounted) {
+  // Grab an ephemeral port and free it again: nothing listens there.
+  std::uint16_t dead_port;
+  {
+    auto l = Listener::loopback();
+    dead_port = l.port();
+    l.close();
+  }
+  auto& reg = telemetry::Registry::global();
+  const auto before = reg.counter_value("transport.retries");
+  TransportOptions opt;
+  opt.connect_retries = 3;
+  opt.connect_backoff = Millis{1};
+  try {
+    (void)connect_loopback(dead_port, opt);
+    FAIL() << "connect to dead port succeeded";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::RetriesExhausted);
+  }
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_GE(reg.counter_value("transport.retries"), before + 3);
+#endif
+}
+
+// ---- session multiplexing -----------------------------------------------------
+
+TEST(MuxTest, TwoSessionsInterleaveOverOneConnection) {
+  auto [sa, sb] = Socket::pair();
+  SessionMux ma(std::make_shared<FramedConn>(std::move(sa), TransportOptions{}));
+  SessionMux mb(std::make_shared<FramedConn>(std::move(sb), TransportOptions{}));
+
+  auto a1 = ma.open_with_id(1);
+  auto a2 = ma.open_with_id(2);
+  auto b1 = mb.open_with_id(1);
+  auto b2 = mb.open_with_id(2);
+
+  // Send out of order w.r.t. the receiving sessions: the mux must route by id.
+  b2->send(FrameType::Data, 2, "m2", Bytes{2});
+  b1->send(FrameType::Data, 2, "m1", Bytes{1});
+  const Frame f1 = a1->recv(Millis{2000});
+  const Frame f2 = a2->recv(Millis{2000});
+  EXPECT_EQ(f1.label, "m1");
+  EXPECT_EQ(f1.body, Bytes{1});
+  EXPECT_EQ(f2.label, "m2");
+  EXPECT_EQ(f2.body, Bytes{2});
+}
+
+TEST(MuxTest, OrphanFramesAreDroppedAndCounted) {
+  auto [sa, sb] = Socket::pair();
+  SessionMux ma(std::make_shared<FramedConn>(std::move(sa), TransportOptions{}));
+  auto conn_b = std::make_shared<FramedConn>(std::move(sb), TransportOptions{});
+
+  auto a5 = ma.open_with_id(5);
+  // Raw frame for a session that does not exist, then one that does; in-order
+  // delivery means the orphan was processed by the time the real one arrives.
+  conn_b->send(Frame{99, FrameType::Data, 2, "ghost", Bytes{0}});
+  conn_b->send(Frame{5, FrameType::Data, 2, "real", Bytes{1}});
+  EXPECT_EQ(a5->recv(Millis{2000}).label, "real");
+  EXPECT_EQ(ma.orphaned(), 1u);
+}
+
+TEST(MuxTest, PeerDeathPoisonsBlockedReceivers) {
+  auto [sa, sb] = Socket::pair();
+  SessionMux ma(std::make_shared<FramedConn>(std::move(sa), TransportOptions{}));
+  auto sess = ma.open_with_id(1);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(Millis{50});
+    Socket dead = std::move(sb);  // hang up
+  });
+  try {
+    (void)sess->recv(Millis{5000});
+    FAIL() << "recv survived peer death";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::ConnectionClosed);
+  }
+  killer.join();
+  // Sessions opened after death are poisoned immediately.
+  auto late = ma.open_with_id(2);
+  EXPECT_THROW((void)late->recv(Millis{100}), TransportError);
+}
+
+TEST(MuxTest, StopIsIdempotentAndThreadSafe) {
+  auto [sa, sb] = Socket::pair();
+  SessionMux ma(std::make_shared<FramedConn>(std::move(sa), TransportOptions{}));
+  std::thread t1([&] { ma.stop(); });
+  std::thread t2([&] { ma.stop(); });
+  t1.join();
+  t2.join();
+  ma.stop();  // and again, after the pump is gone
+}
+
+// ---- net::Channel adapter -----------------------------------------------------
+
+TEST(MuxChannelTest, ProtocolRunsOverWireWithFullTranscriptBothSides) {
+  auto [sa, sb] = Socket::pair();
+  SessionMux ma(std::make_shared<FramedConn>(std::move(sa), TransportOptions{}));
+  SessionMux mb(std::make_shared<FramedConn>(std::move(sb), TransportOptions{}));
+  auto session_a = ma.open_with_id(1);
+  auto session_b = mb.open_with_id(1);
+
+  // A toy 3-move protocol: P1 sends a query, P2 echoes it doubled, P1 acks.
+  MuxChannel ch_a(*session_a, net::DeviceId::P1);
+  MuxChannel ch_b(*session_b, net::DeviceId::P2);
+
+  std::thread p2([&] {
+    Bytes q = ch_b.recv(Millis{5000});
+    q.insert(q.end(), q.begin(), q.end());
+    ch_b.send(net::DeviceId::P2, "echo2", std::move(q));
+    (void)ch_b.recv(Millis{5000});
+  });
+
+  ch_a.send(net::DeviceId::P1, "query", Bytes{9, 9});
+  const Bytes& doubled = ch_a.recv(Millis{5000});
+  EXPECT_EQ(doubled, (Bytes{9, 9, 9, 9}));
+  ch_a.send(net::DeviceId::P1, "ack", Bytes{});
+  p2.join();
+
+  // Section 3.2: the public transcript is identical on both devices -- every
+  // message appears on each side, attributed to its true sender.
+  for (const net::Transcript* tr : {&ch_a.transcript(), &ch_b.transcript()}) {
+    ASSERT_EQ(tr->count(), 3u);
+    EXPECT_EQ(tr->messages()[0].label, "query");
+    EXPECT_EQ(tr->messages()[0].from, net::DeviceId::P1);
+    EXPECT_EQ(tr->messages()[1].label, "echo2");
+    EXPECT_EQ(tr->messages()[1].from, net::DeviceId::P2);
+    EXPECT_EQ(tr->messages()[2].label, "ack");
+  }
+  EXPECT_EQ(ch_a.transcript().serialize(), ch_b.transcript().serialize());
+}
+
+}  // namespace
+}  // namespace dlr::transport
