@@ -1,9 +1,18 @@
 // F6 -- substrate microbenchmarks (google-benchmark): field, curve, pairing,
 // HPSKE, hash and RNG primitives on both curve presets. These are the cost
 // constants every protocol-level number in T1/F2/F4/F5/F7 decomposes into.
+//
+// Also hosts the T4 pairing hot-path comparison: prepared-vs-plain pairing,
+// norm-1 vs generic GT squaring, batch-affine vs generic comb-table build,
+// and the headline pair_ct speedup (plain loop vs prepared+batched final
+// exp), exported as bench.pair_ct.* gauges with `--json <path>`.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_util.hpp"
 #include "group/fixed_pow.hpp"
+#include "group/prepared.hpp"
 #include "group/tate_group.hpp"
 #include "schemes/dlr.hpp"
 #include "schemes/hpske.hpp"
@@ -65,6 +74,45 @@ template <class F>
 void bench_gt_random(benchmark::State& state, F& f) {
   for (auto _ : state) benchmark::DoNotOptimize(f.gg.gt_random(f.rng));
 }
+// Fixed-first-argument pairing: Miller precomputation hoisted out of the
+// loop, each iteration is line-evaluation + norm-1 final exponentiation.
+template <class F>
+void bench_pairing_prepared(benchmark::State& state, F& f) {
+  const auto pp = f.gg.prepare_pair(f.p);
+  for (auto _ : state) benchmark::DoNotOptimize(pp.pair(f.q));
+}
+// Cyclotomic-style squaring of a norm-1 GT element vs the generic complex
+// squaring (the inner op of every GT exponentiation chain).
+template <class F>
+void bench_gt_sqr_generic(benchmark::State& state, F& f) {
+  const auto z = f.gg.pair(f.p, f.q);  // norm-1 by construction
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.ctx().fq2().sqr(z));
+}
+template <class F>
+void bench_gt_sqr_norm1(benchmark::State& state, F& f) {
+  const auto z = f.gg.pair(f.p, f.q);
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.ctx().fq2().sqr_norm1(z));
+}
+// Comb-table construction: Jacobian chain + ONE batch inversion vs one
+// Fermat inversion per affine g_mul.
+template <class F>
+void bench_comb_table_native(benchmark::State& state, F& f) {
+  const auto base = f.gg.g_gen();
+  const std::size_t windows = (f.gg.scalar_bits() + 3) / 4;
+  for (auto _ : state) benchmark::DoNotOptimize(f.gg.g_comb_table(base, windows));
+}
+template <class F>
+void bench_comb_table_generic(benchmark::State& state, F& f) {
+  using GG = decltype(f.gg);
+  const auto base = f.gg.g_gen();
+  const std::size_t windows = (f.gg.scalar_bits() + 3) / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        group::detail::build_table_generic<GG, typename GG::G, group::detail::GOps<GG>>(
+            f.gg, base, windows));
+  }
+}
+
 template <class F>
 void bench_hash_to_g(benchmark::State& state, F& f) {
   Bytes data{1, 2, 3, 4};
@@ -79,6 +127,15 @@ void register_group_benches() {
   benchmark::RegisterBenchmark("ss256/pairing", [](benchmark::State& s) { bench_pairing(s, f256()); });
   benchmark::RegisterBenchmark("ss512/pairing", [](benchmark::State& s) { bench_pairing(s, f512()); });
   benchmark::RegisterBenchmark("ss1024/pairing", [](benchmark::State& s) { bench_pairing(s, f1024()); });
+  benchmark::RegisterBenchmark("ss256/pairing_prepared", [](benchmark::State& s) { bench_pairing_prepared(s, f256()); });
+  benchmark::RegisterBenchmark("ss512/pairing_prepared", [](benchmark::State& s) { bench_pairing_prepared(s, f512()); });
+  benchmark::RegisterBenchmark("ss1024/pairing_prepared", [](benchmark::State& s) { bench_pairing_prepared(s, f1024()); });
+  benchmark::RegisterBenchmark("ss256/gt_sqr_generic", [](benchmark::State& s) { bench_gt_sqr_generic(s, f256()); });
+  benchmark::RegisterBenchmark("ss512/gt_sqr_generic", [](benchmark::State& s) { bench_gt_sqr_generic(s, f512()); });
+  benchmark::RegisterBenchmark("ss256/gt_sqr_norm1", [](benchmark::State& s) { bench_gt_sqr_norm1(s, f256()); });
+  benchmark::RegisterBenchmark("ss512/gt_sqr_norm1", [](benchmark::State& s) { bench_gt_sqr_norm1(s, f512()); });
+  benchmark::RegisterBenchmark("ss256/comb_table_native", [](benchmark::State& s) { bench_comb_table_native(s, f256()); });
+  benchmark::RegisterBenchmark("ss256/comb_table_generic", [](benchmark::State& s) { bench_comb_table_generic(s, f256()); });
   benchmark::RegisterBenchmark("ss1024/g_pow", [](benchmark::State& s) { bench_g_pow(s, f1024()); });
   benchmark::RegisterBenchmark("ss256/g_pow", [](benchmark::State& s) { bench_g_pow(s, f256()); });
   benchmark::RegisterBenchmark("ss512/g_pow", [](benchmark::State& s) { bench_g_pow(s, f512()); });
@@ -142,7 +199,7 @@ void bench_hpske_dec(benchmark::State& state) {
 void bench_fixed_pow_g(benchmark::State& state) {
   auto& f = f256();
   group::FixedPowG<group::TateSS256> tbl(f.gg, f.gg.g_gen());
-  for (auto _ : state) benchmark::DoNotOptimize(tbl.pow(f.gg.sc_random(f.rng)));
+  for (auto _ : state) benchmark::DoNotOptimize(tbl.pow(f.gg, f.gg.sc_random(f.rng)));
 }
 
 void bench_enc_vs_precomp(benchmark::State& state) {
@@ -177,9 +234,75 @@ void bench_chacha_rng_1k(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
 }
 
+// The acceptance-criterion number: pair_ct on SS512 with l = 10 (11
+// pairings sharing the first argument), plain per-coordinate gg.pair loop
+// vs one prepared Miller pass + batched norm-1 final exponentiations.
+// Single-threaded by construction (no par_for in pair_ct). Prepared timing
+// includes the Miller precomputation, so the ratio is end-to-end honest.
+void pair_ct_speedup_report() {
+  using GG = group::TateSS512;
+  using Core = dlr::schemes::DlrCore<GG>;
+  auto& f = f512();
+  constexpr std::size_t kEll = 10;
+  typename Core::CtG ct;
+  ct.b.reserve(kEll);
+  for (std::size_t i = 0; i < kEll; ++i) ct.b.push_back(f.gg.g_random(f.rng));
+  ct.c0 = f.gg.g_random(f.rng);
+  const auto a = f.gg.g_random(f.rng);
+
+  const auto plain = bench::time_stats(
+      [&] {
+        typename Core::CtT r;
+        r.b.reserve(kEll);
+        for (const auto& bi : ct.b) r.b.push_back(f.gg.pair(a, bi));
+        r.c0 = f.gg.pair(a, ct.c0);
+        bench::sink(r);
+      },
+      5);
+  const auto prepared = bench::time_stats(
+      [&] {
+        const group::PreparedPair<GG> pa(f.gg, a);
+        bench::sink(Core::pair_ct(f.gg, pa, ct));
+      },
+      5);
+  const double speedup = prepared.med > 0 ? plain.med / prepared.med : 0;
+
+  std::printf("\npair_ct ss512 l=%zu (11 pairings, single-threaded)\n", kEll);
+  bench::Table tbl({"variant", "min ms", "med ms", "max ms"});
+  tbl.row({"plain pair loop", bench::fmt(plain.min), bench::fmt(plain.med),
+           bench::fmt(plain.max)});
+  tbl.row({"prepared+batched", bench::fmt(prepared.min), bench::fmt(prepared.med),
+           bench::fmt(prepared.max)});
+  tbl.print();
+  std::printf("speedup: %.2fx\n", speedup);
+
+  auto& reg = telemetry::Registry::global();
+  reg.gauge("bench.pair_ct.plain_ms", {{"preset", "ss512"}}).set(plain.med);
+  reg.gauge("bench.pair_ct.prepared_ms", {{"preset", "ss512"}}).set(prepared.med);
+  reg.gauge("bench.pair_ct.speedup", {{"preset", "ss512"}}).set(speedup);
+}
+
+/// Remove `--json [path]` / `--json=path` so benchmark::Initialize (which
+/// rejects unknown flags) never sees it.
+int strip_json_flag(int argc, char** argv) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    if (a.rfind("--json=", 0) == 0) continue;
+    argv[w++] = argv[i];
+  }
+  return w;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = dlr::bench::json_flag(argc, argv);
+  argc = strip_json_flag(argc, argv);
   register_group_benches();
   benchmark::RegisterBenchmark("ss256/multi_pow", bench_multi_pow)->Arg(4)->Arg(21);
   benchmark::RegisterBenchmark("ss256/naive_multi_pow", bench_naive_multi_pow)
@@ -194,5 +317,12 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("chacha_rng/1KiB", bench_chacha_rng_1k);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  pair_ct_speedup_report();
+  if (!json_path.empty()) {
+    if (dlr::telemetry::export_global_jsonl(json_path, "F6"))
+      std::printf("telemetry: wrote %s\n", json_path.c_str());
+    else
+      std::fprintf(stderr, "telemetry: FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }

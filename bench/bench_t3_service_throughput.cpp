@@ -44,11 +44,15 @@ struct Fixture {
   schemes::DlrParams prm;
   Core::KeyGenResult kg;
   std::shared_ptr<service::P1Runtime<MockGroup>> p1;
+  // Comb tables for pk.g / pk.Z, built once; every sweep point encrypts
+  // hundreds of ciphertexts against the same pk.
+  std::unique_ptr<Core::PkTable> pk_tbl;
 
   explicit Fixture(std::size_t lambda) {
     prm = schemes::DlrParams::derive(gg.scalar_bits(), lambda);
     crypto::Rng rng(424242);
     kg = Core::gen(gg, prm, rng);
+    pk_tbl = std::make_unique<Core::PkTable>(gg, kg.pk);
     p1 = std::make_shared<service::P1Runtime<MockGroup>>(
         gg, prm, kg.pk, kg.sk1, schemes::P1Mode::Plain, crypto::Rng(1));
   }
@@ -69,7 +73,7 @@ double run_point(Fixture& fx, int workers, int clients, int requests) {
   std::vector<typename Core::Ciphertext> cts;
   cts.reserve(per_client);
   for (int i = 0; i < per_client; ++i)
-    cts.push_back(Core::enc(fx.gg, fx.kg.pk, fx.gg.gt_random(rng), rng));
+    cts.push_back(Core::enc_precomp(fx.gg, *fx.pk_tbl, fx.gg.gt_random(rng), rng));
 
   std::vector<std::unique_ptr<service::DecryptionClient<MockGroup>>> conns;
   conns.reserve(clients);

@@ -67,12 +67,22 @@ inline int env_runs_override() {
   return 0;
 }
 
-/// Median-of-runs wall time in milliseconds, after one discarded warmup run
+/// min/median/max of the timed runs, in milliseconds. The median is the
+/// headline number (robust to a straggler run); min and max bound the spread
+/// so a row with heavy jitter is visible as such instead of silently
+/// averaged away.
+struct TimeStats {
+  double min = 0;
+  double med = 0;
+  double max = 0;
+};
+
+/// Wall-time samples over `runs` runs, after one discarded warmup run
 /// (caches/branch predictors/lazy per-period state settle before the first
 /// sample). A compiler barrier after each run keeps the optimizer from
 /// eliding result computations whose values the timed lambda discards.
 /// DLR_BENCH_RUNS overrides `runs` when set.
-inline double time_ms(const std::function<void()>& fn, int runs = 3) {
+inline TimeStats time_stats(const std::function<void()>& fn, int runs = 3) {
   if (const int env = env_runs_override()) runs = env;
   if (runs < 1) runs = 1;
   fn();  // warmup, discarded
@@ -87,7 +97,12 @@ inline double time_ms(const std::function<void()>& fn, int runs = 3) {
     samples.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
   std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  return TimeStats{samples.front(), samples[samples.size() / 2], samples.back()};
+}
+
+/// Median-of-runs wall time in milliseconds (time_stats().med).
+inline double time_ms(const std::function<void()>& fn, int runs = 3) {
+  return time_stats(fn, runs).med;
 }
 
 /// Opaque consumer: forces the compiler to materialize v inside timed code.

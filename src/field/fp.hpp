@@ -8,7 +8,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "crypto/rng.hpp"
 #include "mpint/uint.hpp"
@@ -103,6 +105,29 @@ class FpCtx {
   [[nodiscard]] E inv(const E& a) const {
     if (a.is_zero()) throw std::domain_error("FpCtx::inv: zero");
     return inv_(a);
+  }
+
+  /// Montgomery simultaneous inversion: replaces each xs[i] with xs[i]^{-1}
+  /// using one Fermat inversion plus 3(n-1) multiplications. A Fermat
+  /// inversion costs ~1.5*bits(p) multiplications, so sharing it across a
+  /// batch is the enabler for batch-affine table normalization and the
+  /// one-inversion-per-batch final exponentiation. Throws on any zero input.
+  void batch_inv(std::span<E> xs) const {
+    if (xs.empty()) return;
+    // prefix[i] = xs[0] * ... * xs[i-1]
+    std::vector<E> prefix(xs.size());
+    E acc = one_;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (xs[i].is_zero()) throw std::domain_error("FpCtx::batch_inv: zero");
+      prefix[i] = acc;
+      acc = mul(acc, xs[i]);
+    }
+    E inv_acc = inv_(acc);  // (prod xs)^{-1}
+    for (std::size_t i = xs.size(); i-- > 0;) {
+      const E xi_inv = mul(inv_acc, prefix[i]);
+      inv_acc = mul(inv_acc, xs[i]);
+      xs[i] = xi_inv;
+    }
   }
 
   /// Legendre symbol == 1 (a must be nonzero).

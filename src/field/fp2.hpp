@@ -3,6 +3,8 @@
 // order-r subgroup of F_{p^2}^*.
 #pragma once
 
+#include <array>
+
 #include "field/fp.hpp"
 
 namespace dlr::field {
@@ -65,6 +67,16 @@ class Fp2Ctx {
     return fp_.add(fp_.sqr(x.a), fp_.sqr(x.b));
   }
 
+  /// Whether x lies on the norm-1 circle a^2 + b^2 = 1 (every element of the
+  /// order-r pairing target group GT does: r | q+1 divides the norm-1
+  /// subgroup order).
+  [[nodiscard]] bool is_norm_one(const E& x) const { return fp_.eq(norm(x), fp_.one()); }
+
+  /// Scale by a base-field element: (a + bi) * s.
+  [[nodiscard]] E scale(const E& x, const UInt<L>& s) const {
+    return {fp_.mul(x.a, s), fp_.mul(x.b, s)};
+  }
+
   [[nodiscard]] E inv(const E& x) const {
     const auto n = norm(x);
     const auto ninv = fp_.inv(n);  // throws on zero
@@ -83,6 +95,41 @@ class Fp2Ctx {
       if (e.bit(i)) result = mul(result, x);
     }
     return result;
+  }
+
+  // ---- norm-1 fast lane -------------------------------------------------------
+  // For x with a^2 + b^2 = 1 (the unit circle containing GT) two identities
+  // buy cheaper arithmetic:
+  //   * x^{-1} = conj(x)                       (inversion is free)
+  //   * x^2 = (2a^2 - 1) + (2ab) i             (1 sqr + 1 mul vs 2 muls)
+  // Callers must guarantee the precondition; outputs stay on the circle.
+
+  /// Squaring on the norm-1 circle: (2a^2 - 1, 2ab).
+  [[nodiscard]] E sqr_norm1(const E& x) const {
+    return {fp_.sub(fp_.dbl(fp_.sqr(x.a)), fp_.one()), fp_.dbl(fp_.mul(x.a, x.b))};
+  }
+
+  /// Signed-window (wNAF) exponentiation on the norm-1 circle: free inversion
+  /// makes negative digits cost nothing extra, cutting the per-bit
+  /// multiplication count to ~1/(w+1); squarings use sqr_norm1.
+  template <std::size_t LE>
+  [[nodiscard]] E pow_norm1(const E& x, const UInt<LE>& e) const {
+    if (e.is_zero()) return one();
+    constexpr int kW = 5;
+    const auto naf = mpint::wnaf_digits(e, kW);
+    // Odd powers x^1, x^3, ..., x^31.
+    std::array<E, 16> tbl;
+    tbl[0] = x;
+    const E x2 = sqr_norm1(x);
+    for (std::size_t i = 1; i < tbl.size(); ++i) tbl[i] = mul(tbl[i - 1], x2);
+    E acc = one();
+    for (std::size_t i = naf.size(); i-- > 0;) {
+      acc = sqr_norm1(acc);
+      const int d = naf[i];
+      if (d > 0) acc = mul(acc, tbl[static_cast<std::size_t>(d - 1) / 2]);
+      if (d < 0) acc = mul(acc, conj(tbl[static_cast<std::size_t>(-d - 1) / 2]));
+    }
+    return acc;
   }
 
   /// Uniform nonzero element of F_{p^2}^*.

@@ -17,8 +17,10 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "group/bilinear.hpp"
+#include "group/prepared.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace dlr::group {
@@ -182,6 +184,56 @@ class CountingGroup {
     ++counts_->pairings;
     tm_pairing_->add();
     return inner_.pair(a, b);
+  }
+
+  // ---- fast-lane native forwards (present iff the inner backend has them) ----
+
+  /// Counting view of a native prepared pairing: every evaluation still
+  /// counts as a pairing (it is one, semantically), so the T1/F2 op profiles
+  /// stay meaningful when schemes route through the fast lane.
+  template <class Inner>
+  class Prepared {
+   public:
+    Prepared(Inner inner, std::shared_ptr<OpCounts> counts, telemetry::Counter* tm)
+        : inner_(std::move(inner)), counts_(std::move(counts)), tm_pairing_(tm) {}
+    [[nodiscard]] GT pair(const G& b) const {
+      ++counts_->pairings;
+      tm_pairing_->add();
+      return inner_.pair(b);
+    }
+    [[nodiscard]] std::vector<GT> pair_many(std::span<const G> bs) const {
+      counts_->pairings += bs.size();
+      tm_pairing_->add(bs.size());
+      return inner_.pair_many(bs);
+    }
+
+   private:
+    Inner inner_;
+    std::shared_ptr<OpCounts> counts_;
+    telemetry::Counter* tm_pairing_;
+  };
+
+  [[nodiscard]] auto prepare_pair(const G& a) const
+    requires NativePreparedPairing<GG>
+  {
+    return Prepared<decltype(inner_.prepare_pair(a))>(inner_.prepare_pair(a), counts_,
+                                                      tm_pairing_);
+  }
+
+  [[nodiscard]] G g_prod(std::span<const G> as) const
+    requires requires(const GG& g, std::span<const G> s) { g.g_prod(s); }
+  {
+    counts_->g_mul += as.size();
+    tm_mul_->add(as.size());
+    return inner_.g_prod(as);
+  }
+
+  [[nodiscard]] std::vector<G> g_comb_table(const G& base, std::size_t windows) const
+    requires requires(const GG& g, const G& b, std::size_t w) { g.g_comb_table(b, w); }
+  {
+    counts_->g_mul += 15 * windows;
+    tm_mul_->add(15 * windows);
+    return inner_.g_comb_table(base, windows);
   }
 
   [[nodiscard]] std::size_t sc_bytes() const { return inner_.sc_bytes(); }

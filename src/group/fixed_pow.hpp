@@ -2,8 +2,18 @@
 //
 // Encryption raises the *same* public-key bases (g and Z = e(g1,g2)) to fresh
 // exponents on every call; a one-time table of base^(d * 16^i) turns each
-// exponentiation into ~bits/4 multiplications with no squarings. Built purely
-// on the BilinearGroup interface, so it works on every backend.
+// exponentiation into ~bits/4 multiplications with no squarings. Built on the
+// BilinearGroup interface with two optional native hooks:
+//
+//   * gg.g_comb_table(base, windows) -- builds the G table in Jacobian
+//     coordinates and normalizes it with ONE batch inversion (vs one Fermat
+//     inversion per affine g_mul in the generic loop);
+//   * gg.g_prod(span) -- folds the selected table entries with mixed adds and
+//     a single final inversion, which is what makes a G-side table pay off at
+//     all on affine-coordinate backends.
+//
+// Wrappers hold only the table; callers pass the (cheap, shared) group handle
+// to pow() instead of every wrapper dragging its own GG copy around.
 #pragma once
 
 #include <vector>
@@ -29,32 +39,38 @@ std::vector<unsigned> scalar_nibbles(const GG& gg, const typename GG::Scalar& e)
   return out;
 }
 
+/// Generic comb-table build: base^(d * 16^i) by repeated Ops::mul.
+template <class GG, class Elem, class Ops>
+std::vector<Elem> build_table_generic(const GG& gg, const Elem& base, std::size_t windows) {
+  std::vector<Elem> table(windows * 15);
+  Elem cur = base;  // base^(16^i)
+  for (std::size_t i = 0; i < windows; ++i) {
+    Elem acc = cur;
+    for (int d = 1; d <= 15; ++d) {
+      table[15 * i + static_cast<std::size_t>(d - 1)] = acc;
+      if (d < 15) acc = Ops::mul(gg, acc, cur);
+    }
+    cur = Ops::mul(gg, acc, cur);  // acc == base^(15*16^i); * cur -> 16^(i+1)
+  }
+  return table;
+}
+
 /// Shared implementation over an element type + ops functor.
 template <class GG, class Elem, class Ops>
 class FixedPowImpl {
  public:
   FixedPowImpl(const GG& gg, const Elem& base, std::size_t max_bits)
-      : windows_((max_bits + 3) / 4) {
-    table_.resize(windows_ * 15);
-    Elem cur = base;  // base^(16^i)
-    for (std::size_t i = 0; i < windows_; ++i) {
-      Elem acc = cur;
-      for (int d = 1; d <= 15; ++d) {
-        table_[15 * i + static_cast<std::size_t>(d - 1)] = acc;
-        if (d < 15) acc = Ops::mul(gg, acc, cur);
-      }
-      cur = Ops::mul(gg, acc, cur);  // acc == base^(15*16^i); * cur -> 16^(i+1)
-    }
-  }
+      : windows_((max_bits + 3) / 4), table_(Ops::table(gg, base, windows_)) {}
 
   [[nodiscard]] Elem pow(const GG& gg, const typename GG::Scalar& e) const {
-    Elem acc = Ops::id(gg);
     const auto nibbles = Ops::nibbles(gg, e);
+    std::vector<Elem> sel;
+    sel.reserve(windows_);
     for (std::size_t i = 0; i < nibbles.size() && i < windows_; ++i) {
       const auto d = nibbles[i];
-      if (d != 0) acc = Ops::mul(gg, acc, table_[15 * i + (d - 1)]);
+      if (d != 0) sel.push_back(table_[15 * i + (d - 1)]);
     }
-    return acc;
+    return Ops::prod(gg, sel);
   }
 
   [[nodiscard]] std::size_t table_elems() const { return table_.size(); }
@@ -69,9 +85,25 @@ struct GOps {
   static typename GG::G mul(const GG& gg, const typename GG::G& a, const typename GG::G& b) {
     return gg.g_mul(a, b);
   }
-  static typename GG::G id(const GG& gg) { return gg.g_id(); }
   static std::vector<unsigned> nibbles(const GG& gg, const typename GG::Scalar& e) {
     return scalar_nibbles(gg, e);
+  }
+  static std::vector<typename GG::G> table(const GG& gg, const typename GG::G& base,
+                                           std::size_t windows) {
+    if constexpr (requires { gg.g_comb_table(base, windows); }) {
+      return gg.g_comb_table(base, windows);
+    } else {
+      return build_table_generic<GG, typename GG::G, GOps>(gg, base, windows);
+    }
+  }
+  static typename GG::G prod(const GG& gg, std::span<const typename GG::G> sel) {
+    if constexpr (requires { gg.g_prod(sel); }) {
+      return gg.g_prod(sel);
+    } else {
+      auto acc = gg.g_id();
+      for (const auto& s : sel) acc = gg.g_mul(acc, s);
+      return acc;
+    }
   }
 };
 
@@ -81,9 +113,17 @@ struct GTOps {
                              const typename GG::GT& b) {
     return gg.gt_mul(a, b);
   }
-  static typename GG::GT id(const GG& gg) { return gg.gt_id(); }
   static std::vector<unsigned> nibbles(const GG& gg, const typename GG::Scalar& e) {
     return scalar_nibbles(gg, e);
+  }
+  static std::vector<typename GG::GT> table(const GG& gg, const typename GG::GT& base,
+                                            std::size_t windows) {
+    return build_table_generic<GG, typename GG::GT, GTOps>(gg, base, windows);
+  }
+  static typename GG::GT prod(const GG& gg, std::span<const typename GG::GT> sel) {
+    auto acc = gg.gt_id();
+    for (const auto& s : sel) acc = gg.gt_mul(acc, s);
+    return acc;
   }
 };
 
@@ -92,30 +132,26 @@ struct GTOps {
 template <BilinearGroup GG>
 class FixedPowG {
  public:
-  FixedPowG(const GG& gg, const typename GG::G& base)
-      : gg_(gg), impl_(gg, base, gg.scalar_bits()) {}
-  [[nodiscard]] typename GG::G pow(const typename GG::Scalar& e) const {
-    return impl_.pow(gg_, e);
+  FixedPowG(const GG& gg, const typename GG::G& base) : impl_(gg, base, gg.scalar_bits()) {}
+  [[nodiscard]] typename GG::G pow(const GG& gg, const typename GG::Scalar& e) const {
+    return impl_.pow(gg, e);
   }
   [[nodiscard]] std::size_t table_elems() const { return impl_.table_elems(); }
 
  private:
-  GG gg_;
   detail::FixedPowImpl<GG, typename GG::G, detail::GOps<GG>> impl_;
 };
 
 template <BilinearGroup GG>
 class FixedPowGT {
  public:
-  FixedPowGT(const GG& gg, const typename GG::GT& base)
-      : gg_(gg), impl_(gg, base, gg.scalar_bits()) {}
-  [[nodiscard]] typename GG::GT pow(const typename GG::Scalar& e) const {
-    return impl_.pow(gg_, e);
+  FixedPowGT(const GG& gg, const typename GG::GT& base) : impl_(gg, base, gg.scalar_bits()) {}
+  [[nodiscard]] typename GG::GT pow(const GG& gg, const typename GG::Scalar& e) const {
+    return impl_.pow(gg, e);
   }
   [[nodiscard]] std::size_t table_elems() const { return impl_.table_elems(); }
 
  private:
-  GG gg_;
   detail::FixedPowImpl<GG, typename GG::GT, detail::GTOps<GG>> impl_;
 };
 

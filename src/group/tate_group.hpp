@@ -5,10 +5,13 @@
 // elements are affine points / F_{q^2} values in Montgomery form.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <vector>
 
 #include "group/bilinear.hpp"
 #include "pairing/pairing.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dlr::group {
 
@@ -21,7 +24,10 @@ class TateGroup {
   using GT = typename Ctx::GT;
 
   explicit TateGroup(std::shared_ptr<const Ctx> ctx)
-      : ctx_(std::move(ctx)), zr_(ctx_->order()) {}
+      : ctx_(std::move(ctx)),
+        zr_(ctx_->order()),
+        tm_fast_sqr_(&telemetry::Registry::global().counter(
+            "group.gt.fast_sqr", {{"backend", ctx_->name()}})) {}
 
   [[nodiscard]] const Ctx& ctx() const { return *ctx_; }
 
@@ -74,27 +80,112 @@ class TateGroup {
   [[nodiscard]] GT gt_random(crypto::Rng& rng) const { return ctx_->random_gt(rng); }
   [[nodiscard]] GT gt_mul(const GT& a, const GT& b) const { return ctx_->fq2().mul(a, b); }
   [[nodiscard]] GT gt_inv(const GT& a) const { return ctx_->gt_inv(a); }
-  [[nodiscard]] GT gt_pow(const GT& a, const Scalar& s) const { return ctx_->fq2().pow(a, s); }
+  /// GT exponentiation. Genuine GT elements are norm-1 (gt_deser rejects
+  /// anything else), which unlocks the signed-window fast lane: conjugation
+  /// is a free inverse and squaring costs 1 mul + 1 sqr. Elements off the
+  /// circle (possible only through raw field values in tests) fall back to
+  /// generic square-and-multiply; both paths agree where both apply.
+  [[nodiscard]] GT gt_pow(const GT& a, const Scalar& s) const {
+    const auto& f2 = ctx_->fq2();
+    if (f2.is_norm_one(a)) {
+      tm_fast_sqr_->add(s.bit_length());
+      return f2.pow_norm1(a, s);
+    }
+    return f2.pow(a, s);
+  }
   [[nodiscard]] bool gt_eq(const GT& a, const GT& b) const { return a == b; }
   [[nodiscard]] bool gt_is_id(const GT& a) const { return ctx_->fq2().eq(a, ctx_->fq2().one()); }
-  /// prod_i t_i^{s_i} with one shared squaring chain.
+  /// prod_i t_i^{s_i} with one shared squaring chain. All-norm-1 inputs (the
+  /// only kind the protocols produce) take the signed-window interleaving:
+  /// per-base {t, t^3} tables, free negation via conj, cyclotomic-style
+  /// squarings.
   [[nodiscard]] GT gt_multi_pow(std::span<const GT> ts, std::span<const Scalar> ss) const {
     if (ts.size() != ss.size())
       throw std::invalid_argument("gt_multi_pow: size mismatch");
     const auto& f2 = ctx_->fq2();
-    std::size_t nbits = 0;
-    for (const auto& s : ss) nbits = std::max(nbits, s.bit_length());
-    GT acc = f2.one();
-    for (std::size_t i = nbits; i-- > 0;) {
-      acc = f2.sqr(acc);
-      for (std::size_t j = 0; j < ts.size(); ++j)
-        if (ss[j].bit(i)) acc = f2.mul(acc, ts[j]);
+    bool fast = true;
+    for (const auto& t : ts)
+      if (!f2.is_norm_one(t)) {
+        fast = false;
+        break;
+      }
+    if (!fast) {
+      std::size_t nbits = 0;
+      for (const auto& s : ss) nbits = std::max(nbits, s.bit_length());
+      GT acc = f2.one();
+      for (std::size_t i = nbits; i-- > 0;) {
+        acc = f2.sqr(acc);
+        for (std::size_t j = 0; j < ts.size(); ++j)
+          if (ss[j].bit(i)) acc = f2.mul(acc, ts[j]);
+      }
+      return acc;
     }
+    std::vector<std::vector<int>> nafs;
+    std::vector<std::array<GT, 2>> tbl;  // {t, t^3} per active base
+    std::size_t nmax = 0;
+    for (std::size_t j = 0; j < ts.size(); ++j) {
+      if (ss[j].is_zero()) continue;
+      nafs.push_back(mpint::wnaf_digits(ss[j], 3));
+      tbl.push_back({ts[j], f2.mul(f2.sqr_norm1(ts[j]), ts[j])});
+      nmax = std::max(nmax, nafs.back().size());
+    }
+    GT acc = f2.one();
+    for (std::size_t i = nmax; i-- > 0;) {
+      acc = f2.sqr_norm1(acc);
+      for (std::size_t j = 0; j < tbl.size(); ++j) {
+        if (i >= nafs[j].size()) continue;
+        const int d = nafs[j][i];
+        if (d == 0) continue;
+        const GT& e = tbl[j][(d == 1 || d == -1) ? 0 : 1];
+        acc = f2.mul(acc, d > 0 ? e : f2.conj(e));
+      }
+    }
+    tm_fast_sqr_->add(nmax);
     return acc;
   }
 
   // ---- pairing ----------------------------------------------------------------
   [[nodiscard]] GT pair(const G& a, const G& b) const { return ctx_->pair(a, b); }
+
+  // ---- fast-lane natives -------------------------------------------------------
+  // Optional extensions over the BilinearGroup concept; generic wrappers
+  // (PreparedPair, FixedPow) detect them with `requires` and fall back to
+  // concept-only code on backends that lack them.
+
+  /// Fixed-argument pairing: run the Miller loop once for `a`, evaluate
+  /// cheaply against many second arguments.
+  [[nodiscard]] pairing::PreparedPairing<LQ, LR> prepare_pair(const G& a) const {
+    return pairing::PreparedPairing<LQ, LR>(ctx_, a);
+  }
+
+  /// prod of group elements via Jacobian mixed-add accumulation: n cheap
+  /// mixed adds + ONE inversion, vs n affine adds each paying a Fermat
+  /// inversion. Makes comb-table lookups on G finally profitable.
+  [[nodiscard]] G g_prod(std::span<const G> as) const {
+    const auto& cv = ctx_->curve();
+    ec::JacPoint<LQ> acc{ctx_->fq().one(), ctx_->fq().one(), ctx_->fq().zero()};
+    for (const auto& p : as) acc = cv.add_mixed(acc, p);
+    return cv.to_affine(acc);
+  }
+
+  /// Comb table base^(d * 16^i), d in [1,15], i in [0,windows): built with a
+  /// Jacobian addition chain and normalized to affine with ONE batch
+  /// inversion (vs 15*windows Fermat inversions for the generic g_mul loop).
+  [[nodiscard]] std::vector<G> g_comb_table(const G& base, std::size_t windows) const {
+    const auto& cv = ctx_->curve();
+    std::vector<ec::JacPoint<LQ>> jac;
+    jac.reserve(windows * 15);
+    ec::JacPoint<LQ> cur = cv.to_jac(base);  // base^(16^i)
+    for (std::size_t i = 0; i < windows; ++i) {
+      ec::JacPoint<LQ> acc = cur;
+      for (int d = 1; d <= 15; ++d) {
+        jac.push_back(acc);
+        acc = cv.add(acc, cur);
+      }
+      cur = acc;  // base^(16^{i+1})
+    }
+    return cv.batch_to_affine(jac);
+  }
 
   // ---- serialization ----------------------------------------------------------
   // Scalars are packed to ceil(log r / 8) bytes: the measured secret-memory
@@ -169,6 +260,8 @@ class TateGroup {
  private:
   std::shared_ptr<const Ctx> ctx_;
   field::FpCtx<LR> zr_;
+  // Registry handle (stable for the process lifetime; shared across copies).
+  telemetry::Counter* tm_fast_sqr_ = nullptr;
 };
 
 using TateSS512 = TateGroup<8, 3>;

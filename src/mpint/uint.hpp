@@ -377,4 +377,33 @@ UInt<L> powmod_slow(const UInt<L>& a, const UInt<LE>& e, const UInt<L>& m) {
   return result;
 }
 
+/// Non-adjacent form with window w: digits in {0, +-1, +-3, ..., +-(2^w-1)},
+/// at most one nonzero digit in any w consecutive positions. Shared by the
+/// curve layer (wNAF scalar multiplication) and the norm-1 GT fast lane
+/// (signed-window exponentiation where inversion is free).
+template <std::size_t LE>
+std::vector<int> wnaf_digits(const UInt<LE>& k, int w) {
+  std::vector<int> out;
+  out.reserve(k.bit_length() + 1);
+  // Work on a mutable copy wide enough for the +1 carries.
+  UInt<LE + 1> v = resize<LE + 1>(k);
+  const int mask = (1 << w) - 1;
+  while (!v.is_zero()) {
+    if (v.is_odd()) {
+      int d = static_cast<int>(v.limb[0] & static_cast<std::uint64_t>(mask));
+      if (d > (1 << (w - 1))) d -= (1 << w);
+      out.push_back(d);
+      if (d > 0) {
+        sub(v, v, UInt<LE + 1>::from_u64(static_cast<std::uint64_t>(d)));
+      } else {
+        add(v, v, UInt<LE + 1>::from_u64(static_cast<std::uint64_t>(-d)));
+      }
+    } else {
+      out.push_back(0);
+    }
+    v = shr(v, 1);
+  }
+  return out;
+}
+
 }  // namespace dlr::mpint

@@ -29,8 +29,10 @@
 
 #include "crypto/rng.hpp"
 #include "group/fixed_pow.hpp"
+#include "group/prepared.hpp"
 #include "net/transcript.hpp"
 #include "schemes/hpske.hpp"
+#include "service/parallel.hpp"
 #include "telemetry/trace.hpp"
 #include "schemes/params.hpp"
 #include "schemes/pi_ss.hpp"
@@ -119,22 +121,26 @@ struct DlrCore {
     return Ciphertext{gg.g_pow(pk.g, t), gg.gt_mul(m, gg.gt_pow(pk.z, t))};
   }
 
-  /// Precomputed public-key table for the heavy-encryptor setting. Only the
-  /// GT base Z = e(g1, g2) uses a comb table: GT multiplications are cheap
-  /// (F_{q^2} muls), so the table replaces ~|r| squarings with ~|r|/4 muls.
-  /// The G base deliberately does NOT -- affine G multiplications each cost a
-  /// field inversion, which would eat the entire saving (measured in F6).
+  /// Precomputed public-key tables for the heavy-encryptor setting. The GT
+  /// base Z = e(g1, g2) always pays: GT multiplications are cheap (F_{q^2}
+  /// muls), so the table replaces ~|r| squarings with ~|r|/4 muls. The G base
+  /// g pays only since the g_comb_table/g_prod native hooks exist -- they
+  /// build the table with ONE batch inversion and fold selected entries with
+  /// mixed adds plus a single final inversion; the earlier generic path (one
+  /// Fermat inversion per affine g_mul) was a measured loss in F6.
   struct PkTable {
     PublicKey pk;
+    group::FixedPowG<GG> g;
     group::FixedPowGT<GG> z;
-    PkTable(const GG& gg, const PublicKey& pk_in) : pk(pk_in), z(gg, pk_in.z) {}
+    PkTable(const GG& gg, const PublicKey& pk_in)
+        : pk(pk_in), g(gg, pk_in.g), z(gg, pk_in.z) {}
   };
 
   static Ciphertext enc_precomp(const GG& gg, const PkTable& tbl, const GT& m,
                                 crypto::Rng& rng) {
     telemetry::ScopedSpan span("dlr.enc");
     const Scalar t = gg.sc_random(rng);
-    return Ciphertext{gg.g_pow(tbl.pk.g, t), gg.gt_mul(m, tbl.z.pow(t))};
+    return Ciphertext{tbl.g.pow(gg, t), gg.gt_mul(m, tbl.z.pow(gg, t))};
   }
 
   /// Non-distributed reference decryption (tests / baselines): requires the
@@ -155,10 +161,23 @@ struct DlrCore {
   /// plaintext: pair each coordinate with A. Correct under the same sigma
   /// because e(A, b^sigma) = e(A, b)^sigma.
   static CtT pair_ct(const GG& gg, const G& a, const CtG& ct) {
+    return pair_ct(gg, group::PreparedPair<GG>(gg, a), ct);
+  }
+
+  /// pair_ct against an already-prepared first argument: callers that
+  /// transport many ciphertexts under the same A (dec_round1 pairs l+1 of
+  /// them) run the Miller loop once and amortize it across every coordinate.
+  /// All kappa+1 coordinates go through ONE pair_many call, which on native
+  /// backends also shares a single batched inversion across their final
+  /// exponentiations.
+  static CtT pair_ct(const GG& gg, const group::PreparedPair<GG>& pa, const CtG& ct) {
+    std::vector<G> coords(ct.b.begin(), ct.b.end());
+    coords.push_back(ct.c0);
+    auto gts = pa.pair_many(gg, coords);
     CtT out;
-    out.b.reserve(ct.b.size());
-    for (const auto& bi : ct.b) out.b.push_back(gg.pair(a, bi));
-    out.c0 = gg.pair(a, ct.c0);
+    out.c0 = std::move(gts.back());
+    gts.pop_back();
+    out.b = std::move(gts);
     return out;
   }
 
@@ -286,10 +305,17 @@ class DlrParty1 {
   [[nodiscard]] Bytes dec_round1(const typename Core::Ciphertext& c, crypto::Rng& rng) const {
     telemetry::ScopedSpan span("dec.round1");
     if (!fphi_) throw std::logic_error("dec_round1: period not prepared");
+    // One Miller precomputation for A serves all l+1 transported ciphertexts;
+    // with DLR_PARALLEL set the independent pair_ct rows fan out across the
+    // pool (each writes its own slot; serialization below stays ordered).
+    const group::PreparedPair<GG> pa(gg_, c.a);
+    std::vector<CtT> d(fs_.size() + 1);
+    service::par_for(d.size(), [&](std::size_t i) {
+      d[i] = Core::pair_ct(gg_, pa, i < fs_.size() ? fs_[i] : *fphi_);
+    });
     ByteWriter w;
-    for (const auto& fi : fs_) ht_.ser_ct(w, Core::pair_ct(gg_, c.a, fi));
-    ht_.ser_ct(w, Core::pair_ct(gg_, c.a, *fphi_));
-    const CtT db = ht_.enc(sigma_gt(), c.b, rng);
+    for (const auto& di : d) ht_.ser_ct(w, di);
+    const CtT db = ht_.enc(sigma_gt(), c.b, rng);  // uses rng -> stays serial
     ht_.ser_ct(w, db);
     return w.take();
   }
@@ -629,6 +655,8 @@ class DlrSystem {
   }
 
   [[nodiscard]] const typename Core::PublicKey& pk() const { return pk_; }
+  /// Comb tables for pk.g and pk.Z, built once at keygen.
+  [[nodiscard]] const typename Core::PkTable& pk_table() const { return pk_tbl_; }
   [[nodiscard]] const Bytes& gen_randomness() const { return gen_randomness_; }
   [[nodiscard]] DlrParty1<GG>& p1() { return p1_; }
   [[nodiscard]] DlrParty2<GG>& p2() { return p2_; }
@@ -667,6 +695,11 @@ class DlrSystem {
     return decrypt(c, ch);
   }
 
+  /// Encrypt through the cached pk tables (same distribution as Core::enc).
+  [[nodiscard]] typename Core::Ciphertext encrypt(const GT& m, crypto::Rng& rng) const {
+    return Core::enc_precomp(gg_, pk_tbl_, m, rng);
+  }
+
   void refresh() {
     net::Channel ch;
     refresh(ch);
@@ -675,12 +708,16 @@ class DlrSystem {
  private:
   DlrSystem(GG gg, const DlrParams& prm, P1Mode mode, typename Core::KeyGenResult kg,
             crypto::Rng rng1, crypto::Rng rng2)
-      : pk_(kg.pk),
+      : gg_(gg),
+        pk_(kg.pk),
+        pk_tbl_(gg_, kg.pk),
         gen_randomness_(std::move(kg.gen_randomness)),
         p1_(gg, prm, kg.pk, std::move(kg.sk1), mode, std::move(rng1)),
         p2_(gg, prm, std::move(kg.sk2), std::move(rng2)) {}
 
+  GG gg_;
   typename Core::PublicKey pk_;
+  typename Core::PkTable pk_tbl_;
   Bytes gen_randomness_;
   DlrParty1<GG> p1_;
   DlrParty2<GG> p2_;

@@ -13,9 +13,11 @@
 // the secret memory must not contain the coins' discrete logarithms.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "schemes/spaces.hpp"
+#include "service/parallel.hpp"
 
 namespace dlr::schemes {
 
@@ -64,14 +66,14 @@ class MaskedEnc {
                                           std::vector<Elem> coins) const {
     check_key(sk);
     if (coins.size() != width_) throw std::invalid_argument("MaskedEnc: wrong coin count");
-    const Elem mask = Sp::multi_pow(gg_, coins, sk.s);
+    const Elem mask = masked_product(coins, sk.s);
     return Ciphertext{std::move(coins), Sp::mul(gg_, m, mask)};
   }
 
   [[nodiscard]] Elem dec(const SecretKey& sk, const Ciphertext& ct) const {
     check_key(sk);
     check_ct(ct);
-    const Elem mask = Sp::multi_pow(gg_, ct.b, sk.s);
+    const Elem mask = masked_product(ct.b, sk.s);
     return Sp::mul(gg_, ct.c0, Sp::inv(gg_, mask));
   }
 
@@ -114,18 +116,22 @@ class MaskedEnc {
                                         std::span<const Scalar> ks) const {
     if (cts.size() != ks.size())
       throw std::invalid_argument("MaskedEnc::ct_multi_pow: size mismatch");
+    for (const auto& ct : cts) check_ct(ct);
     Ciphertext r = ct_one();
     if (cts.empty()) return r;
-    std::vector<Elem> column(cts.size());
-    for (std::size_t j = 0; j < width_; ++j) {
-      for (std::size_t i = 0; i < cts.size(); ++i) {
-        check_ct(cts[i]);
-        column[i] = cts[i].b[j];
+    // Coordinates are independent and each writes a distinct slot of r, so
+    // with DLR_PARALLEL set the width+1 doubling chains fan out over the pool.
+    service::par_for(width_ + 1, [&](std::size_t j) {
+      std::vector<Elem> column(cts.size());
+      for (std::size_t i = 0; i < cts.size(); ++i)
+        column[i] = (j < width_) ? cts[i].b[j] : cts[i].c0;
+      Elem v = Sp::multi_pow(gg_, column, ks);
+      if (j < width_) {
+        r.b[j] = std::move(v);
+      } else {
+        r.c0 = std::move(v);
       }
-      r.b[j] = Sp::multi_pow(gg_, column, ks);
-    }
-    for (std::size_t i = 0; i < cts.size(); ++i) column[i] = cts[i].c0;
-    r.c0 = Sp::multi_pow(gg_, column, ks);
+    });
     return r;
   }
 
@@ -168,6 +174,27 @@ class MaskedEnc {
   [[nodiscard]] std::size_t ct_bytes() const { return (width_ + 1) * Sp::bytes(gg_); }
 
  private:
+  /// The mask prod_i b_i^{s_i}. With DLR_PARALLEL set and enough bases, the
+  /// product splits into per-thread chunks (multi_pow distributes over
+  /// concatenation) and the partials are multiplied back together.
+  [[nodiscard]] Elem masked_product(std::span<const Elem> bs, std::span<const Scalar> ks) const {
+    const int t = service::parallel_env_threads();
+    if (t <= 1 || bs.size() < 8) return Sp::multi_pow(gg_, bs, ks);
+    const std::size_t chunks =
+        std::min(static_cast<std::size_t>(t), bs.size() / 4);
+    const std::size_t per = (bs.size() + chunks - 1) / chunks;
+    std::vector<Elem> parts(chunks, Sp::id(gg_));
+    service::par_for(chunks, [&](std::size_t c) {
+      const std::size_t lo = c * per;
+      const std::size_t hi = std::min(bs.size(), lo + per);
+      if (lo < hi)
+        parts[c] = Sp::multi_pow(gg_, bs.subspan(lo, hi - lo), ks.subspan(lo, hi - lo));
+    });
+    Elem acc = parts[0];
+    for (std::size_t c = 1; c < parts.size(); ++c) acc = Sp::mul(gg_, acc, parts[c]);
+    return acc;
+  }
+
   void check_key(const SecretKey& sk) const {
     if (sk.s.size() != width_) throw std::invalid_argument("MaskedEnc: wrong key width");
   }

@@ -1,0 +1,172 @@
+#include "service/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace dlr::service {
+
+int default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 4;
+  if (hw < 2) return 2;
+  if (hw > 8) return 8;
+  return static_cast<int>(hw);
+}
+
+int parallel_env_threads() {
+  const char* v = std::getenv("DLR_PARALLEL");
+  if (v == nullptr || *v == '\0') return 0;
+  const std::string s(v);
+  if (s == "0" || s == "off" || s == "OFF") return 0;
+  if (s == "on" || s == "ON" || s == "auto" || s == "AUTO") return default_workers();
+  char* end = nullptr;
+  const long n = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || n <= 0) return 0;
+  return static_cast<int>(n > 64 ? 64 : n);
+}
+
+struct ParallelFor::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  std::exception_ptr err;
+};
+
+struct ParallelFor::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Batch>> queue;
+  std::vector<std::thread> workers;
+  bool started = false;
+  bool stop = false;
+};
+
+ParallelFor::ParallelFor(int threads)
+    : threads_(threads < 0 ? 0 : threads), state_(std::make_shared<State>()) {}
+
+ParallelFor::~ParallelFor() {
+  {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->stop = true;
+  }
+  state_->cv.notify_all();
+  for (auto& t : state_->workers) t.join();
+}
+
+void ParallelFor::ensure_started() {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  if (state_->started || threads_ <= 0) return;
+  state_->started = true;
+  state_->workers.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    state_->workers.emplace_back(&ParallelFor::worker_main, state_);
+  }
+}
+
+void ParallelFor::drive(Batch& b) {
+  while (true) {
+    const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.n) break;
+    try {
+      (*b.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(b.m);
+      if (!b.err) b.err = std::current_exception();
+    }
+    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.n) {
+      // Lock pairs with the waiter's predicate check so the final notify
+      // cannot land between its check and its sleep.
+      { std::lock_guard<std::mutex> lk(b.m); }
+      b.cv.notify_all();
+    }
+  }
+}
+
+void ParallelFor::worker_main(std::shared_ptr<State> st) {
+  while (true) {
+    std::shared_ptr<Batch> b;
+    {
+      std::unique_lock<std::mutex> lk(st->mu);
+      st->cv.wait(lk, [&] { return st->stop || !st->queue.empty(); });
+      if (st->queue.empty()) {
+        if (st->stop) return;
+        continue;
+      }
+      b = st->queue.front();
+      if (b->next.load(std::memory_order_relaxed) >= b->n) {
+        // Exhausted batch still parked at the front; retire it and rescan.
+        st->queue.pop_front();
+        continue;
+      }
+    }
+    drive(*b);
+  }
+}
+
+void ParallelFor::run(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_ <= 0 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ensure_started();
+  static telemetry::Counter* tasks = &telemetry::Registry::global().counter("par.tasks");
+  tasks->add(n);
+
+  auto b = std::make_shared<Batch>();
+  b->n = n;
+  b->body = &body;
+  {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->queue.push_back(b);
+  }
+  state_->cv.notify_all();
+
+  drive(*b);  // caller claims indices too -> nested run() cannot deadlock
+
+  {
+    std::unique_lock<std::mutex> lk(b->m);
+    b->cv.wait(lk, [&] { return b->done.load(std::memory_order_acquire) >= b->n; });
+  }
+  {
+    // Retire the batch eagerly so sleeping workers don't have to.
+    std::lock_guard<std::mutex> lk(state_->mu);
+    for (auto it = state_->queue.begin(); it != state_->queue.end(); ++it) {
+      if (it->get() == b.get()) {
+        state_->queue.erase(it);
+        break;
+      }
+    }
+  }
+  if (b->err) std::rethrow_exception(b->err);
+}
+
+ParallelFor& ParallelFor::global() {
+  static ParallelFor pool([] {
+    const int t = parallel_env_threads();
+    return t > 0 ? t : default_workers();
+  }());
+  return pool;
+}
+
+void par_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (parallel_env_threads() <= 0 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ParallelFor::global().run(n, body);
+}
+
+}  // namespace dlr::service

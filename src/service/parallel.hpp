@@ -1,0 +1,77 @@
+// Small shared-pool parallel-for for the ell-coordinate loops.
+//
+// The DLR/HPSKE hot paths are embarrassingly parallel across ciphertext
+// coordinates: pair_ct evaluates kappa+1 independent pairings, MaskedEnc
+// raises width independent multi-pows, and Refresh touches each share row
+// separately. ParallelFor fans such loops out over a lazily-started global
+// worker pool; the caller participates in claiming indices, so nested run()
+// calls cannot deadlock and a zero-thread pool degrades to a plain loop.
+//
+// Everything is gated by the DLR_PARALLEL environment knob, read at each
+// par_for() call:
+//
+//   unset / "0" / "off"  -> serial (the default; keeps CountingGroup op
+//                           profiles exact and experiments reproducible
+//                           op-for-op)
+//   "on" / "auto"        -> default_workers() threads
+//   "<N>"                -> N threads
+//
+// Results are deterministic regardless of thread count because every loop we
+// fan out writes disjoint slots of a pre-sized output vector and group
+// arithmetic is exact.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace dlr::service {
+
+/// Worker-count heuristic shared with P2Server's pool sizing:
+/// hardware_concurrency clamped to [2, 8], or 4 when unknown.
+[[nodiscard]] int default_workers();
+
+/// Thread count requested by the DLR_PARALLEL env var (see header comment).
+/// 0 means "stay serial".
+[[nodiscard]] int parallel_env_threads();
+
+class ParallelFor {
+ public:
+  /// A pool with `threads` workers (0 = no workers; run() is a plain loop).
+  /// Workers are started lazily on the first parallel run().
+  explicit ParallelFor(int threads);
+  ~ParallelFor();
+  ParallelFor(const ParallelFor&) = delete;
+  ParallelFor& operator=(const ParallelFor&) = delete;
+
+  /// Invoke body(i) for every i in [0, n), possibly concurrently. Blocks
+  /// until all iterations finished. The calling thread claims indices too.
+  /// If any body throws, the first exception is rethrown here once the
+  /// batch has drained.
+  void run(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Process-wide pool used by par_for(). Sized once, at first use, from
+  /// DLR_PARALLEL (falling back to default_workers()); per-call gating still
+  /// happens in par_for, so flipping the env var off later disables fan-out.
+  static ParallelFor& global();
+
+ private:
+  struct Batch;
+  struct State;
+
+  void ensure_started();
+  static void worker_main(std::shared_ptr<State> st);
+  static void drive(Batch& b);
+
+  int threads_;
+  std::shared_ptr<State> state_;
+};
+
+/// Run body over [0, n): on the global pool when DLR_PARALLEL enables it at
+/// call time, serially otherwise. This is the only entry point scheme code
+/// uses.
+void par_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace dlr::service

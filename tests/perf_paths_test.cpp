@@ -78,11 +78,11 @@ void fixed_pow_battery(const GG& gg, std::uint64_t seed, int iters) {
   group::FixedPowGT<GG> ft(gg, base_t);
   for (int i = 0; i < iters; ++i) {
     const auto e = gg.sc_random(rng);
-    EXPECT_TRUE(gg.g_eq(fg.pow(e), gg.g_pow(base_g, e)));
-    EXPECT_TRUE(gg.gt_eq(ft.pow(e), gg.gt_pow(base_t, e)));
+    EXPECT_TRUE(gg.g_eq(fg.pow(gg, e), gg.g_pow(base_g, e)));
+    EXPECT_TRUE(gg.gt_eq(ft.pow(gg, e), gg.gt_pow(base_t, e)));
   }
-  EXPECT_TRUE(gg.g_is_id(fg.pow(gg.sc_from_u64(0))));
-  EXPECT_TRUE(gg.g_eq(fg.pow(gg.sc_from_u64(1)), base_g));
+  EXPECT_TRUE(gg.g_is_id(fg.pow(gg, gg.sc_from_u64(0))));
+  EXPECT_TRUE(gg.g_eq(fg.pow(gg, gg.sc_from_u64(1)), base_g));
 }
 
 TEST(FixedPowTest, MatchesPlainPowMock) { fixed_pow_battery(make_mock(), 7100, 100); }
