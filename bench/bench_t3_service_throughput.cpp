@@ -12,8 +12,19 @@
 // rather than speedup -- rows report, they do not assert; bench gauges
 // bench.rps{workers=..,clients=..} land in the --json export.
 //
+// With --faults the bench switches to the robustness workload: every client
+// connection runs behind a seeded transport::FaultInjector
+// (drop/duplicate/delay/bit-flip/sever at fixed rates) while refreshes fire,
+// and the run reports recovery latency -- the wall time of each decrypt()
+// that survived at least one reconnect -- as bench.recovery.* gauges next to
+// the degraded throughput. BENCH_robustness_baseline.json is the committed
+// --faults --json output.
+//
 //   bench_t3_service_throughput [--requests N] [--lambda L] [--json out.jsonl]
+//                               [--faults] [--seed S]
+#include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -21,6 +32,7 @@
 #include "group/mock_group.hpp"
 #include "service/client.hpp"
 #include "service/p2_server.hpp"
+#include "transport/fault.hpp"
 
 namespace {
 
@@ -98,6 +110,114 @@ double run_point(Fixture& fx, int workers, int clients, int requests) {
   return total / secs;
 }
 
+struct FaultRun {
+  double rps = 0;
+  int ok = 0, failed = 0;
+  std::uint64_t injected = 0;    // faults the injectors actually fired
+  std::uint64_t reconnects = 0;  // client reconnect count across the run
+  std::vector<double> recovery_ms;  // latency of decrypts that reconnected
+};
+
+/// Robustness point: `clients` faulted connections decrypt while refreshes
+/// fire every few requests. A decrypt whose client reconnected during the
+/// call is a "recovery"; its wall time is the recovery latency.
+FaultRun run_faults(Fixture& fx, std::uint64_t seed, int clients, int requests) {
+  typename service::P2Server<MockGroup>::Options sopt;
+  sopt.workers = 4;
+  service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2, crypto::Rng(2), sopt);
+  server.start();
+
+  const int per_client = (requests + clients - 1) / clients;
+  crypto::Rng rng(6000 + seed);
+  std::vector<typename Core::Ciphertext> cts;
+  cts.reserve(per_client);
+  for (int i = 0; i < per_client; ++i)
+    cts.push_back(Core::enc_precomp(fx.gg, *fx.pk_tbl, fx.gg.gt_random(rng), rng));
+
+  std::mutex inj_mu;
+  std::vector<std::shared_ptr<transport::FaultInjector>> injectors;
+  std::atomic<std::uint64_t> conn_no{0};
+  typename service::DecryptionClient<MockGroup>::Options copt;
+  copt.request_timeout = transport::Millis{500};
+  copt.max_retries = 40;
+  copt.retry.base = transport::Millis{2};
+  copt.retry.cap = transport::Millis{40};
+  copt.auto_refresh_every = 16;
+  copt.conn_wrapper = [&](std::shared_ptr<transport::FramedConn> fc)
+      -> std::shared_ptr<transport::Conn> {
+    transport::FaultPlan::Rates rates;
+    rates.drop = 0.01;
+    rates.duplicate = 0.02;
+    rates.delay = 0.05;
+    rates.bitflip = 0.01;
+    rates.sever = 0.01;
+    rates.delay_ms = 1;
+    auto inj = std::make_shared<transport::FaultInjector>(
+        std::move(fc),
+        transport::FaultPlan::seeded(seed * 1000003 + conn_no.fetch_add(1), rates));
+    std::lock_guard lock(inj_mu);
+    injectors.push_back(inj);
+    return inj;
+  };
+
+  std::vector<std::unique_ptr<service::DecryptionClient<MockGroup>>> conns;
+  conns.reserve(clients);
+  for (int c = 0; c < clients; ++c)
+    conns.push_back(std::make_unique<service::DecryptionClient<MockGroup>>(
+        fx.p1, server.port(), copt));
+
+  FaultRun out;
+  std::mutex out_mu;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  ts.reserve(clients);
+  for (int c = 0; c < clients; ++c)
+    ts.emplace_back([&, c] {
+      auto& conn = *conns[static_cast<std::size_t>(c)];
+      int ok = 0, failed = 0;
+      std::vector<double> rec;
+      for (const auto& ct : cts) {
+        const auto r0 = conn.reconnects();
+        const auto d0 = std::chrono::steady_clock::now();
+        try {
+          bench::sink(conn.decrypt(ct));
+          ++ok;
+        } catch (const std::exception&) {
+          ++failed;  // retry budget exhausted under sustained faults
+        }
+        if (conn.reconnects() > r0)
+          rec.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - d0)
+                            .count());
+      }
+      std::lock_guard lock(out_mu);
+      out.ok += ok;
+      out.failed += failed;
+      out.recovery_ms.insert(out.recovery_ms.end(), rec.begin(), rec.end());
+    });
+  for (auto& t : ts) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  for (auto& c : conns) {
+    out.reconnects += c->reconnects();
+    c->close();
+  }
+  server.stop();
+  {
+    std::lock_guard lock(inj_mu);
+    for (const auto& inj : injectors) out.injected += inj->injected();
+  }
+  out.rps = out.ok / std::chrono::duration<double>(t1 - t0).count();
+  std::sort(out.recovery_ms.begin(), out.recovery_ms.end());
+  return out;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +225,47 @@ int main(int argc, char** argv) {
   cfg.requests = int_flag(argc, argv, "--requests", cfg.requests);
   cfg.lambda = static_cast<std::size_t>(
       int_flag(argc, argv, "--lambda", static_cast<int>(cfg.lambda)));
+  bool faults = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--faults") == 0) faults = true;
+
+  if (faults) {
+    const auto seed = static_cast<std::uint64_t>(int_flag(argc, argv, "--seed", 1));
+    Fixture fx(cfg.lambda);
+    bench::banner("T3: service throughput under seeded fault injection",
+                  "crash-safe refresh / reconnect reconciliation, DESIGN.md §9");
+    std::printf("backend=mock  lambda=%zu  ell=%zu  seed=%llu  requests=%d  clients=4\n\n",
+                cfg.lambda, fx.prm.ell, static_cast<unsigned long long>(seed),
+                cfg.requests);
+    const FaultRun r = run_faults(fx, seed, /*clients=*/4, cfg.requests);
+    const double p50 = percentile(r.recovery_ms, 0.50);
+    const double p95 = percentile(r.recovery_ms, 0.95);
+    const double pmax = r.recovery_ms.empty() ? 0 : r.recovery_ms.back();
+
+    auto& reg = telemetry::Registry::global();
+    const telemetry::Labels tag{{"seed", std::to_string(seed)}};
+    reg.gauge("bench.rps.faulted", tag).set(r.rps);
+    reg.gauge("bench.recovery.count", tag).set(static_cast<double>(r.recovery_ms.size()));
+    reg.gauge("bench.recovery.p50_ms", tag).set(p50);
+    reg.gauge("bench.recovery.p95_ms", tag).set(p95);
+    reg.gauge("bench.recovery.max_ms", tag).set(pmax);
+    reg.gauge("bench.faults.injected", tag).set(static_cast<double>(r.injected));
+    reg.gauge("bench.faults.reconnects", tag).set(static_cast<double>(r.reconnects));
+    reg.gauge("bench.faults.gave_up", tag).set(static_cast<double>(r.failed));
+
+    bench::Table table({"metric", "value"});
+    table.row({"req/s (degraded)", bench::fmt(r.rps, 1)});
+    table.row({"decrypts ok / gave up", std::to_string(r.ok) + " / " + std::to_string(r.failed)});
+    table.row({"faults injected", std::to_string(r.injected)});
+    table.row({"reconnects", std::to_string(r.reconnects)});
+    table.row({"recoveries (decrypts that reconnected)", std::to_string(r.recovery_ms.size())});
+    table.row({"recovery latency p50 (ms)", bench::fmt(p50, 2)});
+    table.row({"recovery latency p95 (ms)", bench::fmt(p95, 2)});
+    table.row({"recovery latency max (ms)", bench::fmt(pmax, 2)});
+    table.print();
+    bench::export_json_if_requested(argc, argv, "bench_t3_service_throughput --faults");
+    return 0;
+  }
 
   Fixture fx(cfg.lambda);
   bench::banner("T3: decryption-service throughput (req/s over loopback TCP)",

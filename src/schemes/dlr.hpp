@@ -455,7 +455,79 @@ class DlrParty1 {
     next_a_.clear();
   }
 
+  // ---- state (de)serialization for crash-safe persistence ----------------------
+  //
+  // Everything durable about the device: the share (raw or encrypted), the
+  // period's sk_comm and cached share encryptions, and any in-progress
+  // refresh material (fprime_/next_a_), so a journaled post-round-1 state
+  // can still ref_finish after a restart. The rng is deliberately NOT
+  // serialized -- replaying entropy after a crash would reuse coins, so
+  // restore() demands a fresh one.
+
+  void ser_state(ByteWriter& w) const {
+    const auto opt_ct = [&](const std::optional<CtG>& ct) {
+      w.u8(ct ? 1 : 0);
+      if (ct) hg_.ser_ct(w, *ct);
+    };
+    const auto ct_vec = [&](const std::vector<CtG>& v) {
+      w.u64(v.size());
+      for (const auto& ct : v) hg_.ser_ct(w, ct);
+    };
+    w.u8(mode_ == P1Mode::Plain ? 0 : 1);
+    w.u8(sk1_ ? 1 : 0);
+    if (sk1_) Core::ser_sk1(gg_, w, *sk1_);
+    ct_vec(enc_a_);
+    opt_ct(enc_phi_);
+    w.u8(sigma_ ? 1 : 0);
+    if (sigma_) hg_.ser_sk(w, *sigma_);
+    ct_vec(fs_);
+    opt_ct(fphi_);
+    ct_vec(fprime_);
+    w.u64(next_a_.size());
+    for (const auto& a : next_a_) gg_.g_ser(w, a);
+  }
+
+  [[nodiscard]] static DlrParty1 restore(GG gg, DlrParams prm, typename Core::PublicKey pk,
+                                         ByteReader& r, crypto::Rng rng) {
+    const P1Mode mode = (r.u8() == 0) ? P1Mode::Plain : P1Mode::Compact;
+    DlrParty1 p(std::move(gg), prm, std::move(pk), mode, std::move(rng), RestoreTag{});
+    const auto opt_ct = [&](std::optional<CtG>& ct) {
+      if (r.u8()) ct = p.hg_.deser_ct(r);
+    };
+    const auto ct_vec = [&](std::vector<CtG>& v) {
+      const auto n = r.u64();
+      v.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) v.push_back(p.hg_.deser_ct(r));
+    };
+    if (r.u8()) p.sk1_ = Core::deser_sk1(p.gg_, r);
+    ct_vec(p.enc_a_);
+    opt_ct(p.enc_phi_);
+    if (r.u8()) p.sigma_ = p.hg_.deser_sk(r);
+    ct_vec(p.fs_);
+    opt_ct(p.fphi_);
+    ct_vec(p.fprime_);
+    const auto n = r.u64();
+    p.next_a_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) p.next_a_.push_back(p.gg_.g_deser(r));
+    if (p.mode_ == P1Mode::Plain && (!p.sk1_ || p.sk1_->a.size() != prm.ell))
+      throw std::invalid_argument("DlrParty1::restore: bad plain-mode share");
+    if (p.mode_ == P1Mode::Compact && p.enc_a_.size() != prm.ell)
+      throw std::invalid_argument("DlrParty1::restore: bad compact-mode share");
+    return p;
+  }
+
  private:
+  struct RestoreTag {};
+  DlrParty1(GG gg, DlrParams prm, typename Core::PublicKey pk, P1Mode mode, crypto::Rng rng,
+            RestoreTag)
+      : gg_(std::move(gg)),
+        prm_(prm),
+        pk_(std::move(pk)),
+        mode_(mode),
+        hg_(gg_, prm.kappa),
+        ht_(gg_, prm.kappa),
+        rng_(std::move(rng)) {}
+
   /// The same sigma vector viewed as a key for the GT-space HPSKE instance
   /// (sk_comm is one scalar vector serving both element spaces).
   [[nodiscard]] typename HpskeGT<GG>::SecretKey sigma_gt() const {
@@ -570,9 +642,20 @@ class DlrParty2 {
     return w.take();
   }
 
-  /// Refresh round 2: given ((f_i, f'_i), fPhi), sample s', return
-  /// prod_i f'_i^{s'_i} / f_i^{s_i} * fPhi, and install s' as the new share.
-  [[nodiscard]] Bytes ref_respond(const Bytes& msg) {
+  /// The computed-but-not-installed half of a refresh: the candidate next
+  /// share and the round-2 reply that commits to it. The two-phase service
+  /// protocol journals this pair durably before anything is installed.
+  struct RefPrepared {
+    typename Core::Sk2 next;
+    Bytes reply;
+  };
+
+  /// Refresh round 2, PREPARE phase: given ((f_i, f'_i), fPhi), sample s',
+  /// compute prod_i f'_i^{s'_i} / f_i^{s_i} * fPhi -- but do NOT install s'.
+  /// Const apart from the rng: the current share is only read, so the caller
+  /// decides when (and whether) the candidate becomes the share via
+  /// ref_install().
+  [[nodiscard]] RefPrepared ref_prepare(const Bytes& msg) {
     telemetry::ScopedSpan span("ref.round2");
     ByteReader r(msg);
     std::vector<CtG> f, fp;
@@ -585,19 +668,42 @@ class DlrParty2 {
     const CtG fphi = hg_.deser_ct(r);
     if (!r.done()) throw std::invalid_argument("ref_respond: trailing bytes");
 
-    typename Core::Sk2 next;
-    next.s.reserve(prm_.ell);
-    for (std::size_t i = 0; i < prm_.ell; ++i) next.s.push_back(gg_.sc_random(rng_));
+    RefPrepared out;
+    out.next.s.reserve(prm_.ell);
+    for (std::size_t i = 0; i < prm_.ell; ++i) out.next.s.push_back(gg_.sc_random(rng_));
 
-    CtG acc = hg_.ct_mul(fphi, hg_.ct_multi_pow(fp, next.s));
+    CtG acc = hg_.ct_mul(fphi, hg_.ct_multi_pow(fp, out.next.s));
     acc = hg_.ct_mul(acc, hg_.ct_inv(hg_.ct_multi_pow(f, sk2_.s)));
-
-    capture_refresh_snapshot(next);
-    sk2_ = std::move(next);
 
     ByteWriter w;
     hg_.ser_ct(w, acc);
-    return w.take();
+    out.reply = w.take();
+    return out;
+  }
+
+  /// COMMIT phase: install a prepared next share (captures the old+new
+  /// refresh snapshot first, as the protocol's refresh phase exposes both).
+  void ref_install(typename Core::Sk2 next) {
+    if (next.s.size() != prm_.ell)
+      throw std::invalid_argument("DlrParty2::ref_install: bad share width");
+    capture_refresh_snapshot(next);
+    sk2_ = std::move(next);
+  }
+
+  /// Refresh round 2, one-shot: prepare and immediately install (the
+  /// in-process driver's reliable-channel path).
+  [[nodiscard]] Bytes ref_respond(const Bytes& msg) {
+    RefPrepared prep = ref_prepare(msg);
+    ref_install(std::move(prep.next));
+    return std::move(prep.reply);
+  }
+
+  /// Replace the share from a durable record (recovery; no snapshot -- this
+  /// is a restart, not a protocol run).
+  void restore_share(typename Core::Sk2 sk2) {
+    if (sk2.s.size() != prm_.ell)
+      throw std::invalid_argument("DlrParty2::restore_share: bad share width");
+    sk2_ = std::move(sk2);
   }
 
   [[nodiscard]] net::SecretSnapshot normal_snapshot() const {

@@ -4,30 +4,53 @@
 // P1Runtime holds the singular P1 share behind a shared_mutex. Decryption
 // round-1 construction runs under the shared lock (dec_round1 is const given
 // a prepared period and a caller rng); the refresh protocol runs under the
-// exclusive lock and bumps the local epoch when it completes. A decryption's
-// period key (sigma) is captured at round-1 time, so an in-flight request
-// finishes correctly even when a refresh rotates the period during the
-// network round trip -- the server's epoch coordinator is what rejects the
-// requests that actually raced the share rotation.
+// exclusive lock for its full duration and bumps the local epoch when it
+// completes. A decryption's period key (sigma) is captured at round-1 time,
+// so an in-flight request finishes correctly even when a refresh rotates the
+// period during the network round trip.
+//
+// Refresh is a two-phase epoch commit (DESIGN.md §9):
+//
+//   1. journal PendingRefresh{epoch, digest}          (before any frame leaves)
+//   2. PREPARE round trip -> round 2
+//   3. journal the round-2 reply                      (before the commit frame)
+//   4. COMMIT round trip -> server installs first
+//   5. ref_finish + epoch bump + journal              (client installs second)
+//
+// Step 3 before step 4 is the crux: once the commit frame may have been sent,
+// the journal provably holds everything needed to roll forward, so the
+// reconciliation rule "commit iff the server committed, roll back otherwise"
+// is always executable -- a crash or lost frame at ANY point leaves a state
+// that resolve_pending() can repair, never a fork.
 //
 // DecryptionClient is one connection's view: it multiplexes every request
-// (one mux session each) over a single FramedConn, auto-refreshes every K
-// decryptions when configured, and decrypt() retries retryable service
-// errors (StaleEpoch/Draining) after waiting for the local epoch to catch
-// up. Several DecryptionClients may share one P1Runtime to fan out over
-// multiple connections.
+// (one mux session each) over a single connection, auto-refreshes every K
+// decryptions when configured, and retries retryable service errors and
+// transport failures under a bounded-backoff RetrySchedule, reconnecting
+// (with a fresh hello reconciliation) when the connection dies. Several
+// DecryptionClients may share one P1Runtime to fan out over multiple
+// connections.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
 #include "schemes/dlr.hpp"
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 #include "telemetry/trace.hpp"
 #include "transport/mux.hpp"
+#include "transport/retry.hpp"
 
 namespace dlr::service {
 
@@ -43,10 +66,47 @@ class P1Runtime {
     typename schemes::HpskeGT<GG>::SecretKey sigma;  // period key for finish
   };
 
+  /// What the client reports in its hello frame.
+  struct PendingInfo {
+    bool active = false;
+    std::uint64_t epoch = 0;
+    Bytes digest;
+    bool has_r2 = false;
+  };
+
+  /// With a non-empty `state_dir`, state is journaled to
+  /// <state_dir>/p1.journal and restored from it when present (the passed
+  /// sk1/mode seed only the first run); restores count in svc.recoveries.
   P1Runtime(GG gg, schemes::DlrParams prm, typename Core::PublicKey pk,
-            typename Core::Sk1 sk1, schemes::P1Mode mode, crypto::Rng rng)
-      : p1_(std::move(gg), prm, std::move(pk), std::move(sk1), mode, std::move(rng)) {
-    p1_.prepare_period();
+            typename Core::Sk1 sk1, schemes::P1Mode mode, crypto::Rng rng,
+            std::string state_dir = {})
+      : journal_(state_dir.empty()
+                     ? Journal{}
+                     : Journal(join_path(ensure_dir(state_dir), "p1.journal"))) {
+    std::optional<Bytes> payload = journal_.load();
+    if (payload) {
+      ByteReader r(*payload);
+      epoch_ = r.u64();
+      if (r.u8()) {
+        Pending p;
+        p.epoch = r.u64();
+        p.digest = r.blob();
+        if (r.u8()) p.r2 = r.blob();
+        pending_ = std::move(p);
+      }
+      const Bytes state = r.blob();
+      ByteReader sr(state);
+      // The rng is deliberately NOT restored from disk: reusing journaled
+      // coins would break the refresh security argument. Fresh entropy only.
+      p1_.emplace(schemes::DlrParty1<GG>::restore(std::move(gg), prm, std::move(pk), sr,
+                                                  std::move(rng)));
+      telemetry::Registry::global().counter("svc.recoveries").add();
+    } else {
+      p1_.emplace(std::move(gg), prm, std::move(pk), std::move(sk1), mode,
+                  std::move(rng));
+    }
+    p1_->prepare_period();
+    if (journal_.attached() && !payload) persist_locked();
   }
 
   /// Build round 1 + capture (epoch, period key) consistently under the
@@ -55,8 +115,8 @@ class P1Runtime {
                                           crypto::Rng& rng) {
     std::shared_lock lock(mu_);
     DecSnapshot snap;
-    snap.round1 = p1_.dec_round1(c, rng);
-    snap.sigma = p1_.period_sigma_gt();
+    snap.round1 = p1_->dec_round1(c, rng);
+    snap.sigma = p1_->period_sigma_gt();
     std::lock_guard elock(epoch_mu_);
     snap.epoch = epoch_;
     return snap;
@@ -65,31 +125,75 @@ class P1Runtime {
   /// Decrypt the server's reply with the snapshot's period key. Touches only
   /// immutable P1 members, so no lock is needed.
   [[nodiscard]] GT finish_decrypt(const DecSnapshot& snap, const Bytes& reply) const {
-    return p1_.dec_finish_with(snap.sigma, reply);
+    return p1_->dec_finish_with(snap.sigma, reply);
   }
 
-  /// Run the refresh protocol under the exclusive lock. `round_trip` is
-  /// called with (current epoch, ref round 1) and must return ref round 2
-  /// (ServiceError/TransportError propagate; P1 state is then unchanged and
-  /// no epoch bump happens). On success the period is re-prepared and the
-  /// local epoch advances, waking decrypt() retries.
-  template <class RoundTrip>
-  void refresh(RoundTrip&& round_trip) {
+  /// Run the two-phase refresh under the exclusive lock. `prepare` is called
+  /// with (epoch, ref round 1) and must return ref round 2; `commit` is
+  /// called with (epoch, digest) and must complete the server-side install
+  /// (its return value is ignored). Either callback throwing leaves the
+  /// journaled PendingRefresh in place -- the caller reconciles it via
+  /// resolve_pending() (a reconnect hello) before retrying.
+  template <class Prepare, class Commit>
+  void refresh(Prepare&& prepare, Commit&& commit) {
     std::unique_lock lock(mu_);
-    std::uint64_t e;
-    {
-      std::lock_guard elock(epoch_mu_);
-      e = epoch_;
+    if (pending_)
+      throw ServiceError(ServiceErrc::Draining, epoch(),
+                         "pending refresh awaiting reconciliation");
+    const std::uint64_t e = epoch();
+    const Bytes r1 = p1_->ref_round1();
+    Pending p;
+    p.epoch = e;
+    p.digest = crypto::digest_to_bytes(crypto::Sha256::hash(r1));
+    pending_ = std::move(p);
+    persist_locked();  // journal the intent before any frame leaves
+    pending_->r2 = prepare(e, r1);
+    persist_locked();  // journal round 2 BEFORE the commit frame: from here
+                       // on, "server committed" is always roll-forwardable
+    (void)commit(e, pending_->digest);
+    commit_locked();
+  }
+
+  /// Apply a reconciliation verdict for the pending refresh identified by
+  /// `digest` (what the hello reported). A verdict for a different digest --
+  /// a stale answer raced by another thread's reconciliation -- is a no-op.
+  void resolve_pending(RefDisposition disp, std::uint64_t server_epoch,
+                       const Bytes& digest) {
+    std::unique_lock lock(mu_);
+    if (!pending_ || pending_->digest != digest) return;
+    switch (disp) {
+      case RefDisposition::Commit:
+        if (!pending_->r2)
+          throw ServiceError(ServiceErrc::Internal, server_epoch,
+                             "server committed a refresh the client never "
+                             "reached the commit phase of");
+        commit_locked();
+        telemetry::Registry::global().counter("svc.recoveries").add();
+        break;
+      case RefDisposition::Rollback:
+        // Discard the sampled-but-never-installed refresh state and start a
+        // fresh period; the share and epoch are unchanged.
+        p1_->end_period();
+        p1_->prepare_period();
+        pending_.reset();
+        persist_locked();
+        telemetry::Registry::global().counter("svc.rollbacks").add();
+        break;
+      case RefDisposition::None:
+        break;  // another thread resolved it concurrently
     }
-    const Bytes r1 = p1_.ref_round1();
-    const Bytes r2 = round_trip(e, r1);
-    p1_.ref_finish(r2);
-    p1_.prepare_period();
-    {
-      std::lock_guard elock(epoch_mu_);
-      ++epoch_;
+  }
+
+  [[nodiscard]] PendingInfo pending_info() const {
+    std::shared_lock lock(mu_);
+    PendingInfo info;
+    if (pending_) {
+      info.active = true;
+      info.epoch = pending_->epoch;
+      info.digest = pending_->digest;
+      info.has_r2 = pending_->r2.has_value();
     }
-    epoch_cv_.notify_all();
+    return info;
   }
 
   [[nodiscard]] std::uint64_t epoch() const {
@@ -107,12 +211,56 @@ class P1Runtime {
   /// Current share (tests: msk-constancy checks). Takes the exclusive lock.
   [[nodiscard]] typename Core::Sk1 share_for_test() {
     std::unique_lock lock(mu_);
-    return p1_.recover_share_for_test();
+    return p1_->recover_share_for_test();
   }
 
  private:
-  schemes::DlrParty1<GG> p1_;
-  std::shared_mutex mu_;             // guards p1_ mutation vs. round-1 reads
+  struct Pending {
+    std::uint64_t epoch = 0;
+    Bytes digest;
+    std::optional<Bytes> r2;  // set once PREPARE round-tripped
+  };
+
+  /// ref_finish + new period + epoch bump + journal. Caller holds mu_
+  /// exclusively with pending_->r2 set.
+  void commit_locked() {
+    p1_->ref_finish(*pending_->r2);
+    p1_->prepare_period();
+    pending_.reset();
+    {
+      std::lock_guard elock(epoch_mu_);
+      ++epoch_;
+    }
+    persist_locked();
+    epoch_cv_.notify_all();
+  }
+
+  /// Journal (epoch, pending, party state). Caller holds mu_ exclusively
+  /// (or is the constructor).
+  void persist_locked() {
+    if (!journal_.attached()) return;
+    ByteWriter w;
+    {
+      std::lock_guard elock(epoch_mu_);
+      w.u64(epoch_);
+    }
+    w.u8(pending_ ? 1 : 0);
+    if (pending_) {
+      w.u64(pending_->epoch);
+      w.blob(pending_->digest);
+      w.u8(pending_->r2 ? 1 : 0);
+      if (pending_->r2) w.blob(*pending_->r2);
+    }
+    ByteWriter sw;
+    p1_->ser_state(sw);
+    w.blob(sw.bytes());
+    journal_.save(w.take());
+  }
+
+  Journal journal_;
+  std::optional<schemes::DlrParty1<GG>> p1_;  // optional: two construction paths
+  mutable std::shared_mutex mu_;     // guards p1_ mutation vs. round-1 reads
+  std::optional<Pending> pending_;   // guarded by mu_
   mutable std::mutex epoch_mu_;      // guards epoch_ (cv companion)
   std::condition_variable epoch_cv_;
   std::uint64_t epoch_ = 0;
@@ -127,63 +275,214 @@ class DecryptionClient {
   struct Options {
     transport::TransportOptions transport{};
     transport::Millis request_timeout{10000};
-    int max_retries = 8;        // retryable-error retries per decrypt()
+    int max_retries = 8;         // retryable-error retries per operation
     int auto_refresh_every = 0;  // run Refresh every K decryptions (0 = never)
+    /// Backoff shape between retries/reconnects (max_attempts is overridden
+    /// by max_retries).
+    transport::RetryPolicy retry{};
+    /// Wraps the connection (fault injection in tests/benches).
+    std::function<std::shared_ptr<transport::Conn>(std::shared_ptr<transport::FramedConn>)>
+        conn_wrapper;
   };
 
+  /// Connects and runs the hello reconciliation; a journaled pending refresh
+  /// from a previous (crashed) process is resolved before the first request.
+  /// A transport failure here leaves the client disconnected -- decrypt() and
+  /// refresh() reconnect (and reconcile) lazily under their retry schedules.
+  /// Protocol-level hello failures (e.g. a detected epoch fork) still throw.
   DecryptionClient(std::shared_ptr<P1Runtime<GG>> p1, std::uint16_t port, Options opt = {})
-      : p1_(std::move(p1)),
-        opt_(opt),
-        mux_(std::make_shared<transport::FramedConn>(
-            transport::connect_loopback(port, opt.transport), opt.transport)) {}
+      : p1_(std::move(p1)), opt_(std::move(opt)), port_(port) {
+    try {
+      reconnect(nullptr);
+    } catch (const transport::TransportError&) {
+    }
+  }
 
   [[nodiscard]] P1Runtime<GG>& p1() { return *p1_; }
   [[nodiscard]] std::uint64_t epoch() const { return p1_->epoch(); }
 
   /// One DistDec round trip; throws ServiceError (retryable() for
-  /// StaleEpoch/Draining) and TransportError.
+  /// StaleEpoch/Draining/DrainTimeout/Shutdown) and TransportError.
   [[nodiscard]] GT decrypt_once(const typename Core::Ciphertext& c) {
-    telemetry::ScopedSpan span("svc.client.dec");
     thread_local crypto::Rng rng = crypto::Rng::from_os_entropy();
+    auto m = mux();
+    if (!m)
+      throw transport::TransportError(transport::Errc::ConnectionClosed, "not connected");
+    return decrypt_once_on(*m, c, rng);
+  }
+
+  /// DistDec with the auto-refresh policy, retry of retryable errors, and
+  /// transparent reconnect (with hello reconciliation) on transport failure.
+  [[nodiscard]] GT decrypt(const typename Core::Ciphertext& c) {
+    maybe_auto_refresh();
+    thread_local crypto::Rng rng = crypto::Rng::from_os_entropy();
+    transport::RetrySchedule sched(retry_policy());
+    for (;;) {
+      const std::uint64_t seen = p1_->epoch();
+      std::shared_ptr<transport::SessionMux> m;
+      try {
+        m = mux();
+        if (!m) m = reconnect(nullptr);
+        return decrypt_once_on(*m, c, rng);
+      } catch (const ServiceError& e) {
+        if (!e.retryable()) throw;
+        const auto delay = sched.next(rng.u64());
+        if (!delay) throw;
+        telemetry::Registry::global().counter("svc.client.retries").add();
+        // StaleEpoch with a pending refresh means reconciliation (not mere
+        // waiting) is what advances our epoch.
+        if (p1_->pending_info().active && m) {
+          try {
+            hello(*m);
+          } catch (const transport::TransportError&) {
+          } catch (const ServiceError&) {
+          }
+        }
+        p1_->wait_epoch_change(seen, std::max(*delay, transport::Millis{50}));
+      } catch (const transport::TransportError&) {
+        const auto delay = sched.next(rng.u64());
+        if (!delay) throw;
+        telemetry::Registry::global().counter("svc.client.retries").add();
+        std::this_thread::sleep_for(*delay);
+        try {
+          reconnect(m);
+        } catch (const transport::TransportError&) {
+          // Still down; the next loop iteration backs off and retries.
+        } catch (const ServiceError&) {
+        }
+      }
+    }
+  }
+
+  /// Run the two-phase Refresh protocol, advancing the epoch by exactly one.
+  /// Retries retryable errors and reconnects across transport failures; an
+  /// interrupted attempt that the server already committed is rolled forward
+  /// by the reconnect's hello reconciliation.
+  void refresh() {
+    telemetry::ScopedSpan span("svc.client.refresh");
+    thread_local crypto::Rng rng = crypto::Rng::from_os_entropy();
+    transport::RetrySchedule sched(retry_policy());
+    const std::uint64_t start = p1_->epoch();
+    for (;;) {
+      std::shared_ptr<transport::SessionMux> m;
+      try {
+        m = mux();
+        if (!m) m = reconnect(nullptr);
+        if (p1_->pending_info().active) hello(*m);  // resolve leftovers first
+        if (p1_->epoch() > start) return;  // reconciliation rolled us forward
+        p1_->refresh(
+            [&](std::uint64_t e, const Bytes& r1) {
+              auto sess = m->open();
+              sess->send(transport::FrameType::Data,
+                         static_cast<std::uint8_t>(net::DeviceId::P1), kLabelRefReq,
+                         encode_request(e, r1));
+              return expect_ok(sess->recv(opt_.request_timeout), kLabelRefOk);
+            },
+            [&](std::uint64_t e, const Bytes& digest) {
+              auto sess = m->open();
+              sess->send(transport::FrameType::Data,
+                         static_cast<std::uint8_t>(net::DeviceId::P1), kLabelRefCommit,
+                         encode_commit(CommitMsg{e, digest}));
+              return decode_commit_ok(
+                  expect_ok(sess->recv(opt_.request_timeout), kLabelRefCommitOk));
+            });
+        return;
+      } catch (const ServiceError& e) {
+        if (!e.retryable()) throw;
+        const auto delay = sched.next(rng.u64());
+        if (!delay) throw;
+        telemetry::Registry::global().counter("svc.client.retries").add();
+        std::this_thread::sleep_for(*delay);
+      } catch (const transport::TransportError&) {
+        const auto delay = sched.next(rng.u64());
+        if (!delay) throw;
+        std::this_thread::sleep_for(*delay);
+        try {
+          reconnect(m);  // hello inside resolves the interrupted attempt
+        } catch (const transport::TransportError&) {
+        } catch (const ServiceError&) {
+        }
+      }
+    }
+  }
+
+  /// Number of reconnects this client performed (tests/benches).
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_.load(); }
+
+  void close() {
+    closed_.store(true);
+    std::lock_guard lock(conn_mu_);
+    if (mux_) mux_->stop();
+  }
+
+ private:
+  [[nodiscard]] transport::RetryPolicy retry_policy() const {
+    transport::RetryPolicy p = opt_.retry;
+    p.max_attempts = opt_.max_retries + 1;
+    return p;
+  }
+
+  [[nodiscard]] std::shared_ptr<transport::SessionMux> mux() {
+    std::lock_guard lock(conn_mu_);
+    return mux_;
+  }
+
+  /// Replace the connection `failed` (nullptr = connect unconditionally
+  /// unless one exists) and run the hello reconciliation on it. If another
+  /// thread already reconnected, its connection is reused.
+  std::shared_ptr<transport::SessionMux> reconnect(
+      const std::shared_ptr<transport::SessionMux>& failed) {
+    std::lock_guard lock(conn_mu_);
+    if (mux_ && mux_ != failed) return mux_;
+    if (closed_.load())
+      throw transport::TransportError(transport::Errc::ConnectionClosed, "client closed");
+    if (mux_) {
+      mux_->stop();
+      mux_.reset();  // old mux stays alive via surviving Session handles
+    }
+    auto fc = std::make_shared<transport::FramedConn>(
+        transport::connect_loopback(port_, opt_.transport), opt_.transport);
+    std::shared_ptr<transport::Conn> conn =
+        opt_.conn_wrapper ? opt_.conn_wrapper(std::move(fc))
+                          : std::static_pointer_cast<transport::Conn>(std::move(fc));
+    auto m = std::make_shared<transport::SessionMux>(std::move(conn));
+    hello(*m);  // throws on fork; the half-open mux is dropped
+    mux_ = std::move(m);
+    if (connected_once_) {
+      reconnects_.fetch_add(1);
+      telemetry::Registry::global().counter("svc.reconnects").add();
+    }
+    connected_once_ = true;
+    return mux_;
+  }
+
+  /// Hello exchange + pending-refresh reconciliation on `m`.
+  void hello(transport::SessionMux& m) {
+    const auto info = p1_->pending_info();
+    HelloMsg h;
+    h.epoch = p1_->epoch();
+    h.has_pending = info.active;
+    h.pending_epoch = info.epoch;
+    h.pending_digest = info.digest;
+    auto sess = m.open();
+    sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
+               kLabelHello, encode_hello(h));
+    const HelloOk ok =
+        decode_hello_ok(expect_ok(sess->recv(opt_.request_timeout), kLabelHelloOk));
+    p1_->resolve_pending(ok.disposition, ok.server_epoch, info.digest);
+  }
+
+  [[nodiscard]] GT decrypt_once_on(transport::SessionMux& m,
+                                   const typename Core::Ciphertext& c, crypto::Rng& rng) {
+    telemetry::ScopedSpan span("svc.client.dec");
     const auto snap = p1_->begin_decrypt(c, rng);
-    auto sess = mux_.open();
+    auto sess = m.open();
     sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
                kLabelDecReq, encode_request(snap.epoch, snap.round1));
     const Bytes r2 = expect_ok(sess->recv(opt_.request_timeout), kLabelDecOk);
     return p1_->finish_decrypt(snap, r2);
   }
 
-  /// DistDec with the auto-refresh policy and retry of retryable errors.
-  [[nodiscard]] GT decrypt(const typename Core::Ciphertext& c) {
-    maybe_auto_refresh();
-    for (int attempt = 0;; ++attempt) {
-      const std::uint64_t seen = p1_->epoch();
-      try {
-        return decrypt_once(c);
-      } catch (const ServiceError& e) {
-        if (!e.retryable() || attempt >= opt_.max_retries) throw;
-        telemetry::Registry::global().counter("svc.client.retries").add();
-        // The epoch bump lands when the (local) refresher finishes; bounded
-        // wait covers the Draining race where our epoch is already current.
-        p1_->wait_epoch_change(seen, transport::Millis{50});
-      }
-    }
-  }
-
-  /// Run the Refresh protocol over this connection, advancing the epoch.
-  void refresh() {
-    telemetry::ScopedSpan span("svc.client.refresh");
-    p1_->refresh([&](std::uint64_t epoch, const Bytes& r1) {
-      auto sess = mux_.open();
-      sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
-                 kLabelRefReq, encode_request(epoch, r1));
-      return expect_ok(sess->recv(opt_.request_timeout), kLabelRefOk);
-    });
-  }
-
-  void close() { mux_.stop(); }
-
- private:
   void maybe_auto_refresh() {
     if (opt_.auto_refresh_every <= 0) return;
     const auto n = dec_count_.fetch_add(1) + 1;
@@ -203,9 +502,14 @@ class DecryptionClient {
 
   std::shared_ptr<P1Runtime<GG>> p1_;
   Options opt_;
-  transport::SessionMux mux_;
+  std::uint16_t port_;
+  std::mutex conn_mu_;  // guards mux_ swap; serializes reconnects
+  std::shared_ptr<transport::SessionMux> mux_;
+  bool connected_once_ = false;  // guarded by conn_mu_
   std::atomic<std::uint64_t> dec_count_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<bool> refreshing_{false};
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace dlr::service

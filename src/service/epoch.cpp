@@ -48,15 +48,31 @@ void EpochCoordinator::end_decrypt() {
   cv_.notify_all();
 }
 
-EpochCoordinator::Admit EpochCoordinator::begin_refresh(std::uint64_t request_epoch) {
+EpochCoordinator::Admit EpochCoordinator::begin_refresh(
+    std::uint64_t request_epoch, std::chrono::milliseconds drain_deadline) {
+  static telemetry::Counter& timeouts =
+      telemetry::Registry::global().counter("svc.drain_timeouts");
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return !draining_; });  // one refresh at a time
+  const auto deadline = std::chrono::steady_clock::now() + drain_deadline;
+  // One refresh at a time -- but never wait on a wedged predecessor forever.
+  if (!cv_.wait_until(lock, deadline, [&] { return !draining_; })) {
+    timeouts.add();
+    return Admit::DrainTimeout;
+  }
   if (request_epoch != epoch_) {
     stale_counter().add();
     return Admit::Stale;
   }
   draining_ = true;
-  cv_.wait(lock, [&] { return inflight_ == 0; });
+  if (!cv_.wait_until(lock, deadline, [&] { return inflight_ == 0; })) {
+    // An admitted decryption never ended (dead worker). Un-drain so serving
+    // resumes; the refresh fails cleanly and retryably.
+    draining_ = false;
+    timeouts.add();
+    lock.unlock();
+    cv_.notify_all();
+    return Admit::DrainTimeout;
+  }
   return Admit::Accepted;
 }
 

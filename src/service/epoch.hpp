@@ -19,6 +19,7 @@
 // rejections.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -27,7 +28,13 @@ namespace dlr::service {
 
 class EpochCoordinator {
  public:
-  enum class Admit { Accepted, Stale, Draining };
+  enum class Admit { Accepted, Stale, Draining, DrainTimeout };
+
+  /// Default bound on how long begin_refresh waits for in-flight decryptions
+  /// to drain. Without a bound a dead worker (crashed mid-decryption, never
+  /// calling end_decrypt) wedges every future refresh forever; with it the
+  /// refresh fails cleanly as retryable DrainTimeout.
+  static constexpr std::chrono::milliseconds kDefaultDrainDeadline{10000};
 
   explicit EpochCoordinator(std::uint64_t initial_epoch = 0);
 
@@ -39,9 +46,12 @@ class EpochCoordinator {
 
   /// Admission for a refresh request. Blocks while another refresh drains or
   /// runs; then rejects a stale epoch, or enters Draining and blocks until
-  /// every admitted decryption has ended. Accepted MUST be paired with
-  /// finish_refresh().
-  [[nodiscard]] Admit begin_refresh(std::uint64_t request_epoch);
+  /// every admitted decryption has ended. Both waits are bounded by
+  /// `drain_deadline`; expiry returns DrainTimeout and leaves the machine
+  /// Serving. Accepted MUST be paired with finish_refresh().
+  [[nodiscard]] Admit begin_refresh(
+      std::uint64_t request_epoch,
+      std::chrono::milliseconds drain_deadline = kDefaultDrainDeadline);
   /// Leave the refresh state; bumps the epoch iff the refresh succeeded.
   void finish_refresh(bool success);
 

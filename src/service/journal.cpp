@@ -1,0 +1,150 @@
+#include "service/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "telemetry/metrics.hpp"
+#include "transport/frame.hpp"  // crc32
+
+namespace dlr::service {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'L', 'R', 'J'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 8;
+
+[[noreturn]] void throw_io(const std::string& op, const std::string& path) {
+  throw std::runtime_error("journal: " + op + " " + path + ": " + std::strerror(errno));
+}
+
+void write_fsync_close(int fd, const Bytes& data, const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto k = ::write(fd, data.data() + off, data.size() - off);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_io("write", path);
+    }
+    off += static_cast<std::size_t>(k);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_io("fsync", path);
+  }
+  if (::close(fd) != 0) throw_io("close", path);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = (slash == std::string::npos) ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_io("open(dir)", dir);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_io("fsync(dir)", dir);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+void Journal::save(const Bytes& payload) const {
+  if (!attached()) return;
+  ByteWriter w;
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
+  w.u8(kVersion);
+  w.u32(transport::crc32(payload));
+  w.u64(payload.size());
+  w.raw(payload);
+  const Bytes record = w.take();
+
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) throw_io("open", tmp);
+  write_fsync_close(fd, record, tmp);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) throw_io("rename", tmp);
+  fsync_parent_dir(path_);
+}
+
+std::optional<Bytes> Journal::load() const {
+  if (!attached()) return std::nullopt;
+  static telemetry::Counter& corrupt =
+      telemetry::Registry::global().counter("svc.journal_corrupt");
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;  // missing = no journal
+  Bytes record;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const auto k = ::read(fd, buf, sizeof(buf));
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      corrupt.add();
+      return std::nullopt;
+    }
+    if (k == 0) break;
+    record.insert(record.end(), buf, buf + k);
+  }
+  ::close(fd);
+
+  if (record.size() < kHeaderBytes ||
+      std::memcmp(record.data(), kMagic, sizeof(kMagic)) != 0 ||
+      record[4] != kVersion) {
+    corrupt.add();
+    return std::nullopt;
+  }
+  try {
+    ByteReader r(record);
+    std::uint8_t magic[4];
+    for (auto& b : magic) b = r.u8();
+    (void)r.u8();  // version, checked above
+    const std::uint32_t crc = r.u32();
+    const std::uint64_t len = r.u64();
+    if (len != record.size() - kHeaderBytes) {
+      corrupt.add();
+      return std::nullopt;
+    }
+    Bytes payload(record.begin() + kHeaderBytes, record.end());
+    if (transport::crc32(payload) != crc) {
+      corrupt.add();
+      return std::nullopt;
+    }
+    return payload;
+  } catch (const std::exception&) {
+    corrupt.add();
+    return std::nullopt;
+  }
+}
+
+void Journal::remove() const {
+  if (!attached()) return;
+  ::unlink(path_.c_str());
+  ::unlink((path_ + ".tmp").c_str());
+}
+
+const std::string& ensure_dir(const std::string& dir) {
+  if (!dir.empty() && ::mkdir(dir.c_str(), 0700) != 0 && errno != EEXIST)
+    throw_io("mkdir", dir);
+  return dir;
+}
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return (dir.back() == '/') ? dir + name : dir + "/" + name;
+}
+
+}  // namespace dlr::service

@@ -1,35 +1,66 @@
 // P2Server -- the paper's long-lived auxiliary device (§1.1, §4.4) as a
 // multi-threaded network service.
 //
-// The server owns the P2 share and answers DistDec round-2 and Refresh
-// round-2 requests from the P1-side client over framed, session-multiplexed
-// TCP. Thread architecture (one arrow = one thread kind):
+// The server owns the P2 share and answers DistDec round-2 requests plus the
+// two-phase refresh protocol (DESIGN.md §9) from the P1-side client over
+// framed, session-multiplexed TCP. Thread architecture (one arrow = one
+// thread kind):
 //
 //   accept thread --------> per-connection reader threads ---> WorkerPool
-//   (Listener::accept)      (FramedConn::recv_blocking,        (dec/ref jobs;
+//   (Listener::accept)      (Conn::recv_blocking,              (dec/ref jobs;
 //                            enqueue only, no crypto)           all crypto here)
 //
-// Shared-state discipline:
-//   * the DlrParty2 share sits behind a shared_mutex: decryption jobs hold it
-//     shared (dec_respond is const), the refresh job holds it exclusive;
-//   * the EpochCoordinator admits requests, drains in-flight decryptions
-//     before a refresh, and rejects stale/raced requests with retryable
-//     service errors;
-//   * responses are sent through the connection's thread-safe FramedConn.
+// Refresh is PREPARE / COMMIT:
+//   * svc.ref (PREPARE) computes the next share, journals it as a
+//     PendingRefresh, and replies with round 2 -- the served share is NOT
+//     touched. A duplicated prepare frame is answered with the journaled
+//     reply verbatim (recomputing would resample s' and desynchronize the
+//     share the client later commits to).
+//   * svc.ref.commit drains in-flight decryptions, installs the pending
+//     share, persists the new state, and only then bumps the epoch and acks.
+//     Duplicate commits are recognized by epoch+digest and acked idempotently.
+//   * svc.hello (first frame of every reconnecting client) reconciles: if the
+//     server already installed the client's pending refresh the verdict is
+//     Commit (client rolls forward); otherwise the server discards its own
+//     pending state and verdicts Rollback. A rolled-back digest is remembered
+//     so a lingering duplicate prepare cannot resurrect it.
 //
-// Every request runs in a svc.dec / svc.refresh span; svc.requests,
-// svc.refreshes and svc.stale count outcomes.
+// Shared-state discipline:
+//   * the DlrParty2 share sits behind shared_mutex p2_mu_: decryption jobs
+//     hold it shared, prepare/install hold it exclusive;
+//   * the PendingRefresh + journal sit behind pending_mu_;
+//   * p2_mu_ and pending_mu_ are NEVER held together -- share bytes are
+//     serialized under p2_mu_ first, then handed to the journal write under
+//     pending_mu_;
+//   * the EpochCoordinator admits requests, drains in-flight decryptions
+//     before a commit (bounded by Options::drain_deadline -> retryable
+//     DrainTimeout), and rejects stale/raced requests.
+//
+// Persistence: with Options::state_dir set, every durable transition (initial
+// state, prepare, commit, rollback) atomically rewrites <state_dir>/p2.journal
+// (share + epoch + pending refresh); a restarted server resumes from it --
+// counted in svc.recoveries -- with any pending refresh intact, to be resolved
+// by the first hello.
+//
+// Shutdown: stop() first enters a draining phase (new requests are answered
+// with retryable Shutdown errors while queued work finishes, bounded by
+// Options::stop_drain), then hangs up.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
 #include "schemes/dlr.hpp"
 #include "service/epoch.hpp"
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 #include "service/worker_pool.hpp"
 #include "telemetry/trace.hpp"
@@ -46,13 +77,35 @@ class P2Server {
     int workers = 4;
     std::size_t queue_cap = 1024;
     transport::TransportOptions transport{};
+    /// Bound on draining in-flight decryptions before a commit installs.
+    transport::Millis drain_deadline = EpochCoordinator::kDefaultDrainDeadline;
+    /// Grace period stop() allows queued work to finish before hanging up.
+    transport::Millis stop_drain{1000};
+    /// Directory for the state journal; empty = volatile (no persistence).
+    std::string state_dir;
+    /// Wraps each accepted connection (fault injection in tests/benches).
+    std::function<std::shared_ptr<transport::Conn>(std::shared_ptr<transport::FramedConn>)>
+        conn_wrapper;
   };
 
+  /// `sk2` seeds the share only when no journal exists in state_dir;
+  /// otherwise the journaled share+epoch win (svc.recoveries counts that).
   P2Server(GG gg, schemes::DlrParams prm, typename Core::Sk2 sk2, crypto::Rng rng,
            Options opt)
-      : opt_(opt),
-        p2_(std::move(gg), prm, std::move(sk2), std::move(rng)),
-        pool_(opt.workers, opt.queue_cap) {}
+      : opt_(std::move(opt)),
+        gg_(gg),
+        journal_(opt_.state_dir.empty()
+                     ? Journal{}
+                     : Journal(join_path(ensure_dir(opt_.state_dir), "p2.journal"))),
+        rec_(load_state(journal_, gg_)),
+        p2_(std::move(gg), prm, rec_.sk2 ? std::move(*rec_.sk2) : std::move(sk2),
+            std::move(rng)),
+        coord_(rec_.epoch),
+        pool_(opt_.workers, opt_.queue_cap) {
+    if (rec_.pending) pending_ = std::move(rec_.pending);
+    if (journal_.attached() && !rec_.loaded)
+      persist(0, ser_share(), std::nullopt);  // initial durable record
+  }
 
   ~P2Server() { stop(); }
   P2Server(const P2Server&) = delete;
@@ -69,6 +122,11 @@ class P2Server {
   [[nodiscard]] std::uint64_t inflight() const { return coord_.inflight(); }
   [[nodiscard]] std::uint64_t requests_served() const { return requests_.load(); }
   [[nodiscard]] std::uint64_t refreshes_served() const { return refreshes_.load(); }
+  [[nodiscard]] bool recovered_from_journal() const { return rec_.loaded; }
+  [[nodiscard]] bool has_pending_for_test() const {
+    std::lock_guard lock(pending_mu_);
+    return pending_.has_value();
+  }
 
   /// Current P2 share (tests: msk-constancy checks). Takes the share lock.
   [[nodiscard]] typename Core::Sk2 share_for_test() const {
@@ -76,35 +134,117 @@ class P2Server {
     return p2_.share();
   }
 
-  /// Orderly shutdown: close the listener, hang up every connection, join
-  /// readers, drain the worker pool. Idempotent.
+  /// Enter the shutdown-draining phase without hanging up: every subsequent
+  /// request is answered with a retryable Shutdown error.
+  void begin_drain() { draining_stop_.store(true); }
+
+  /// Orderly shutdown: answer new work with Shutdown errors, let queued work
+  /// drain (bounded by Options::stop_drain), then close the listener, hang up
+  /// every connection, join readers, stop the worker pool. Idempotent.
   void stop() {
     if (stopping_.exchange(true)) {
       if (accept_thread_.joinable()) accept_thread_.join();
       return;
     }
+    draining_stop_.store(true);
+    const auto deadline = std::chrono::steady_clock::now() + opt_.stop_drain;
+    while (std::chrono::steady_clock::now() < deadline &&
+           (coord_.inflight() > 0 || pool_.queued() > 0))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     listener_.close();
     if (accept_thread_.joinable()) accept_thread_.join();
+    // Snapshot the connections, then shut down and join WITHOUT conns_mu_: a
+    // reader's exit path re-takes conns_mu_ to mark itself done, so joining
+    // it while holding the lock deadlocks.
+    std::vector<std::shared_ptr<ConnState>> conns;
     {
       std::lock_guard lock(conns_mu_);
-      for (auto& c : conns_) c->conn->shutdown();
+      conns = conns_;
     }
+    for (auto& c : conns) c->conn->shutdown();
     // Stop the pool before joining readers: a reader blocked in submit()
     // (queue full) is released by stop(), and queued jobs answering hung-up
     // connections fail their send and are swallowed by the job's catch.
     pool_.stop();
-    {
-      std::lock_guard lock(conns_mu_);
-      for (auto& c : conns_)
-        if (c->reader.joinable()) c->reader.join();
-    }
+    for (auto& c : conns)
+      if (c->reader.joinable()) c->reader.join();
   }
 
  private:
-  struct ConnState {
-    std::shared_ptr<transport::FramedConn> conn;
-    std::thread reader;
+  /// A prepared-but-not-installed refresh (the server half of the 2PC).
+  struct Pending {
+    std::uint64_t epoch = 0;             // epoch being refreshed away from
+    Bytes digest;                        // sha256 of the prepare round-1 msg
+    typename Core::Sk2 next;             // share to install at commit
+    Bytes reply;                         // journaled round-2 reply (dedup resend)
   };
+
+  struct Recovered {
+    bool loaded = false;
+    std::uint64_t epoch = 0;
+    std::optional<typename Core::Sk2> sk2;
+    std::optional<Pending> pending;
+  };
+
+  struct ConnState {
+    std::shared_ptr<transport::Conn> conn;
+    std::thread reader;
+    std::atomic<bool> done{false};
+  };
+
+  static Recovered load_state(const Journal& j, const GG& gg) {
+    Recovered rec;
+    const auto payload = j.load();
+    if (!payload) return rec;
+    ByteReader r(*payload);
+    rec.epoch = r.u64();
+    const Bytes sk2b = r.blob();
+    ByteReader sr(sk2b);
+    rec.sk2 = Core::deser_sk2(gg, sr);
+    if (r.u8()) {
+      Pending p;
+      p.epoch = r.u64();
+      p.digest = r.blob();
+      const Bytes nb = r.blob();
+      ByteReader nr(nb);
+      p.next = Core::deser_sk2(gg, nr);
+      p.reply = r.blob();
+      rec.pending = std::move(p);
+    }
+    rec.loaded = true;
+    telemetry::Registry::global().counter("svc.recoveries").add();
+    return rec;
+  }
+
+  /// Serialize the served share. Takes p2_mu_ shared; callers must hold
+  /// NEITHER p2_mu_ nor pending_mu_.
+  [[nodiscard]] Bytes ser_share() const {
+    ByteWriter w;
+    std::shared_lock lock(p2_mu_);
+    Core::ser_sk2(gg_, w, p2_.share());
+    return w.take();
+  }
+
+  /// Durably record (epoch, share, pending). Callers hold pending_mu_ (which
+  /// serializes journal writes) and pass the share bytes in, so no lock
+  /// nesting with p2_mu_ ever happens.
+  void persist(std::uint64_t epoch, const Bytes& share_ser,
+               const std::optional<Pending>& pending) {
+    if (!journal_.attached()) return;
+    ByteWriter w;
+    w.u64(epoch);
+    w.blob(share_ser);
+    w.u8(pending ? 1 : 0);
+    if (pending) {
+      w.u64(pending->epoch);
+      w.blob(pending->digest);
+      ByteWriter nw;
+      Core::ser_sk2(gg_, nw, pending->next);
+      w.blob(nw.bytes());
+      w.blob(pending->reply);
+    }
+    journal_.save(w.take());
+  }
 
   void accept_loop() {
     for (;;) {
@@ -119,35 +259,57 @@ class P2Server {
         return;  // listener closed
       }
       auto st = std::make_shared<ConnState>();
-      st->conn = std::make_shared<transport::FramedConn>(std::move(sock), opt_.transport);
+      auto fc = std::make_shared<transport::FramedConn>(std::move(sock), opt_.transport);
+      st->conn = opt_.conn_wrapper
+                     ? opt_.conn_wrapper(std::move(fc))
+                     : std::static_pointer_cast<transport::Conn>(std::move(fc));
       st->reader = std::thread([this, conn = st->conn] { reader_loop(conn); });
       std::lock_guard lock(conns_mu_);
+      // Reap connections whose readers already exited, so a chaos workload
+      // that reconnects thousands of times does not grow conns_ unboundedly.
+      std::erase_if(conns_, [](const std::shared_ptr<ConnState>& c) {
+        if (!c->done.load()) return false;
+        if (c->reader.joinable()) c->reader.join();
+        return true;
+      });
       conns_.push_back(std::move(st));
     }
   }
 
-  void reader_loop(std::shared_ptr<transport::FramedConn> conn) {
+  void reader_loop(const std::shared_ptr<transport::Conn>& conn) {
     for (;;) {
       transport::Frame f;
       try {
         f = conn->recv_blocking();
       } catch (const transport::TransportError&) {
-        return;  // closed / corrupt stream: connection is done
+        break;  // closed / corrupt stream: connection is done
       }
       if (f.type != transport::FrameType::Data) continue;
       if (!pool_.submit([this, conn, f = std::move(f)]() mutable {
             handle(*conn, std::move(f));
           }))
-        return;  // pool stopping
+        break;  // pool stopping
     }
+    // Find our ConnState and mark it reapable by the accept loop.
+    std::lock_guard lock(conns_mu_);
+    for (auto& c : conns_)
+      if (c->conn == conn) c->done.store(true);
   }
 
-  void handle(transport::FramedConn& conn, transport::Frame f) {
+  void handle(transport::Conn& conn, transport::Frame f) {
     try {
+      if (draining_stop_.load()) {
+        send_err(conn, f.session, ServiceErrc::Shutdown, "server shutting down");
+        return;
+      }
       if (f.label == kLabelDecReq) {
         handle_dec(conn, f);
       } else if (f.label == kLabelRefReq) {
         handle_ref(conn, f);
+      } else if (f.label == kLabelRefCommit) {
+        handle_ref_commit(conn, f);
+      } else if (f.label == kLabelHello) {
+        handle_hello(conn, f);
       } else {
         send_err(conn, f.session, ServiceErrc::BadRequest, "unknown label '" + f.label + "'");
       }
@@ -161,7 +323,7 @@ class P2Server {
     }
   }
 
-  void handle_dec(transport::FramedConn& conn, const transport::Frame& f) {
+  void handle_dec(transport::Conn& conn, const transport::Frame& f) {
     telemetry::ScopedSpan span("svc.dec");
     Request req;
     try {
@@ -178,7 +340,7 @@ class P2Server {
       case EpochCoordinator::Admit::Draining:
         send_err(conn, f.session, ServiceErrc::Draining, "refresh in progress");
         return;
-      case EpochCoordinator::Admit::Accepted:
+      default:
         break;
     }
     Bytes reply;
@@ -197,12 +359,12 @@ class P2Server {
       send_err(conn, f.session, ServiceErrc::BadRequest, err);
       return;
     }
-    conn.send(transport::Frame{f.session, transport::FrameType::Data,
-                               static_cast<std::uint8_t>(net::DeviceId::P2), kLabelDecOk,
-                               std::move(reply)});
+    reply_data(conn, f.session, kLabelDecOk, std::move(reply));
   }
 
-  void handle_ref(transport::FramedConn& conn, const transport::Frame& f) {
+  /// PREPARE: compute + journal the next share; the served share is untouched
+  /// and the epoch does not move until the commit.
+  void handle_ref(transport::Conn& conn, const transport::Frame& f) {
     telemetry::ScopedSpan span("svc.refresh");
     Request req;
     try {
@@ -211,49 +373,238 @@ class P2Server {
       send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
       return;
     }
-    if (coord_.begin_refresh(req.epoch) != EpochCoordinator::Admit::Accepted) {
-      send_err(conn, f.session, ServiceErrc::StaleEpoch, "refresh epoch " +
-                   std::to_string(req.epoch) + " != " + std::to_string(coord_.epoch()));
-      return;
+    const Bytes digest = crypto::digest_to_bytes(crypto::Sha256::hash(req.round1));
+    {
+      std::lock_guard lock(pending_mu_);
+      if (pending_ && pending_->epoch == req.epoch && pending_->digest == digest) {
+        // Duplicated prepare frame: resend the journaled reply verbatim.
+        // Re-running ref_prepare would resample s' and desynchronize the
+        // share the client is about to commit to.
+        reply_data(conn, f.session, kLabelRefOk, Bytes(pending_->reply));
+        return;
+      }
+      if (!rolled_back_digest_.empty() && rolled_back_digest_ == digest) {
+        // A lingering duplicate of a refresh that hello already rolled back:
+        // refusing it keeps a later stray commit frame uncommittable.
+        send_err(conn, f.session, ServiceErrc::StaleEpoch, "refresh was rolled back");
+        return;
+      }
     }
-    Bytes reply;
+    switch (coord_.begin_refresh(req.epoch, opt_.drain_deadline)) {
+      case EpochCoordinator::Admit::Stale:
+        send_err(conn, f.session, ServiceErrc::StaleEpoch, "refresh epoch " +
+                     std::to_string(req.epoch) + " != " + std::to_string(coord_.epoch()));
+        return;
+      case EpochCoordinator::Admit::DrainTimeout:
+        send_err(conn, f.session, ServiceErrc::DrainTimeout, "drain deadline expired");
+        return;
+      case EpochCoordinator::Admit::Draining:
+        send_err(conn, f.session, ServiceErrc::Draining, "refresh in progress");
+        return;
+      default:
+        break;
+    }
+    typename schemes::DlrParty2<GG>::RefPrepared prep;
     bool ok = false;
     std::string err;
     try {
-      std::unique_lock lock(p2_mu_);
-      reply = p2_.ref_respond(req.round1);
+      std::unique_lock lock(p2_mu_);  // ref_prepare draws from the party rng
+      prep = p2_.ref_prepare(req.round1);
       ok = true;
     } catch (const std::exception& e) {
       err = e.what();
     }
-    coord_.finish_refresh(ok);
+    coord_.finish_refresh(false);  // prepare never bumps the epoch
     if (!ok) {
       send_err(conn, f.session, ServiceErrc::BadRequest, err);
       return;
     }
-    refreshes_.fetch_add(1);
-    conn.send(transport::Frame{f.session, transport::FrameType::Data,
-                               static_cast<std::uint8_t>(net::DeviceId::P2), kLabelRefOk,
-                               std::move(reply)});
+    const Bytes share_ser = ser_share();
+    Bytes reply;
+    {
+      std::lock_guard lock(pending_mu_);
+      if (pending_ && pending_->epoch == req.epoch && pending_->digest == digest) {
+        // A duplicated prepare raced us through the workers: the first writer
+        // is canonical. Discard our fresh sample and resend its reply, or the
+        // client could commit a digest whose installed share does not match
+        // the round 2 it holds.
+        reply = pending_->reply;
+      } else {
+        if (pending_) rollbacks_counter().add();  // superseded earlier prepare
+        reply = prep.reply;
+        pending_ = Pending{req.epoch, digest, std::move(prep.next), std::move(prep.reply)};
+        persist(coord_.epoch(), share_ser, pending_);
+      }
+    }
+    reply_data(conn, f.session, kLabelRefOk, std::move(reply));
   }
 
-  void send_err(transport::FramedConn& conn, std::uint32_t session, ServiceErrc code,
+  /// COMMIT: drain in-flight decryptions, install the pending share, persist,
+  /// bump the epoch, ack. Idempotent for duplicated commit frames.
+  void handle_ref_commit(transport::Conn& conn, const transport::Frame& f) {
+    telemetry::ScopedSpan span("svc.refresh");
+    CommitMsg cm;
+    try {
+      cm = decode_commit(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
+      return;
+    }
+    {
+      std::lock_guard lock(pending_mu_);
+      if (!pending_ || pending_->epoch != cm.epoch || pending_->digest != cm.digest) {
+        if (coord_.epoch() == cm.epoch + 1) {
+          // Duplicate commit of an already-installed refresh.
+          reply_data(conn, f.session, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
+        } else {
+          send_err(conn, f.session, ServiceErrc::StaleEpoch, "no matching prepared refresh");
+        }
+        return;
+      }
+    }
+    switch (coord_.begin_refresh(cm.epoch, opt_.drain_deadline)) {
+      case EpochCoordinator::Admit::Stale:
+        if (coord_.epoch() == cm.epoch + 1)
+          reply_data(conn, f.session, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
+        else
+          send_err(conn, f.session, ServiceErrc::StaleEpoch, "commit epoch " +
+                       std::to_string(cm.epoch) + " != " + std::to_string(coord_.epoch()));
+        return;
+      case EpochCoordinator::Admit::DrainTimeout:
+        send_err(conn, f.session, ServiceErrc::DrainTimeout, "drain deadline expired");
+        return;
+      case EpochCoordinator::Admit::Draining:
+        send_err(conn, f.session, ServiceErrc::Draining, "refresh in progress");
+        return;
+      default:
+        break;
+    }
+    Pending p;
+    {
+      std::lock_guard lock(pending_mu_);
+      if (!pending_ || pending_->digest != cm.digest) {
+        coord_.finish_refresh(false);
+        send_err(conn, f.session, ServiceErrc::StaleEpoch, "pending refresh changed");
+        return;
+      }
+      p = std::move(*pending_);
+      pending_.reset();
+    }
+    Bytes share_ser;
+    {
+      std::unique_lock lock(p2_mu_);
+      p2_.ref_install(std::move(p.next));
+      ByteWriter w;
+      Core::ser_sk2(gg_, w, p2_.share());
+      share_ser = w.take();
+    }
+    {
+      std::lock_guard lock(pending_mu_);
+      // Persist BEFORE the ack: once the client sees commit.ok it will
+      // install its own half, so the server must never forget this install.
+      persist(cm.epoch + 1, share_ser, std::nullopt);
+    }
+    coord_.finish_refresh(true);
+    refreshes_.fetch_add(1);
+    reply_data(conn, f.session, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
+  }
+
+  /// Reconnect reconciliation: deterministic verdict on the client's
+  /// journaled PendingRefresh, discarding our own pending state when the
+  /// client demonstrably never committed.
+  void handle_hello(transport::Conn& conn, const transport::Frame& f) {
+    HelloMsg h;
+    try {
+      h = decode_hello(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
+      return;
+    }
+    const Bytes share_ser = journal_.attached() ? ser_share() : Bytes{};
+    HelloOk ok;
+    {
+      std::lock_guard lock(pending_mu_);
+      const std::uint64_t se = coord_.epoch();
+      ok.server_epoch = se;
+      if (h.has_pending) {
+        if (se == h.pending_epoch + 1) {
+          // We installed it (our pending slot was cleared at commit time):
+          // the client rolls forward with its journaled round 2.
+          ok.disposition = RefDisposition::Commit;
+        } else if (se == h.pending_epoch) {
+          // We never installed it: both sides roll back. Remember the digest
+          // so a lingering duplicate prepare cannot resurrect the refresh.
+          if (pending_) {
+            pending_.reset();
+            persist(se, share_ser, std::nullopt);
+          }
+          rolled_back_digest_ = h.pending_digest;
+          rollbacks_counter().add();
+          ok.disposition = RefDisposition::Rollback;
+        } else {
+          send_err(conn, f.session, ServiceErrc::Internal,
+                   "epoch fork: client pending " + std::to_string(h.pending_epoch) +
+                       ", server " + std::to_string(se));
+          return;
+        }
+      } else {
+        if (pending_) {
+          // The client has no record of this prepare (its journal rolled it
+          // back, or it never journaled one): discard ours.
+          pending_.reset();
+          persist(se, share_ser, std::nullopt);
+          rollbacks_counter().add();
+        }
+        if (se != h.epoch) {
+          send_err(conn, f.session, ServiceErrc::Internal,
+                   "epoch fork: client " + std::to_string(h.epoch) + ", server " +
+                       std::to_string(se));
+          return;
+        }
+        ok.disposition = RefDisposition::None;
+      }
+    }
+    reply_data(conn, f.session, kLabelHelloOk, encode_hello_ok(ok));
+  }
+
+  static telemetry::Counter& rollbacks_counter() {
+    static telemetry::Counter& c = telemetry::Registry::global().counter("svc.rollbacks");
+    return c;
+  }
+
+  void reply_data(transport::Conn& conn, std::uint32_t session, const char* label,
+                  Bytes body) {
+    conn.send(transport::Frame{session, transport::FrameType::Data,
+                               static_cast<std::uint8_t>(net::DeviceId::P2), label,
+                               std::move(body)});
+  }
+
+  void send_err(transport::Conn& conn, std::uint32_t session, ServiceErrc code,
                 const std::string& msg) {
     conn.send(transport::Frame{session, transport::FrameType::Error,
                                static_cast<std::uint8_t>(net::DeviceId::P2), kLabelErr,
                                encode_error(code, coord_.epoch(), msg)});
   }
 
+  // Declaration order matters: journal_ and rec_ must initialize before p2_
+  // and coord_, which consume the recovered share/epoch.
   Options opt_;
+  GG gg_;  // for share serialization (p2_ owns its own copy)
+  Journal journal_;
+  Recovered rec_;
   schemes::DlrParty2<GG> p2_;
   mutable std::shared_mutex p2_mu_;
   EpochCoordinator coord_;
   WorkerPool pool_;
+  mutable std::mutex pending_mu_;  // guards pending_, rolled_back_digest_, journal writes
+  std::optional<Pending> pending_;
+  Bytes rolled_back_digest_;
   transport::Listener listener_;
   std::thread accept_thread_;
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<ConnState>> conns_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_stop_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> refreshes_{0};
 };

@@ -10,6 +10,27 @@
 //   svc.dec  (Data)  body = u64 epoch | blob dec.r1      -> svc.dec.ok | svc.err
 //   svc.ref  (Data)  body = u64 epoch | blob ref.r1      -> svc.ref.ok | svc.err
 //   svc.err  (Error) body = u8 code | u64 server_epoch | str message
+//
+// Refresh is a two-phase epoch commit (DESIGN.md §9). svc.ref is the PREPARE
+// phase: the server computes and journals the next share but does not
+// install it. The commit phase installs on the server first, then the
+// client:
+//
+//   svc.ref.commit  (Data)  body = u64 epoch | blob digest  -> svc.ref.commit.ok | svc.err
+//   svc.ref.commit.ok       body = u64 new_epoch
+//
+// where digest = SHA-256 of the ref round-1 message, identifying WHICH
+// prepared refresh is being committed (duplicated/stale commits are
+// detected, never applied twice).
+//
+// Reconnect reconciliation: the first frames on every new connection are a
+// hello exchange. The client reports its epoch and any journaled
+// PendingRefresh; the server answers with its epoch and a deterministic
+// disposition for the pending refresh -- Commit iff the server already
+// installed it (server epoch == pending epoch + 1), Rollback otherwise.
+//
+//   svc.hello     (Data)  body = u64 epoch | u8 has_pending | u64 pending_epoch | blob digest
+//   svc.hello.ok  (Data)  body = u64 server_epoch | u8 disposition (RefDisposition)
 #pragma once
 
 #include <cstdint>
@@ -26,13 +47,18 @@ inline constexpr char kLabelDecOk[] = "svc.dec.ok";
 inline constexpr char kLabelRefReq[] = "svc.ref";
 inline constexpr char kLabelRefOk[] = "svc.ref.ok";
 inline constexpr char kLabelErr[] = "svc.err";
+inline constexpr char kLabelRefCommit[] = "svc.ref.commit";
+inline constexpr char kLabelRefCommitOk[] = "svc.ref.commit.ok";
+inline constexpr char kLabelHello[] = "svc.hello";
+inline constexpr char kLabelHelloOk[] = "svc.hello.ok";
 
 enum class ServiceErrc : std::uint8_t {
   StaleEpoch = 1,  // request epoch != server epoch; retry after local refresh
   Draining = 2,    // a refresh is draining/running; retry shortly
   BadRequest = 3,  // request did not parse
   Internal = 4,    // server-side exception
-  Shutdown = 5,    // server is stopping
+  Shutdown = 5,    // server is draining for shutdown; retry elsewhere/later
+  DrainTimeout = 6,  // refresh drain deadline expired; retry the refresh
 };
 
 [[nodiscard]] constexpr const char* service_errc_name(ServiceErrc c) {
@@ -42,6 +68,7 @@ enum class ServiceErrc : std::uint8_t {
     case ServiceErrc::BadRequest: return "BadRequest";
     case ServiceErrc::Internal: return "Internal";
     case ServiceErrc::Shutdown: return "Shutdown";
+    case ServiceErrc::DrainTimeout: return "DrainTimeout";
   }
   return "Unknown";
 }
@@ -59,7 +86,8 @@ class ServiceError : public std::runtime_error {
   [[nodiscard]] ServiceErrc code() const { return code_; }
   [[nodiscard]] std::uint64_t server_epoch() const { return server_epoch_; }
   [[nodiscard]] bool retryable() const {
-    return code_ == ServiceErrc::StaleEpoch || code_ == ServiceErrc::Draining;
+    return code_ == ServiceErrc::StaleEpoch || code_ == ServiceErrc::Draining ||
+           code_ == ServiceErrc::DrainTimeout || code_ == ServiceErrc::Shutdown;
   }
 
  private:
@@ -103,6 +131,96 @@ struct Request {
   const std::uint64_t epoch = r.u64();
   const std::string msg = r.str();
   return {code, epoch, msg};
+}
+
+/// How a reconnecting client must resolve a journaled PendingRefresh.
+enum class RefDisposition : std::uint8_t {
+  None = 0,      // nothing pending; epochs already agree
+  Commit = 1,    // server installed the refresh: client must roll forward
+  Rollback = 2,  // server did not install: client must discard the pending
+};
+
+struct HelloMsg {
+  std::uint64_t epoch = 0;
+  bool has_pending = false;
+  std::uint64_t pending_epoch = 0;
+  Bytes pending_digest;
+};
+
+[[nodiscard]] inline Bytes encode_hello(const HelloMsg& h) {
+  ByteWriter w;
+  w.u64(h.epoch);
+  w.u8(h.has_pending ? 1 : 0);
+  w.u64(h.pending_epoch);
+  w.blob(h.pending_digest);
+  return w.take();
+}
+
+[[nodiscard]] inline HelloMsg decode_hello(const Bytes& body) {
+  ByteReader r(body);
+  HelloMsg h;
+  h.epoch = r.u64();
+  h.has_pending = r.u8() != 0;
+  h.pending_epoch = r.u64();
+  h.pending_digest = r.blob();
+  if (!r.done()) throw std::invalid_argument("svc.hello: trailing bytes");
+  return h;
+}
+
+struct HelloOk {
+  std::uint64_t server_epoch = 0;
+  RefDisposition disposition = RefDisposition::None;
+};
+
+[[nodiscard]] inline Bytes encode_hello_ok(const HelloOk& h) {
+  ByteWriter w;
+  w.u64(h.server_epoch);
+  w.u8(static_cast<std::uint8_t>(h.disposition));
+  return w.take();
+}
+
+[[nodiscard]] inline HelloOk decode_hello_ok(const Bytes& body) {
+  ByteReader r(body);
+  HelloOk h;
+  h.server_epoch = r.u64();
+  const std::uint8_t d = r.u8();
+  if (d > 2 || !r.done()) throw std::invalid_argument("svc.hello.ok: malformed");
+  h.disposition = static_cast<RefDisposition>(d);
+  return h;
+}
+
+struct CommitMsg {
+  std::uint64_t epoch = 0;  // epoch being refreshed AWAY from
+  Bytes digest;             // sha256 of the prepared round-1 message
+};
+
+[[nodiscard]] inline Bytes encode_commit(const CommitMsg& c) {
+  ByteWriter w;
+  w.u64(c.epoch);
+  w.blob(c.digest);
+  return w.take();
+}
+
+[[nodiscard]] inline CommitMsg decode_commit(const Bytes& body) {
+  ByteReader r(body);
+  CommitMsg c;
+  c.epoch = r.u64();
+  c.digest = r.blob();
+  if (!r.done()) throw std::invalid_argument("svc.ref.commit: trailing bytes");
+  return c;
+}
+
+[[nodiscard]] inline Bytes encode_commit_ok(std::uint64_t new_epoch) {
+  ByteWriter w;
+  w.u64(new_epoch);
+  return w.take();
+}
+
+[[nodiscard]] inline std::uint64_t decode_commit_ok(const Bytes& body) {
+  ByteReader r(body);
+  const std::uint64_t e = r.u64();
+  if (!r.done()) throw std::invalid_argument("svc.ref.commit.ok: trailing bytes");
+  return e;
 }
 
 /// Classify a response frame: return the body of a successful `ok_label`

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "telemetry/metrics.hpp"
+#include "transport/retry.hpp"
 
 namespace dlr::transport {
 
@@ -181,14 +182,14 @@ Socket Listener::accept(Millis timeout) {
 Socket connect_loopback(std::uint16_t port, const TransportOptions& opt) {
   static telemetry::Counter& retries =
       telemetry::Registry::global().counter("transport.retries");
-  Millis backoff = opt.connect_backoff;
+  RetryPolicy policy;
+  policy.max_attempts = opt.connect_retries + 1;
+  policy.base = opt.connect_backoff;
+  policy.cap = Millis{500};
+  policy.jitter = 0.0;  // connect backoff stays deterministic (test seeds)
+  RetrySchedule sched(policy);
   std::string last_error = "no attempt made";
-  for (int attempt = 0; attempt <= opt.connect_retries; ++attempt) {
-    if (attempt > 0) {
-      retries.add();
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, Millis{500});
-    }
+  for (;;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw_errno(Errc::Io, "socket");
     Socket sock(fd);
@@ -196,31 +197,40 @@ Socket connect_loopback(std::uint16_t port, const TransportOptions& opt) {
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
+    // EINTR on a non-blocking connect means the attempt proceeds
+    // asynchronously (POSIX) -- treat it exactly like EINPROGRESS.
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0 ||
-        errno == EINPROGRESS) {
+        errno == EINPROGRESS || errno == EINTR) {
+      bool ready = true;
       try {
         wait_ready(fd, POLLOUT, Clock::now() + opt.send_timeout);
       } catch (const TransportError& e) {
         last_error = e.what();
-        continue;
+        ready = false;
       }
-      int err = 0;
-      socklen_t len = sizeof(err);
-      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
-      if (err == 0) {
-        const int one = 1;
-        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        return sock;
+      if (ready) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err == 0) {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          return sock;
+        }
+        last_error = std::strerror(err);
       }
-      last_error = std::strerror(err);
-      continue;
+    } else {
+      last_error = std::strerror(errno);
     }
-    last_error = std::strerror(errno);
+    const auto delay = sched.next();
+    if (!delay)
+      throw TransportError(Errc::RetriesExhausted,
+                           "connect 127.0.0.1:" + std::to_string(port) + " failed after " +
+                               std::to_string(opt.connect_retries + 1) +
+                               " attempts: " + last_error);
+    retries.add();
+    std::this_thread::sleep_for(*delay);
   }
-  throw TransportError(Errc::RetriesExhausted,
-                       "connect 127.0.0.1:" + std::to_string(port) + " failed after " +
-                           std::to_string(opt.connect_retries + 1) +
-                           " attempts: " + last_error);
 }
 
 void FramedConn::send(const Frame& f) {
@@ -233,6 +243,11 @@ void FramedConn::send(const Frame& f) {
   sock_.send_all(wire, opt_.send_timeout);
   c_frames.add();
   c_bytes.add(wire.size());
+}
+
+void FramedConn::send_raw(std::span<const std::uint8_t> wire) {
+  std::lock_guard lock(send_mu_);
+  sock_.send_all(wire, opt_.send_timeout);
 }
 
 Frame FramedConn::recv(std::optional<Millis> timeout) {

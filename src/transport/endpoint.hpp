@@ -88,27 +88,49 @@ class Listener {
   std::uint16_t port_ = 0;
 };
 
-/// Connect to 127.0.0.1:port with bounded retries + doubling backoff.
-/// Each re-attempt increments the transport.retries counter; exhausting the
-/// budget throws RetriesExhausted.
+/// Connect to 127.0.0.1:port with bounded retries + doubling backoff
+/// (RetryPolicy derived from TransportOptions). Each re-attempt increments
+/// the transport.retries counter; exhausting the budget throws
+/// RetriesExhausted.
 Socket connect_loopback(std::uint16_t port, const TransportOptions& opt = {});
 
-/// Frame-granular connection over a Socket. Thread-safe concurrent send();
-/// recv() is single-consumer.
-class FramedConn {
+/// Frame-granular connection interface. FramedConn is the real socket
+/// implementation; FaultInjector (transport/fault.hpp) wraps one to inject
+/// deterministic failures. SessionMux and the service layer program against
+/// this interface so chaos tests swap transports without touching them.
+class Conn {
  public:
-  FramedConn(Socket sock, TransportOptions opt) : sock_(std::move(sock)), opt_(opt) {}
+  virtual ~Conn() = default;
 
-  void send(const Frame& f);
-  /// timeout == nullopt -> options().recv_timeout; Millis{0} via
-  /// recv_blocking() below waits forever.
-  Frame recv(std::optional<Millis> timeout);
-  Frame recv() { return recv(opt_.recv_timeout); }
+  virtual void send(const Frame& f) = 0;
+  /// timeout == nullopt blocks indefinitely (pump threads, woken by
+  /// shutdown()).
+  virtual Frame recv(std::optional<Millis> timeout) = 0;
+  Frame recv() { return recv(options().recv_timeout); }
   /// Block until a frame arrives or the connection dies (pump threads).
   Frame recv_blocking() { return recv(std::nullopt); }
 
-  [[nodiscard]] const TransportOptions& options() const { return opt_; }
-  void shutdown() noexcept { sock_.shutdown_both(); }
+  [[nodiscard]] virtual const TransportOptions& options() const = 0;
+  virtual void shutdown() noexcept = 0;
+};
+
+/// Frame-granular connection over a Socket. Thread-safe concurrent send();
+/// recv() is single-consumer.
+class FramedConn : public Conn {
+ public:
+  FramedConn(Socket sock, TransportOptions opt) : sock_(std::move(sock)), opt_(opt) {}
+
+  void send(const Frame& f) override;
+  Frame recv(std::optional<Millis> timeout) override;
+  using Conn::recv;
+
+  /// Write raw bytes as-is (no frame header, no CRC). Exists solely so the
+  /// fault injector can put malformed data on the wire; honest peers never
+  /// call this.
+  void send_raw(std::span<const std::uint8_t> wire);
+
+  [[nodiscard]] const TransportOptions& options() const override { return opt_; }
+  void shutdown() noexcept override { sock_.shutdown_both(); }
 
  private:
   Socket sock_;

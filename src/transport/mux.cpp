@@ -4,7 +4,7 @@
 
 namespace dlr::transport {
 
-SessionMux::SessionMux(std::shared_ptr<FramedConn> conn) : conn_(std::move(conn)) {
+SessionMux::SessionMux(std::shared_ptr<Conn> conn) : conn_(std::move(conn)) {
   pump_thread_ = std::thread([this] { pump(); });
 }
 

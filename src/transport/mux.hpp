@@ -63,8 +63,9 @@ class SessionMux {
     std::shared_ptr<SessionState> st_;
   };
 
-  /// Takes ownership of the connection and starts the pump thread.
-  explicit SessionMux(std::shared_ptr<FramedConn> conn);
+  /// Takes ownership of the connection and starts the pump thread. Accepts
+  /// any Conn implementation (real FramedConn or a FaultInjector wrapper).
+  explicit SessionMux(std::shared_ptr<Conn> conn);
   ~SessionMux() { stop(); }
   SessionMux(const SessionMux&) = delete;
   SessionMux& operator=(const SessionMux&) = delete;
@@ -74,7 +75,7 @@ class SessionMux {
   /// Open a session with an agreed-upon id (both ends of a static pairing).
   [[nodiscard]] std::unique_ptr<Session> open_with_id(std::uint32_t id);
 
-  [[nodiscard]] FramedConn& conn() { return *conn_; }
+  [[nodiscard]] Conn& conn() { return *conn_; }
   [[nodiscard]] std::uint64_t orphaned() const { return orphans_.load(); }
 
   /// Shut the connection down, join the pump, poison all sessions. Idempotent.
@@ -86,7 +87,7 @@ class SessionMux {
   void poison_all(Errc code, const std::string& what);
   void unregister(std::uint32_t id);
 
-  std::shared_ptr<FramedConn> conn_;
+  std::shared_ptr<Conn> conn_;
   std::mutex mu_;  // guards sessions_ + next_id_
   std::map<std::uint32_t, std::shared_ptr<SessionState>> sessions_;
   std::uint32_t next_id_ = 1;

@@ -1,0 +1,75 @@
+// Unified retry policy: bounded exponential backoff with caller-supplied
+// jitter randomness and an optional overall deadline.
+//
+// The transport layer must not depend on crypto::Rng (layering), and retry
+// jitter must stay deterministic under test seeds, so RetrySchedule::next
+// takes the random word from the caller: pass rng.u64() for jittered
+// production backoff, or 0 for fully deterministic doubling.
+//
+// Usage:
+//   RetrySchedule sched(policy);
+//   for (;;) {
+//     try { return attempt(); }
+//     catch (const RetryableThing&) {
+//       const auto delay = sched.next(rng.u64());
+//       if (!delay) throw;                // budget exhausted: rethrow
+//       std::this_thread::sleep_for(*delay);
+//     }
+//   }
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace dlr::transport {
+
+struct RetryPolicy {
+  int max_attempts = 8;                    // total attempts (first + retries)
+  std::chrono::milliseconds base{10};      // delay before the first retry
+  std::chrono::milliseconds cap{500};      // backoff ceiling
+  double jitter = 0.5;                     // +/- fraction of the delay
+  std::chrono::milliseconds deadline{0};   // 0 = unbounded wall-clock budget
+};
+
+/// One retry loop's worth of mutable state over a RetryPolicy.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(RetryPolicy p)
+      : policy_(p), backoff_(p.base), start_(std::chrono::steady_clock::now()) {}
+
+  /// Record that an attempt failed. Returns the delay to sleep before the
+  /// next attempt, or nullopt when the attempt/deadline budget is exhausted
+  /// (caller should surface the last error). `rnd` supplies jitter entropy;
+  /// 0 disables jitter for this step.
+  [[nodiscard]] std::optional<std::chrono::milliseconds> next(std::uint64_t rnd = 0) {
+    ++failed_attempts_;
+    if (failed_attempts_ >= policy_.max_attempts) return std::nullopt;
+    auto delay = backoff_;
+    backoff_ = std::min(backoff_ * 2, policy_.cap);
+    if (policy_.jitter > 0.0 && rnd != 0) {
+      // Map rnd to u in [-1, 1) and scale the delay by (1 + jitter * u).
+      const double u = static_cast<double>(rnd % 8192) / 4096.0 - 1.0;
+      const auto ms = static_cast<long long>(
+          static_cast<double>(delay.count()) * (1.0 + policy_.jitter * u));
+      delay = std::chrono::milliseconds{std::max<long long>(0, ms)};
+    }
+    if (policy_.deadline.count() > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_);
+      if (elapsed + delay >= policy_.deadline) return std::nullopt;
+    }
+    return delay;
+  }
+
+  [[nodiscard]] int failed_attempts() const { return failed_attempts_; }
+
+ private:
+  RetryPolicy policy_;
+  std::chrono::milliseconds backoff_;
+  std::chrono::steady_clock::time_point start_;
+  int failed_attempts_ = 0;
+};
+
+}  // namespace dlr::transport

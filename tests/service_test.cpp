@@ -1,16 +1,22 @@
 // Service runtime: epoch admission state machine, the end-to-end decryption
-// service over real sockets, and refresh/decrypt interleaving under
+// service over real sockets, refresh/decrypt interleaving under
 // multi-threaded load (the continual-leakage deployment loop of §1.1/§4.4 run
-// as a server workload).
+// as a server workload), the two-phase epoch commit with its journaled
+// crash/reconnect recovery, and the deterministic fault-injection chaos soak.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "crypto/sha256.hpp"
 #include "group/mock_group.hpp"
 #include "service/client.hpp"
+#include "service/journal.hpp"
 #include "service/p2_server.hpp"
+#include "transport/fault.hpp"
 
 namespace dlr::service {
 namespace {
@@ -22,6 +28,13 @@ using Core = schemes::DlrCore<MockGroup>;
 schemes::DlrParams mock_params() {
   const auto gg = make_mock();
   return schemes::DlrParams::derive(gg.scalar_bits(), gg.scalar_bits());
+}
+
+/// Fresh unique directory under the test tmpdir (journal isolation).
+std::string make_state_dir() {
+  std::string tmpl = ::testing::TempDir() + "dlr_svc_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) throw std::runtime_error("mkdtemp failed");
+  return tmpl;
 }
 
 // ---- epoch coordinator --------------------------------------------------------
@@ -110,20 +123,39 @@ struct Service {
   Core::KeyGenResult kg;
   std::unique_ptr<P2Server<MockGroup>> server;
   std::shared_ptr<P1Runtime<MockGroup>> p1;
+  std::uint64_t seed;
+  std::string server_dir;  // empty = volatile server
 
-  explicit Service(int workers = 4, std::uint64_t seed = 7000) {
+  explicit Service(int workers = 4, std::uint64_t seed_ = 7000,
+                   std::string server_dir_ = {}, std::string p1_dir = {})
+      : seed(seed_), server_dir(std::move(server_dir_)) {
     crypto::Rng rng(seed);
     kg = Core::gen(gg, prm, rng);
     typename P2Server<MockGroup>::Options opt;
     opt.workers = workers;
+    opt.state_dir = server_dir;
     server = std::make_unique<P2Server<MockGroup>>(gg, prm, kg.sk2, crypto::Rng(seed + 1),
                                                    opt);
     server->start();
     p1 = std::make_shared<P1Runtime<MockGroup>>(gg, prm, kg.pk, kg.sk1,
                                                 schemes::P1Mode::Plain,
-                                                crypto::Rng(seed + 2));
+                                                crypto::Rng(seed + 2), std::move(p1_dir));
   }
   ~Service() { server->stop(); }
+
+  /// Simulate a server crash + restart: tear the server down and bring a new
+  /// one up from the same state_dir, seeding it with `decoy_sk2` to prove the
+  /// journal (not the constructor argument) defines the recovered share.
+  void restart_server(typename Core::Sk2 decoy_sk2, int workers = 4) {
+    server->stop();
+    server.reset();
+    typename P2Server<MockGroup>::Options opt;
+    opt.workers = workers;
+    opt.state_dir = server_dir;
+    server = std::make_unique<P2Server<MockGroup>>(gg, prm, std::move(decoy_sk2),
+                                                   crypto::Rng(seed + 3), opt);
+    server->start();
+  }
 
   DecryptionClient<MockGroup> client(typename DecryptionClient<MockGroup>::Options opt = {}) {
     return DecryptionClient<MockGroup>(p1, server->port(), opt);
@@ -321,6 +353,398 @@ TEST(ServiceTest, StopIsOrderlyAndIdempotent) {
   }
   svc.server->stop();
   svc.server->stop();
+}
+
+TEST(EpochCoordinatorTest, DrainDeadlineFailsTheRefreshCleanly) {
+  EpochCoordinator c;
+  // A decryption that never ends (dead worker) must not wedge refresh forever.
+  ASSERT_EQ(c.begin_decrypt(0), EpochCoordinator::Admit::Accepted);
+  EXPECT_EQ(c.begin_refresh(0, std::chrono::milliseconds{50}),
+            EpochCoordinator::Admit::DrainTimeout);
+  EXPECT_EQ(c.epoch(), 0u);
+  // The machine is back in Serving: new decryptions are admitted.
+  ASSERT_EQ(c.begin_decrypt(0), EpochCoordinator::Admit::Accepted);
+  c.end_decrypt();
+  // Once the wedged decryption ends, the retried refresh succeeds.
+  c.end_decrypt();
+  ASSERT_EQ(c.begin_refresh(0, std::chrono::milliseconds{50}),
+            EpochCoordinator::Admit::Accepted);
+  c.finish_refresh(true);
+  EXPECT_EQ(c.epoch(), 1u);
+}
+
+// ---- journal ------------------------------------------------------------------
+
+TEST(JournalTest, RoundTripAndAtomicReplace) {
+  const std::string dir = make_state_dir();
+  Journal j(join_path(dir, "t.journal"));
+  EXPECT_FALSE(j.load().has_value());  // missing = no journal
+  const Bytes a{1, 2, 3, 4, 5};
+  j.save(a);
+  EXPECT_EQ(j.load().value(), a);
+  const Bytes b(1000, 0xAB);
+  j.save(b);  // replace, larger record
+  EXPECT_EQ(j.load().value(), b);
+  j.save(Bytes{});  // empty payload is a valid record
+  EXPECT_EQ(j.load().value(), Bytes{});
+  j.remove();
+  EXPECT_FALSE(j.load().has_value());
+}
+
+TEST(JournalTest, CorruptRecordsLoadAsNullopt) {
+  const std::string dir = make_state_dir();
+  const std::string path = join_path(dir, "t.journal");
+  Journal j(path);
+  j.save(Bytes{9, 9, 9, 9});
+  // Flip one byte of the payload on disk: CRC must reject it.
+  {
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -1, SEEK_END);
+    std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(j.load().has_value());
+  // Garbage shorter than a header and wrong magic are equally rejected.
+  for (const Bytes& garbage : {Bytes{1, 2, 3}, Bytes(64, 0x00)}) {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(garbage.data(), 1, garbage.size(), f);
+    std::fclose(f);
+    EXPECT_FALSE(j.load().has_value());
+  }
+}
+
+TEST(JournalTest, DetachedJournalIsANoOp) {
+  Journal j;
+  EXPECT_FALSE(j.attached());
+  EXPECT_NO_THROW(j.save(Bytes{1}));
+  EXPECT_FALSE(j.load().has_value());
+  EXPECT_NO_THROW(j.remove());
+}
+
+// ---- two-phase refresh commit -------------------------------------------------
+
+TEST(ServiceTwoPhaseTest, DuplicatePrepareAndCommitAreIdempotent) {
+  Service svc;
+  // A standalone P1 party drives raw 2PC frames, so we can replay them.
+  schemes::DlrParty1<MockGroup> party(svc.gg, svc.prm, svc.kg.pk, svc.kg.sk1,
+                                      schemes::P1Mode::Plain, crypto::Rng(31));
+  party.prepare_period();
+  const Bytes r1 = party.ref_round1();
+
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      transport::connect_loopback(svc.server->port()), transport::TransportOptions{}));
+  const auto roundtrip = [&](const char* label, const Bytes& body) {
+    auto sess = mux.open();
+    sess->send(transport::FrameType::Data, 1, label, body);
+    return sess->recv(transport::Millis{5000});
+  };
+
+  // PREPARE twice with the identical round-1 message: the replies must be
+  // byte-identical (a resampled s' would desync the committed share) and the
+  // epoch must not move.
+  const Bytes req = encode_request(0, r1);
+  const Bytes r2a = expect_ok(roundtrip(kLabelRefReq, req), kLabelRefOk);
+  const Bytes r2b = expect_ok(roundtrip(kLabelRefReq, req), kLabelRefOk);
+  EXPECT_EQ(r2a, r2b);
+  EXPECT_EQ(svc.server->epoch(), 0u) << "prepare must not advance the epoch";
+  EXPECT_TRUE(svc.server->has_pending_for_test());
+
+  // COMMIT twice: first installs (epoch 1), second acks idempotently.
+  const Bytes digest = crypto::digest_to_bytes(crypto::Sha256::hash(r1));
+  const Bytes cbody = encode_commit(CommitMsg{0, digest});
+  EXPECT_EQ(decode_commit_ok(expect_ok(roundtrip(kLabelRefCommit, cbody), kLabelRefCommitOk)),
+            1u);
+  EXPECT_EQ(decode_commit_ok(expect_ok(roundtrip(kLabelRefCommit, cbody), kLabelRefCommitOk)),
+            1u);
+  EXPECT_EQ(svc.server->epoch(), 1u);
+  EXPECT_FALSE(svc.server->has_pending_for_test());
+
+  // Both halves installed exactly once: the msk is intact.
+  party.ref_finish(r2a);
+  EXPECT_TRUE(svc.gg.g_eq(
+      Core::reconstruct_msk(svc.gg, party.recover_share_for_test(), svc.server->share_for_test()),
+      svc.kg.msk));
+
+  // A commit for a digest nobody prepared is rejected, not applied.
+  const Bytes bogus = encode_commit(CommitMsg{1, Bytes(32, 0x42)});
+  const auto resp = roundtrip(kLabelRefCommit, bogus);
+  EXPECT_EQ(resp.type, transport::FrameType::Error);
+  EXPECT_EQ(decode_error(resp.body).code(), ServiceErrc::StaleEpoch);
+}
+
+TEST(ServiceTwoPhaseTest, RefreshInterruptedAtEveryFrameConvergesWithoutForking) {
+  // The tentpole acceptance matrix: kill/corrupt the refresh exchange at each
+  // frame index, in each direction, and require that client.refresh() still
+  // converges with (a) equal epochs on both sides, (b) the msk unchanged, and
+  // (c) a correct decryption afterwards. Client-connection frame indices:
+  // out 0 = hello, out 1 = prepare, out 2 = commit; in k = reply to out k.
+  using transport::Direction;
+  using transport::FaultKind;
+  struct Case {
+    Direction dir;
+    std::uint64_t index;
+    transport::FaultAction action;
+  };
+  const std::vector<Case> cases = {
+      {Direction::Outbound, 1, {FaultKind::Sever}},
+      {Direction::Outbound, 1, {FaultKind::Drop}},
+      {Direction::Outbound, 1, {FaultKind::BitFlip, 100}},
+      {Direction::Outbound, 1, {FaultKind::Truncate, 5}},
+      {Direction::Outbound, 2, {FaultKind::Sever}},
+      {Direction::Outbound, 2, {FaultKind::Drop}},
+      {Direction::Outbound, 2, {FaultKind::BitFlip, 100}},
+      {Direction::Inbound, 1, {FaultKind::Sever}},
+      {Direction::Inbound, 1, {FaultKind::Drop}},
+      {Direction::Inbound, 2, {FaultKind::Sever}},
+      {Direction::Inbound, 2, {FaultKind::Drop}},
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE("case " + std::to_string(i) + ": dir=" +
+                 std::to_string(static_cast<int>(cases[i].dir)) + " index=" +
+                 std::to_string(cases[i].index) + " fault=" +
+                 transport::fault_kind_name(cases[i].action.kind));
+    Service svc(/*workers=*/2, 7100 + i);
+    std::atomic<int> conn_no{0};
+    std::shared_ptr<transport::FaultInjector> injector;
+    typename DecryptionClient<MockGroup>::Options opt;
+    opt.request_timeout = transport::Millis{300};
+    opt.max_retries = 8;
+    opt.retry.base = transport::Millis{2};
+    opt.retry.cap = transport::Millis{20};
+    opt.conn_wrapper = [&](std::shared_ptr<transport::FramedConn> fc)
+        -> std::shared_ptr<transport::Conn> {
+      if (conn_no.fetch_add(1) != 0) return fc;  // only the first connection faults
+      transport::FaultPlan plan;
+      plan.at(cases[i].dir, cases[i].index, cases[i].action);
+      injector = std::make_shared<transport::FaultInjector>(std::move(fc), plan);
+      return injector;
+    };
+    auto client = svc.client(opt);
+    client.refresh();  // must converge despite the injected fault
+
+    EXPECT_EQ(client.epoch(), 1u);
+    EXPECT_EQ(svc.server->epoch(), 1u) << "client and server epochs diverged";
+    ASSERT_NE(injector, nullptr);
+    EXPECT_GE(injector->injected(), 1u) << "the fault never fired";
+    const auto sk1 = svc.p1->share_for_test();
+    const auto sk2 = svc.server->share_for_test();
+    EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk))
+        << "interrupted refresh forked the key material";
+    crypto::Rng rng(100 + i);
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    EXPECT_TRUE(svc.gg.gt_eq(client.decrypt(c), m));
+  }
+}
+
+// ---- crash-restart recovery ---------------------------------------------------
+
+TEST(ServiceRecoveryTest, ServerRestartResumesShareAndEpochFromJournal) {
+  Service svc(4, 7300, make_state_dir());
+  auto client = svc.client();
+  crypto::Rng rng(41);
+  client.refresh();
+  ASSERT_EQ(svc.server->epoch(), 1u);
+
+  // "Crash" the server; bring a new one up from the journal, seeded with a
+  // decoy share from an unrelated keygen to prove the journal wins.
+  crypto::Rng decoy_rng(999);
+  auto decoy = Core::gen(svc.gg, svc.prm, decoy_rng);
+  svc.restart_server(std::move(decoy.sk2));
+
+  EXPECT_TRUE(svc.server->recovered_from_journal());
+  EXPECT_EQ(svc.server->epoch(), 1u) << "epoch not restored from the journal";
+  auto client2 = svc.client();  // fresh connection + hello reconciliation
+  EXPECT_EQ(client2.epoch(), svc.server->epoch());
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+  EXPECT_TRUE(svc.gg.gt_eq(client2.decrypt(c), m));
+  const auto sk1 = svc.p1->share_for_test();
+  const auto sk2 = svc.server->share_for_test();
+  EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk));
+}
+
+TEST(ServiceRecoveryTest, ClientCrashAfterPrepareRollsBackOnRestart) {
+  // Crash the client between PREPARE and COMMIT: the restarted client must
+  // journal-restore the pending refresh and the hello verdict must be
+  // Rollback (the server never installed), leaving epochs at 0.
+  const std::string p1_dir = make_state_dir();
+  Service svc(4, 7400, {}, p1_dir);
+  {
+    std::atomic<int> conn_no{0};
+    typename DecryptionClient<MockGroup>::Options opt;
+    opt.request_timeout = transport::Millis{300};
+    opt.max_retries = 0;  // first failure surfaces: the "crash" point
+    opt.conn_wrapper = [&](std::shared_ptr<transport::FramedConn> fc)
+        -> std::shared_ptr<transport::Conn> {
+      if (conn_no.fetch_add(1) != 0) return fc;
+      transport::FaultPlan plan;
+      plan.out_at(2, {transport::FaultKind::Sever});  // commit frame never leaves
+      return std::make_shared<transport::FaultInjector>(std::move(fc), plan);
+    };
+    auto client = svc.client(opt);
+    EXPECT_THROW(client.refresh(), transport::TransportError);
+    EXPECT_EQ(svc.p1->pending_info().active, true);
+  }
+  // Process restart: rebuild the runtime from the journal (decoy sk1 proves
+  // the journal wins) and reconnect.
+  crypto::Rng decoy_rng(998);
+  auto decoy = Core::gen(svc.gg, svc.prm, decoy_rng);
+  svc.p1 = std::make_shared<P1Runtime<MockGroup>>(svc.gg, svc.prm, svc.kg.pk, decoy.sk1,
+                                                  schemes::P1Mode::Plain, crypto::Rng(43),
+                                                  p1_dir);
+  EXPECT_TRUE(svc.p1->pending_info().active) << "pending refresh lost across restart";
+  auto client = svc.client();  // ctor hello applies the Rollback verdict
+  EXPECT_FALSE(svc.p1->pending_info().active);
+  EXPECT_EQ(client.epoch(), 0u);
+  EXPECT_EQ(svc.server->epoch(), 0u);
+  crypto::Rng rng(44);
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+  EXPECT_TRUE(svc.gg.gt_eq(client.decrypt(c), m));
+  const auto sk1 = svc.p1->share_for_test();
+  const auto sk2 = svc.server->share_for_test();
+  EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk));
+}
+
+TEST(ServiceRecoveryTest, ClientCrashAfterServerCommitRollsForwardOnRestart) {
+  // Crash the client after the server installed but before the ack arrived:
+  // the restarted client's hello verdict must be Commit, and the journaled
+  // round 2 must roll the client forward to the server's epoch.
+  for (const auto mode : {schemes::P1Mode::Plain, schemes::P1Mode::Compact}) {
+    SCOPED_TRACE(mode == schemes::P1Mode::Plain ? "plain" : "compact");
+    const std::string p1_dir = make_state_dir();
+    Service svc(4, 7500 + static_cast<int>(mode));
+    svc.p1 = std::make_shared<P1Runtime<MockGroup>>(svc.gg, svc.prm, svc.kg.pk, svc.kg.sk1,
+                                                    mode, crypto::Rng(45), p1_dir);
+    {
+      std::atomic<int> conn_no{0};
+      typename DecryptionClient<MockGroup>::Options opt;
+      opt.request_timeout = transport::Millis{300};
+      opt.max_retries = 0;
+      opt.conn_wrapper = [&](std::shared_ptr<transport::FramedConn> fc)
+          -> std::shared_ptr<transport::Conn> {
+        if (conn_no.fetch_add(1) != 0) return fc;
+        transport::FaultPlan plan;
+        plan.in_at(2, {transport::FaultKind::Sever});  // commit.ok never arrives
+        return std::make_shared<transport::FaultInjector>(std::move(fc), plan);
+      };
+      auto client = svc.client(opt);
+      EXPECT_THROW(client.refresh(), transport::TransportError);
+    }
+    ASSERT_EQ(svc.server->epoch(), 1u) << "server should have installed the refresh";
+    // Process restart from the journal.
+    svc.p1 = std::make_shared<P1Runtime<MockGroup>>(svc.gg, svc.prm, svc.kg.pk, svc.kg.sk1,
+                                                    mode, crypto::Rng(46), p1_dir);
+    ASSERT_TRUE(svc.p1->pending_info().active);
+    EXPECT_TRUE(svc.p1->pending_info().has_r2) << "round 2 was not journaled pre-commit";
+    auto client = svc.client();  // ctor hello applies the Commit verdict
+    EXPECT_FALSE(svc.p1->pending_info().active);
+    EXPECT_EQ(client.epoch(), 1u);
+    EXPECT_EQ(svc.server->epoch(), 1u);
+    crypto::Rng rng(47);
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    EXPECT_TRUE(svc.gg.gt_eq(client.decrypt(c), m));
+    const auto sk1 = svc.p1->share_for_test();
+    const auto sk2 = svc.server->share_for_test();
+    EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk))
+        << "roll-forward recovery forked the key material";
+  }
+}
+
+// ---- graceful shutdown --------------------------------------------------------
+
+TEST(ServiceTest, DrainingServerAnswersRetryableShutdown) {
+  Service svc;
+  svc.server->begin_drain();
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      transport::connect_loopback(svc.server->port()), transport::TransportOptions{}));
+  auto sess = mux.open();
+  sess->send(transport::FrameType::Data, 1, kLabelDecReq, encode_request(0, Bytes{1}));
+  const auto resp = sess->recv(transport::Millis{5000});
+  ASSERT_EQ(resp.type, transport::FrameType::Error);
+  const ServiceError err = decode_error(resp.body);
+  EXPECT_EQ(err.code(), ServiceErrc::Shutdown);
+  EXPECT_TRUE(err.retryable()) << "Shutdown must be retryable (elsewhere/later)";
+  svc.server->stop();
+}
+
+// ---- chaos soak ---------------------------------------------------------------
+
+TEST(ServiceChaosTest, SeededChaosSoakNeverReturnsAWrongPlaintext) {
+  // N client threads decrypt while auto-refresh fires and a seeded injector
+  // drops/corrupts/severs their connections. Invariants: no wrong plaintext
+  // is EVER returned (typed failures after retry exhaustion are tolerated),
+  // and after one clean reconciliating connection the epochs agree and the
+  // msk is unchanged. DLR_CHAOS_SEED picks the schedule; every failure
+  // replays deterministically under its seed.
+  const char* env = std::getenv("DLR_CHAOS_SEED");
+  const std::uint64_t seed = env ? std::strtoull(env, nullptr, 10) : 1;
+  Service svc(/*workers=*/4, 7900 + seed);
+
+  std::atomic<std::uint64_t> conn_no{0};
+  typename DecryptionClient<MockGroup>::Options opt;
+  opt.request_timeout = transport::Millis{300};
+  opt.max_retries = 40;
+  opt.retry.base = transport::Millis{2};
+  opt.retry.cap = transport::Millis{30};
+  opt.auto_refresh_every = 5;
+  opt.conn_wrapper = [&](std::shared_ptr<transport::FramedConn> fc)
+      -> std::shared_ptr<transport::Conn> {
+    transport::FaultPlan::Rates rates;
+    rates.drop = 0.02;
+    rates.duplicate = 0.03;
+    rates.delay = 0.05;
+    rates.bitflip = 0.02;
+    rates.sever = 0.02;
+    rates.delay_ms = 1;
+    return std::make_shared<transport::FaultInjector>(
+        std::move(fc),
+        transport::FaultPlan::seeded(seed * 1000003 + conn_no.fetch_add(1), rates));
+  };
+  auto client = svc.client(opt);
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 12;
+  std::atomic<int> wrong{0}, gave_up{0}, ok{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      crypto::Rng rng(8800 + seed * 100 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto m = svc.gg.gt_random(rng);
+        const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+        try {
+          if (svc.gg.gt_eq(client.decrypt(c), m))
+            ok.fetch_add(1);
+          else
+            wrong.fetch_add(1);
+        } catch (const std::exception&) {
+          gave_up.fetch_add(1);  // typed failure after budget exhaustion: allowed
+        }
+      }
+    });
+  for (auto& t : ts) t.join();
+
+  EXPECT_EQ(wrong.load(), 0) << "chaos produced a silently wrong plaintext";
+  EXPECT_GT(ok.load(), 0) << "nothing succeeded -- retry budget far too small";
+
+  // One clean connection reconciles whatever the chaos left half-done...
+  auto clean = svc.client();
+  EXPECT_FALSE(svc.p1->pending_info().active);
+  EXPECT_EQ(clean.epoch(), svc.server->epoch()) << "epochs failed to reconcile";
+  // ...and the invariants hold: correct decryption, unchanged msk.
+  crypto::Rng rng(9999);
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+  EXPECT_TRUE(svc.gg.gt_eq(clean.decrypt(c), m));
+  const auto sk1 = svc.p1->share_for_test();
+  const auto sk2 = svc.server->share_for_test();
+  EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk))
+      << "chaos soak changed the shared msk";
 }
 
 }  // namespace

@@ -1,13 +1,16 @@
 // Transport layer: frame codec round-trips and its never-crash/never-accept
 // contract under mutation (truncation, extension, bit flips, hostile length
 // prefixes), socket endpoints with deadlines and bounded retries, session
-// multiplexing, and the MuxChannel transcript contract.
+// multiplexing, the MuxChannel transcript contract, the RetrySchedule
+// backoff math, and the deterministic FaultInjector.
 #include <gtest/gtest.h>
 
 #include <thread>
 
 #include "telemetry/metrics.hpp"
 #include "transport/channel.hpp"
+#include "transport/fault.hpp"
+#include "transport/retry.hpp"
 
 namespace dlr::transport {
 namespace {
@@ -347,6 +350,231 @@ TEST(MuxChannelTest, ProtocolRunsOverWireWithFullTranscriptBothSides) {
     EXPECT_EQ(tr->messages()[2].label, "ack");
   }
   EXPECT_EQ(ch_a.transcript().serialize(), ch_b.transcript().serialize());
+}
+
+// ---- retry schedule -----------------------------------------------------------
+
+TEST(RetryScheduleTest, AttemptBudgetIsBounded) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.base = Millis{1};
+  p.jitter = 0.0;
+  RetrySchedule sched(p);
+  EXPECT_TRUE(sched.next().has_value());   // failure 1 -> retry allowed
+  EXPECT_TRUE(sched.next().has_value());   // failure 2 -> retry allowed
+  EXPECT_FALSE(sched.next().has_value());  // failure 3 = budget spent
+  EXPECT_EQ(sched.failed_attempts(), 3);
+}
+
+TEST(RetryScheduleTest, BackoffDoublesUpToCap) {
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.base = Millis{10};
+  p.cap = Millis{25};
+  p.jitter = 0.0;
+  RetrySchedule sched(p);
+  EXPECT_EQ(sched.next()->count(), 10);
+  EXPECT_EQ(sched.next()->count(), 20);
+  EXPECT_EQ(sched.next()->count(), 25);  // capped
+  EXPECT_EQ(sched.next()->count(), 25);
+}
+
+TEST(RetryScheduleTest, JitterStaysWithinTheConfiguredFraction) {
+  RetryPolicy p;
+  p.max_attempts = 1000;
+  p.base = Millis{100};
+  p.cap = Millis{100};
+  p.jitter = 0.5;
+  RetrySchedule sched(p);
+  std::uint64_t rnd = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 200; ++i) {
+    rnd = rnd * 6364136223846793005ull + 1442695040888963407ull;
+    const auto d = sched.next(rnd ? rnd : 1);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(d->count(), 50);
+    EXPECT_LE(d->count(), 150);
+  }
+}
+
+TEST(RetryScheduleTest, DeadlineCutsTheBudgetShort) {
+  RetryPolicy p;
+  p.max_attempts = 1000;
+  p.base = Millis{400};
+  p.cap = Millis{400};
+  p.jitter = 0.0;
+  p.deadline = Millis{200};  // first 400ms sleep would already overshoot
+  RetrySchedule sched(p);
+  EXPECT_FALSE(sched.next().has_value());
+}
+
+// ---- fault injection ----------------------------------------------------------
+
+namespace {
+
+/// A FramedConn pair with side A wrapped in a FaultInjector.
+struct FaultyPair {
+  std::shared_ptr<FaultInjector> a;
+  std::shared_ptr<FramedConn> b;
+
+  explicit FaultyPair(FaultPlan plan) {
+    auto [sa, sb] = Socket::pair();
+    a = std::make_shared<FaultInjector>(
+        std::make_shared<FramedConn>(std::move(sa), TransportOptions{}), std::move(plan));
+    b = std::make_shared<FramedConn>(std::move(sb), TransportOptions{});
+  }
+};
+
+}  // namespace
+
+TEST(FaultInjectorTest, PassThroughIsTransparent) {
+  FaultyPair fp{FaultPlan{}};
+  fp.a->send(sample_frame());
+  EXPECT_EQ(fp.b->recv(Millis{2000}), sample_frame());
+  fp.b->send(sample_frame());
+  EXPECT_EQ(fp.a->recv(Millis{2000}), sample_frame());
+  EXPECT_EQ(fp.a->injected(), 0u);
+}
+
+TEST(FaultInjectorTest, DroppedFrameNeverArrives) {
+  FaultyPair fp{FaultPlan{}.out_at(0, {FaultKind::Drop})};
+  fp.a->send(sample_frame());
+  try {
+    (void)fp.b->recv(Millis{100});
+    FAIL() << "dropped frame arrived";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::Timeout);
+  }
+  // The next frame (index 1) passes untouched.
+  fp.a->send(sample_frame());
+  EXPECT_EQ(fp.b->recv(Millis{2000}), sample_frame());
+  EXPECT_EQ(fp.a->injected(), 1u);
+}
+
+TEST(FaultInjectorTest, DuplicatedFrameArrivesTwiceIdentically) {
+  // The transport does not dedup -- it delivers both copies faithfully, and
+  // the service protocol layer is what recognizes replays (journaled-reply
+  // resend for prepare, idempotent ack for commit).
+  FaultyPair fp{FaultPlan{}.out_at(0, {FaultKind::Duplicate})};
+  fp.a->send(sample_frame());
+  EXPECT_EQ(fp.b->recv(Millis{2000}), sample_frame());
+  EXPECT_EQ(fp.b->recv(Millis{2000}), sample_frame());
+  EXPECT_EQ(fp.a->injected(), 1u);
+}
+
+TEST(FaultInjectorTest, DuplicateToAOneShotMuxSessionIsOrphanedNotMisrouted) {
+  // One-shot request/response sessions make duplicates harmless at the mux
+  // layer: the second copy finds its session gone and is dropped + counted.
+  auto [sa, sb] = Socket::pair();
+  auto inj = std::make_shared<FaultInjector>(
+      std::make_shared<FramedConn>(std::move(sa), TransportOptions{}),
+      FaultPlan{}.out_at(0, {FaultKind::Duplicate}));
+  SessionMux mb(std::make_shared<FramedConn>(std::move(sb), TransportOptions{}));
+  {
+    auto sess = mb.open_with_id(7);
+    inj->send(Frame{7, FrameType::Data, 1, "reply", Bytes{1}});
+    EXPECT_EQ(sess->recv(Millis{2000}).label, "reply");
+  }  // session closed; the duplicate (already queued or still in flight)
+  auto s1 = mb.open_with_id(1);
+  inj->send(Frame{1, FrameType::Data, 1, "sync", Bytes{}});
+  // In-order pump: by the time "sync" is routed, the duplicate was processed.
+  // It either landed in the still-open session's queue (then died with it) or
+  // was orphaned -- never delivered to a different session.
+  EXPECT_EQ(s1->recv(Millis{2000}).label, "sync");
+}
+
+TEST(FaultInjectorTest, HoldUntilNextReordersAdjacentFrames) {
+  FaultyPair fp{FaultPlan{}.out_at(0, {FaultKind::HoldUntilNext})};
+  Frame f0 = sample_frame();
+  f0.label = "first";
+  Frame f1 = sample_frame();
+  f1.label = "second";
+  fp.a->send(f0);  // held
+  fp.a->send(f1);  // delivered, then releases f0
+  EXPECT_EQ(fp.b->recv(Millis{2000}).label, "second");
+  EXPECT_EQ(fp.b->recv(Millis{2000}).label, "first");
+  EXPECT_EQ(fp.a->injected(), 1u);
+}
+
+TEST(FaultInjectorTest, MidFrameTruncationSurfacesTyped) {
+  FaultyPair fp{FaultPlan{}.out_at(0, {FaultKind::Truncate, 5})};
+  fp.a->send(sample_frame());
+  try {
+    (void)fp.b->recv(Millis{2000});
+    FAIL() << "truncated frame decoded";
+  } catch (const TransportError& e) {
+    // 5 bytes of an 8-byte header then EOF: the deframer reports the torn
+    // stream as Truncated or the hangup as ConnectionClosed -- typed either way.
+    EXPECT_TRUE(e.code() == Errc::Truncated || e.code() == Errc::ConnectionClosed)
+        << e.what();
+  }
+}
+
+TEST(FaultInjectorTest, BitFlipInThePayloadIsChecksumMismatch) {
+  // Bit 100 sits past the 8-byte header, inside the CRC-covered payload.
+  FaultyPair fp{FaultPlan{}.out_at(0, {FaultKind::BitFlip, 100})};
+  fp.a->send(sample_frame());
+  try {
+    (void)fp.b->recv(Millis{2000});
+    FAIL() << "bit-flipped frame decoded";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::ChecksumMismatch);
+  }
+}
+
+TEST(FaultInjectorTest, SeverIsConnectionClosedOnBothSides) {
+  FaultyPair fp{FaultPlan{}.out_at(1, {FaultKind::Sever})};
+  fp.a->send(sample_frame());  // index 0 passes
+  EXPECT_EQ(fp.b->recv(Millis{2000}), sample_frame());
+  try {
+    fp.a->send(sample_frame());  // index 1: severed
+    FAIL() << "send on severed connection succeeded";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), Errc::ConnectionClosed);
+  }
+  EXPECT_THROW((void)fp.b->recv(Millis{2000}), TransportError);
+}
+
+TEST(FaultInjectorTest, InboundFaultsApplyOnTheReceivePath) {
+  FaultyPair fp{FaultPlan{}
+                    .in_at(0, {FaultKind::Drop})
+                    .in_at(1, {FaultKind::Duplicate})};
+  fp.b->send(sample_frame());  // in-index 0: dropped
+  Frame f = sample_frame();
+  f.label = "kept";
+  fp.b->send(f);  // in-index 1: duplicated
+  EXPECT_EQ(fp.a->recv(Millis{2000}).label, "kept");
+  EXPECT_EQ(fp.a->recv(Millis{2000}).label, "kept");
+  EXPECT_EQ(fp.a->injected(), 2u);
+}
+
+TEST(FaultPlanTest, SeededPlansAreDeterministicAndRateRespecting) {
+  const auto rates = FaultPlan::Rates{.drop = 0.2, .duplicate = 0.1, .sever = 0.05};
+  const FaultPlan p1 = FaultPlan::seeded(42, rates);
+  const FaultPlan p2 = FaultPlan::seeded(42, rates);
+  const FaultPlan p3 = FaultPlan::seeded(43, rates);
+  std::uint64_t faults = 0, differs = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    for (const Direction d : {Direction::Outbound, Direction::Inbound}) {
+      const auto a1 = p1.action(d, i);
+      const auto a2 = p2.action(d, i);
+      EXPECT_EQ(static_cast<int>(a1.kind), static_cast<int>(a2.kind))
+          << "same seed diverged at index " << i;
+      if (a1.kind != FaultKind::Pass) ++faults;
+      if (a1.kind != p3.action(d, i).kind) ++differs;
+    }
+  }
+  // ~35% total fault rate over 4000 draws: expect a healthy, bounded count.
+  EXPECT_GT(faults, 1000u);
+  EXPECT_LT(faults, 2000u);
+  EXPECT_GT(differs, 0u) << "different seeds produced identical schedules";
+  // A zero-rate plan is all Pass; scripted entries override seeded draws.
+  const FaultPlan quiet = FaultPlan::seeded(42, {});
+  EXPECT_EQ(static_cast<int>(quiet.action(Direction::Outbound, 7).kind),
+            static_cast<int>(FaultKind::Pass));
+  FaultPlan scripted = FaultPlan::seeded(42, rates);
+  scripted.out_at(3, {FaultKind::Sever});
+  EXPECT_EQ(static_cast<int>(scripted.action(Direction::Outbound, 3).kind),
+            static_cast<int>(FaultKind::Sever));
 }
 
 }  // namespace
