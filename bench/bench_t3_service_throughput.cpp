@@ -20,18 +20,28 @@
 // the degraded throughput. BENCH_robustness_baseline.json is the committed
 // --faults --json output.
 //
+// With --scrape the full-load (workers=4, clients=8) point reruns with the
+// admin endpoint live and a scraper thread polling adm.metrics throughout;
+// the final scraped svc.* series and the measured scrape overhead (scraped
+// vs. unscraped req/s of the same point, < 1% target) fold into the --json
+// export as bench.scrape.* gauges.
+//
 //   bench_t3_service_throughput [--requests N] [--lambda L] [--json out.jsonl]
-//                               [--faults] [--seed S]
+//                               [--faults] [--seed S] [--scrape]
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "group/mock_group.hpp"
+#include "service/admin.hpp"
 #include "service/client.hpp"
 #include "service/p2_server.hpp"
+#include "telemetry/export.hpp"
 #include "transport/fault.hpp"
 
 namespace {
@@ -70,13 +80,54 @@ struct Fixture {
   }
 };
 
+/// What the scraper thread saw while the point ran (last/extreme values of
+/// the polled svc.* series plus how many scrapes landed).
+struct ScrapeStats {
+  std::uint64_t scrapes = 0;
+  std::map<std::string, double> last_svc;  // final value of each svc_* sample
+  double max_inflight = 0;
+  double max_queue_depth = 0;
+};
+
 /// One sweep point: W workers, C clients, `requests` total decryptions.
-/// Returns requests/sec of the whole run (wall clock, all clients).
-double run_point(Fixture& fx, int workers, int clients, int requests) {
+/// Returns requests/sec of the whole run (wall clock, all clients). With
+/// `scrape` non-null the admin endpoint is live and polled for the whole
+/// timed region -- the observability tax the --scrape mode measures.
+double run_point(Fixture& fx, int workers, int clients, int requests,
+                 ScrapeStats* scrape = nullptr) {
   typename service::P2Server<MockGroup>::Options sopt;
   sopt.workers = workers;
+  sopt.admin = scrape != nullptr;
   service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2, crypto::Rng(2), sopt);
   server.start();
+
+  std::atomic<bool> scraping{scrape != nullptr};
+  std::thread scraper;
+  if (scrape) {
+    const auto port = server.admin_port();
+    scraper = std::thread([&, port] {
+      while (scraping.load()) {
+        try {
+          const auto samples = telemetry::parse_prometheus(
+              service::AdminClient::fetch(port, service::kAdmMetrics));
+          ++scrape->scrapes;
+          for (const auto& [name, v] : samples) {
+            if (name.rfind("svc_", 0) != 0) continue;
+            scrape->last_svc[name] = v;
+            if (name == "svc_inflight")
+              scrape->max_inflight = std::max(scrape->max_inflight, v);
+            if (name == "svc_queue_depth")
+              scrape->max_queue_depth = std::max(scrape->max_queue_depth, v);
+          }
+        } catch (const std::exception&) {
+          // Server tearing down mid-fetch at the end of the point; harmless.
+        }
+        // 40 scrapes/s -- orders of magnitude hotter than a production
+        // Prometheus cadence (15s), while keeping the tax measurable.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
 
   // Pre-encrypt outside the timed region; every client thread gets its own
   // connection (DecryptionClient) and its own slice of the work.
@@ -103,6 +154,8 @@ double run_point(Fixture& fx, int workers, int clients, int requests) {
   for (auto& t : ts) t.join();
   const auto t1 = std::chrono::steady_clock::now();
 
+  scraping.store(false);
+  if (scraper.joinable()) scraper.join();
   for (auto& c : conns) c->close();
   server.stop();
   const double secs = std::chrono::duration<double>(t1 - t0).count();
@@ -225,9 +278,11 @@ int main(int argc, char** argv) {
   cfg.requests = int_flag(argc, argv, "--requests", cfg.requests);
   cfg.lambda = static_cast<std::size_t>(
       int_flag(argc, argv, "--lambda", static_cast<int>(cfg.lambda)));
-  bool faults = false;
-  for (int i = 1; i < argc; ++i)
+  bool faults = false, scrape = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) faults = true;
+    if (std::strcmp(argv[i], "--scrape") == 0) scrape = true;
+  }
 
   if (faults) {
     const auto seed = static_cast<std::uint64_t>(int_flag(argc, argv, "--seed", 1));
@@ -276,8 +331,10 @@ int main(int argc, char** argv) {
 
   auto& reg = telemetry::Registry::global();
   bench::Table table({"workers", "clients", "req/s", "ms/req (offered)"});
+  double rps_full_load = 0;  // the (4, 8) point, reused as the scrape control
   auto point = [&](int workers, int clients) {
     const double rps = run_point(fx, workers, clients, cfg.requests);
+    if (workers == 4 && clients == 8) rps_full_load = rps;
     reg.gauge("bench.rps", {{"workers", std::to_string(workers)},
                             {"clients", std::to_string(clients)}})
         .set(rps);
@@ -291,6 +348,42 @@ int main(int argc, char** argv) {
   for (const int c : {2, 4, 16}) point(4, c);
 
   table.print();
+
+  if (scrape) {
+    // Measure the scrape tax with interleaved control/scraped pairs at the
+    // full-load point and compare medians -- a single control taken earlier
+    // in the sweep lets thermal/cache drift masquerade as overhead.
+    ScrapeStats st;
+    std::vector<double> ctl{rps_full_load}, scr;
+    for (int rep = 0; rep < 5; ++rep) {
+      scr.push_back(run_point(fx, 4, 8, cfg.requests, &st));
+      ctl.push_back(run_point(fx, 4, 8, cfg.requests));
+    }
+    auto median = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      const std::size_t n = v.size();
+      return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+    };
+    const double rps_control = median(ctl);
+    const double rps_scraped = median(scr);
+    const double overhead_pct =
+        rps_control > 0 ? (rps_control - rps_scraped) / rps_control * 100.0 : 0;
+    reg.gauge("bench.scrape.rps").set(rps_scraped);
+    reg.gauge("bench.scrape.polls").set(static_cast<double>(st.scrapes));
+    reg.gauge("bench.scrape.overhead_pct").set(overhead_pct);
+    reg.gauge("bench.scrape.inflight.max").set(st.max_inflight);
+    reg.gauge("bench.scrape.queue_depth.max").set(st.max_queue_depth);
+    for (const auto& [name, v] : st.last_svc)
+      reg.gauge("bench.scrape." + name).set(v);
+
+    bench::Table stable({"scrape metric", "value"});
+    stable.row({"req/s (admin polled)", bench::fmt(rps_scraped, 1)});
+    stable.row({"scrape polls landed", std::to_string(st.scrapes)});
+    stable.row({"overhead vs unscraped (%)", bench::fmt(overhead_pct, 2)});
+    stable.row({"max svc_inflight seen", bench::fmt(st.max_inflight, 0)});
+    stable.row({"max svc_queue_depth seen", bench::fmt(st.max_queue_depth, 0)});
+    stable.print();
+  }
   bench::export_json_if_requested(argc, argv, "bench_t3_service_throughput");
   return 0;
 }

@@ -9,15 +9,26 @@
 // session-multiplexed over the socketpair, surfaced to the protocol code as
 // a net::Channel (transport::MuxChannel), so the party objects run exactly
 // the code the in-process driver runs.
+//
+// Both processes run with wire tracing on (DESIGN.md §10): each request
+// frame carries the sender's (trace id, span id), the child parents its
+// spans under the received context, and before exiting it ships its span
+// set back over the same channel. The parent merges both processes into
+// two_process_trace.json -- one Chrome/Perfetto trace in which each period's
+// decryption is a single tree spanning both pid lanes.
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <set>
 
 #include "group/tate_group.hpp"
 #include "schemes/dlr.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
 #include "transport/channel.hpp"
 
 namespace {
@@ -32,14 +43,27 @@ int run_p2(transport::Socket sock, schemes::DlrParty2<GG> p2) {
   transport::SessionMux mux(std::make_shared<transport::FramedConn>(
       std::move(sock), transport::TransportOptions{}));
   const auto session = mux.open_with_id(kProtocolSession);
-  transport::MuxChannel ch(*session, net::DeviceId::P2);
+  transport::MuxChannel ch(*session, net::DeviceId::P2, /*wire_trace=*/true);
   try {
     for (int period = 0; period < kPeriods; ++period) {
-      const Bytes& dec1 = ch.recv();
-      ch.send(net::DeviceId::P2, "dec.r2", p2.dec_respond(dec1));
-      const Bytes& ref1 = ch.recv();
-      ch.send(net::DeviceId::P2, "ref.r2", p2.ref_respond(ref1));
+      {
+        const Bytes& dec1 = ch.recv();
+        // Adopt the request's trace context: this span (and the crypto spans
+        // dec_respond opens beneath it) joins the parent process's tree.
+        telemetry::ScopedSpan span("p2.dec", ch.last_trace());
+        ch.send(net::DeviceId::P2, "dec.r2", p2.dec_respond(dec1));
+      }
+      {
+        const Bytes& ref1 = ch.recv();
+        telemetry::ScopedSpan span("p2.ref", ch.last_trace());
+        ch.send(net::DeviceId::P2, "ref.r2", p2.ref_respond(ref1));
+      }
     }
+    // Ship this process's spans to the parent for the merged trace.
+    const std::string jsonl = telemetry::to_jsonl(telemetry::ExportMeta{"two_process.p2"},
+                                                  telemetry::Snapshot{},
+                                                  telemetry::Tracer::global().spans());
+    ch.send(net::DeviceId::P2, "trace.export", Bytes(jsonl.begin(), jsonl.end()));
   } catch (const transport::TransportError& e) {
     std::fprintf(stderr, "P2: transport error [%s]: %s\n",
                  transport::errc_name(e.code()), e.what());
@@ -84,21 +108,46 @@ int main() {
     transport::SessionMux mux(std::make_shared<transport::FramedConn>(
         std::move(parent_sock), transport::TransportOptions{}));
     const auto session = mux.open_with_id(kProtocolSession);
-    transport::MuxChannel ch(*session, net::DeviceId::P1);
+    transport::MuxChannel ch(*session, net::DeviceId::P1, /*wire_trace=*/true);
     try {
       for (int period = 0; period < kPeriods; ++period) {
         const auto m = gg.gt_random(rng);
         const auto c = schemes::DlrCore<GG>::enc(gg, kg.pk, m, rng);
-        ch.send(net::DeviceId::P1, "dec.r1", p1.dec_round1(c));
-        const auto out = p1.dec_finish(ch.recv());
-        const bool ok = gg.gt_eq(out, m);
-        all_ok = all_ok && ok;
-        std::printf("period %d: cross-process decryption %s\n", period,
-                    ok ? "CORRECT" : "WRONG");
-        ch.send(net::DeviceId::P1, "ref.r1", p1.ref_round1());
-        p1.ref_finish(ch.recv());
+        {
+          // Root span of this period's trace; the frame below carries its
+          // context, so the child's p2.dec subtree lands underneath it.
+          telemetry::ScopedSpan span("p1.dec");
+          ch.send(net::DeviceId::P1, "dec.r1", p1.dec_round1(c));
+          const auto out = p1.dec_finish(ch.recv());
+          const bool ok = gg.gt_eq(out, m);
+          all_ok = all_ok && ok;
+          std::printf("period %d: cross-process decryption %s\n", period,
+                      ok ? "CORRECT" : "WRONG");
+        }
+        {
+          telemetry::ScopedSpan span("p1.ref");
+          ch.send(net::DeviceId::P1, "ref.r1", p1.ref_round1());
+          p1.ref_finish(ch.recv());
+        }
         std::printf("period %d: cross-process refresh done\n", period);
       }
+      // The child's parting message is its span set; merge into one trace.
+      const Bytes& remote = ch.recv();
+      const auto p2_spans =
+          telemetry::import_jsonl(std::string(remote.begin(), remote.end())).spans;
+      const auto p1_spans = telemetry::Tracer::global().spans();
+      std::set<std::uint64_t> p1_traces, shared;
+      for (const auto& s : p1_spans) p1_traces.insert(s.trace_id);
+      for (const auto& s : p2_spans)
+        if (p1_traces.count(s.trace_id)) shared.insert(s.trace_id);
+      const std::string trace = telemetry::to_chrome_trace(
+          {{1, "P1 (main processor)", p1_spans}, {2, "P2 (auxiliary device)", p2_spans}});
+      const char* path = "two_process_trace.json";
+      std::ofstream(path, std::ios::binary) << trace;
+      std::printf(
+          "merged Chrome trace: %zu P1 spans + %zu P2 spans, %zu cross-process "
+          "trace(s) -> %s\n",
+          p1_spans.size(), p2_spans.size(), shared.size(), path);
     } catch (const transport::TransportError& e) {
       std::fprintf(stderr, "P1: transport error [%s]: %s\n",
                    transport::errc_name(e.code()), e.what());

@@ -46,8 +46,10 @@
 #include "crypto/rng.hpp"
 #include "crypto/sha256.hpp"
 #include "schemes/dlr.hpp"
+#include "service/admin.hpp"
 #include "service/journal.hpp"
 #include "service/protocol.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/trace.hpp"
 #include "transport/mux.hpp"
 #include "transport/retry.hpp"
@@ -93,6 +95,7 @@ class P1Runtime {
         p.digest = r.blob();
         if (r.u8()) p.r2 = r.blob();
         pending_ = std::move(p);
+        pending_flag_.store(true);
       }
       const Bytes state = r.blob();
       ByteReader sr(state);
@@ -101,6 +104,9 @@ class P1Runtime {
       p1_.emplace(schemes::DlrParty1<GG>::restore(std::move(gg), prm, std::move(pk), sr,
                                                   std::move(rng)));
       telemetry::Registry::global().counter("svc.recoveries").add();
+      telemetry::event(telemetry::EventKind::JournalRecovery,
+                       "side=p1 epoch=" + std::to_string(epoch_) +
+                           " pending=" + (pending_ ? "true" : "false"));
     } else {
       p1_.emplace(std::move(gg), prm, std::move(pk), std::move(sk1), mode,
                   std::move(rng));
@@ -146,6 +152,7 @@ class P1Runtime {
     p.epoch = e;
     p.digest = crypto::digest_to_bytes(crypto::Sha256::hash(r1));
     pending_ = std::move(p);
+    pending_flag_.store(true);
     persist_locked();  // journal the intent before any frame leaves
     pending_->r2 = prepare(e, r1);
     persist_locked();  // journal round 2 BEFORE the commit frame: from here
@@ -169,6 +176,8 @@ class P1Runtime {
                              "reached the commit phase of");
         commit_locked();
         telemetry::Registry::global().counter("svc.recoveries").add();
+        telemetry::event(telemetry::EventKind::Reconcile,
+                         "side=p1 verdict=commit epoch=" + std::to_string(server_epoch));
         break;
       case RefDisposition::Rollback:
         // Discard the sampled-but-never-installed refresh state and start a
@@ -176,8 +185,11 @@ class P1Runtime {
         p1_->end_period();
         p1_->prepare_period();
         pending_.reset();
+        pending_flag_.store(false);
         persist_locked();
         telemetry::Registry::global().counter("svc.rollbacks").add();
+        telemetry::event(telemetry::EventKind::Reconcile,
+                         "side=p1 verdict=rollback epoch=" + std::to_string(server_epoch));
         break;
       case RefDisposition::None:
         break;  // another thread resolved it concurrently
@@ -208,6 +220,19 @@ class P1Runtime {
     epoch_cv_.wait_for(lock, timeout, [&] { return epoch_ != seen; });
   }
 
+  /// Contribute a "p1" section to an admin health document. The provider
+  /// reads only the epoch mutex and an atomic pending flag -- it never waits
+  /// on the share lock, so a scrape cannot stall behind an in-flight refresh.
+  void register_admin(AdminServer& admin, const std::string& section = "p1") {
+    admin.register_health(section, [this] {
+      return std::vector<std::pair<std::string, std::string>>{
+          {"epoch", std::to_string(epoch())},
+          {"pending_refresh", pending_flag_.load() ? "true" : "false"},
+          {"journal", journal_.attached() ? journal_.path() : "(volatile)"},
+      };
+    });
+  }
+
   /// Current share (tests: msk-constancy checks). Takes the exclusive lock.
   [[nodiscard]] typename Core::Sk1 share_for_test() {
     std::unique_lock lock(mu_);
@@ -227,6 +252,7 @@ class P1Runtime {
     p1_->ref_finish(*pending_->r2);
     p1_->prepare_period();
     pending_.reset();
+    pending_flag_.store(false);
     {
       std::lock_guard elock(epoch_mu_);
       ++epoch_;
@@ -261,6 +287,7 @@ class P1Runtime {
   std::optional<schemes::DlrParty1<GG>> p1_;  // optional: two construction paths
   mutable std::shared_mutex mu_;     // guards p1_ mutation vs. round-1 reads
   std::optional<Pending> pending_;   // guarded by mu_
+  std::atomic<bool> pending_flag_{false};  // mirrors pending_ for lock-free health reads
   mutable std::mutex epoch_mu_;      // guards epoch_ (cv companion)
   std::condition_variable epoch_cv_;
   std::uint64_t epoch_ = 0;
@@ -301,9 +328,14 @@ class DecryptionClient {
   [[nodiscard]] P1Runtime<GG>& p1() { return *p1_; }
   [[nodiscard]] std::uint64_t epoch() const { return p1_->epoch(); }
 
+  /// Wire-trace version negotiated with the peer in the last hello: 0 means
+  /// a legacy (pre-trace) server, so request frames carry no trace envelope.
+  [[nodiscard]] std::uint8_t wire_version() const { return wire_version_.load(); }
+
   /// One DistDec round trip; throws ServiceError (retryable() for
   /// StaleEpoch/Draining/DrainTimeout/Shutdown) and TransportError.
   [[nodiscard]] GT decrypt_once(const typename Core::Ciphertext& c) {
+    telemetry::ScopedSpan root("svc.client.dec");
     thread_local crypto::Rng rng = crypto::Rng::from_os_entropy();
     auto m = mux();
     if (!m)
@@ -315,6 +347,10 @@ class DecryptionClient {
   /// transparent reconnect (with hello reconciliation) on transport failure.
   [[nodiscard]] GT decrypt(const typename Core::Ciphertext& c) {
     maybe_auto_refresh();
+    // The root span covers the whole operation; every network attempt opens a
+    // sibling "svc.client.attempt" child, so a retried decryption exports as
+    // one trace tree with one attempt subtree per try.
+    telemetry::ScopedSpan root("svc.client.dec");
     thread_local crypto::Rng rng = crypto::Rng::from_os_entropy();
     transport::RetrySchedule sched(retry_policy());
     for (;;) {
@@ -329,6 +365,8 @@ class DecryptionClient {
         const auto delay = sched.next(rng.u64());
         if (!delay) throw;
         telemetry::Registry::global().counter("svc.client.retries").add();
+        telemetry::event(telemetry::EventKind::Retry,
+                         std::string("op=dec cause=") + service_errc_name(e.code()));
         // StaleEpoch with a pending refresh means reconciliation (not mere
         // waiting) is what advances our epoch.
         if (p1_->pending_info().active && m) {
@@ -343,6 +381,7 @@ class DecryptionClient {
         const auto delay = sched.next(rng.u64());
         if (!delay) throw;
         telemetry::Registry::global().counter("svc.client.retries").add();
+        telemetry::event(telemetry::EventKind::Retry, "op=dec cause=transport");
         std::this_thread::sleep_for(*delay);
         try {
           reconnect(m);
@@ -375,14 +414,14 @@ class DecryptionClient {
               auto sess = m->open();
               sess->send(transport::FrameType::Data,
                          static_cast<std::uint8_t>(net::DeviceId::P1), kLabelRefReq,
-                         encode_request(e, r1));
+                         encode_request(e, r1), send_ctx());
               return expect_ok(sess->recv(opt_.request_timeout), kLabelRefOk);
             },
             [&](std::uint64_t e, const Bytes& digest) {
               auto sess = m->open();
               sess->send(transport::FrameType::Data,
                          static_cast<std::uint8_t>(net::DeviceId::P1), kLabelRefCommit,
-                         encode_commit(CommitMsg{e, digest}));
+                         encode_commit(CommitMsg{e, digest}), send_ctx());
               return decode_commit_ok(
                   expect_ok(sess->recv(opt_.request_timeout), kLabelRefCommitOk));
             });
@@ -392,6 +431,8 @@ class DecryptionClient {
         const auto delay = sched.next(rng.u64());
         if (!delay) throw;
         telemetry::Registry::global().counter("svc.client.retries").add();
+        telemetry::event(telemetry::EventKind::Retry,
+                         std::string("op=refresh cause=") + service_errc_name(e.code()));
         std::this_thread::sleep_for(*delay);
       } catch (const transport::TransportError&) {
         const auto delay = sched.next(rng.u64());
@@ -451,12 +492,19 @@ class DecryptionClient {
     if (connected_once_) {
       reconnects_.fetch_add(1);
       telemetry::Registry::global().counter("svc.reconnects").add();
+      telemetry::event(telemetry::EventKind::Reconnect,
+                       "port=" + std::to_string(port_) +
+                           " n=" + std::to_string(reconnects_.load()));
     }
     connected_once_ = true;
     return mux_;
   }
 
-  /// Hello exchange + pending-refresh reconciliation on `m`.
+  /// Hello exchange + pending-refresh reconciliation on `m`. The client first
+  /// offers wire-trace version kWireTraceVersion as a trailing hello byte; a
+  /// legacy server rejects the unknown byte with BadRequest, in which case we
+  /// re-hello bare and remember the peer as legacy (trace envelopes stay off
+  /// for this client -- old peers keep decrypting, just untraced).
   void hello(transport::SessionMux& m) {
     const auto info = p1_->pending_info();
     HelloMsg h;
@@ -464,21 +512,41 @@ class DecryptionClient {
     h.has_pending = info.active;
     h.pending_epoch = info.epoch;
     h.pending_digest = info.digest;
+    h.version = legacy_peer_.load() ? 0 : kWireTraceVersion;
+    HelloOk ok;
+    try {
+      ok = hello_once(m, h);
+    } catch (const ServiceError& e) {
+      if (h.version == 0 || e.code() != ServiceErrc::BadRequest) throw;
+      legacy_peer_.store(true);
+      h.version = 0;
+      ok = hello_once(m, h);
+    }
+    wire_version_.store(ok.version);
+    p1_->resolve_pending(ok.disposition, ok.server_epoch, info.digest);
+  }
+
+  [[nodiscard]] HelloOk hello_once(transport::SessionMux& m, const HelloMsg& h) {
     auto sess = m.open();
     sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
                kLabelHello, encode_hello(h));
-    const HelloOk ok =
-        decode_hello_ok(expect_ok(sess->recv(opt_.request_timeout), kLabelHelloOk));
-    p1_->resolve_pending(ok.disposition, ok.server_epoch, info.digest);
+    return decode_hello_ok(expect_ok(sess->recv(opt_.request_timeout), kLabelHelloOk));
+  }
+
+  /// Trace context to stamp onto an outgoing request frame: the innermost
+  /// open span when the peer negotiated wire tracing, nothing otherwise.
+  [[nodiscard]] telemetry::TraceContext send_ctx() const {
+    return wire_version_.load() ? telemetry::Tracer::global().current()
+                                : telemetry::TraceContext{};
   }
 
   [[nodiscard]] GT decrypt_once_on(transport::SessionMux& m,
                                    const typename Core::Ciphertext& c, crypto::Rng& rng) {
-    telemetry::ScopedSpan span("svc.client.dec");
+    telemetry::ScopedSpan span("svc.client.attempt");
     const auto snap = p1_->begin_decrypt(c, rng);
     auto sess = m.open();
     sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
-               kLabelDecReq, encode_request(snap.epoch, snap.round1));
+               kLabelDecReq, encode_request(snap.epoch, snap.round1), send_ctx());
     const Bytes r2 = expect_ok(sess->recv(opt_.request_timeout), kLabelDecOk);
     return p1_->finish_decrypt(snap, r2);
   }
@@ -508,6 +576,8 @@ class DecryptionClient {
   bool connected_once_ = false;  // guarded by conn_mu_
   std::atomic<std::uint64_t> dec_count_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint8_t> wire_version_{0};  // negotiated in the last hello
+  std::atomic<bool> legacy_peer_{false};       // peer rejected the version byte once
   std::atomic<bool> refreshing_{false};
   std::atomic<bool> closed_{false};
 };

@@ -47,6 +47,7 @@
 // Options::stop_drain), then hangs up.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <functional>
@@ -59,10 +60,12 @@
 #include "crypto/rng.hpp"
 #include "crypto/sha256.hpp"
 #include "schemes/dlr.hpp"
+#include "service/admin.hpp"
 #include "service/epoch.hpp"
 #include "service/journal.hpp"
 #include "service/protocol.hpp"
 #include "service/worker_pool.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/trace.hpp"
 #include "transport/endpoint.hpp"
 
@@ -86,6 +89,16 @@ class P2Server {
     /// Wraps each accepted connection (fault injection in tests/benches).
     std::function<std::shared_ptr<transport::Conn>(std::shared_ptr<transport::FramedConn>)>
         conn_wrapper;
+    /// Run a read-only AdminServer sidecar (DESIGN.md §10). Disabled by
+    /// default; admin_port 0 binds an ephemeral port (see admin_port()).
+    bool admin = false;
+    std::uint16_t admin_port = 0;
+    /// Emit a SlowRequest event when a decryption's server-side handling
+    /// exceeds this many milliseconds (0 = disabled).
+    double slow_request_ms = 0;
+    /// Behave like a pre-observability v1 server: reject a versioned hello
+    /// as BadRequest and never negotiate wire tracing (interop tests).
+    bool legacy_hello = false;
   };
 
   /// `sk2` seeds the share only when no journal exists in state_dir;
@@ -114,10 +127,22 @@ class P2Server {
   /// Bind a loopback listener (port 0 = ephemeral) and start serving.
   void start(std::uint16_t port = 0) {
     listener_ = transport::Listener::loopback(port);
+    started_at_ = std::chrono::steady_clock::now();
+    if (opt_.admin) {
+      admin_ = std::make_unique<AdminServer>(
+          AdminServer::Options{.transport = opt_.transport});
+      admin_->register_health("p2", [this] { return health_fields(); });
+      admin_->start(opt_.admin_port);
+    }
     accept_thread_ = std::thread([this] { accept_loop(); });
   }
 
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  /// Bound port of the admin sidecar (0 if Options::admin is off).
+  [[nodiscard]] std::uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
+  /// The embedded admin sidecar, for registering extra health sections
+  /// (nullptr if Options::admin is off).
+  [[nodiscard]] AdminServer* admin() { return admin_.get(); }
   [[nodiscard]] std::uint64_t epoch() const { return coord_.epoch(); }
   [[nodiscard]] std::uint64_t inflight() const { return coord_.inflight(); }
   [[nodiscard]] std::uint64_t requests_served() const { return requests_.load(); }
@@ -168,6 +193,7 @@ class P2Server {
     pool_.stop();
     for (auto& c : conns)
       if (c->reader.joinable()) c->reader.join();
+    if (admin_) admin_->stop();
   }
 
  private:
@@ -192,6 +218,32 @@ class P2Server {
     std::atomic<bool> done{false};
   };
 
+  /// Health section served by the admin endpoint. Reads atomics and takes
+  /// only the short pending lock -- safe from the scrape thread.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> health_fields() const {
+    const auto uptime_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               std::chrono::steady_clock::now() - started_at_)
+                               .count();
+    bool pending = false;
+    {
+      std::lock_guard lock(pending_mu_);
+      pending = pending_.has_value();
+    }
+    return {
+        {"epoch", std::to_string(coord_.epoch())},
+        {"inflight", std::to_string(coord_.inflight())},
+        {"queue_depth", std::to_string(pool_.queued())},
+        {"workers", std::to_string(opt_.workers)},
+        {"draining", draining_stop_.load() ? "true" : "false"},
+        {"pending_refresh", pending ? "true" : "false"},
+        {"requests", std::to_string(requests_.load())},
+        {"refreshes", std::to_string(refreshes_.load())},
+        {"journal", journal_.attached() ? journal_.path() : "(volatile)"},
+        {"recovered", rec_.loaded ? "true" : "false"},
+        {"uptime_ms", std::to_string(uptime_ms)},
+    };
+  }
+
   static Recovered load_state(const Journal& j, const GG& gg) {
     Recovered rec;
     const auto payload = j.load();
@@ -213,6 +265,9 @@ class P2Server {
     }
     rec.loaded = true;
     telemetry::Registry::global().counter("svc.recoveries").add();
+    telemetry::event(telemetry::EventKind::JournalRecovery,
+                     "side=p2 epoch=" + std::to_string(rec.epoch) +
+                         " pending=" + (rec.pending ? "true" : "false"));
     return rec;
   }
 
@@ -299,7 +354,7 @@ class P2Server {
   void handle(transport::Conn& conn, transport::Frame f) {
     try {
       if (draining_stop_.load()) {
-        send_err(conn, f.session, ServiceErrc::Shutdown, "server shutting down");
+        send_err(conn, f, ServiceErrc::Shutdown, "server shutting down");
         return;
       }
       if (f.label == kLabelDecReq) {
@@ -311,34 +366,39 @@ class P2Server {
       } else if (f.label == kLabelHello) {
         handle_hello(conn, f);
       } else {
-        send_err(conn, f.session, ServiceErrc::BadRequest, "unknown label '" + f.label + "'");
+        send_err(conn, f, ServiceErrc::BadRequest, "unknown label '" + f.label + "'");
       }
     } catch (const transport::TransportError&) {
       // Response could not be delivered (client gone): nothing left to do.
     } catch (const std::exception& e) {
       try {
-        send_err(conn, f.session, ServiceErrc::Internal, e.what());
+        send_err(conn, f, ServiceErrc::Internal, e.what());
       } catch (...) {
       }
     }
   }
 
   void handle_dec(transport::Conn& conn, const transport::Frame& f) {
-    telemetry::ScopedSpan span("svc.dec");
+    // Adopt the client's trace (frame envelope) so the worker-side spans --
+    // including the crypto spans dec_respond opens underneath -- join the
+    // request's tree instead of starting a server-local root.
+    telemetry::ScopedSpan span("svc.dec",
+                               telemetry::TraceContext{f.trace_id, f.parent_span});
+    const std::int64_t t0 = telemetry::trace_now_ns();
     Request req;
     try {
       req = decode_request(f.body);
     } catch (const std::exception& e) {
-      send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
+      send_err(conn, f, ServiceErrc::BadRequest, e.what());
       return;
     }
     switch (coord_.begin_decrypt(req.epoch)) {
       case EpochCoordinator::Admit::Stale:
-        send_err(conn, f.session, ServiceErrc::StaleEpoch, "request epoch " +
+        send_err(conn, f, ServiceErrc::StaleEpoch, "request epoch " +
                      std::to_string(req.epoch) + " != " + std::to_string(coord_.epoch()));
         return;
       case EpochCoordinator::Admit::Draining:
-        send_err(conn, f.session, ServiceErrc::Draining, "refresh in progress");
+        send_err(conn, f, ServiceErrc::Draining, "refresh in progress");
         return;
       default:
         break;
@@ -355,22 +415,32 @@ class P2Server {
     }
     coord_.end_decrypt();
     requests_.fetch_add(1);
+    requests_counter().add();
+    if (opt_.slow_request_ms > 0) {
+      const double ms =
+          static_cast<double>(telemetry::trace_now_ns() - t0) / 1e6;
+      if (ms > opt_.slow_request_ms)
+        telemetry::event(telemetry::EventKind::SlowRequest,
+                         "ms=" + std::to_string(ms) +
+                             " threshold=" + std::to_string(opt_.slow_request_ms));
+    }
     if (bad_request) {
-      send_err(conn, f.session, ServiceErrc::BadRequest, err);
+      send_err(conn, f, ServiceErrc::BadRequest, err);
       return;
     }
-    reply_data(conn, f.session, kLabelDecOk, std::move(reply));
+    reply_data(conn, f, kLabelDecOk, std::move(reply));
   }
 
   /// PREPARE: compute + journal the next share; the served share is untouched
   /// and the epoch does not move until the commit.
   void handle_ref(transport::Conn& conn, const transport::Frame& f) {
-    telemetry::ScopedSpan span("svc.refresh");
+    telemetry::ScopedSpan span("svc.refresh",
+                               telemetry::TraceContext{f.trace_id, f.parent_span});
     Request req;
     try {
       req = decode_request(f.body);
     } catch (const std::exception& e) {
-      send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
+      send_err(conn, f, ServiceErrc::BadRequest, e.what());
       return;
     }
     const Bytes digest = crypto::digest_to_bytes(crypto::Sha256::hash(req.round1));
@@ -380,26 +450,28 @@ class P2Server {
         // Duplicated prepare frame: resend the journaled reply verbatim.
         // Re-running ref_prepare would resample s' and desynchronize the
         // share the client is about to commit to.
-        reply_data(conn, f.session, kLabelRefOk, Bytes(pending_->reply));
+        reply_data(conn, f, kLabelRefOk, Bytes(pending_->reply));
         return;
       }
       if (!rolled_back_digest_.empty() && rolled_back_digest_ == digest) {
         // A lingering duplicate of a refresh that hello already rolled back:
         // refusing it keeps a later stray commit frame uncommittable.
-        send_err(conn, f.session, ServiceErrc::StaleEpoch, "refresh was rolled back");
+        send_err(conn, f, ServiceErrc::StaleEpoch, "refresh was rolled back");
         return;
       }
     }
     switch (coord_.begin_refresh(req.epoch, opt_.drain_deadline)) {
       case EpochCoordinator::Admit::Stale:
-        send_err(conn, f.session, ServiceErrc::StaleEpoch, "refresh epoch " +
+        send_err(conn, f, ServiceErrc::StaleEpoch, "refresh epoch " +
                      std::to_string(req.epoch) + " != " + std::to_string(coord_.epoch()));
         return;
       case EpochCoordinator::Admit::DrainTimeout:
-        send_err(conn, f.session, ServiceErrc::DrainTimeout, "drain deadline expired");
+        telemetry::event(telemetry::EventKind::DrainTimeout,
+                         "phase=prepare epoch=" + std::to_string(req.epoch));
+        send_err(conn, f, ServiceErrc::DrainTimeout, "drain deadline expired");
         return;
       case EpochCoordinator::Admit::Draining:
-        send_err(conn, f.session, ServiceErrc::Draining, "refresh in progress");
+        send_err(conn, f, ServiceErrc::Draining, "refresh in progress");
         return;
       default:
         break;
@@ -416,7 +488,7 @@ class P2Server {
     }
     coord_.finish_refresh(false);  // prepare never bumps the epoch
     if (!ok) {
-      send_err(conn, f.session, ServiceErrc::BadRequest, err);
+      send_err(conn, f, ServiceErrc::BadRequest, err);
       return;
     }
     const Bytes share_ser = ser_share();
@@ -434,20 +506,23 @@ class P2Server {
         reply = prep.reply;
         pending_ = Pending{req.epoch, digest, std::move(prep.next), std::move(prep.reply)};
         persist(coord_.epoch(), share_ser, pending_);
+        telemetry::event(telemetry::EventKind::EpochPrepare,
+                         "epoch=" + std::to_string(req.epoch));
       }
     }
-    reply_data(conn, f.session, kLabelRefOk, std::move(reply));
+    reply_data(conn, f, kLabelRefOk, std::move(reply));
   }
 
   /// COMMIT: drain in-flight decryptions, install the pending share, persist,
   /// bump the epoch, ack. Idempotent for duplicated commit frames.
   void handle_ref_commit(transport::Conn& conn, const transport::Frame& f) {
-    telemetry::ScopedSpan span("svc.refresh");
+    telemetry::ScopedSpan span("svc.refresh",
+                               telemetry::TraceContext{f.trace_id, f.parent_span});
     CommitMsg cm;
     try {
       cm = decode_commit(f.body);
     } catch (const std::exception& e) {
-      send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
+      send_err(conn, f, ServiceErrc::BadRequest, e.what());
       return;
     }
     {
@@ -455,9 +530,9 @@ class P2Server {
       if (!pending_ || pending_->epoch != cm.epoch || pending_->digest != cm.digest) {
         if (coord_.epoch() == cm.epoch + 1) {
           // Duplicate commit of an already-installed refresh.
-          reply_data(conn, f.session, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
+          reply_data(conn, f, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
         } else {
-          send_err(conn, f.session, ServiceErrc::StaleEpoch, "no matching prepared refresh");
+          send_err(conn, f, ServiceErrc::StaleEpoch, "no matching prepared refresh");
         }
         return;
       }
@@ -465,16 +540,18 @@ class P2Server {
     switch (coord_.begin_refresh(cm.epoch, opt_.drain_deadline)) {
       case EpochCoordinator::Admit::Stale:
         if (coord_.epoch() == cm.epoch + 1)
-          reply_data(conn, f.session, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
+          reply_data(conn, f, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
         else
-          send_err(conn, f.session, ServiceErrc::StaleEpoch, "commit epoch " +
+          send_err(conn, f, ServiceErrc::StaleEpoch, "commit epoch " +
                        std::to_string(cm.epoch) + " != " + std::to_string(coord_.epoch()));
         return;
       case EpochCoordinator::Admit::DrainTimeout:
-        send_err(conn, f.session, ServiceErrc::DrainTimeout, "drain deadline expired");
+        telemetry::event(telemetry::EventKind::DrainTimeout,
+                         "phase=commit epoch=" + std::to_string(cm.epoch));
+        send_err(conn, f, ServiceErrc::DrainTimeout, "drain deadline expired");
         return;
       case EpochCoordinator::Admit::Draining:
-        send_err(conn, f.session, ServiceErrc::Draining, "refresh in progress");
+        send_err(conn, f, ServiceErrc::Draining, "refresh in progress");
         return;
       default:
         break;
@@ -484,7 +561,7 @@ class P2Server {
       std::lock_guard lock(pending_mu_);
       if (!pending_ || pending_->digest != cm.digest) {
         coord_.finish_refresh(false);
-        send_err(conn, f.session, ServiceErrc::StaleEpoch, "pending refresh changed");
+        send_err(conn, f, ServiceErrc::StaleEpoch, "pending refresh changed");
         return;
       }
       p = std::move(*pending_);
@@ -506,7 +583,9 @@ class P2Server {
     }
     coord_.finish_refresh(true);
     refreshes_.fetch_add(1);
-    reply_data(conn, f.session, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
+    telemetry::event(telemetry::EventKind::EpochCommit,
+                     "epoch=" + std::to_string(coord_.epoch()));
+    reply_data(conn, f, kLabelRefCommitOk, encode_commit_ok(coord_.epoch()));
   }
 
   /// Reconnect reconciliation: deterministic verdict on the client's
@@ -516,12 +595,23 @@ class P2Server {
     HelloMsg h;
     try {
       h = decode_hello(f.body);
+      // A pre-observability server would have rejected the trailing version
+      // byte inside decode_hello; legacy_hello reproduces that rejection so
+      // interop tests can prove the client's v1 fallback.
+      if (opt_.legacy_hello && h.version != 0)
+        throw std::invalid_argument("svc.hello: trailing bytes");
     } catch (const std::exception& e) {
-      send_err(conn, f.session, ServiceErrc::BadRequest, e.what());
+      send_err(conn, f, ServiceErrc::BadRequest, e.what());
       return;
     }
     const Bytes share_ser = journal_.attached() ? ser_share() : Bytes{};
     HelloOk ok;
+    // Negotiate down to the highest version both sides speak; the echoed
+    // version arms wire tracing on the client, so a legacy server (version 0)
+    // never receives a trace envelope it would reject.
+    ok.version = opt_.legacy_hello
+                     ? 0
+                     : std::min<std::uint8_t>(h.version, kWireTraceVersion);
     {
       std::lock_guard lock(pending_mu_);
       const std::uint64_t se = coord_.epoch();
@@ -531,18 +621,24 @@ class P2Server {
           // We installed it (our pending slot was cleared at commit time):
           // the client rolls forward with its journaled round 2.
           ok.disposition = RefDisposition::Commit;
+          telemetry::event(telemetry::EventKind::Reconcile,
+                           "verdict=commit epoch=" + std::to_string(h.pending_epoch));
         } else if (se == h.pending_epoch) {
           // We never installed it: both sides roll back. Remember the digest
           // so a lingering duplicate prepare cannot resurrect the refresh.
           if (pending_) {
             pending_.reset();
             persist(se, share_ser, std::nullopt);
+            telemetry::event(telemetry::EventKind::EpochRollback,
+                             "epoch=" + std::to_string(se) + " cause=hello");
           }
           rolled_back_digest_ = h.pending_digest;
           rollbacks_counter().add();
           ok.disposition = RefDisposition::Rollback;
+          telemetry::event(telemetry::EventKind::Reconcile,
+                           "verdict=rollback epoch=" + std::to_string(h.pending_epoch));
         } else {
-          send_err(conn, f.session, ServiceErrc::Internal,
+          send_err(conn, f, ServiceErrc::Internal,
                    "epoch fork: client pending " + std::to_string(h.pending_epoch) +
                        ", server " + std::to_string(se));
           return;
@@ -554,9 +650,11 @@ class P2Server {
           pending_.reset();
           persist(se, share_ser, std::nullopt);
           rollbacks_counter().add();
+          telemetry::event(telemetry::EventKind::EpochRollback,
+                           "epoch=" + std::to_string(se) + " cause=hello-no-pending");
         }
         if (se != h.epoch) {
-          send_err(conn, f.session, ServiceErrc::Internal,
+          send_err(conn, f, ServiceErrc::Internal,
                    "epoch fork: client " + std::to_string(h.epoch) + ", server " +
                        std::to_string(se));
           return;
@@ -564,7 +662,7 @@ class P2Server {
         ok.disposition = RefDisposition::None;
       }
     }
-    reply_data(conn, f.session, kLabelHelloOk, encode_hello_ok(ok));
+    reply_data(conn, f, kLabelHelloOk, encode_hello_ok(ok));
   }
 
   static telemetry::Counter& rollbacks_counter() {
@@ -572,18 +670,38 @@ class P2Server {
     return c;
   }
 
-  void reply_data(transport::Conn& conn, std::uint32_t session, const char* label,
-                  Bytes body) {
-    conn.send(transport::Frame{session, transport::FrameType::Data,
-                               static_cast<std::uint8_t>(net::DeviceId::P2), label,
-                               std::move(body)});
+  static telemetry::Counter& requests_counter() {
+    static telemetry::Counter& c = telemetry::Registry::global().counter("svc.requests");
+    return c;
   }
 
-  void send_err(transport::Conn& conn, std::uint32_t session, ServiceErrc code,
+  /// Stamp a reply's trace envelope iff the request carried one (a traced
+  /// request proves the peer negotiated wire tracing; an untraced or legacy
+  /// peer must never see the envelope flag). The reply parents under the
+  /// worker's open span when there is one, else under the request's span.
+  static void stamp_reply(transport::Frame& out, const transport::Frame& req) {
+    if (req.trace_id == 0) return;
+    const auto ctx = telemetry::Tracer::global().current();
+    out.trace_id = ctx.active() ? ctx.trace_id : req.trace_id;
+    out.parent_span = ctx.active() ? ctx.span_id : req.parent_span;
+  }
+
+  void reply_data(transport::Conn& conn, const transport::Frame& req, const char* label,
+                  Bytes body) {
+    transport::Frame out{req.session, transport::FrameType::Data,
+                         static_cast<std::uint8_t>(net::DeviceId::P2), label,
+                         std::move(body)};
+    stamp_reply(out, req);
+    conn.send(out);
+  }
+
+  void send_err(transport::Conn& conn, const transport::Frame& req, ServiceErrc code,
                 const std::string& msg) {
-    conn.send(transport::Frame{session, transport::FrameType::Error,
-                               static_cast<std::uint8_t>(net::DeviceId::P2), kLabelErr,
-                               encode_error(code, coord_.epoch(), msg)});
+    transport::Frame out{req.session, transport::FrameType::Error,
+                         static_cast<std::uint8_t>(net::DeviceId::P2), kLabelErr,
+                         encode_error(code, coord_.epoch(), msg)};
+    stamp_reply(out, req);
+    conn.send(out);
   }
 
   // Declaration order matters: journal_ and rec_ must initialize before p2_
@@ -600,6 +718,8 @@ class P2Server {
   std::optional<Pending> pending_;
   Bytes rolled_back_digest_;
   transport::Listener listener_;
+  std::unique_ptr<AdminServer> admin_;
+  std::chrono::steady_clock::time_point started_at_{};
   std::thread accept_thread_;
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<ConnState>> conns_;

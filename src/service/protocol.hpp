@@ -30,7 +30,17 @@
 // installed it (server epoch == pending epoch + 1), Rollback otherwise.
 //
 //   svc.hello     (Data)  body = u64 epoch | u8 has_pending | u64 pending_epoch | blob digest
+//                                 [| u8 version]
 //   svc.hello.ok  (Data)  body = u64 server_epoch | u8 disposition (RefDisposition)
+//                                 [| u8 version]
+//
+// Version negotiation (DESIGN.md §10): a client that understands the wire
+// trace envelope appends version = kWireTraceVersion to its hello. A v1
+// server rejects the trailing byte as BadRequest, which the client treats as
+// "peer is v1" -- it re-hellos without the byte and keeps wire tracing off.
+// A v2 server accepts and echoes the version in hello.ok; only then do both
+// sides stamp trace envelopes on Data frames. An un-versioned peer therefore
+// never sees an envelope (whose flag bit it would reject as a bad device id).
 #pragma once
 
 #include <cstdint>
@@ -133,6 +143,10 @@ struct Request {
   return {code, epoch, msg};
 }
 
+/// Highest hello/wire-format version this build speaks. Version 1 adds the
+/// frame trace envelope (transport/frame.hpp); 0 means the legacy format.
+inline constexpr std::uint8_t kWireTraceVersion = 1;
+
 /// How a reconnecting client must resolve a journaled PendingRefresh.
 enum class RefDisposition : std::uint8_t {
   None = 0,      // nothing pending; epochs already agree
@@ -145,6 +159,7 @@ struct HelloMsg {
   bool has_pending = false;
   std::uint64_t pending_epoch = 0;
   Bytes pending_digest;
+  std::uint8_t version = 0;  // 0 = legacy peer; kWireTraceVersion = traced wire
 };
 
 [[nodiscard]] inline Bytes encode_hello(const HelloMsg& h) {
@@ -153,6 +168,9 @@ struct HelloMsg {
   w.u8(h.has_pending ? 1 : 0);
   w.u64(h.pending_epoch);
   w.blob(h.pending_digest);
+  // The version byte is appended only when nonzero, exactly so a v1 server
+  // sees a byte-identical legacy hello.
+  if (h.version != 0) w.u8(h.version);
   return w.take();
 }
 
@@ -163,6 +181,7 @@ struct HelloMsg {
   h.has_pending = r.u8() != 0;
   h.pending_epoch = r.u64();
   h.pending_digest = r.blob();
+  if (!r.done()) h.version = r.u8();  // optional trailing version (v2 client)
   if (!r.done()) throw std::invalid_argument("svc.hello: trailing bytes");
   return h;
 }
@@ -170,12 +189,14 @@ struct HelloMsg {
 struct HelloOk {
   std::uint64_t server_epoch = 0;
   RefDisposition disposition = RefDisposition::None;
+  std::uint8_t version = 0;  // echo of the negotiated version (0 = legacy)
 };
 
 [[nodiscard]] inline Bytes encode_hello_ok(const HelloOk& h) {
   ByteWriter w;
   w.u64(h.server_epoch);
   w.u8(static_cast<std::uint8_t>(h.disposition));
+  if (h.version != 0) w.u8(h.version);
   return w.take();
 }
 
@@ -184,8 +205,10 @@ struct HelloOk {
   HelloOk h;
   h.server_epoch = r.u64();
   const std::uint8_t d = r.u8();
-  if (d > 2 || !r.done()) throw std::invalid_argument("svc.hello.ok: malformed");
+  if (d > 2) throw std::invalid_argument("svc.hello.ok: malformed");
   h.disposition = static_cast<RefDisposition>(d);
+  if (!r.done()) h.version = r.u8();
+  if (!r.done()) throw std::invalid_argument("svc.hello.ok: trailing bytes");
   return h;
 }
 

@@ -88,14 +88,31 @@ Histogram& Registry::histogram(const std::string& name, std::vector<double> boun
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  // Lock-cheap: hold the registry mutex only to copy (name, pointer) pairs.
+  // Metric nodes are never erased, so the pointers stay valid, and values are
+  // read afterwards through their own atomics / per-histogram locks. A scrape
+  // therefore never blocks registration, reset(), or hot-path increments for
+  // the duration of a full copy; each metric is read at some instant during
+  // the scrape, not at one global cut (DESIGN.md §10 consistency model).
+  std::vector<std::pair<std::string, const Counter*>> cs;
+  std::vector<std::pair<std::string, const Gauge*>> gs;
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cs.reserve(counters_.size());
+    for (const auto& [k, c] : counters_) cs.emplace_back(k, c.get());
+    gs.reserve(gauges_.size());
+    for (const auto& [k, g] : gauges_) gs.emplace_back(k, g.get());
+    hs.reserve(histograms_.size());
+    for (const auto& [k, h] : histograms_) hs.emplace_back(k, h.get());
+  }
   Snapshot s;
-  s.counters.reserve(counters_.size());
-  for (const auto& [k, c] : counters_) s.counters.push_back({k, c->value()});
-  s.gauges.reserve(gauges_.size());
-  for (const auto& [k, g] : gauges_) s.gauges.push_back({k, g->value()});
-  s.histograms.reserve(histograms_.size());
-  for (const auto& [k, h] : histograms_) s.histograms.push_back(h->row(k));
+  s.counters.reserve(cs.size());
+  for (const auto& [k, c] : cs) s.counters.push_back({k, c->value()});
+  s.gauges.reserve(gs.size());
+  for (const auto& [k, g] : gs) s.gauges.push_back({k, g->value()});
+  s.histograms.reserve(hs.size());
+  for (const auto& [k, h] : hs) s.histograms.push_back(h->row(k));
   return s;
 }
 
@@ -121,10 +138,26 @@ std::uint64_t Registry::sum_counters(const std::string& prefix) const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& [k, c] : counters_) c->reset();
-  for (auto& [k, g] : gauges_) g->reset();
-  for (auto& [k, h] : histograms_) h->reset();
+  // Same pointer-copy discipline as snapshot(): zero each metric outside the
+  // registry lock so an in-flight scrape (or registration) never serializes
+  // behind a full reset. Each Counter/Gauge reset is an atomic store and each
+  // Histogram reset takes its own lock, so racing a scrape is benign -- the
+  // scrape sees pre- or post-reset values per metric.
+  std::vector<Counter*> cs;
+  std::vector<Gauge*> gs;
+  std::vector<Histogram*> hs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cs.reserve(counters_.size());
+    for (auto& [k, c] : counters_) cs.push_back(c.get());
+    gs.reserve(gauges_.size());
+    for (auto& [k, g] : gauges_) gs.push_back(g.get());
+    hs.reserve(histograms_.size());
+    for (auto& [k, h] : histograms_) hs.push_back(h.get());
+  }
+  for (auto* c : cs) c->reset();
+  for (auto* g : gs) g->reset();
+  for (auto* h : hs) h->reset();
 }
 
 #endif  // DLR_TELEMETRY_ENABLED

@@ -6,14 +6,41 @@
 
 namespace dlr::telemetry {
 
-namespace {
-
 /// Monotonic nanoseconds since the first call (process-local epoch keeps the
-/// exported numbers small and diff-friendly).
-std::int64_t now_ns() {
+/// exported numbers small and diff-friendly). Shared with EventLog so event
+/// timestamps line up with span timestamps.
+std::int64_t trace_now_ns() {
   using clock = std::chrono::steady_clock;
   static const clock::time_point epoch = clock::now();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch).count();
+}
+
+namespace {
+
+std::int64_t now_ns() { return trace_now_ns(); }
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-process random word seeding span/trace id generation, so two
+/// processes exporting into one merged trace never mint colliding ids
+/// (DESIGN.md §10: within a process ids are counter-unique; across processes
+/// the 32 random high bits make collision negligible).
+std::uint64_t process_word() {
+  static const std::uint64_t w = [] {
+    const auto t = std::chrono::high_resolution_clock::now().time_since_epoch().count();
+    std::uint64_t x = mix64(static_cast<std::uint64_t>(t));
+    // The address of a function-local is ASLR-perturbed per process; folding
+    // it in decorrelates forks that share a clock reading.
+    int probe = 0;
+    x ^= mix64(reinterpret_cast<std::uintptr_t>(&probe));
+    return x | 1;  // never zero
+  }();
+  return w;
 }
 
 // Per-thread stack of open spans; the back is the current span.
@@ -27,9 +54,29 @@ Tracer& Tracer::global() {
 }
 
 std::uint64_t Tracer::begin(const char* label) {
+  return begin_remote(label, TraceContext{});
+}
+
+std::uint64_t Tracer::begin_remote(const char* label, TraceContext parent) {
+  const std::uint64_t n = next_id_.fetch_add(1, std::memory_order_relaxed);
   Span s;
-  s.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  s.parent = t_open.empty() ? 0 : t_open.back().id;
+  // High 32 bits: per-process random; low 32: counter. Unique in-process,
+  // collision-negligible across processes of one merged trace.
+  s.id = (process_word() << 32) | (n & 0xffffffffULL);
+  if (!t_open.empty()) {
+    // Local nesting always wins: an inner span is a child of the innermost
+    // open span and inherits its trace, remote context or not.
+    s.parent = t_open.back().id;
+    s.trace_id = t_open.back().trace_id;
+  } else if (parent.active()) {
+    s.parent = parent.span_id;
+    s.trace_id = parent.trace_id;
+  } else {
+    s.parent = 0;
+    std::uint64_t tid = mix64(process_word() ^ (n * 0x9e3779b97f4a7c15ULL));
+    if (tid == 0) tid = 1;
+    s.trace_id = tid;
+  }
   s.label = label;
   s.start_ns = now_ns();
   const std::uint64_t id = s.id;
@@ -52,6 +99,11 @@ void Tracer::end(std::uint64_t id) {
     }
     if (match) return;
   }
+}
+
+TraceContext Tracer::current() const {
+  if (t_open.empty()) return {};
+  return TraceContext{t_open.back().trace_id, t_open.back().id};
 }
 
 void Tracer::attr_add(const std::string& key, double delta) {

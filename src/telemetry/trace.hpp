@@ -7,6 +7,16 @@
 // attaching outside any span is a silent no-op, so library code never needs
 // to know whether a caller is tracing.
 //
+// Cross-process propagation (DESIGN.md §10): every span belongs to a trace,
+// identified by a 64-bit trace id minted when a root span opens. Span ids
+// carry a per-process random high half, so ids minted in different processes
+// never collide and a merged export still forms one well-defined tree.
+// Tracer::current() yields the innermost (trace, span) pair as a
+// TraceContext; a frame carries it across the wire, and the receiving
+// process opens its handler span with begin_remote(), adopting the sender's
+// trace id and parenting under the sender's span. Everything nested below
+// the handler inherits the trace automatically via the thread-local stack.
+//
 // Finished spans accumulate in a bounded global buffer (completion order)
 // from which the exporters emit a flat span table or Chrome trace_event
 // JSON. With -DDLR_TELEMETRY=OFF everything here is an inline no-op.
@@ -22,9 +32,21 @@
 
 namespace dlr::telemetry {
 
+/// Propagation handle: "the caller's position in its trace". Zero-valued
+/// fields mean "no active trace" -- begin_remote() on an empty context
+/// behaves exactly like opening a fresh root span. Plain data in both build
+/// modes, so wire code handles it without #if.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool active() const { return trace_id != 0; }
+};
+
 struct Span {
   std::uint64_t id = 0;
-  std::uint64_t parent = 0;  // 0 = root span
+  std::uint64_t parent = 0;  // 0 = root span (possibly of a remote parent)
+  std::uint64_t trace_id = 0;
   std::string label;
   std::int64_t start_ns = 0;  // process-local monotonic epoch
   std::int64_t end_ns = 0;
@@ -42,15 +64,29 @@ struct Span {
 
 #if DLR_TELEMETRY_ENABLED
 
+/// Nanoseconds on the tracer's process-local monotonic epoch -- the same
+/// clock span start_ns/end_ns are stamped with, so EventLog timestamps
+/// correlate with spans in one export.
+[[nodiscard]] std::int64_t trace_now_ns();
+
 class Tracer {
  public:
   [[nodiscard]] static Tracer& global();
 
-  /// Open a span as a child of the current one; returns its id.
+  /// Open a span as a child of the current one; returns its id. A root span
+  /// (nothing open on this thread) mints a fresh trace id.
   std::uint64_t begin(const char* label);
+  /// Open a span whose parent lives in another process/thread: adopt the
+  /// remote context's trace id and parent under its span id. With an empty
+  /// context this is exactly begin() (fresh root). The span still pushes onto
+  /// THIS thread's stack, so nested local spans join the remote trace.
+  std::uint64_t begin_remote(const char* label, TraceContext parent);
   /// Close span `id`. Spans close LIFO; any inner spans still open are closed
   /// too (defensive -- ScopedSpan makes mismatches impossible).
   void end(std::uint64_t id);
+
+  /// (trace, span) of this thread's innermost open span; empty outside spans.
+  [[nodiscard]] TraceContext current() const;
 
   /// Accumulate `delta` onto attribute `key` of the current span (innermost
   /// open span of this thread). No-op outside any span.
@@ -79,6 +115,9 @@ class Tracer {
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* label) : id_(Tracer::global().begin(label)) {}
+  /// Open under a remote parent (cross-process request handling).
+  ScopedSpan(const char* label, TraceContext parent)
+      : id_(Tracer::global().begin_remote(label, parent)) {}
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() { Tracer::global().end(id_); }
@@ -98,6 +137,8 @@ inline void span_attr_add(const std::string& key, double delta) {
 
 #else  // !DLR_TELEMETRY_ENABLED
 
+inline std::int64_t trace_now_ns() { return 0; }
+
 class Tracer {
  public:
   [[nodiscard]] static Tracer& global() {
@@ -105,7 +146,9 @@ class Tracer {
     return t;
   }
   std::uint64_t begin(const char*) { return 0; }
+  std::uint64_t begin_remote(const char*, TraceContext) { return 0; }
   void end(std::uint64_t) {}
+  [[nodiscard]] TraceContext current() const { return {}; }
   void attr_add(const std::string&, double) {}
   [[nodiscard]] bool in_span() const { return false; }
   [[nodiscard]] std::vector<Span> spans() const { return {}; }
@@ -117,6 +160,7 @@ class Tracer {
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char*) {}
+  ScopedSpan(const char*, TraceContext) {}
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   void attr_add(const char*, double) {}

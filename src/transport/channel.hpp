@@ -15,26 +15,36 @@
 #pragma once
 
 #include "net/transcript.hpp"
+#include "telemetry/trace.hpp"
 #include "transport/mux.hpp"
 
 namespace dlr::transport {
 
 class MuxChannel final : public net::Channel {
  public:
-  MuxChannel(SessionMux::Session& session, net::DeviceId local)
-      : session_(session), local_(local) {}
+  /// `wire_trace` stamps outgoing Data frames with the sending thread's
+  /// current TraceContext (DESIGN.md §10). Leave it off unless the peer
+  /// negotiated wire tracing in svc.hello -- v1 decoders reject the envelope.
+  MuxChannel(SessionMux::Session& session, net::DeviceId local, bool wire_trace = false)
+      : session_(session), local_(local), wire_trace_(wire_trace) {}
 
   [[nodiscard]] net::DeviceId local() const { return local_; }
   [[nodiscard]] net::DeviceId peer() const {
     return local_ == net::DeviceId::P1 ? net::DeviceId::P2 : net::DeviceId::P1;
   }
 
+  void set_wire_trace(bool on) { wire_trace_ = on; }
+  /// Trace envelope of the last received frame (empty if the peer sent none).
+  [[nodiscard]] telemetry::TraceContext last_trace() const { return last_trace_; }
+
   /// Local messages go over the wire and into the transcript; a message
   /// attributed to the peer is record-only (it already traveled -- this arm
   /// exists so in-process driver code that replays both sides still works).
   const Bytes& send(net::DeviceId from, std::string label, Bytes body) override {
     if (from == local_)
-      session_.send(FrameType::Data, static_cast<std::uint8_t>(from), label, body);
+      session_.send(FrameType::Data, static_cast<std::uint8_t>(from), label, body,
+                    wire_trace_ ? telemetry::Tracer::global().current()
+                                : telemetry::TraceContext{});
     return record(from, std::move(label), std::move(body));
   }
 
@@ -47,6 +57,7 @@ class MuxChannel final : public net::Channel {
                            "expected Data frame, got type " +
                                std::to_string(static_cast<int>(f.type)) + " label '" +
                                f.label + "'");
+    last_trace_ = telemetry::TraceContext{f.trace_id, f.parent_span};
     const auto from = f.from == 0 ? peer() : static_cast<net::DeviceId>(f.from);
     return record(from, std::move(f.label), std::move(f.body));
   }
@@ -54,6 +65,8 @@ class MuxChannel final : public net::Channel {
  private:
   SessionMux::Session& session_;
   net::DeviceId local_;
+  bool wire_trace_ = false;
+  telemetry::TraceContext last_trace_;
 };
 
 }  // namespace dlr::transport

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace dlr::transport {
@@ -46,6 +47,8 @@ void FaultInjector::count(FaultKind k) {
   telemetry::Registry::global()
       .counter(std::string("fault.injected.") + fault_kind_name(k))
       .add();
+  telemetry::event(telemetry::EventKind::FaultInjected,
+                   std::string("kind=") + fault_kind_name(k));
 }
 
 void FaultInjector::deliver(const Frame& f) {

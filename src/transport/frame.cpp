@@ -21,6 +21,11 @@ std::uint32_t rd_u32(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
 }
 
+std::uint64_t rd_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(rd_u32(p)) |
+         static_cast<std::uint64_t>(rd_u32(p + 4)) << 32;
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
@@ -43,7 +48,11 @@ void check_frame_len(std::uint32_t len, std::uint32_t max_frame_bytes) {
 Bytes encode_frame(const Frame& f) {
   if (f.label.size() > 255)
     throw TransportError(Errc::Malformed, "label longer than 255 bytes");
-  const std::size_t payload_len = kPayloadFixedBytes + f.label.size() + f.body.size();
+  if (f.from & kTraceFlag)
+    throw TransportError(Errc::Malformed, "device id collides with trace flag");
+  const bool traced = f.trace_id != 0;
+  const std::size_t payload_len = kPayloadFixedBytes + f.label.size() +
+                                  (traced ? kTraceEnvelopeBytes : 0) + f.body.size();
   if (payload_len > kMaxFrameBytes)
     throw TransportError(Errc::FrameTooLarge,
                          "frame payload " + std::to_string(payload_len) + " exceeds cap " +
@@ -52,9 +61,13 @@ Bytes encode_frame(const Frame& f) {
   ByteWriter payload;
   payload.u32(f.session);
   payload.u8(static_cast<std::uint8_t>(f.type));
-  payload.u8(f.from);
+  payload.u8(traced ? static_cast<std::uint8_t>(f.from | kTraceFlag) : f.from);
   payload.u8(static_cast<std::uint8_t>(f.label.size()));
   payload.raw({reinterpret_cast<const std::uint8_t*>(f.label.data()), f.label.size()});
+  if (traced) {
+    payload.u64(f.trace_id);
+    payload.u64(f.parent_span);
+  }
   payload.raw(f.body);
 
   ByteWriter w;
@@ -74,15 +87,26 @@ Frame decode_payload(std::span<const std::uint8_t> payload) {
       type > static_cast<std::uint8_t>(FrameType::Close))
     throw TransportError(Errc::Malformed, "unknown frame type " + std::to_string(type));
   f.type = static_cast<FrameType>(type);
-  f.from = payload[5];
+  const bool traced = (payload[5] & kTraceFlag) != 0;
+  f.from = payload[5] & static_cast<std::uint8_t>(~kTraceFlag);
   if (f.from > 2)
     throw TransportError(Errc::Malformed, "bad device id " + std::to_string(f.from));
   const std::size_t label_len = payload[6];
-  if (kPayloadFixedBytes + label_len > payload.size())
+  std::size_t off = kPayloadFixedBytes;
+  if (off + label_len > payload.size())
     throw TransportError(Errc::Malformed, "label length overruns payload");
-  f.label.assign(reinterpret_cast<const char*>(payload.data()) + kPayloadFixedBytes, label_len);
-  f.body.assign(payload.begin() + static_cast<std::ptrdiff_t>(kPayloadFixedBytes + label_len),
-                payload.end());
+  f.label.assign(reinterpret_cast<const char*>(payload.data()) + off, label_len);
+  off += label_len;
+  if (traced) {
+    if (off + kTraceEnvelopeBytes > payload.size())
+      throw TransportError(Errc::Malformed, "trace envelope overruns payload");
+    f.trace_id = rd_u64(payload.data() + off);
+    f.parent_span = rd_u64(payload.data() + off + 8);
+    if (f.trace_id == 0)
+      throw TransportError(Errc::Malformed, "trace envelope with zero trace id");
+    off += kTraceEnvelopeBytes;
+  }
+  f.body.assign(payload.begin() + static_cast<std::ptrdiff_t>(off), payload.end());
   return f;
 }
 

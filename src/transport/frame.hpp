@@ -9,10 +9,19 @@
 //   payload:
 //     u32 session    logical session id (multiplexing key)
 //     u8  type       FrameType
-//     u8  from       device id (0 = unspecified, 1 = P1, 2 = P2)
+//     u8  from       bits 0-6: device id (0 = unspecified, 1 = P1, 2 = P2);
+//                    bit 7 (kTraceFlag): a 16-byte trace envelope follows
+//                    the label
 //     u8  label_len  protocol message label, e.g. "dec.r1" / "svc.dec"
 //     label bytes
+//     [u64 trace_id, u64 parent_span]   iff bit 7 of `from` is set
 //     body bytes     everything remaining
+//
+// The trace envelope (DESIGN.md §10) carries the sender's TraceContext so a
+// request's spans form one tree across processes. v1 decoders reject any
+// `from` above 2, so an envelope must never be sent to a peer that did not
+// negotiate it -- the svc.hello version exchange (service/protocol.hpp)
+// gates stamping, keeping old peers interoperable.
 //
 // The CRC makes single-bit corruption of any frame field a typed
 // ChecksumMismatch instead of a silently different message; length-prefix
@@ -42,6 +51,11 @@ inline constexpr std::size_t kFrameHeaderBytes = 8;
 /// Payload bytes before the label: session + type + from + label_len.
 inline constexpr std::size_t kPayloadFixedBytes = 7;
 
+/// Bit 7 of the `from` byte: a trace envelope follows the label.
+inline constexpr std::uint8_t kTraceFlag = 0x80;
+/// Trace envelope size: u64 trace_id + u64 parent_span.
+inline constexpr std::size_t kTraceEnvelopeBytes = 16;
+
 enum class FrameType : std::uint8_t {
   Data = 1,   // protocol message body
   Error = 2,  // service-level error report
@@ -54,6 +68,11 @@ struct Frame {
   std::uint8_t from = 0;  // matches net::DeviceId values; 0 = unspecified
   std::string label;
   Bytes body;
+  // Trace envelope (0 = absent). encode_frame emits the envelope -- and sets
+  // kTraceFlag -- iff trace_id is nonzero. Declared after `body` so existing
+  // positional aggregate initializers keep meaning what they meant.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 
   bool operator==(const Frame&) const = default;
 };

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <thread>
 
+#include "telemetry/trace.hpp"
 #include "transport/endpoint.hpp"
 
 namespace dlr::transport {
@@ -50,7 +51,18 @@ class SessionMux {
     [[nodiscard]] std::uint32_t id() const { return id_; }
 
     void send(FrameType type, std::uint8_t from, std::string label, Bytes body) {
-      mux_->conn().send(Frame{id_, type, from, std::move(label), std::move(body)});
+      send(type, from, std::move(label), std::move(body), telemetry::TraceContext{});
+    }
+
+    /// Traced send: stamp `ctx` into the frame's trace envelope. An empty
+    /// context sends a plain v1 frame; a nonzero one sets the envelope, which
+    /// only a wire-trace-negotiated peer will accept (see frame.hpp).
+    void send(FrameType type, std::uint8_t from, std::string label, Bytes body,
+              telemetry::TraceContext ctx) {
+      Frame f{id_, type, from, std::move(label), std::move(body)};
+      f.trace_id = ctx.trace_id;
+      f.parent_span = ctx.span_id;
+      mux_->conn().send(f);
     }
 
     /// Next frame for this session; throws the mux's terminal TransportError

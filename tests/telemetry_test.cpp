@@ -8,6 +8,7 @@
 // CI can pin the disabled path.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "group/counting_group.hpp"
@@ -15,6 +16,7 @@
 #include "leakage/budget.hpp"
 #include "net/transcript.hpp"
 #include "schemes/dlr.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -186,7 +188,15 @@ TEST(TelemetryExportTest, JsonlRoundTrip) {
 #if DLR_TELEMETRY_ENABLED
   EXPECT_EQ(back.counters.at("rt.count{backend=mock}"), 123u);
   EXPECT_DOUBLE_EQ(back.gauges.at("rt.gauge"), 2.5);
-  EXPECT_EQ(back.histograms, 1u);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const auto& h = back.histograms.begin()->second;
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 1.5);
+  ASSERT_EQ(h.bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds[1], 2.0);
+  ASSERT_EQ(h.buckets.size(), 3u);  // (-inf,1], (1,2], (2,inf)
+  EXPECT_EQ(h.buckets[1], 1u);
   ASSERT_EQ(back.spans.size(), 1u);
   EXPECT_EQ(back.spans[0].label, "rt.span \"quoted\"");
   EXPECT_DOUBLE_EQ(back.spans[0].attr_or("net.bytes", 0), 77.0);
@@ -288,6 +298,150 @@ TEST(TelemetryEndToEndTest, DistDecAndRefreshProduceCountersSpansAndGauges) {
   EXPECT_TRUE(spans.empty());
   EXPECT_DOUBLE_EQ(reg.gauge_value("leak.bits.P1"), 0.0);
 #endif
+}
+
+// ---- 64-bit id precision ------------------------------------------------------
+
+TEST(TelemetryExportTest, SpanAndTraceIdsRoundTripFull64Bits) {
+  // Ids carry random high bits; parsing them through a double would shave
+  // everything past the 53-bit mantissa. 0x9e3779b97f4a7c15 differs from its
+  // nearest double by thousands, so this catches any strtod path.
+  const std::string jsonl =
+      "{\"type\":\"meta\",\"run\":\"prec\"}\n"
+      "{\"type\":\"span\",\"id\":11400714819323198485,\"parent\":"
+      "11400714819323198484,\"trace\":11400714819323198483,\"label\":\"x\","
+      "\"start_ns\":1,\"dur_ms\":1.0,\"attrs\":{}}\n";
+  const auto back = telemetry::import_jsonl(jsonl);
+  ASSERT_EQ(back.spans.size(), 1u);
+  EXPECT_EQ(back.spans[0].id, 11400714819323198485ull);
+  EXPECT_EQ(back.spans[0].parent, 11400714819323198484ull);
+  EXPECT_EQ(back.spans[0].trace_id, 11400714819323198483ull);
+}
+
+TEST(TelemetryExportTest, MultiRunFilesSplitPerMetaLine) {
+  const std::string two =
+      "{\"type\":\"meta\",\"run\":\"a\"}\n"
+      "{\"type\":\"counter\",\"name\":\"c\",\"value\":1}\n"
+      "{\"type\":\"meta\",\"run\":\"b\"}\n"
+      "{\"type\":\"counter\",\"name\":\"c\",\"value\":2}\n";
+  const auto runs = telemetry::import_jsonl_runs(two);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].run, "a");
+  EXPECT_EQ(runs[0].counters.at("c"), 1u);
+  EXPECT_EQ(runs[1].run, "b");
+  EXPECT_EQ(runs[1].counters.at("c"), 2u);
+}
+
+// ---- Prometheus exposition ----------------------------------------------------
+
+TEST(TelemetryPrometheusTest, ExpositionIsLintCleanAndParsesBack) {
+  reset_telemetry();
+  auto& reg = Registry::global();
+  reg.counter("prom.count", {{"backend", "mock"}}).add(7);
+  reg.gauge("prom.gauge").set(1.25);
+  reg.histogram("prom.lat.ms", {1.0, 10.0}).observe(0.5);
+  reg.histogram("prom.lat.ms", {1.0, 10.0}).observe(5.0);
+
+  const std::string text = telemetry::to_prometheus(reg.snapshot());
+  EXPECT_EQ(telemetry::prometheus_lint(text), "");
+#if DLR_TELEMETRY_ENABLED
+  const auto samples = telemetry::parse_prometheus(text);
+  EXPECT_DOUBLE_EQ(samples.at("prom_count{backend=\"mock\"}"), 7.0);
+  EXPECT_DOUBLE_EQ(samples.at("prom_gauge"), 1.25);
+  EXPECT_DOUBLE_EQ(samples.at("prom_lat_ms_count"), 2.0);
+  EXPECT_DOUBLE_EQ(samples.at("prom_lat_ms_sum"), 5.5);
+  EXPECT_DOUBLE_EQ(samples.at("prom_lat_ms_bucket{le=\"1\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(samples.at("prom_lat_ms_bucket{le=\"+Inf\"}"), 2.0);
+#endif
+}
+
+TEST(TelemetryPrometheusTest, LintRejectsStructurallyBrokenDocs) {
+  EXPECT_NE(telemetry::prometheus_lint("9bad_name 1\n"), "");
+  EXPECT_NE(telemetry::prometheus_lint("x{le=\"1\"} nope\n"), "");
+  // Non-cumulative histogram: +Inf bucket below an earlier bucket.
+  const std::string bad =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"+Inf\"} 3\n"
+      "h_sum 1\n"
+      "h_count 3\n";
+  EXPECT_NE(telemetry::prometheus_lint(bad), "");
+}
+
+// ---- event log ----------------------------------------------------------------
+
+TEST(TelemetryEventLogTest, RingIsBoundedOrderedAndTraceCorrelated) {
+  reset_telemetry();
+  telemetry::EventLog::global().reset();
+  {
+    telemetry::ScopedSpan s("evt.span");
+    telemetry::event(telemetry::EventKind::Retry, "in-span");
+  }
+  telemetry::event(telemetry::EventKind::EpochPrepare, "outside");
+  const auto evs = telemetry::EventLog::global().events();
+#if DLR_TELEMETRY_ENABLED
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_LT(evs[0].seq, evs[1].seq);
+  EXPECT_NE(evs[0].trace_id, 0u) << "event inside a span adopts its trace";
+  EXPECT_EQ(evs[1].trace_id, 0u);
+  EXPECT_EQ(std::string(telemetry::event_kind_name(evs[0].kind)), "retry");
+
+  // Overflow: the ring keeps the newest kCapacity events, oldest-first.
+  for (std::uint64_t i = 0; i < telemetry::EventLog::kCapacity + 10; ++i)
+    telemetry::event(telemetry::EventKind::FaultInjected, "n=" + std::to_string(i));
+  const auto full = telemetry::EventLog::global().events();
+  EXPECT_EQ(full.size(), telemetry::EventLog::kCapacity);
+  for (std::size_t i = 1; i < full.size(); ++i)
+    EXPECT_EQ(full[i].seq, full[i - 1].seq + 1);
+  const std::string dump = telemetry::EventLog::global().dump_jsonl();
+  EXPECT_NE(dump.find("\"kind\":\"fault-injected\""), std::string::npos);
+#else
+  EXPECT_TRUE(evs.empty());
+#endif
+  telemetry::EventLog::global().reset();
+}
+
+// ---- scrape vs. hot path concurrency ------------------------------------------
+
+// The admin endpoint turns snapshots into a steady background reader, and
+// tests reset the registry between cases; under TSan this hammers the
+// snapshot/reset/increment triangle for data races.
+TEST(TelemetryConcurrencyTest, SnapshotResetIncrementHammer) {
+  reset_telemetry();
+  auto& reg = Registry::global();
+  std::atomic<bool> stop{false};
+  std::thread incrementer([&] {
+    while (!stop.load()) {
+      reg.counter("hammer.count").add();
+      reg.gauge("hammer.gauge").set(1.0);
+      reg.histogram("hammer.hist", {1.0, 2.0}).observe(1.5);
+    }
+  });
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      const auto snap = reg.snapshot();
+      const auto text = telemetry::to_prometheus(snap);
+      EXPECT_EQ(telemetry::prometheus_lint(text), "") << text;
+    }
+  });
+  std::thread resetter([&] {
+    for (int i = 0; i < 50; ++i) {
+      reg.reset();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop.store(true);
+  });
+  incrementer.join();
+  scraper.join();
+  resetter.join();
+
+  // Deterministic epilogue: after a final reset, counts observed are exact.
+  reg.reset();
+  reg.counter("hammer.count").add(5);
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_EQ(reg.counter_value("hammer.count"), 5u);
+#endif
+  reset_telemetry();
 }
 
 // ---- SecretSnapshot bit conventions (satellite of this PR) ---------------------

@@ -1,0 +1,217 @@
+// bench_diff: compare two multi-run telemetry JSONL exports and fail loudly
+// on perf regressions (DESIGN.md §10.5).
+//
+//   bench_diff <baseline.json> <candidate.json> [options]
+//     --threshold-pct P   relative regression allowed on scored metrics
+//                         (default 30 -- bench boxes are noisy; CI passes a
+//                         looser value still tight enough to catch 2x drifts)
+//     --prefix S          only score metrics whose name starts with S
+//                         (repeatable; unscored metrics are still listed)
+//     --quiet             print only regressions and the verdict line
+//
+// Alignment: runs pair by their meta "run" name, then counters/gauges/
+// histograms pair by metric name within the run. A metric present on only
+// one side is reported but never fails the diff (bench profiles legitimately
+// gain and lose series across PRs).
+//
+// Scoring uses name-based direction heuristics:
+//   higher-is-better:  *rps*, *per_sec*, *throughput*, *ops*
+//   lower-is-better:   *ms*, *latency*, *dur*, histogram means (sum/count)
+//   everything else:   informational only (counters count work performed;
+//                      a change is a behavior diff, not a perf verdict)
+//
+// Exit codes: 0 ok, 1 regression(s), 2 usage/io/parse error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+
+namespace {
+
+using dlr::telemetry::HistogramRow;
+using dlr::telemetry::Imported;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool contains(const std::string& name, const char* needle) {
+  return name.find(needle) != std::string::npos;
+}
+
+enum class Direction { HigherBetter, LowerBetter, Info };
+
+Direction direction_of(const std::string& name) {
+  if (contains(name, "rps") || contains(name, "per_sec") ||
+      contains(name, "throughput") || contains(name, "ops"))
+    return Direction::HigherBetter;
+  if (contains(name, "ms") || contains(name, "latency") || contains(name, "dur"))
+    return Direction::LowerBetter;
+  return Direction::Info;
+}
+
+struct Row {
+  std::string run;
+  std::string name;
+  double base = 0;
+  double cand = 0;
+  Direction dir = Direction::Info;
+  bool regression = false;
+};
+
+/// Relative change in the harmful direction, as a fraction (0 = no worse).
+double harm(const Row& r) {
+  if (r.base == 0) return 0;
+  const double rel = (r.cand - r.base) / r.base;
+  if (r.dir == Direction::HigherBetter) return -rel;
+  if (r.dir == Direction::LowerBetter) return rel;
+  return 0;
+}
+
+struct Options {
+  double threshold_pct = 30;
+  std::vector<std::string> prefixes;
+  bool quiet = false;
+};
+
+bool prefix_ok(const Options& opt, const std::string& name) {
+  if (opt.prefixes.empty()) return true;
+  for (const auto& p : opt.prefixes)
+    if (name.rfind(p, 0) == 0) return true;
+  return false;
+}
+
+void score(const Options& opt, std::vector<Row>& rows, const std::string& run,
+           const std::string& name, double base, double cand, Direction dir) {
+  Row r{run, name, base, cand, dir, false};
+  if (dir != Direction::Info && prefix_ok(opt, name))
+    r.regression = harm(r) * 100.0 > opt.threshold_pct;
+  rows.push_back(std::move(r));
+}
+
+void diff_run(const Options& opt, const Imported& base, const Imported& cand,
+              std::vector<Row>& rows, std::vector<std::string>& notes) {
+  for (const auto& [name, bv] : base.gauges) {
+    auto it = cand.gauges.find(name);
+    if (it == cand.gauges.end()) {
+      notes.push_back(base.run + ": gauge '" + name + "' missing from candidate");
+      continue;
+    }
+    score(opt, rows, base.run, name, bv, it->second, direction_of(name));
+  }
+  for (const auto& [name, cv] : cand.gauges)
+    if (!base.gauges.count(name))
+      notes.push_back(base.run + ": gauge '" + name + "' new in candidate");
+  for (const auto& [name, bv] : base.counters) {
+    auto it = cand.counters.find(name);
+    if (it == cand.counters.end()) {
+      notes.push_back(base.run + ": counter '" + name + "' missing from candidate");
+      continue;
+    }
+    score(opt, rows, base.run, name, static_cast<double>(bv),
+          static_cast<double>(it->second), Direction::Info);
+  }
+  for (const auto& [name, bh] : base.histograms) {
+    auto it = cand.histograms.find(name);
+    if (it == cand.histograms.end()) {
+      notes.push_back(base.run + ": histogram '" + name + "' missing from candidate");
+      continue;
+    }
+    const HistogramRow& ch = it->second;
+    const double bmean = bh.count ? bh.sum / static_cast<double>(bh.count) : 0;
+    const double cmean = ch.count ? ch.sum / static_cast<double>(ch.count) : 0;
+    score(opt, rows, base.run, name + "(mean)", bmean, cmean, Direction::LowerBetter);
+  }
+}
+
+const char* dir_tag(Direction d) {
+  switch (d) {
+    case Direction::HigherBetter: return "higher-better";
+    case Direction::LowerBetter: return "lower-better";
+    default: return "info";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threshold-pct" && i + 1 < argc) {
+      opt.threshold_pct = std::strtod(argv[++i], nullptr);
+    } else if (a == "--prefix" && i + 1 < argc) {
+      opt.prefixes.emplace_back(argv[++i]);
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown option '%s'\n", a.c_str());
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <candidate.json> "
+                 "[--threshold-pct P] [--prefix S]... [--quiet]\n");
+    return 2;
+  }
+
+  std::vector<Imported> base_runs, cand_runs;
+  try {
+    base_runs = dlr::telemetry::import_jsonl_runs(read_file(files[0]));
+    cand_runs = dlr::telemetry::import_jsonl_runs(read_file(files[1]));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  std::map<std::string, const Imported*> cand_by_name;
+  for (const auto& r : cand_runs) cand_by_name.emplace(r.run, &r);
+
+  std::vector<Row> rows;
+  std::vector<std::string> notes;
+  int matched_runs = 0;
+  for (const auto& b : base_runs) {
+    auto it = cand_by_name.find(b.run);
+    if (it == cand_by_name.end()) {
+      notes.push_back("run '" + b.run + "' missing from candidate (skipped)");
+      continue;
+    }
+    ++matched_runs;
+    diff_run(opt, b, *it->second, rows, notes);
+  }
+
+  int regressions = 0;
+  for (const auto& r : rows) {
+    const double pct = harm(r) * 100.0;
+    if (r.regression) ++regressions;
+    if (r.regression || !opt.quiet)
+      std::printf("%s  %-52s %14.4f -> %14.4f  %+8.1f%%  [%s]%s\n", r.run.c_str(),
+                  r.name.c_str(), r.base, r.cand, pct, dir_tag(r.dir),
+                  r.regression ? "  REGRESSION" : "");
+  }
+  if (!opt.quiet)
+    for (const auto& n : notes) std::printf("note: %s\n", n.c_str());
+
+  std::printf("bench_diff: %d run(s) matched, %zu metric(s) compared, %d regression(s) "
+              "(threshold %.1f%%)\n",
+              matched_runs, rows.size(), regressions, opt.threshold_pct);
+  if (matched_runs == 0 && !base_runs.empty()) {
+    std::fprintf(stderr, "bench_diff: no runs aligned between the two files\n");
+    return 2;
+  }
+  return regressions ? 1 : 0;
+}
