@@ -53,6 +53,7 @@ using Core = schemes::DlrCore<MockGroup>;
 struct Config {
   int requests = 200;     // total per sweep point, split across clients
   std::size_t lambda = 2048;
+  std::uint64_t seed = 1;  // --seed: offsets every rng + workload shuffle
 };
 
 int int_flag(int argc, char** argv, const char* name, int def) {
@@ -70,13 +71,15 @@ struct Fixture {
   // hundreds of ciphertexts against the same pk.
   std::unique_ptr<Core::PkTable> pk_tbl;
 
-  explicit Fixture(std::size_t lambda) {
+  std::uint64_t seed;
+
+  explicit Fixture(std::size_t lambda, std::uint64_t seed_ = 1) : seed(seed_) {
     prm = schemes::DlrParams::derive(gg.scalar_bits(), lambda);
-    crypto::Rng rng(424242);
+    crypto::Rng rng(424242 + seed);
     kg = Core::gen(gg, prm, rng);
     pk_tbl = std::make_unique<Core::PkTable>(gg, kg.pk);
     p1 = std::make_shared<service::P1Runtime<MockGroup>>(
-        gg, prm, kg.pk, kg.sk1, schemes::P1Mode::Plain, crypto::Rng(1));
+        gg, prm, kg.pk, kg.sk1, schemes::P1Mode::Plain, crypto::Rng(seed * 2 + 1));
   }
 };
 
@@ -98,7 +101,8 @@ double run_point(Fixture& fx, int workers, int clients, int requests,
   typename service::P2Server<MockGroup>::Options sopt;
   sopt.workers = workers;
   sopt.admin = scrape != nullptr;
-  service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2, crypto::Rng(2), sopt);
+  service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2,
+                                      crypto::Rng(fx.seed * 2 + 2), sopt);
   server.start();
 
   std::atomic<bool> scraping{scrape != nullptr};
@@ -132,11 +136,12 @@ double run_point(Fixture& fx, int workers, int clients, int requests,
   // Pre-encrypt outside the timed region; every client thread gets its own
   // connection (DecryptionClient) and its own slice of the work.
   const int per_client = (requests + clients - 1) / clients;
-  crypto::Rng rng(5000 + workers * 100 + clients);
+  crypto::Rng rng(5000 + workers * 100 + clients + fx.seed * 10000);
   std::vector<typename Core::Ciphertext> cts;
   cts.reserve(per_client);
   for (int i = 0; i < per_client; ++i)
     cts.push_back(Core::enc_precomp(fx.gg, *fx.pk_tbl, fx.gg.gt_random(rng), rng));
+  bench::seeded_shuffle(cts, fx.seed);  // --seed replays the same request order
 
   std::vector<std::unique_ptr<service::DecryptionClient<MockGroup>>> conns;
   conns.reserve(clients);
@@ -177,7 +182,8 @@ struct FaultRun {
 FaultRun run_faults(Fixture& fx, std::uint64_t seed, int clients, int requests) {
   typename service::P2Server<MockGroup>::Options sopt;
   sopt.workers = 4;
-  service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2, crypto::Rng(2), sopt);
+  service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2, crypto::Rng(seed * 2 + 2),
+                                      sopt);
   server.start();
 
   const int per_client = (requests + clients - 1) / clients;
@@ -278,6 +284,7 @@ int main(int argc, char** argv) {
   cfg.requests = int_flag(argc, argv, "--requests", cfg.requests);
   cfg.lambda = static_cast<std::size_t>(
       int_flag(argc, argv, "--lambda", static_cast<int>(cfg.lambda)));
+  cfg.seed = bench::u64_flag(argc, argv, "--seed", cfg.seed);
   bool faults = false, scrape = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) faults = true;
@@ -285,8 +292,8 @@ int main(int argc, char** argv) {
   }
 
   if (faults) {
-    const auto seed = static_cast<std::uint64_t>(int_flag(argc, argv, "--seed", 1));
-    Fixture fx(cfg.lambda);
+    const auto seed = cfg.seed;
+    Fixture fx(cfg.lambda, seed);
     bench::banner("T3: service throughput under seeded fault injection",
                   "crash-safe refresh / reconnect reconciliation, DESIGN.md §9");
     std::printf("backend=mock  lambda=%zu  ell=%zu  seed=%llu  requests=%d  clients=4\n\n",
@@ -322,7 +329,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Fixture fx(cfg.lambda);
+  Fixture fx(cfg.lambda, cfg.seed);
   bench::banner("T3: decryption-service throughput (req/s over loopback TCP)",
                 "service deployment of Construction 5.3, §1.1/§4.4");
   std::printf("backend=mock  lambda=%zu  kappa=%zu  ell=%zu  requests/point=%d  hw_threads=%u\n\n",

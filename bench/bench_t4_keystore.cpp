@@ -1,0 +1,419 @@
+// T4: multi-tenant keystore throughput -- requests/sec of a sharded KsServer
+// fleet serving a 10k-key keyspace under a Zipf(1.0) request mix, with the
+// client-side budget-driven refresh scheduler running throughout.
+//
+// The bench answers three questions from DESIGN.md §11:
+//
+//   1. Scale tax: what fraction of the single-key service throughput
+//      (bench_t3's workload, rerun here as an in-bench control point so both
+//      numbers come from the same host on the same run) survives 10k keys,
+//      per-key epoch machines, consistent-hash routing, and segmented
+//      journaling? Gate: >= 80%.
+//   2. Budget safety under skew: with the hottest keys drawing Zipf-share of
+//      the traffic, does the background scheduler keep every key below its
+//      leakage budget without starving decryption? (leak.ks.* gauges +
+//      refresh counts in the export.)
+//   3. Recovery: crash one shard (destroy the process object), restart it
+//      from its segmented journal, and compare the fleet digest before and
+//      after -- repeated over several restarts, reporting the p50 recovery
+//      wall time and requiring zero digest mismatches.
+//
+// All randomness -- keygen, ciphertexts, the Zipf key sequence, workload
+// shuffling -- derives from --seed, so a run replays exactly.
+//
+//   bench_t4_keystore [--keys N] [--shards S] [--requests R] [--clients C]
+//                     [--lambda L] [--zipf Z] [--seed X] [--restarts K]
+//                     [--reps R] [--json out.jsonl]
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "group/mock_group.hpp"
+#include "keystore/ks_client.hpp"
+#include "keystore/ks_server.hpp"
+#include "service/client.hpp"
+#include "service/p2_server.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace dlr;
+using group::MockGroup;
+using Core = schemes::DlrCore<MockGroup>;
+using keystore::KeyId;
+using keystore::KsFleet;
+using keystore::KsServer;
+using keystore::ShardInfo;
+using keystore::ShardMap;
+
+struct Config {
+  int keys = 10000;
+  int shards = 2;
+  int requests = 20000;  // total decryptions in the timed region (~1.5 s at
+                         // mock-group speeds; sub-second windows are noise)
+  int clients = 4;
+  std::size_t lambda = 256;
+  double zipf = 1.0;
+  std::uint64_t seed = 1;
+  int restarts = 3;
+  /// Interleaved keystore/control repetitions; the headline ratio is
+  /// median-vs-median, so slow machine drift between the two measured
+  /// phases cancels instead of masquerading as a keystore tax (same
+  /// trick as bench_t3 --scrape).
+  int reps = 3;
+};
+
+int int_flag(int argc, char** argv, const char* name, int def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  return def;
+}
+
+double double_flag(int argc, char** argv, const char* name, double def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  return def;
+}
+
+std::string make_state_dir(int shard) {
+  std::string tmpl = "/tmp/dlr_bench_t4_s" + std::to_string(shard) + "_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) throw std::runtime_error("mkdtemp failed");
+  return tmpl;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<std::size_t>(p * (v.size() - 1))];
+}
+
+struct Fleet {
+  MockGroup gg = group::make_mock();
+  schemes::DlrParams prm;
+  Config cfg;
+  std::vector<KeyId> ids;
+  std::vector<Core::KeyGenResult> kgs;
+  std::vector<std::string> dirs;
+  std::vector<std::unique_ptr<KsServer<MockGroup>>> servers;
+  std::optional<KsFleet<MockGroup>> fleet;
+  double keygen_ms = 0, provision_ms = 0;
+
+  explicit Fleet(Config c) : cfg(c) {
+    prm = schemes::DlrParams::derive(gg.scalar_bits(), cfg.lambda);
+
+    // Keygen for every (tenant, key). Timed: it is the bulk-onboarding cost.
+    const auto t0 = std::chrono::steady_clock::now();
+    crypto::Rng rng(424242 + cfg.seed);
+    ids.reserve(cfg.keys);
+    kgs.reserve(cfg.keys);
+    for (int i = 0; i < cfg.keys; ++i) {
+      ids.push_back({"tenant" + std::to_string(i % 97), "key" + std::to_string(i)});
+      kgs.push_back(Core::gen(gg, prm, rng));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    keygen_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    for (int s = 0; s < cfg.shards; ++s) {
+      dirs.push_back(make_state_dir(s));
+      servers.push_back(make_server(s, cfg.seed * 100 + s));
+      servers.back()->start();
+    }
+    install_map(1);
+
+    // Bulk provisioning through the deferred-durability path: fsync once per
+    // shard at the end instead of once per key.
+    const auto t2 = std::chrono::steady_clock::now();
+    const ShardMap map = servers[0]->shard_map();
+    for (int i = 0; i < cfg.keys; ++i)
+      servers[map.owner(ids[i])]->store().put(ids[i], kgs[i].sk2);
+    for (auto& s : servers)
+      if (auto* j = s->store().journal()) j->flush();
+    const auto t3 = std::chrono::steady_clock::now();
+    provision_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+
+    typename KsFleet<MockGroup>::Options fo;
+    fo.refresh_threshold = 0.5;
+    fo.scheduler.sweep_interval = std::chrono::milliseconds(20);
+    fo.scheduler.max_concurrent = 2;
+    fleet.emplace(gg, prm, crypto::Rng(cfg.seed + 7), servers[0]->port(), fo);
+    fleet->set_map(servers[0]->shard_map());
+    for (int i = 0; i < cfg.keys; ++i)
+      fleet->add_key(ids[i], kgs[i].pk, kgs[i].sk1, schemes::P1Mode::Plain);
+  }
+
+  [[nodiscard]] std::unique_ptr<KsServer<MockGroup>> make_server(int shard,
+                                                                 std::uint64_t seed) {
+    typename KsServer<MockGroup>::Options so;
+    so.shard_id = static_cast<std::uint32_t>(shard);
+    so.workers = 4;
+    so.store.state_dir = dirs[static_cast<std::size_t>(shard)];
+    so.store.journal.fsync_each = false;  // bulk-load + bench mode
+    so.store.budget_bits = 64;
+    so.store.leak_per_dec_bits = 1;
+    so.store.refresh_threshold = 0.5;
+    return std::make_unique<KsServer<MockGroup>>(gg, prm, crypto::Rng(seed), so);
+  }
+
+  void install_map(std::uint64_t version) {
+    std::vector<ShardInfo> infos;
+    for (int s = 0; s < cfg.shards; ++s)
+      infos.push_back({static_cast<std::uint32_t>(s), "", servers[s]->port()});
+    const ShardMap m(version, std::move(infos));
+    for (auto& s : servers) s->set_shard_map(m);
+    if (fleet) fleet->set_map(m);
+  }
+
+  ~Fleet() {
+    if (fleet) fleet->close();
+    for (auto& s : servers)
+      if (s) s->stop();
+  }
+};
+
+/// The timed Zipf workload: `clients` threads, each with its own seeded Zipf
+/// stream over the keyspace and a pre-encrypted, seed-shuffled request list.
+double run_workload(Fleet& fx, int requests, std::atomic<int>* wrong) {
+  const Config& cfg = fx.cfg;
+  const int per_client = (requests + cfg.clients - 1) / cfg.clients;
+
+  struct Req {
+    std::size_t key;
+    MockGroup::GT m;
+    Core::Ciphertext ct;
+  };
+  std::vector<std::vector<Req>> work(cfg.clients);
+  for (int c = 0; c < cfg.clients; ++c) {
+    bench::Zipf zipf(fx.ids.size(), cfg.zipf, cfg.seed * 1000 + c);
+    crypto::Rng rng(5000 + cfg.seed * 10 + c);
+    work[c].reserve(per_client);
+    for (int i = 0; i < per_client; ++i) {
+      Req r;
+      r.key = zipf.next();
+      r.m = fx.gg.gt_random(rng);
+      r.ct = Core::enc(fx.gg, fx.kgs[r.key].pk, r.m, rng);
+      work[c].push_back(std::move(r));
+    }
+    bench::seeded_shuffle(work[c], cfg.seed + c);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  ts.reserve(cfg.clients);
+  for (int c = 0; c < cfg.clients; ++c)
+    ts.emplace_back([&, c] {
+      for (const auto& r : work[c]) {
+        const auto out = fx.fleet->decrypt(fx.ids[r.key], r.ct);
+        if (!fx.gg.gt_eq(out, r.m) && wrong) wrong->fetch_add(1);
+      }
+    });
+  for (auto& t : ts) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(per_client) * cfg.clients / secs;
+}
+
+/// In-bench single-key control: bench_t3's full-load shape (P2Server, one
+/// key, per-client connections) under the same --requests/--clients/--seed.
+double run_single_key_control(const Config& cfg) {
+  MockGroup gg = group::make_mock();
+  const auto prm = schemes::DlrParams::derive(gg.scalar_bits(), cfg.lambda);
+  crypto::Rng rng(424242 + cfg.seed);
+  auto kg = Core::gen(gg, prm, rng);
+  auto p1 = std::make_shared<service::P1Runtime<MockGroup>>(
+      gg, prm, kg.pk, kg.sk1, schemes::P1Mode::Plain, crypto::Rng(cfg.seed * 2 + 1));
+
+  typename service::P2Server<MockGroup>::Options sopt;
+  sopt.workers = 4;
+  service::P2Server<MockGroup> server(gg, prm, kg.sk2, crypto::Rng(cfg.seed * 2 + 2),
+                                      sopt);
+  server.start();
+
+  const int per_client = (cfg.requests + cfg.clients - 1) / cfg.clients;
+  crypto::Rng crng(5000 + cfg.seed);
+  std::vector<Core::Ciphertext> cts;
+  cts.reserve(per_client);
+  for (int i = 0; i < per_client; ++i)
+    cts.push_back(Core::enc(gg, kg.pk, gg.gt_random(crng), crng));
+  bench::seeded_shuffle(cts, cfg.seed);
+
+  std::vector<std::unique_ptr<service::DecryptionClient<MockGroup>>> conns;
+  for (int c = 0; c < cfg.clients; ++c)
+    conns.push_back(
+        std::make_unique<service::DecryptionClient<MockGroup>>(p1, server.port()));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  for (int c = 0; c < cfg.clients; ++c)
+    ts.emplace_back([&, c] {
+      for (const auto& ct : cts) bench::sink(conns[static_cast<std::size_t>(c)]->decrypt(ct));
+    });
+  for (auto& t : ts) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  for (auto& c : conns) c->close();
+  server.stop();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(per_client) * cfg.clients / secs;
+}
+
+struct RestartStats {
+  std::vector<double> recovery_ms;
+  int digest_mismatches = 0;
+  std::size_t keys_recovered = 0;
+};
+
+/// Crash shard 0 repeatedly: digest -> destroy -> reconstruct from its
+/// journal directory (timed) -> digest check -> remap -> decrypt smoke.
+RestartStats run_restarts(Fleet& fx) {
+  RestartStats st;
+  crypto::Rng rng(31337 + fx.cfg.seed);
+  for (int r = 0; r < fx.cfg.restarts; ++r) {
+    const Bytes before = fx.servers[0]->store().digest_all();
+    const std::size_t n = fx.servers[0]->store().size();
+    fx.servers[0]->stop();
+    fx.servers[0].reset();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    fx.servers[0] = fx.make_server(0, /*seed=*/999999 + r);  // decoy rng
+    fx.servers[0]->start();
+    const auto t1 = std::chrono::steady_clock::now();
+    st.recovery_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+
+    if (fx.servers[0]->store().digest_all() != before ||
+        fx.servers[0]->store().size() != n)
+      ++st.digest_mismatches;
+    st.keys_recovered = fx.servers[0]->store().size();
+
+    fx.install_map(2 + static_cast<std::uint64_t>(r));  // new port, new version
+
+    // Smoke: the restarted shard serves one of its own keys.
+    const ShardMap map = fx.servers[0]->shard_map();
+    for (std::size_t i = 0; i < fx.ids.size(); ++i) {
+      if (map.owner(fx.ids[i]) != 0) continue;
+      const auto m = fx.gg.gt_random(rng);
+      const auto c = Core::enc(fx.gg, fx.kgs[i].pk, m, rng);
+      if (!fx.gg.gt_eq(fx.fleet->decrypt(fx.ids[i], c), m)) ++st.digest_mismatches;
+      break;
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.keys = int_flag(argc, argv, "--keys", cfg.keys);
+  cfg.shards = std::max(1, int_flag(argc, argv, "--shards", cfg.shards));
+  cfg.requests = int_flag(argc, argv, "--requests", cfg.requests);
+  cfg.clients = std::max(1, int_flag(argc, argv, "--clients", cfg.clients));
+  cfg.lambda = static_cast<std::size_t>(
+      int_flag(argc, argv, "--lambda", static_cast<int>(cfg.lambda)));
+  cfg.zipf = double_flag(argc, argv, "--zipf", cfg.zipf);
+  cfg.seed = bench::u64_flag(argc, argv, "--seed", cfg.seed);
+  cfg.restarts = int_flag(argc, argv, "--restarts", cfg.restarts);
+  cfg.reps = std::max(1, int_flag(argc, argv, "--reps", cfg.reps));
+
+  bench::banner("T4: multi-tenant keystore throughput (Zipf over sharded fleet)",
+                "keystore deployment of Construction 5.3, DESIGN.md §11");
+
+  Fleet fx(cfg);
+  std::printf(
+      "backend=mock  lambda=%zu  ell=%zu  keys=%d  shards=%d  clients=%d  zipf=%.2f  "
+      "seed=%llu\n\n",
+      cfg.lambda, fx.prm.ell, cfg.keys, cfg.shards, cfg.clients, cfg.zipf,
+      static_cast<unsigned long long>(cfg.seed));
+
+  // Interleaved reps: keystore Zipf workload (scheduler live) alternating
+  // with the single-key control, median of each side.
+  fx.fleet->start_scheduler();
+  std::atomic<int> wrong{0};
+  std::vector<double> ks_samples, single_samples;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    ks_samples.push_back(run_workload(fx, cfg.requests, &wrong));
+    single_samples.push_back(run_single_key_control(cfg));
+  }
+  const double ks_rps = percentile(ks_samples, 0.50);
+  const double single_rps = percentile(single_samples, 0.50);
+  const double vs_single = single_rps > 0 ? ks_rps / single_rps * 100.0 : 0;
+
+  // Settle: keys that crossed the threshold in the workload's final
+  // milliseconds still deserve a sweep before the budget audit (bounded --
+  // a scheduler that cannot drain the backlog shows up as over_threshold).
+  auto backlog = [&fx] {
+    std::size_t n = 0;
+    for (auto& s : fx.servers) n += s->store().candidates().size();
+    return n;
+  };
+  for (int i = 0; i < 50 && backlog() > 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  fx.fleet->stop_scheduler();
+  const std::uint64_t refreshes = fx.fleet->scheduler()->refreshes();
+
+  // Final budget audit: candidates() publishes leak.ks.max_spent_frac.
+  const std::size_t over_threshold = backlog();
+
+  const RestartStats rs = run_restarts(fx);
+  const double rec_p50 = percentile(rs.recovery_ms, 0.50);
+  const double rec_max = rs.recovery_ms.empty()
+                             ? 0
+                             : *std::max_element(rs.recovery_ms.begin(),
+                                                 rs.recovery_ms.end());
+
+  std::uint64_t segments = 0, compactions = 0;
+  for (auto& s : fx.servers)
+    if (auto* j = s->store().journal()) {
+      segments += j->segment_count();
+      compactions += j->compactions();
+    }
+
+  auto& reg = telemetry::Registry::global();
+  const telemetry::Labels tag{{"keys", std::to_string(cfg.keys)},
+                              {"shards", std::to_string(cfg.shards)}};
+  reg.gauge("bench.ks.rps", tag).set(ks_rps);
+  reg.gauge("bench.ks.single_key_rps", tag).set(single_rps);
+  reg.gauge("bench.ks.vs_single_key_pct", tag).set(vs_single);
+  reg.gauge("bench.ks.keygen_ms", tag).set(fx.keygen_ms);
+  reg.gauge("bench.ks.provision_ms", tag).set(fx.provision_ms);
+  reg.gauge("bench.ks.refreshes", tag).set(static_cast<double>(refreshes));
+  reg.gauge("bench.ks.over_threshold_final", tag).set(static_cast<double>(over_threshold));
+  reg.gauge("bench.ks.wrong", tag).set(static_cast<double>(wrong.load()));
+  reg.gauge("bench.ks.recovery.p50_ms", tag).set(rec_p50);
+  reg.gauge("bench.ks.recovery.max_ms", tag).set(rec_max);
+  reg.gauge("bench.ks.recovery.digest_mismatches", tag)
+      .set(static_cast<double>(rs.digest_mismatches));
+  reg.gauge("bench.ks.recovery.keys", tag).set(static_cast<double>(rs.keys_recovered));
+  reg.gauge("bench.ks.journal.segments", tag).set(static_cast<double>(segments));
+  reg.gauge("bench.ks.journal.compactions", tag).set(static_cast<double>(compactions));
+
+  bench::Table table({"metric", "value"});
+  table.row({"keyspace (keys / shards)",
+             std::to_string(cfg.keys) + " / " + std::to_string(cfg.shards)});
+  table.row({"keygen (ms, all keys)", bench::fmt(fx.keygen_ms, 1)});
+  table.row({"bulk provision (ms, all keys)", bench::fmt(fx.provision_ms, 1)});
+  table.row({"req/s (Zipf over keystore)", bench::fmt(ks_rps, 1)});
+  table.row({"req/s (single-key control)", bench::fmt(single_rps, 1)});
+  table.row({"keystore vs single-key (%)", bench::fmt(vs_single, 1)});
+  table.row({"wrong plaintexts", std::to_string(wrong.load())});
+  table.row({"background refreshes", std::to_string(refreshes)});
+  table.row({"keys over budget threshold (final)", std::to_string(over_threshold)});
+  table.row({"shard restarts / digest mismatches",
+             std::to_string(cfg.restarts) + " / " + std::to_string(rs.digest_mismatches)});
+  table.row({"recovery p50 / max (ms)",
+             bench::fmt(rec_p50, 1) + " / " + bench::fmt(rec_max, 1)});
+  table.row({"journal segments / compactions",
+             std::to_string(segments) + " / " + std::to_string(compactions)});
+  table.print();
+
+  // The committed baseline is the bench.ks.* gauge set; a 20k-request run
+  // accumulates tens of thousands of protocol spans that would swamp it.
+  telemetry::Tracer::global().reset();
+  bench::export_json_if_requested(argc, argv, "bench_t4_keystore");
+  return wrong.load() == 0 && rs.digest_mismatches == 0 ? 0 : 1;
+}

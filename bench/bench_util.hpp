@@ -5,8 +5,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -14,6 +17,65 @@
 #include "telemetry/export.hpp"
 
 namespace dlr::bench {
+
+/// Bench-side deterministic randomness (splitmix64). Kept separate from
+/// crypto::Rng so workload shaping never consumes protocol coins -- two runs
+/// with the same --seed replay the same request schedule bit for bit.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from splitmix64 output.
+inline double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic Zipf(s) sampler over ranks {0..n-1} (rank 0 hottest):
+/// P(k) ∝ 1/(k+1)^s, drawn by inverse CDF over a precomputed table, so a
+/// 10k-key keyspace samples in O(log n) with no rejection loop. Seeded --
+/// the same (n, s, seed) replays the same key sequence.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s, std::uint64_t seed) : state_(seed ^ 0x5a17f00dULL) {
+    cdf_.reserve(n);
+    double total = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_.push_back(total);
+    }
+  }
+
+  [[nodiscard]] std::size_t next() {
+    const double u = uniform01(state_) * cdf_.back();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  std::uint64_t state_;
+};
+
+/// Seeded Fisher-Yates shuffle (workload orders must replay under --seed;
+/// std::shuffle's distribution is implementation-defined).
+template <class T>
+inline void seeded_shuffle(std::vector<T>& v, std::uint64_t seed) {
+  std::uint64_t state = seed ^ 0x0ddc0ffeeULL;
+  for (std::size_t i = v.size(); i > 1; --i)
+    std::swap(v[i - 1], v[splitmix64(state) % i]);
+}
+
+/// Value of a `--<name> N` u64 flag; `def` if absent.
+inline std::uint64_t u64_flag(int argc, char** argv, const char* name,
+                              std::uint64_t def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0)
+      return std::strtoull(argv[i + 1], nullptr, 10);
+  return def;
+}
 
 class Table {
  public:

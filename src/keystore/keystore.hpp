@@ -1,0 +1,446 @@
+// KeyStore<GG> -- the multi-tenant share fleet behind one shard (DESIGN.md
+// §11): (tenant, key-id) -> {DlrParty2 share, epoch machine, pending 2PC
+// refresh, leakage budget}.
+//
+// Each key runs the PR 4 two-phase epoch commit INDEPENDENTLY -- the same
+// prepare / commit / hello-reconciliation state machine as P2Server, with
+// identical dedup (duplicate prepares resend the journaled reply verbatim;
+// duplicate commits ack idempotently by epoch+digest; a rolled-back digest
+// is remembered so a stray prepare cannot resurrect it). Where P2Server
+// splits its one key across p2_mu_ + pending_mu_ + an EpochCoordinator, a
+// keystore entry is small enough for ONE shared_mutex: decryptions hold it
+// shared (dec_respond is const), prepare/commit/hello hold it exclusive --
+// acquiring the exclusive lock IS the drain barrier, since it waits out
+// every in-flight reader of that key and only that key.
+//
+// Persistence is one SegmentJournal for the whole store: every durable
+// transition (put, prepare, commit, rollback) appends that key's full record
+//
+//   u64 epoch | blob sk2 | u8 has_pending [| u64 pepoch | blob digest
+//                                          | blob next_sk2 | blob reply]
+//
+// and recovery is the journal's latest-seq-wins scan. Lock order is
+// entry.mu -> journal-internal, never the reverse; the registry map lock
+// (map_mu_) nests outside entry locks and is never held across crypto.
+//
+// Leakage accounting (Definition 3.2, service form): every decryption
+// charges leak_per_dec_bits against the key's per-period budget_bits; a
+// committed refresh starts a fresh period (spent resets to the carry, here
+// 0 since the service leaks nothing during refresh itself). spent/budget
+// ride on every ks.dec.ok so the client-side scheduler needs no extra
+// round trips. Spent counts are deliberately NOT journaled -- a restart
+// conservatively begins a fresh period; the share itself never leaks via
+// the journal, which stores exactly what the device already stores.
+//
+// Telemetry: ks.keys (gauge), ks.recoveries, ks.dec / ks.refreshes /
+// ks.rollbacks counters, leak.ks.max_spent_frac + leak.ks.over_threshold
+// gauges refreshed by every candidates() sweep, and opt-in per-key
+// counters ks.dec{tenant=..,key=..} (Options::per_key_metrics; see the
+// cardinality note on telemetry::Labels).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "keystore/key_id.hpp"
+#include "keystore/scheduler.hpp"
+#include "keystore/segment_journal.hpp"
+#include "schemes/dlr.hpp"
+#include "service/protocol.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace dlr::keystore {
+
+template <group::BilinearGroup GG>
+class KeyStore {
+ public:
+  using Core = schemes::DlrCore<GG>;
+  using ServiceErrc = service::ServiceErrc;
+  using ServiceError = service::ServiceError;
+
+  struct Options {
+    /// Directory for the segmented journal; empty = volatile.
+    std::string state_dir;
+    SegmentJournal::Options journal{};
+    /// Per-period leakage budget ℓ per key, in bits.
+    double budget_bits = 128;
+    /// Bits charged against the budget per decryption served.
+    double leak_per_dec_bits = 1.0;
+    /// Fraction of the budget at which a key becomes a refresh candidate.
+    double refresh_threshold = 0.5;
+    /// Mint per-key labeled counters (cardinality: one series per key!).
+    bool per_key_metrics = false;
+  };
+
+  struct DecOut {
+    Bytes reply;
+    std::uint64_t spent_millibits = 0;
+    std::uint64_t budget_millibits = 0;
+  };
+
+  KeyStore(GG gg, schemes::DlrParams prm, crypto::Rng rng, Options opt)
+      : gg_(std::move(gg)), prm_(prm), rng_(std::move(rng)), opt_(std::move(opt)) {
+    if (!opt_.state_dir.empty()) {
+      journal_ = std::make_unique<SegmentJournal>(opt_.state_dir, opt_.journal);
+      auto recovered = journal_->take_recovered();
+      for (auto& [id, state] : recovered) restore_one(id, state);
+      if (!recovered.empty()) {
+        telemetry::Registry::global().counter("ks.recoveries").add(recovered.size());
+        telemetry::event(telemetry::EventKind::JournalRecovery,
+                         "side=ks keys=" + std::to_string(recovered.size()));
+      }
+    }
+    publish_keys_gauge();
+  }
+
+  KeyStore(const KeyStore&) = delete;
+  KeyStore& operator=(const KeyStore&) = delete;
+
+  /// Provision (or re-provision at epoch 0) a key. Journals before the key
+  /// becomes servable.
+  void put(const KeyId& id, typename Core::Sk2 sk2) {
+    auto entry = std::make_shared<Entry>(gg_, prm_, std::move(sk2), next_rng());
+    {
+      std::unique_lock lk(entry->mu);
+      persist_locked(id, *entry);
+    }
+    {
+      std::unique_lock mlk(map_mu_);
+      keys_[id] = std::move(entry);
+    }
+    publish_keys_gauge();
+  }
+
+  /// Drop a key (tombstoned in the journal; gone after recovery too).
+  void remove(const KeyId& id) {
+    {
+      std::unique_lock mlk(map_mu_);
+      keys_.erase(id);
+    }
+    if (journal_) journal_->tombstone(id);
+    publish_keys_gauge();
+  }
+
+  [[nodiscard]] bool contains(const KeyId& id) const {
+    std::shared_lock mlk(map_mu_);
+    return keys_.count(id) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock mlk(map_mu_);
+    return keys_.size();
+  }
+
+  /// DistDec round 2 + budget charge. Shared entry lock; concurrent with
+  /// other keys' refreshes and this key's other decryptions.
+  [[nodiscard]] DecOut dec(const KeyId& id, std::uint64_t epoch, const Bytes& round1) {
+    auto e = find(id);
+    std::shared_lock lk(e->mu);
+    if (epoch != e->epoch)
+      throw ServiceError(ServiceErrc::StaleEpoch, e->epoch,
+                         "request epoch " + std::to_string(epoch) + " != " +
+                             std::to_string(e->epoch));
+    DecOut out;
+    try {
+      out.reply = e->p2.dec_respond(round1);
+    } catch (const std::exception& ex) {
+      throw ServiceError(ServiceErrc::BadRequest, e->epoch, ex.what());
+    }
+    out.spent_millibits =
+        e->spent_millibits.fetch_add(leak_per_dec_millibits()) + leak_per_dec_millibits();
+    out.budget_millibits = budget_millibits();
+    dec_counter().add();
+    if (opt_.per_key_metrics)
+      telemetry::Registry::global()
+          .counter("ks.dec", {{"tenant", id.tenant}, {"key", id.key}})
+          .add();
+    return out;
+  }
+
+  /// PREPARE: compute + journal the next share; serving state untouched.
+  [[nodiscard]] Bytes ref_prepare(const KeyId& id, std::uint64_t epoch,
+                                  const Bytes& round1) {
+    auto e = find(id);
+    const Bytes digest = crypto::digest_to_bytes(crypto::Sha256::hash(round1));
+    std::unique_lock lk(e->mu);
+    if (e->pending && e->pending->epoch == epoch && e->pending->digest == digest)
+      return e->pending->reply;  // duplicate prepare: resend verbatim
+    if (!e->rolled_back_digest.empty() && e->rolled_back_digest == digest)
+      throw ServiceError(ServiceErrc::StaleEpoch, e->epoch, "refresh was rolled back");
+    if (epoch != e->epoch)
+      throw ServiceError(ServiceErrc::StaleEpoch, e->epoch,
+                         "refresh epoch " + std::to_string(epoch) + " != " +
+                             std::to_string(e->epoch));
+    typename schemes::DlrParty2<GG>::RefPrepared prep;
+    try {
+      prep = e->p2.ref_prepare(round1);
+    } catch (const std::exception& ex) {
+      throw ServiceError(ServiceErrc::BadRequest, e->epoch, ex.what());
+    }
+    const Bytes reply = prep.reply;
+    e->pending.emplace();
+    e->pending->epoch = epoch;
+    e->pending->digest = digest;
+    e->pending->next = std::move(prep.next);
+    e->pending->reply = std::move(prep.reply);
+    persist_locked(id, *e);
+    telemetry::event(telemetry::EventKind::EpochPrepare,
+                     "key=" + id.display() + " epoch=" + std::to_string(epoch));
+    return reply;
+  }
+
+  /// COMMIT: install the pending share, persist, bump the epoch, reset the
+  /// leakage period. The exclusive lock drains this key's in-flight
+  /// decryptions. Duplicate commits ack idempotently.
+  std::uint64_t ref_commit(const KeyId& id, std::uint64_t epoch, const Bytes& digest) {
+    auto e = find(id);
+    std::unique_lock lk(e->mu);
+    if (!e->pending || e->pending->epoch != epoch || e->pending->digest != digest) {
+      if (e->epoch == epoch + 1) return e->epoch;  // duplicate of installed commit
+      throw ServiceError(ServiceErrc::StaleEpoch, e->epoch, "no matching prepared refresh");
+    }
+    e->p2.ref_install(std::move(e->pending->next));
+    e->pending.reset();
+    ++e->epoch;
+    e->spent_millibits.store(0);  // fresh period, budget restored
+    // Persist BEFORE returning the ack: once the client sees commit.ok it
+    // installs its own half, so this install must never be forgotten.
+    persist_locked(id, *e);
+    refreshes_counter().add();
+    telemetry::event(telemetry::EventKind::EpochCommit,
+                     "key=" + id.display() + " epoch=" + std::to_string(e->epoch));
+    return e->epoch;
+  }
+
+  /// Reconnect reconciliation for ONE key -- P2Server's verdict table
+  /// (Commit iff we installed the client's pending refresh, Rollback if we
+  /// never did, fork errors otherwise).
+  [[nodiscard]] service::HelloOk hello(const KeyId& id, const service::HelloMsg& h) {
+    auto e = find(id);
+    std::unique_lock lk(e->mu);
+    service::HelloOk ok;
+    ok.server_epoch = e->epoch;
+    if (h.has_pending) {
+      if (e->epoch == h.pending_epoch + 1) {
+        ok.disposition = service::RefDisposition::Commit;
+      } else if (e->epoch == h.pending_epoch) {
+        if (e->pending) {
+          e->pending.reset();
+          persist_locked(id, *e);
+          telemetry::event(telemetry::EventKind::EpochRollback,
+                           "key=" + id.display() + " epoch=" + std::to_string(e->epoch));
+        }
+        e->rolled_back_digest = h.pending_digest;
+        rollbacks_counter().add();
+        ok.disposition = service::RefDisposition::Rollback;
+      } else {
+        throw ServiceError(ServiceErrc::Internal, e->epoch,
+                           "epoch fork: client pending " + std::to_string(h.pending_epoch) +
+                               ", server " + std::to_string(e->epoch));
+      }
+    } else {
+      if (e->pending) {
+        e->pending.reset();
+        persist_locked(id, *e);
+        rollbacks_counter().add();
+      }
+      if (e->epoch != h.epoch)
+        throw ServiceError(ServiceErrc::Internal, e->epoch,
+                           "epoch fork: client " + std::to_string(h.epoch) + ", server " +
+                               std::to_string(e->epoch));
+      ok.disposition = service::RefDisposition::None;
+    }
+    return ok;
+  }
+
+  /// Keys at/above the refresh threshold, for the scheduler's Source. Also
+  /// refreshes the aggregate leak.ks.* gauges (this IS the sweep).
+  [[nodiscard]] std::vector<RefreshScheduler::Candidate> candidates() const {
+    std::vector<RefreshScheduler::Candidate> out;
+    double max_frac = 0;
+    {
+      std::shared_lock mlk(map_mu_);
+      for (const auto& [id, e] : keys_) {
+        const double frac = static_cast<double>(e->spent_millibits.load()) /
+                            static_cast<double>(budget_millibits());
+        max_frac = std::max(max_frac, frac);
+        if (frac >= opt_.refresh_threshold) out.push_back({id, frac});
+      }
+    }
+    auto& reg = telemetry::Registry::global();
+    reg.gauge("leak.ks.max_spent_frac").set(max_frac);
+    reg.gauge("leak.ks.over_threshold").set(static_cast<double>(out.size()));
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t epoch_of(const KeyId& id) const {
+    auto e = find(id);
+    std::shared_lock lk(e->mu);
+    return e->epoch;
+  }
+
+  [[nodiscard]] double spent_frac(const KeyId& id) const {
+    auto e = find(id);
+    return static_cast<double>(e->spent_millibits.load()) /
+           static_cast<double>(budget_millibits());
+  }
+
+  [[nodiscard]] bool has_pending(const KeyId& id) const {
+    auto e = find(id);
+    std::shared_lock lk(e->mu);
+    return e->pending.has_value();
+  }
+
+  /// SHA-256 over every key's (tenant, key, epoch, share), sorted -- the
+  /// fleet-wide state fingerprint for crash-recovery verification.
+  [[nodiscard]] Bytes digest_all() const {
+    std::vector<std::pair<KeyId, Bytes>> rows;
+    {
+      std::shared_lock mlk(map_mu_);
+      rows.reserve(keys_.size());
+      for (const auto& [id, e] : keys_) {
+        std::shared_lock lk(e->mu);
+        ByteWriter w;
+        w.str(id.tenant);
+        w.str(id.key);
+        w.u64(e->epoch);
+        Core::ser_sk2(gg_, w, e->p2.share());
+        rows.emplace_back(id, w.take());
+      }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    crypto::Sha256 h;
+    for (const auto& [id, bytes] : rows) h.update(bytes);
+    return crypto::digest_to_bytes(h.finish());
+  }
+
+  /// Compact the journal if it has accumulated enough sealed segments.
+  bool maybe_compact() { return journal_ ? journal_->maybe_compact() : false; }
+
+  [[nodiscard]] SegmentJournal* journal() { return journal_.get(); }
+  [[nodiscard]] const GG& gg() const { return gg_; }
+  [[nodiscard]] const schemes::DlrParams& params() const { return prm_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+  [[nodiscard]] double refresh_threshold() const { return opt_.refresh_threshold; }
+
+ private:
+  struct Pending {
+    std::uint64_t epoch = 0;
+    Bytes digest;
+    typename Core::Sk2 next;
+    Bytes reply;
+  };
+
+  struct Entry {
+    Entry(const GG& gg, schemes::DlrParams prm, typename Core::Sk2 sk2, crypto::Rng rng)
+        : p2(gg, prm, std::move(sk2), std::move(rng)) {}
+    mutable std::shared_mutex mu;
+    schemes::DlrParty2<GG> p2;
+    std::uint64_t epoch = 0;
+    std::optional<Pending> pending;
+    Bytes rolled_back_digest;
+    std::atomic<std::uint64_t> spent_millibits{0};
+  };
+
+  [[nodiscard]] std::shared_ptr<Entry> find(const KeyId& id) const {
+    std::shared_lock mlk(map_mu_);
+    const auto it = keys_.find(id);
+    if (it == keys_.end())
+      throw ServiceError(ServiceErrc::UnknownKey, 0, "no key " + id.display());
+    return it->second;
+  }
+
+  [[nodiscard]] std::uint64_t leak_per_dec_millibits() const {
+    return static_cast<std::uint64_t>(opt_.leak_per_dec_bits * 1000.0);
+  }
+  [[nodiscard]] std::uint64_t budget_millibits() const {
+    return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(opt_.budget_bits * 1000.0));
+  }
+
+  /// Serialize + append this key's durable record. Caller holds e.mu
+  /// exclusively (constructor-time calls are unshared). The journal's own
+  /// mutex orders concurrent appends from different keys.
+  void persist_locked(const KeyId& id, Entry& e) {
+    if (!journal_) return;
+    ByteWriter w;
+    w.u64(e.epoch);
+    ByteWriter sw;
+    Core::ser_sk2(gg_, sw, e.p2.share());
+    w.blob(sw.bytes());
+    w.u8(e.pending ? 1 : 0);
+    if (e.pending) {
+      w.u64(e.pending->epoch);
+      w.blob(e.pending->digest);
+      ByteWriter nw;
+      Core::ser_sk2(gg_, nw, e.pending->next);
+      w.blob(nw.bytes());
+      w.blob(e.pending->reply);
+    }
+    journal_->append(id, w.take());
+  }
+
+  void restore_one(const KeyId& id, const Bytes& state) {
+    ByteReader r(state);
+    const std::uint64_t epoch = r.u64();
+    const Bytes sk2b = r.blob();
+    ByteReader sr(sk2b);
+    auto entry = std::make_shared<Entry>(gg_, prm_, Core::deser_sk2(gg_, sr), next_rng());
+    entry->epoch = epoch;
+    if (r.u8()) {
+      Pending p;
+      p.epoch = r.u64();
+      p.digest = r.blob();
+      const Bytes nb = r.blob();
+      ByteReader nr(nb);
+      p.next = Core::deser_sk2(gg_, nr);
+      p.reply = r.blob();
+      entry->pending = std::move(p);
+    }
+    std::unique_lock mlk(map_mu_);
+    keys_[id] = std::move(entry);
+  }
+
+  [[nodiscard]] crypto::Rng next_rng() {
+    std::lock_guard lk(rng_mu_);
+    return crypto::Rng(rng_.u64());
+  }
+
+  void publish_keys_gauge() const {
+    telemetry::Registry::global().gauge("ks.keys").set(static_cast<double>(size()));
+  }
+
+  static telemetry::Counter& dec_counter() {
+    static telemetry::Counter& c = telemetry::Registry::global().counter("ks.dec.total");
+    return c;
+  }
+  static telemetry::Counter& refreshes_counter() {
+    static telemetry::Counter& c = telemetry::Registry::global().counter("ks.refreshes");
+    return c;
+  }
+  static telemetry::Counter& rollbacks_counter() {
+    static telemetry::Counter& c = telemetry::Registry::global().counter("ks.rollbacks");
+    return c;
+  }
+
+  GG gg_;
+  schemes::DlrParams prm_;
+  std::mutex rng_mu_;
+  crypto::Rng rng_;  // master: seeds each entry's party rng
+  Options opt_;
+  std::unique_ptr<SegmentJournal> journal_;
+  mutable std::shared_mutex map_mu_;
+  std::unordered_map<KeyId, std::shared_ptr<Entry>, KeyIdHash> keys_;
+};
+
+}  // namespace dlr::keystore

@@ -1,0 +1,151 @@
+// Wire schema of the multi-tenant keystore service (DESIGN.md §11), layered
+// on the svc.* conventions of service/protocol.hpp: one Data frame per
+// request on its own mux session, answered by one `*.ok` Data frame or one
+// svc.err Error frame (the keystore reuses ServiceErrc, adding WrongShard
+// and UnknownKey).
+//
+// Every ks.* request starts with the key address, then mirrors its svc.*
+// counterpart:
+//
+//   ks.dec         body = str tenant | str key | u64 epoch | blob dec.r1
+//     -> ks.dec.ok body = blob dec.r2 | u64 spent_millibits | u64 budget_millibits
+//   ks.ref         body = str tenant | str key | u64 epoch | blob ref.r1
+//     -> ks.ref.ok body = blob ref.r2
+//   ks.ref.commit  body = str tenant | str key | u64 epoch | blob digest
+//     -> ks.ref.commit.ok body = u64 new_epoch
+//   ks.hello       body = str tenant | str key | <svc.hello body>
+//     -> ks.hello.ok      body = <svc.hello.ok body>
+//   ks.put         body = str tenant | str key | blob sk2_ser
+//     -> ks.put.ok        body = (empty)
+//   ks.map         body = (empty)
+//     -> ks.map.ok        body = ShardMap::encode()
+//
+// ks.dec.ok piggybacks the server's leakage accounting (spent/budget in
+// MILLIbits so fractional per-op charges stay integral on the wire): the
+// client fleet mirrors it into its own refresh scheduler without a separate
+// polling route. ks.hello is PER KEY -- reconnect reconciliation only runs
+// for keys with a pending refresh, never as a 10k-key blanket exchange.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "keystore/key_id.hpp"
+#include "service/protocol.hpp"
+
+namespace dlr::keystore {
+
+inline constexpr char kKsDec[] = "ks.dec";
+inline constexpr char kKsDecOk[] = "ks.dec.ok";
+inline constexpr char kKsRef[] = "ks.ref";
+inline constexpr char kKsRefOk[] = "ks.ref.ok";
+inline constexpr char kKsRefCommit[] = "ks.ref.commit";
+inline constexpr char kKsRefCommitOk[] = "ks.ref.commit.ok";
+inline constexpr char kKsHello[] = "ks.hello";
+inline constexpr char kKsHelloOk[] = "ks.hello.ok";
+inline constexpr char kKsPut[] = "ks.put";
+inline constexpr char kKsPutOk[] = "ks.put.ok";
+inline constexpr char kKsMap[] = "ks.map";
+inline constexpr char kKsMapOk[] = "ks.map.ok";
+
+struct KsRequest {
+  KeyId id;
+  std::uint64_t epoch = 0;
+  Bytes payload;  // dec.r1 / ref.r1 / commit digest
+};
+
+[[nodiscard]] inline Bytes encode_ks_request(const KeyId& id, std::uint64_t epoch,
+                                             const Bytes& payload) {
+  ByteWriter w;
+  w.str(id.tenant);
+  w.str(id.key);
+  w.u64(epoch);
+  w.blob(payload);
+  return w.take();
+}
+
+[[nodiscard]] inline KsRequest decode_ks_request(const Bytes& body) {
+  ByteReader r(body);
+  KsRequest req;
+  req.id.tenant = r.str();
+  req.id.key = r.str();
+  req.epoch = r.u64();
+  req.payload = r.blob();
+  if (!r.done()) throw std::invalid_argument("ks request: trailing bytes");
+  return req;
+}
+
+struct KsDecOk {
+  Bytes reply;
+  std::uint64_t spent_millibits = 0;
+  std::uint64_t budget_millibits = 0;
+};
+
+[[nodiscard]] inline Bytes encode_ks_dec_ok(const KsDecOk& ok) {
+  ByteWriter w;
+  w.blob(ok.reply);
+  w.u64(ok.spent_millibits);
+  w.u64(ok.budget_millibits);
+  return w.take();
+}
+
+[[nodiscard]] inline KsDecOk decode_ks_dec_ok(const Bytes& body) {
+  ByteReader r(body);
+  KsDecOk ok;
+  ok.reply = r.blob();
+  ok.spent_millibits = r.u64();
+  ok.budget_millibits = r.u64();
+  if (!r.done()) throw std::invalid_argument("ks.dec.ok: trailing bytes");
+  return ok;
+}
+
+[[nodiscard]] inline Bytes encode_ks_hello(const KeyId& id, const service::HelloMsg& h) {
+  ByteWriter w;
+  w.str(id.tenant);
+  w.str(id.key);
+  w.raw(service::encode_hello(h));
+  return w.take();
+}
+
+struct KsHello {
+  KeyId id;
+  service::HelloMsg hello;
+};
+
+[[nodiscard]] inline KsHello decode_ks_hello(const Bytes& body) {
+  ByteReader r(body);
+  KsHello kh;
+  kh.id.tenant = r.str();
+  kh.id.key = r.str();
+  Bytes rest;
+  while (!r.done()) rest.push_back(r.u8());
+  kh.hello = service::decode_hello(rest);
+  return kh;
+}
+
+[[nodiscard]] inline Bytes encode_ks_put(const KeyId& id, const Bytes& sk2_ser) {
+  ByteWriter w;
+  w.str(id.tenant);
+  w.str(id.key);
+  w.blob(sk2_ser);
+  return w.take();
+}
+
+struct KsPut {
+  KeyId id;
+  Bytes sk2_ser;
+};
+
+[[nodiscard]] inline KsPut decode_ks_put(const Bytes& body) {
+  ByteReader r(body);
+  KsPut p;
+  p.id.tenant = r.str();
+  p.id.key = r.str();
+  p.sk2_ser = r.blob();
+  if (!r.done()) throw std::invalid_argument("ks.put: trailing bytes");
+  return p;
+}
+
+}  // namespace dlr::keystore

@@ -1,0 +1,461 @@
+// KsServer<GG> -- one shard of the multi-tenant keystore service.
+//
+// Thread architecture is P2Server's, verbatim (accept thread -> per-conn
+// reader threads -> WorkerPool; readers enqueue only, all crypto on
+// workers), plus one background compaction thread that periodically folds
+// the segmented journal. What changes is the dispatch: every ks.* request
+// names a (tenant, key) and is served by the KeyStore's per-key epoch
+// machine, and the legacy single-key routes (svc.dec / svc.ref /
+// svc.ref.commit / svc.hello) are kept alive by mapping them onto
+// default_key_id() -- a PR 2-5 DecryptionClient pointed at a KsServer whose
+// store holds the default key behaves exactly as against a P2Server, which
+// is how "single-key mode is a 1-key store".
+//
+// Sharding: the server carries a shard id and a versioned ShardMap (empty =
+// accept everything, the bootstrap/single-shard mode). A ks.* request for a
+// key the map assigns elsewhere is refused with the retryable WrongShard
+// error; the client refetches the map over ks.map and re-routes. The map is
+// installed by the operator/bench via set_shard_map() and served to clients
+// over ks.map -- every shard serves the whole map, so any one bootstrap
+// address suffices.
+//
+// The REFRESH SCHEDULER deliberately does not live here: refresh is a
+// two-party protocol and the P1 half lives in the client fleet (KsFleet),
+// which therefore owns the budget-driven scheduler. This server's side of
+// the policy is accounting (charging budgets, piggybacking spent/budget on
+// every ks.dec.ok) and the per-key 2PC state machine.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "keystore/keystore.hpp"
+#include "keystore/ks_protocol.hpp"
+#include "keystore/shard_map.hpp"
+#include "service/admin.hpp"
+#include "service/protocol.hpp"
+#include "service/worker_pool.hpp"
+#include "telemetry/trace.hpp"
+#include "transport/endpoint.hpp"
+
+namespace dlr::keystore {
+
+template <group::BilinearGroup GG>
+class KsServer {
+ public:
+  using Core = schemes::DlrCore<GG>;
+  using Store = KeyStore<GG>;
+  using ServiceErrc = service::ServiceErrc;
+  using ServiceError = service::ServiceError;
+
+  struct Options {
+    int workers = 4;
+    std::size_t queue_cap = 1024;
+    transport::TransportOptions transport{};
+    /// Grace period stop() allows queued work to finish before hanging up.
+    transport::Millis stop_drain{1000};
+    /// This process's shard id (matched against the installed ShardMap).
+    std::uint32_t shard_id = 0;
+    typename Store::Options store{};
+    /// Background journal-compaction cadence (0 = no compaction thread).
+    std::chrono::milliseconds compact_interval{500};
+    /// Wraps each accepted connection (fault injection in tests/benches).
+    std::function<std::shared_ptr<transport::Conn>(std::shared_ptr<transport::FramedConn>)>
+        conn_wrapper;
+    /// Run a read-only AdminServer sidecar (DESIGN.md §10).
+    bool admin = false;
+    std::uint16_t admin_port = 0;
+  };
+
+  KsServer(GG gg, schemes::DlrParams prm, crypto::Rng rng, Options opt)
+      : opt_(std::move(opt)), store_(std::move(gg), prm, std::move(rng), opt_.store) {}
+
+  ~KsServer() { stop(); }
+  KsServer(const KsServer&) = delete;
+  KsServer& operator=(const KsServer&) = delete;
+
+  void start(std::uint16_t port = 0) {
+    listener_ = transport::Listener::loopback(port);
+    pool_ = std::make_unique<service::WorkerPool>(opt_.workers, opt_.queue_cap);
+    if (opt_.admin) {
+      admin_ = std::make_unique<service::AdminServer>(
+          service::AdminServer::Options{.transport = opt_.transport});
+      admin_->register_health("keystore", [this] { return health_fields(); });
+      admin_->start(opt_.admin_port);
+    }
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    if (opt_.compact_interval.count() > 0)
+      compact_thread_ = std::thread([this] { compact_loop(); });
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
+  [[nodiscard]] service::AdminServer* admin() { return admin_.get(); }
+  [[nodiscard]] Store& store() { return store_; }
+  [[nodiscard]] std::uint32_t shard_id() const { return opt_.shard_id; }
+
+  void set_shard_map(ShardMap map) {
+    std::lock_guard lk(map_mu_);
+    map_ = std::move(map);
+  }
+  [[nodiscard]] ShardMap shard_map() const {
+    std::lock_guard lk(map_mu_);
+    return map_;
+  }
+
+  void begin_drain() { draining_stop_.store(true); }
+
+  void stop() {
+    if (stopping_.exchange(true)) {
+      if (accept_thread_.joinable()) accept_thread_.join();
+      if (compact_thread_.joinable()) compact_thread_.join();
+      return;
+    }
+    draining_stop_.store(true);
+    {
+      std::lock_guard lk(compact_mu_);
+      compact_stop_ = true;
+    }
+    compact_cv_.notify_all();
+    if (compact_thread_.joinable()) compact_thread_.join();
+    const auto deadline = std::chrono::steady_clock::now() + opt_.stop_drain;
+    while (std::chrono::steady_clock::now() < deadline && pool_ && pool_->queued() > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    listener_.close();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::shared_ptr<ConnState>> conns;
+    {
+      std::lock_guard lock(conns_mu_);
+      conns = conns_;
+    }
+    for (auto& c : conns) c->conn->shutdown();
+    if (pool_) pool_->stop();
+    for (auto& c : conns)
+      if (c->reader.joinable()) c->reader.join();
+    if (admin_) admin_->stop();
+  }
+
+ private:
+  struct ConnState {
+    std::shared_ptr<transport::Conn> conn;
+    std::thread reader;
+    std::atomic<bool> done{false};
+  };
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> health_fields() const {
+    std::uint64_t map_version = 0;
+    std::size_t map_shards = 0;
+    {
+      std::lock_guard lk(map_mu_);
+      map_version = map_.version();
+      map_shards = map_.shards().size();
+    }
+    auto* j = const_cast<Store&>(store_).journal();
+    return {
+        {"shard_id", std::to_string(opt_.shard_id)},
+        {"keys", std::to_string(store_.size())},
+        {"map_version", std::to_string(map_version)},
+        {"map_shards", std::to_string(map_shards)},
+        {"journal_segments", j ? std::to_string(j->segment_count()) : "0"},
+        {"compactions", j ? std::to_string(j->compactions()) : "0"},
+        {"draining", draining_stop_.load() ? "true" : "false"},
+    };
+  }
+
+  void accept_loop() {
+    for (;;) {
+      transport::Socket sock;
+      try {
+        sock = listener_.accept(transport::Millis{200});
+      } catch (const transport::TransportError& e) {
+        if (e.code() == transport::Errc::Timeout) {
+          if (stopping_.load()) return;
+          continue;
+        }
+        return;  // listener closed
+      }
+      auto st = std::make_shared<ConnState>();
+      auto fc = std::make_shared<transport::FramedConn>(std::move(sock), opt_.transport);
+      st->conn = opt_.conn_wrapper
+                     ? opt_.conn_wrapper(std::move(fc))
+                     : std::static_pointer_cast<transport::Conn>(std::move(fc));
+      st->reader = std::thread([this, conn = st->conn] { reader_loop(conn); });
+      std::lock_guard lock(conns_mu_);
+      std::erase_if(conns_, [](const std::shared_ptr<ConnState>& c) {
+        if (!c->done.load()) return false;
+        if (c->reader.joinable()) c->reader.join();
+        return true;
+      });
+      conns_.push_back(std::move(st));
+    }
+  }
+
+  void reader_loop(const std::shared_ptr<transport::Conn>& conn) {
+    for (;;) {
+      transport::Frame f;
+      try {
+        f = conn->recv_blocking();
+      } catch (const transport::TransportError&) {
+        break;
+      }
+      if (f.type != transport::FrameType::Data) continue;
+      if (!pool_->submit([this, conn, f = std::move(f)]() mutable {
+            handle(*conn, std::move(f));
+          }))
+        break;
+    }
+    std::lock_guard lock(conns_mu_);
+    for (auto& c : conns_)
+      if (c->conn == conn) c->done.store(true);
+  }
+
+  void compact_loop() {
+    std::unique_lock lk(compact_mu_);
+    while (!compact_stop_) {
+      compact_cv_.wait_for(lk, opt_.compact_interval, [this] { return compact_stop_; });
+      if (compact_stop_) return;
+      lk.unlock();
+      try {
+        store_.maybe_compact();
+      } catch (const std::exception&) {
+        // An I/O failure mid-compaction leaves a recoverable on-disk state
+        // (segment_journal.hpp); keep serving and retry next tick.
+      }
+      lk.lock();
+    }
+  }
+
+  /// WrongShard gate: with a non-empty map installed, refuse keys the map
+  /// assigns to another shard. The default key is exempt -- the single-key
+  /// compat routes must keep working while a map is installed.
+  void check_owned(const KeyId& id) const {
+    if (id == default_key_id()) return;
+    std::lock_guard lk(map_mu_);
+    if (map_.empty()) return;
+    const std::uint32_t owner = map_.owner(id);
+    if (owner != opt_.shard_id)
+      throw ServiceError(ServiceErrc::WrongShard, 0,
+                         id.display() + " belongs to shard " + std::to_string(owner));
+  }
+
+  void handle(transport::Conn& conn, transport::Frame f) {
+    try {
+      if (draining_stop_.load()) {
+        send_err(conn, f, ServiceErrc::Shutdown, 0, "server shutting down");
+        return;
+      }
+      if (f.label == kKsDec) {
+        handle_dec(conn, f);
+      } else if (f.label == kKsRef) {
+        handle_ref(conn, f);
+      } else if (f.label == kKsRefCommit) {
+        handle_ref_commit(conn, f);
+      } else if (f.label == kKsHello) {
+        handle_hello(conn, f);
+      } else if (f.label == kKsPut) {
+        handle_put(conn, f);
+      } else if (f.label == kKsMap) {
+        std::lock_guard lk(map_mu_);
+        reply_data(conn, f, kKsMapOk, map_.encode());
+      } else if (f.label == service::kLabelDecReq) {
+        handle_compat_dec(conn, f);
+      } else if (f.label == service::kLabelRefReq) {
+        handle_compat_ref(conn, f);
+      } else if (f.label == service::kLabelRefCommit) {
+        handle_compat_commit(conn, f);
+      } else if (f.label == service::kLabelHello) {
+        handle_compat_hello(conn, f);
+      } else {
+        send_err(conn, f, ServiceErrc::BadRequest, 0, "unknown label '" + f.label + "'");
+      }
+    } catch (const ServiceError& e) {
+      try {
+        send_err(conn, f, e.code(), e.server_epoch(), e.what());
+      } catch (...) {
+      }
+    } catch (const transport::TransportError&) {
+      // Response could not be delivered (client gone).
+    } catch (const std::exception& e) {
+      try {
+        send_err(conn, f, ServiceErrc::Internal, 0, e.what());
+      } catch (...) {
+      }
+    }
+  }
+
+  void handle_dec(transport::Conn& conn, const transport::Frame& f) {
+    telemetry::ScopedSpan span("ks.dec",
+                               telemetry::TraceContext{f.trace_id, f.parent_span});
+    KsRequest req = decode_ks(f);
+    check_owned(req.id);
+    const auto out = store_.dec(req.id, req.epoch, req.payload);
+    reply_data(conn, f, kKsDecOk,
+               encode_ks_dec_ok({out.reply, out.spent_millibits, out.budget_millibits}));
+  }
+
+  void handle_ref(transport::Conn& conn, const transport::Frame& f) {
+    telemetry::ScopedSpan span("ks.refresh",
+                               telemetry::TraceContext{f.trace_id, f.parent_span});
+    KsRequest req = decode_ks(f);
+    check_owned(req.id);
+    reply_data(conn, f, kKsRefOk, store_.ref_prepare(req.id, req.epoch, req.payload));
+  }
+
+  void handle_ref_commit(transport::Conn& conn, const transport::Frame& f) {
+    telemetry::ScopedSpan span("ks.refresh",
+                               telemetry::TraceContext{f.trace_id, f.parent_span});
+    KsRequest req = decode_ks(f);
+    check_owned(req.id);
+    reply_data(conn, f, kKsRefCommitOk,
+               service::encode_commit_ok(store_.ref_commit(req.id, req.epoch, req.payload)));
+  }
+
+  void handle_hello(transport::Conn& conn, const transport::Frame& f) {
+    KsHello kh;
+    try {
+      kh = decode_ks_hello(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    check_owned(kh.id);
+    service::HelloOk ok = store_.hello(kh.id, kh.hello);
+    ok.version = std::min<std::uint8_t>(kh.hello.version, service::kWireTraceVersion);
+    reply_data(conn, f, kKsHelloOk, service::encode_hello_ok(ok));
+  }
+
+  void handle_put(transport::Conn& conn, const transport::Frame& f) {
+    KsPut p;
+    try {
+      p = decode_ks_put(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    check_owned(p.id);
+    try {
+      ByteReader sr(p.sk2_ser);
+      store_.put(p.id, Core::deser_sk2(store_gg(), sr));
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    reply_data(conn, f, kKsPutOk, {});
+  }
+
+  // ---- single-key compatibility routes (svc.*, PR 2-5 wire format) ----
+
+  void handle_compat_dec(transport::Conn& conn, const transport::Frame& f) {
+    telemetry::ScopedSpan span("svc.dec",
+                               telemetry::TraceContext{f.trace_id, f.parent_span});
+    service::Request req = decode_svc(f);
+    const auto out = store_.dec(default_key_id(), req.epoch, req.round1);
+    reply_data(conn, f, service::kLabelDecOk, Bytes(out.reply));
+  }
+
+  void handle_compat_ref(transport::Conn& conn, const transport::Frame& f) {
+    telemetry::ScopedSpan span("svc.refresh",
+                               telemetry::TraceContext{f.trace_id, f.parent_span});
+    service::Request req = decode_svc(f);
+    reply_data(conn, f, service::kLabelRefOk,
+               store_.ref_prepare(default_key_id(), req.epoch, req.round1));
+  }
+
+  void handle_compat_commit(transport::Conn& conn, const transport::Frame& f) {
+    service::CommitMsg cm;
+    try {
+      cm = service::decode_commit(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    reply_data(conn, f, service::kLabelRefCommitOk,
+               service::encode_commit_ok(
+                   store_.ref_commit(default_key_id(), cm.epoch, cm.digest)));
+  }
+
+  void handle_compat_hello(transport::Conn& conn, const transport::Frame& f) {
+    service::HelloMsg h;
+    try {
+      h = service::decode_hello(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    service::HelloOk ok = store_.hello(default_key_id(), h);
+    ok.version = std::min<std::uint8_t>(h.version, service::kWireTraceVersion);
+    reply_data(conn, f, service::kLabelHelloOk, service::encode_hello_ok(ok));
+  }
+
+  [[nodiscard]] KsRequest decode_ks(const transport::Frame& f) const {
+    try {
+      return decode_ks_request(f.body);
+    } catch (const std::exception& e) {
+      throw ServiceError(ServiceErrc::BadRequest, 0, e.what());
+    }
+  }
+
+  [[nodiscard]] service::Request decode_svc(const transport::Frame& f) const {
+    try {
+      return service::decode_request(f.body);
+    } catch (const std::exception& e) {
+      throw ServiceError(ServiceErrc::BadRequest, 0, e.what());
+    }
+  }
+
+  /// The store's group, for deserializing ks.put payloads.
+  [[nodiscard]] const GG& store_gg() const { return store_.gg(); }
+
+  static void stamp_reply(transport::Frame& out, const transport::Frame& req) {
+    if (req.trace_id == 0) return;
+    const auto ctx = telemetry::Tracer::global().current();
+    out.trace_id = ctx.active() ? ctx.trace_id : req.trace_id;
+    out.parent_span = ctx.active() ? ctx.span_id : req.parent_span;
+  }
+
+  void reply_data(transport::Conn& conn, const transport::Frame& req, const char* label,
+                  Bytes body) {
+    transport::Frame out{req.session, transport::FrameType::Data,
+                         static_cast<std::uint8_t>(net::DeviceId::P2), label,
+                         std::move(body)};
+    stamp_reply(out, req);
+    conn.send(out);
+  }
+
+  void send_err(transport::Conn& conn, const transport::Frame& req, ServiceErrc code,
+                std::uint64_t server_epoch, const std::string& msg) {
+    transport::Frame out{req.session, transport::FrameType::Error,
+                         static_cast<std::uint8_t>(net::DeviceId::P2),
+                         service::kLabelErr,
+                         service::encode_error(code, server_epoch, msg)};
+    stamp_reply(out, req);
+    conn.send(out);
+  }
+
+  Options opt_;
+  Store store_;
+  mutable std::mutex map_mu_;
+  ShardMap map_;
+  transport::Listener listener_;
+  std::unique_ptr<service::WorkerPool> pool_;
+  std::unique_ptr<service::AdminServer> admin_;
+  std::thread accept_thread_;
+  std::thread compact_thread_;
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  bool compact_stop_ = false;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<ConnState>> conns_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_stop_{false};
+};
+
+}  // namespace dlr::keystore

@@ -69,6 +69,10 @@ enum class ServiceErrc : std::uint8_t {
   Internal = 4,    // server-side exception
   Shutdown = 5,    // server is draining for shutdown; retry elsewhere/later
   DrainTimeout = 6,  // refresh drain deadline expired; retry the refresh
+  WrongShard = 7,  // (tenant, key) hashes to another shard; refetch the shard
+                   // map (ks.map) and re-route -- retryable redirect
+  UnknownKey = 8,  // (tenant, key) not provisioned on this shard (and the
+                   // shard map says it should be here) -- not retryable
 };
 
 [[nodiscard]] constexpr const char* service_errc_name(ServiceErrc c) {
@@ -79,6 +83,8 @@ enum class ServiceErrc : std::uint8_t {
     case ServiceErrc::Internal: return "Internal";
     case ServiceErrc::Shutdown: return "Shutdown";
     case ServiceErrc::DrainTimeout: return "DrainTimeout";
+    case ServiceErrc::WrongShard: return "WrongShard";
+    case ServiceErrc::UnknownKey: return "UnknownKey";
   }
   return "Unknown";
 }
@@ -97,7 +103,8 @@ class ServiceError : public std::runtime_error {
   [[nodiscard]] std::uint64_t server_epoch() const { return server_epoch_; }
   [[nodiscard]] bool retryable() const {
     return code_ == ServiceErrc::StaleEpoch || code_ == ServiceErrc::Draining ||
-           code_ == ServiceErrc::DrainTimeout || code_ == ServiceErrc::Shutdown;
+           code_ == ServiceErrc::DrainTimeout || code_ == ServiceErrc::Shutdown ||
+           code_ == ServiceErrc::WrongShard;
   }
 
  private:

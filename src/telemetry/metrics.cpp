@@ -137,6 +137,24 @@ std::uint64_t Registry::sum_counters(const std::string& prefix) const {
   return total;
 }
 
+double Registry::sum_gauges(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  double total = 0;
+  for (auto it = gauges_.lower_bound(prefix);
+       it != gauges_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it)
+    total += it->second->value();
+  return total;
+}
+
+std::size_t Registry::count_series(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it)
+    ++n;
+  return n;
+}
+
 void Registry::reset() {
   // Same pointer-copy discipline as snapshot(): zero each metric outside the
   // registry lock so an in-flight scrape (or registration) never serializes

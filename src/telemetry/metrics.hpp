@@ -31,6 +31,21 @@ namespace dlr::telemetry {
 /// Optional key=value qualifiers appended to a metric name, Prometheus-style:
 /// counter("group.exp", {{"backend", "ss512"}}) lives in the registry under
 /// the rendered name "group.exp{backend=ss512}".
+///
+/// Per-key metric convention (keystore subsystem, DESIGN.md §11): a metric
+/// about one logical key of a multi-tenant store is the FAMILY name plus
+/// {tenant=...,key=...} labels, e.g.
+///
+///   counter("ks.dec", {{"tenant", "acme"}, {"key", "mail"}})
+///
+/// never a flattened "ks.dec.acme.mail" name -- the label form keeps the flat
+/// namespace enumerable (sum_counters("ks.dec") totals the family; the
+/// Prometheus exposition renders proper label sets that aggregate server-side).
+/// Cardinality discipline: per-key series are OPT-IN (KeyStore
+/// Options::per_key_metrics, default off) because a 10k-key store would mint
+/// 10k series per family; the always-on keystore metrics are the totals
+/// (ks.keys, ks.refresh_backlog, ks.compactions, ...) plus these families for
+/// small/test stores.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 [[nodiscard]] std::string render_name(const std::string& name, const Labels& labels);
@@ -126,6 +141,11 @@ class Registry {
   /// Sum of every counter whose rendered name starts with `prefix` (so
   /// sum_counters("group.exp") totals all backends' labeled variants).
   [[nodiscard]] std::uint64_t sum_counters(const std::string& prefix) const;
+  /// Gauge analogue of sum_counters: sums every gauge in the prefix family.
+  [[nodiscard]] double sum_gauges(const std::string& prefix) const;
+  /// Number of registered counter series under `prefix` -- the cardinality
+  /// check for labeled families (a per-key family gone rogue shows up here).
+  [[nodiscard]] std::size_t count_series(const std::string& prefix) const;
 
   /// Zero every metric in place. Registrations (and cached handles) survive.
   void reset();
@@ -203,6 +223,8 @@ class Registry {
   [[nodiscard]] std::uint64_t counter_value(const std::string&) const { return 0; }
   [[nodiscard]] double gauge_value(const std::string&) const { return 0; }
   [[nodiscard]] std::uint64_t sum_counters(const std::string&) const { return 0; }
+  [[nodiscard]] double sum_gauges(const std::string&) const { return 0; }
+  [[nodiscard]] std::size_t count_series(const std::string&) const { return 0; }
   void reset() {}
 };
 
