@@ -18,6 +18,7 @@
 //
 //   u64 epoch | blob sk2 | u8 has_pending [| u64 pepoch | blob digest
 //                                          | blob next_sk2 | blob reply]
+//             | blob rolled_back_digest
 //
 // and recovery is the journal's latest-seq-wins scan. Lock order is
 // entry.mu -> journal-internal, never the reverse; the registry map lock
@@ -123,11 +124,28 @@ class KeyStore {
 
   /// Drop a key (tombstoned in the journal; gone after recovery too).
   void remove(const KeyId& id) {
+    std::shared_ptr<Entry> entry;
     {
       std::unique_lock mlk(map_mu_);
-      keys_.erase(id);
+      const auto it = keys_.find(id);
+      if (it != keys_.end()) {
+        entry = it->second;
+        keys_.erase(it);
+      }
     }
-    if (journal_) journal_->tombstone(id);
+    if (entry) {
+      // A concurrent ref_prepare/ref_commit/hello may still hold this entry's
+      // shared_ptr. Taking the exclusive lock orders the tombstone after any
+      // in-flight mutation's append, and marking the entry removed makes every
+      // later persist_locked a no-op -- otherwise a newer-seq record would
+      // follow the tombstone and latest-seq-wins recovery would resurrect the
+      // key (with its share back on disk).
+      std::unique_lock lk(entry->mu);
+      entry->removed = true;
+      if (journal_) journal_->tombstone(id);
+    } else if (journal_) {
+      journal_->tombstone(id);
+    }
     publish_keys_gauge();
   }
 
@@ -146,6 +164,7 @@ class KeyStore {
   [[nodiscard]] DecOut dec(const KeyId& id, std::uint64_t epoch, const Bytes& round1) {
     auto e = find(id);
     std::shared_lock lk(e->mu);
+    check_not_removed(id, *e);
     if (epoch != e->epoch)
       throw ServiceError(ServiceErrc::StaleEpoch, e->epoch,
                          "request epoch " + std::to_string(epoch) + " != " +
@@ -173,6 +192,7 @@ class KeyStore {
     auto e = find(id);
     const Bytes digest = crypto::digest_to_bytes(crypto::Sha256::hash(round1));
     std::unique_lock lk(e->mu);
+    check_not_removed(id, *e);
     if (e->pending && e->pending->epoch == epoch && e->pending->digest == digest)
       return e->pending->reply;  // duplicate prepare: resend verbatim
     if (!e->rolled_back_digest.empty() && e->rolled_back_digest == digest)
@@ -205,6 +225,7 @@ class KeyStore {
   std::uint64_t ref_commit(const KeyId& id, std::uint64_t epoch, const Bytes& digest) {
     auto e = find(id);
     std::unique_lock lk(e->mu);
+    check_not_removed(id, *e);
     if (!e->pending || e->pending->epoch != epoch || e->pending->digest != digest) {
       if (e->epoch == epoch + 1) return e->epoch;  // duplicate of installed commit
       throw ServiceError(ServiceErrc::StaleEpoch, e->epoch, "no matching prepared refresh");
@@ -228,19 +249,23 @@ class KeyStore {
   [[nodiscard]] service::HelloOk hello(const KeyId& id, const service::HelloMsg& h) {
     auto e = find(id);
     std::unique_lock lk(e->mu);
+    check_not_removed(id, *e);
     service::HelloOk ok;
     ok.server_epoch = e->epoch;
     if (h.has_pending) {
       if (e->epoch == h.pending_epoch + 1) {
         ok.disposition = service::RefDisposition::Commit;
       } else if (e->epoch == h.pending_epoch) {
-        if (e->pending) {
-          e->pending.reset();
-          persist_locked(id, *e);
+        const bool had_pending = e->pending.has_value();
+        e->pending.reset();
+        e->rolled_back_digest = h.pending_digest;
+        // Persist AFTER recording the digest (and even when we held no
+        // pending): the no-resurrect guarantee must survive a crash, since a
+        // delayed duplicate of the old prepare can arrive after restart.
+        persist_locked(id, *e);
+        if (had_pending)
           telemetry::event(telemetry::EventKind::EpochRollback,
                            "key=" + id.display() + " epoch=" + std::to_string(e->epoch));
-        }
-        e->rolled_back_digest = h.pending_digest;
         rollbacks_counter().add();
         ok.disposition = service::RefDisposition::Rollback;
       } else {
@@ -350,6 +375,7 @@ class KeyStore {
     std::uint64_t epoch = 0;
     std::optional<Pending> pending;
     Bytes rolled_back_digest;
+    bool removed = false;  // set under exclusive mu by remove()
     std::atomic<std::uint64_t> spent_millibits{0};
   };
 
@@ -359,6 +385,14 @@ class KeyStore {
     if (it == keys_.end())
       throw ServiceError(ServiceErrc::UnknownKey, 0, "no key " + id.display());
     return it->second;
+  }
+
+  /// Caller holds e.mu (either mode; removed is only written under the
+  /// exclusive lock). An op that raced remove() must fail typed, not mutate
+  /// state the journal will never see again.
+  void check_not_removed(const KeyId& id, const Entry& e) const {
+    if (e.removed)
+      throw ServiceError(ServiceErrc::UnknownKey, 0, "key " + id.display() + " was removed");
   }
 
   [[nodiscard]] std::uint64_t leak_per_dec_millibits() const {
@@ -372,7 +406,7 @@ class KeyStore {
   /// exclusively (constructor-time calls are unshared). The journal's own
   /// mutex orders concurrent appends from different keys.
   void persist_locked(const KeyId& id, Entry& e) {
-    if (!journal_) return;
+    if (!journal_ || e.removed) return;
     ByteWriter w;
     w.u64(e.epoch);
     ByteWriter sw;
@@ -387,6 +421,7 @@ class KeyStore {
       w.blob(nw.bytes());
       w.blob(e.pending->reply);
     }
+    w.blob(e.rolled_back_digest);
     journal_->append(id, w.take());
   }
 
@@ -407,6 +442,7 @@ class KeyStore {
       p.reply = r.blob();
       entry->pending = std::move(p);
     }
+    if (r.remaining()) entry->rolled_back_digest = r.blob();
     std::unique_lock mlk(map_mu_);
     keys_[id] = std::move(entry);
   }

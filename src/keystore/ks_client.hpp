@@ -162,6 +162,9 @@ class KsFleet {
       st->pending.emplace();
       st->pending->epoch = e;
       st->pending->digest = crypto::digest_to_bytes(crypto::Sha256::hash(r1));
+      // The flag is what maybe_reconcile() gates on: without it a refresh
+      // interrupted between ref.ok and commit.ok would never reconcile.
+      st->pending_flag.store(true);
       {
         auto sess = m.open();
         sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),

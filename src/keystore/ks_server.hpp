@@ -263,8 +263,14 @@ class KsServer {
       } else if (f.label == kKsPut) {
         handle_put(conn, f);
       } else if (f.label == kKsMap) {
-        std::lock_guard lk(map_mu_);
-        reply_data(conn, f, kKsMapOk, map_.encode());
+        // Encode under map_mu_ but send outside it: a connection blocked in
+        // send() must not stall check_owned()/set_shard_map() on other workers.
+        Bytes body;
+        {
+          std::lock_guard lk(map_mu_);
+          body = map_.encode();
+        }
+        reply_data(conn, f, kKsMapOk, std::move(body));
       } else if (f.label == service::kLabelDecReq) {
         handle_compat_dec(conn, f);
       } else if (f.label == service::kLabelRefReq) {

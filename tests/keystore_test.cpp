@@ -725,6 +725,158 @@ TEST(KsServiceTest, ShardCrashRestartRecoversAllKeysFromSegmentedJournals) {
   for (const auto& id : keys) EXPECT_TRUE(svc.roundtrip(id, rng));
 }
 
+/// Conn wrapper that severs the connection exactly once, at the first
+/// outbound frame carrying `label`. `forward` picks which half of the 2PC
+/// window breaks: true forwards the frame first (the request reaches the
+/// server, its ACK is lost), false drops it (the request never arrives).
+class SeverAtLabel final : public transport::Conn {
+ public:
+  SeverAtLabel(std::shared_ptr<transport::Conn> under, std::string label, bool forward,
+               std::shared_ptr<std::atomic<bool>> fired)
+      : under_(std::move(under)),
+        label_(std::move(label)),
+        forward_(forward),
+        fired_(std::move(fired)) {}
+
+  void send(const transport::Frame& f) override {
+    if (f.type == transport::FrameType::Data && f.label == label_ &&
+        !fired_->exchange(true)) {
+      if (forward_) under_->send(f);
+      throw transport::TransportError(transport::Errc::ConnectionClosed,
+                                      "injected sever at " + label_);
+    }
+    under_->send(f);
+  }
+  transport::Frame recv(std::optional<transport::Millis> timeout) override {
+    return under_->recv(timeout);
+  }
+  using transport::Conn::recv;
+  [[nodiscard]] const transport::TransportOptions& options() const override {
+    return under_->options();
+  }
+  void shutdown() noexcept override { under_->shutdown(); }
+
+ private:
+  std::shared_ptr<transport::Conn> under_;
+  std::string label_;
+  bool forward_;
+  std::shared_ptr<std::atomic<bool>> fired_;
+};
+
+/// The REVIEW.md regression: a refresh interrupted between ks.ref.ok and
+/// ks.ref.commit.ok must reconcile over ks.hello on the next contact --
+/// forward=true is the commit-ACK-lost case (hello verdict: Commit),
+/// forward=false the commit-lost case (hello verdict: Rollback, then a
+/// fresh refresh). Before the pending_flag fix both wedged the key forever.
+void run_severed_commit_recovery(std::uint64_t seed, bool forward) {
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  typename KsFleet<MockGroup>::Options fo;
+  fo.request_timeout = transport::Millis{1000};
+  fo.retry.base = transport::Millis{2};
+  fo.retry.cap = transport::Millis{20};
+  fo.conn_wrapper = [fired, forward](std::shared_ptr<transport::FramedConn> fc)
+      -> std::shared_ptr<transport::Conn> {
+    return std::make_shared<SeverAtLabel>(std::move(fc), kKsRefCommit, forward, fired);
+  };
+  TwoShards svc(seed, {}, {}, fo);
+  const auto keys = test_keys(2);
+  for (const auto& id : keys) svc.add(id);
+
+  svc.fleet->refresh_key(keys[0]);  // must recover, not throw Draining forever
+  EXPECT_TRUE(fired->load()) << "the sever never triggered -- test is vacuous";
+  EXPECT_EQ(svc.fleet->epoch_of(keys[0]), 1u);
+  const auto server_epoch = svc.s0->store().contains(keys[0])
+                                ? svc.s0->store().epoch_of(keys[0])
+                                : svc.s1->store().epoch_of(keys[0]);
+  EXPECT_EQ(server_epoch, 1u) << "client and server epochs diverged";
+
+  // The key keeps serving at the reconciled epoch, and so does its neighbor.
+  crypto::Rng rng(seed + 7);
+  EXPECT_TRUE(svc.roundtrip(keys[0], rng));
+  EXPECT_TRUE(svc.roundtrip(keys[1], rng));
+}
+
+TEST(KsServiceTest, CommitAckLostRecoversViaHello) {
+  run_severed_commit_recovery(8000, /*forward=*/true);
+}
+
+TEST(KsServiceTest, CommitLostRollsBackViaHelloThenRefreshes) {
+  run_severed_commit_recovery(8050, /*forward=*/false);
+}
+
+TEST(KeyStoreTest, RemoveStaysRemovedAfterRecoveryDespiteConcurrentMutations) {
+  // remove() vs in-flight prepares/hellos that already hold the entry: the
+  // tombstone must win recovery -- no resurrected key, no share back on disk.
+  const auto dir = make_state_dir();
+  typename KeyStore<MockGroup>::Options opt;
+  opt.state_dir = dir;
+  StoreRig rig(8100, opt);
+  const KeyId victim{"acme", "doomed"}, keeper{"acme", "kept"};
+  rig.add(victim);
+  rig.add(keeper);
+
+  auto& p1 = *rig.p1s.at(victim);
+  std::thread mutator([&] {
+    // Hammer persisting mutations on the victim; after remove() lands they
+    // must fail typed (UnknownKey) rather than journal a newer record.
+    for (int i = 0; i < 50; ++i) {
+      try {
+        const Bytes r1 = p1.ref_round1();
+        (void)rig.store->ref_prepare(victim, 0, r1);
+        service::HelloMsg h;
+        h.epoch = 0;
+        h.has_pending = true;
+        h.pending_epoch = 0;
+        h.pending_digest = crypto::digest_to_bytes(crypto::Sha256::hash(r1));
+        (void)rig.store->hello(victim, h);  // rolls the prepare back
+        p1.end_period();
+        p1.prepare_period();
+      } catch (const service::ServiceError& e) {
+        EXPECT_EQ(e.code(), service::ServiceErrc::UnknownKey);
+        break;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  rig.store->remove(victim);
+  mutator.join();
+  EXPECT_FALSE(rig.store->contains(victim));
+
+  rig.store.reset();  // crash
+  KeyStore<MockGroup> recovered(rig.gg, rig.prm, crypto::Rng(8101), opt);
+  EXPECT_FALSE(recovered.contains(victim)) << "tombstoned key resurrected by recovery";
+  EXPECT_TRUE(recovered.contains(keeper));
+}
+
+TEST(KeyStoreTest, RolledBackDigestSurvivesRestart) {
+  // The no-resurrect guarantee is journaled: after a rollback verdict and a
+  // crash, a delayed duplicate of the rolled-back prepare is still refused.
+  const auto dir = make_state_dir();
+  typename KeyStore<MockGroup>::Options opt;
+  opt.state_dir = dir;
+  StoreRig rig(8200, opt);
+  const KeyId id{"acme", "mail"};
+  rig.add(id);
+
+  const Bytes r1 = rig.p1s.at(id)->ref_round1();
+  (void)rig.store->ref_prepare(id, 0, r1);
+  service::HelloMsg h;
+  h.epoch = 0;
+  h.has_pending = true;
+  h.pending_epoch = 0;
+  h.pending_digest = crypto::digest_to_bytes(crypto::Sha256::hash(r1));
+  EXPECT_EQ(rig.store->hello(id, h).disposition, service::RefDisposition::Rollback);
+
+  rig.store.reset();  // crash
+  KeyStore<MockGroup> recovered(rig.gg, rig.prm, crypto::Rng(8201), opt);
+  try {
+    (void)recovered.ref_prepare(id, 0, r1);
+    FAIL() << "stray prepare resurrected a rolled-back refresh after restart";
+  } catch (const service::ServiceError& e) {
+    EXPECT_EQ(e.code(), service::ServiceErrc::StaleEpoch);
+  }
+}
+
 TEST(KsServiceTest, OldSingleKeyClientSpeaksToAKsServerUnchanged) {
   // Satellite of the tentpole: single-key mode is a 1-key store. A PR 2-5
   // DecryptionClient (svc.* labels, raw reply bodies, hello reconciliation)
