@@ -220,6 +220,40 @@ class CountingGroup {
                                                       tm_pairing_);
   }
 
+  /// Counting view of a native shared-exponent multi-pow: each pow() still
+  /// counts as one multi_pow over ts.size() terms (it is one, semantically),
+  /// so op profiles are identical whether a batch shares the recoding or not.
+  template <class Inner>
+  class PreparedMultiPow {
+   public:
+    PreparedMultiPow(Inner inner, std::shared_ptr<OpCounts> counts,
+                     telemetry::Counter* tm, telemetry::Counter* tm_terms)
+        : inner_(std::move(inner)),
+          counts_(std::move(counts)),
+          tm_multi_pow_(tm),
+          tm_multi_pow_terms_(tm_terms) {}
+    [[nodiscard]] GT pow(std::span<const GT> ts) const {
+      ++counts_->multi_pows;
+      counts_->multi_pow_terms += ts.size();
+      tm_multi_pow_->add();
+      tm_multi_pow_terms_->add(ts.size());
+      return inner_.pow(ts);
+    }
+
+   private:
+    Inner inner_;
+    std::shared_ptr<OpCounts> counts_;
+    telemetry::Counter* tm_multi_pow_;
+    telemetry::Counter* tm_multi_pow_terms_;
+  };
+
+  [[nodiscard]] auto prepare_gt_multi_pow(std::span<const Scalar> ss) const
+    requires requires(const GG& g, std::span<const Scalar> s) { g.prepare_gt_multi_pow(s); }
+  {
+    return PreparedMultiPow<decltype(inner_.prepare_gt_multi_pow(ss))>(
+        inner_.prepare_gt_multi_pow(ss), counts_, tm_multi_pow_, tm_multi_pow_terms_);
+  }
+
   [[nodiscard]] G g_prod(std::span<const G> as) const
     requires requires(const GG& g, std::span<const G> s) { g.g_prod(s); }
   {

@@ -1,0 +1,68 @@
+// Shared-exponent GT multi-pow over any BilinearGroup.
+//
+// A decryption batch applies the SAME exponent vector (P2's share s) to many
+// independent base rows -- one per in-flight request and coordinate.
+// PreparedGtPow front-ends the recode-once hook: on backends with a native
+// `prepare_gt_multi_pow` (TateGroup, and decorators that forward it) the
+// wNAF-3 recoding of the scalars runs once at construction and every pow()
+// call only pays table build + the shared squaring chain; on concept-only
+// backends (MockGroup) it degrades to per-call gg.gt_multi_pow, so scheme
+// code can use it unconditionally. pow() is bit-identical to
+// gg.gt_multi_pow(ts, ss) on every backend.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "group/bilinear.hpp"
+
+namespace dlr::group {
+
+template <class GG>
+concept NativePreparedGtMultiPow =
+    requires(const GG& gg, std::span<const typename GG::Scalar> ss) {
+      gg.prepare_gt_multi_pow(ss);
+    };
+
+namespace detail {
+
+struct NoNativeGtMultiPow {};
+
+template <class GG>
+struct NativeGtMultiPowType {
+  using type = NoNativeGtMultiPow;
+};
+template <NativePreparedGtMultiPow GG>
+struct NativeGtMultiPowType<GG> {
+  using type = decltype(std::declval<const GG&>().prepare_gt_multi_pow(
+      std::declval<std::span<const typename GG::Scalar>>()));
+};
+
+}  // namespace detail
+
+template <BilinearGroup GG>
+class PreparedGtPow {
+ public:
+  using GT = typename GG::GT;
+  using Scalar = typename GG::Scalar;
+
+  PreparedGtPow(const GG& gg, std::span<const Scalar> ss) : ss_(ss.begin(), ss.end()) {
+    if constexpr (NativePreparedGtMultiPow<GG>)
+      native_.emplace(gg.prepare_gt_multi_pow(ss_));
+  }
+
+  [[nodiscard]] GT pow(const GG& gg, std::span<const GT> ts) const {
+    if constexpr (NativePreparedGtMultiPow<GG>) {
+      return native_->pow(ts);
+    } else {
+      return gg.gt_multi_pow(ts, ss_);
+    }
+  }
+
+ private:
+  std::vector<Scalar> ss_;
+  std::optional<typename detail::NativeGtMultiPowType<GG>::type> native_;
+};
+
+}  // namespace dlr::group

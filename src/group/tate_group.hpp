@@ -147,6 +147,79 @@ class TateGroup {
   // ---- pairing ----------------------------------------------------------------
   [[nodiscard]] GT pair(const G& a, const G& b) const { return ctx_->pair(a, b); }
 
+  /// Shared-exponent multi-pow: the wNAF-3 recoding of `ss` is computed once
+  /// here and reused by every pow() call, which only builds the per-base
+  /// {t, t^3} tables and walks the shared squaring chain. pow(ts) is
+  /// bit-identical to gt_multi_pow(ts, ss) -- including the generic
+  /// square-and-multiply fallback when a base is off the norm-1 circle.
+  /// This is the cross-request seam: a decryption batch applies the SAME
+  /// secret-share exponent vector to every request's rows.
+  class PreparedGtMultiPow {
+   public:
+    PreparedGtMultiPow(std::shared_ptr<const Ctx> ctx, std::span<const Scalar> ss,
+                       telemetry::Counter* fast_sqr)
+        : ctx_(std::move(ctx)), ss_(ss.begin(), ss.end()), fast_sqr_(fast_sqr) {
+      for (std::size_t j = 0; j < ss_.size(); ++j) {
+        if (ss_[j].is_zero()) continue;
+        active_.push_back(j);
+        nafs_.push_back(mpint::wnaf_digits(ss_[j], 3));
+        nmax_ = std::max(nmax_, nafs_.back().size());
+      }
+    }
+
+    [[nodiscard]] GT pow(std::span<const GT> ts) const {
+      if (ts.size() != ss_.size())
+        throw std::invalid_argument("prepared gt_multi_pow: size mismatch");
+      const auto& f2 = ctx_->fq2();
+      bool fast = true;
+      for (const auto& t : ts)
+        if (!f2.is_norm_one(t)) {
+          fast = false;
+          break;
+        }
+      if (!fast) {
+        std::size_t nbits = 0;
+        for (const auto& s : ss_) nbits = std::max(nbits, s.bit_length());
+        GT acc = f2.one();
+        for (std::size_t i = nbits; i-- > 0;) {
+          acc = f2.sqr(acc);
+          for (std::size_t j = 0; j < ts.size(); ++j)
+            if (ss_[j].bit(i)) acc = f2.mul(acc, ts[j]);
+        }
+        return acc;
+      }
+      std::vector<std::array<GT, 2>> tbl;  // {t, t^3} per active base
+      tbl.reserve(active_.size());
+      for (const std::size_t j : active_)
+        tbl.push_back({ts[j], f2.mul(f2.sqr_norm1(ts[j]), ts[j])});
+      GT acc = f2.one();
+      for (std::size_t i = nmax_; i-- > 0;) {
+        acc = f2.sqr_norm1(acc);
+        for (std::size_t j = 0; j < tbl.size(); ++j) {
+          if (i >= nafs_[j].size()) continue;
+          const int d = nafs_[j][i];
+          if (d == 0) continue;
+          const GT& e = tbl[j][(d == 1 || d == -1) ? 0 : 1];
+          acc = f2.mul(acc, d > 0 ? e : f2.conj(e));
+        }
+      }
+      if (fast_sqr_) fast_sqr_->add(nmax_);
+      return acc;
+    }
+
+   private:
+    std::shared_ptr<const Ctx> ctx_;
+    std::vector<Scalar> ss_;             // full vector (generic fallback)
+    std::vector<std::size_t> active_;    // indices with nonzero scalar
+    std::vector<std::vector<int>> nafs_; // wNAF-3 digits per active scalar
+    std::size_t nmax_ = 0;
+    telemetry::Counter* fast_sqr_;
+  };
+
+  [[nodiscard]] PreparedGtMultiPow prepare_gt_multi_pow(std::span<const Scalar> ss) const {
+    return PreparedGtMultiPow(ctx_, ss, tm_fast_sqr_);
+  }
+
   // ---- fast-lane natives -------------------------------------------------------
   // Optional extensions over the BilinearGroup concept; generic wrappers
   // (PreparedPair, FixedPow) detect them with `requires` and fall back to

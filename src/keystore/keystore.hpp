@@ -64,6 +64,9 @@ namespace dlr::keystore {
 
 template <group::BilinearGroup GG>
 class KeyStore {
+ private:
+  struct Entry;  // defined below; DecSession holds one by shared_ptr
+
  public:
   using Core = schemes::DlrCore<GG>;
   using ServiceErrc = service::ServiceErrc;
@@ -175,15 +178,60 @@ class KeyStore {
     } catch (const std::exception& ex) {
       throw ServiceError(ServiceErrc::BadRequest, e->epoch, ex.what());
     }
-    out.spent_millibits =
-        e->spent_millibits.fetch_add(leak_per_dec_millibits()) + leak_per_dec_millibits();
+    out.spent_millibits = charge_locked(id, *e);
     out.budget_millibits = budget_millibits();
-    dec_counter().add();
-    if (opt_.per_key_metrics)
-      telemetry::Registry::global()
-          .counter("ks.dec", {{"tenant", id.tenant}, {"key", id.key}})
-          .add();
     return out;
+  }
+
+  /// Batched decryption against ONE key: holds the entry's shared lock and a
+  /// recode-once DlrParty2::DecBatch across many run() calls, so a batch of
+  /// requests pays one lock acquisition and one share-vector wNAF recoding
+  /// instead of N. run() is dec() per item -- same epoch check, same budget
+  /// charge, same typed errors, bit-identical replies. Because the lock is
+  /// held for the whole session, a refresh commit (exclusive lock) either
+  /// drains before the session starts or waits until it ends: a session never
+  /// observes an epoch change mid-batch.
+  class DecSession {
+   public:
+    DecSession(DecSession&&) = default;
+
+    [[nodiscard]] DecOut run(std::uint64_t epoch, const Bytes& round1) {
+      if (epoch != e_->epoch)
+        throw ServiceError(ServiceErrc::StaleEpoch, e_->epoch,
+                           "request epoch " + std::to_string(epoch) + " != " +
+                               std::to_string(e_->epoch));
+      DecOut out;
+      try {
+        out.reply = batch_.run(round1);
+      } catch (const std::exception& ex) {
+        throw ServiceError(ServiceErrc::BadRequest, e_->epoch, ex.what());
+      }
+      out.spent_millibits = ks_->charge_locked(id_, *e_);
+      out.budget_millibits = ks_->budget_millibits();
+      return out;
+    }
+
+    [[nodiscard]] std::uint64_t epoch() const { return e_->epoch; }
+
+   private:
+    friend class KeyStore;
+    DecSession(const KeyStore* ks, KeyId id, std::shared_ptr<Entry> e)
+        : ks_(ks), id_(std::move(id)), e_(std::move(e)), lk_(e_->mu),
+          batch_(e_->p2.dec_batch()) {
+      ks_->check_not_removed(id_, *e_);
+    }
+
+    const KeyStore* ks_;
+    KeyId id_;
+    std::shared_ptr<Entry> e_;
+    std::shared_lock<std::shared_mutex> lk_;
+    typename schemes::DlrParty2<GG>::DecBatch batch_;
+  };
+
+  /// Open a batched-decryption session for one key. Throws UnknownKey if the
+  /// key does not exist (or raced a remove()).
+  [[nodiscard]] DecSession dec_session(const KeyId& id) const {
+    return DecSession(this, id, find(id));
   }
 
   /// PREPARE: compute + journal the next share; serving state untouched.
@@ -400,6 +448,19 @@ class KeyStore {
   }
   [[nodiscard]] std::uint64_t budget_millibits() const {
     return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(opt_.budget_bits * 1000.0));
+  }
+
+  /// Budget charge + counters for one served decryption. Caller holds e.mu
+  /// (shared suffices; the spent counter is atomic). Returns the new spent.
+  std::uint64_t charge_locked(const KeyId& id, Entry& e) const {
+    const std::uint64_t spent =
+        e.spent_millibits.fetch_add(leak_per_dec_millibits()) + leak_per_dec_millibits();
+    dec_counter().add();
+    if (opt_.per_key_metrics)
+      telemetry::Registry::global()
+          .counter("ks.dec", {{"tenant", id.tenant}, {"key", id.key}})
+          .add();
+    return spent;
   }
 
   /// Serialize + append this key's durable record. Caller holds e.mu

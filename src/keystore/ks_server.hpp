@@ -1,9 +1,15 @@
 // KsServer<GG> -- one shard of the multi-tenant keystore service.
 //
-// Thread architecture is P2Server's, verbatim (accept thread -> per-conn
-// reader threads -> WorkerPool; readers enqueue only, all crypto on
-// workers), plus one background compaction thread that periodically folds
-// the segmented journal. What changes is the dispatch: every ks.* request
+// Thread architecture is P2Server's, verbatim: with pipeline=true (default)
+// decryption requests (ks.dec AND the compat svc.dec route) flow through the
+// SAME decode -> BatchCollector -> crypto-worker -> coalesced-encode
+// pipeline as P2Server -- readers decode and address-check, crypto workers
+// pull micro-batches, group them by (tenant, key), and serve each group
+// through one KeyStore::DecSession (one shared entry lock + one share-vector
+// recode per key per batch). Control-plane routes (ks.ref / commit / hello /
+// put / map) stay on a small WorkerPool. With pipeline=false every request
+// runs on the WorkerPool as in PR 7. One background compaction thread
+// periodically folds the segmented journal. What changes is the dispatch: every ks.* request
 // names a (tenant, key) and is served by the KeyStore's per-key epoch
 // machine, and the legacy single-key routes (svc.dec / svc.ref /
 // svc.ref.commit / svc.hello) are kept alive by mapping them onto
@@ -26,14 +32,17 @@
 // every ks.dec.ok) and the per-key 2PC state machine.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "crypto/rng.hpp"
@@ -41,6 +50,8 @@
 #include "keystore/ks_protocol.hpp"
 #include "keystore/shard_map.hpp"
 #include "service/admin.hpp"
+#include "service/batcher.hpp"
+#include "service/parallel.hpp"
 #include "service/protocol.hpp"
 #include "service/worker_pool.hpp"
 #include "telemetry/trace.hpp"
@@ -73,10 +84,23 @@ class KsServer {
     /// Run a read-only AdminServer sidecar (DESIGN.md §10).
     bool admin = false;
     std::uint16_t admin_port = 0;
+    /// Pipelined decryption path (DESIGN.md §12): readers decode, crypto
+    /// workers pull cross-request micro-batches grouped by key. Off = every
+    /// request runs whole on the WorkerPool (PR 7 behavior).
+    bool pipeline = true;
+    /// Micro-batch bounds (effective cap is min(max_batch, 2 * workers)).
+    std::size_t max_batch = 16;
+    std::chrono::microseconds batch_wait{200};
+    /// Derive a DLR_PARALLEL default from hardware_concurrency minus this
+    /// server's own threads when the env var is absent.
+    bool adaptive_parallel = true;
   };
 
   KsServer(GG gg, schemes::DlrParams prm, crypto::Rng rng, Options opt)
-      : opt_(std::move(opt)), store_(std::move(gg), prm, std::move(rng), opt_.store) {}
+      : opt_(std::move(opt)),
+        store_(std::move(gg), prm, std::move(rng), opt_.store),
+        batcher_(typename service::BatchCollector<KsDecJob>::Options{
+            effective_batch_cap(opt_), opt_.batch_wait, opt_.queue_cap}) {}
 
   ~KsServer() { stop(); }
   KsServer(const KsServer&) = delete;
@@ -84,7 +108,19 @@ class KsServer {
 
   void start(std::uint16_t port = 0) {
     listener_ = transport::Listener::loopback(port);
-    pool_ = std::make_unique<service::WorkerPool>(opt_.workers, opt_.queue_cap);
+    pool_ = std::make_unique<service::WorkerPool>(
+        opt_.pipeline ? kControlWorkers : opt_.workers, opt_.queue_cap);
+    if (opt_.adaptive_parallel) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      const int own = (opt_.pipeline ? opt_.workers + kControlWorkers : opt_.workers) + 1;
+      service::set_adaptive_parallel_default(
+          hw == 0 ? 0 : std::max(0, static_cast<int>(hw) - own));
+    }
+    if (opt_.pipeline) {
+      crypto_threads_.reserve(static_cast<std::size_t>(opt_.workers));
+      for (int i = 0; i < opt_.workers; ++i)
+        crypto_threads_.emplace_back([this] { crypto_loop(); });
+    }
     if (opt_.admin) {
       admin_ = std::make_unique<service::AdminServer>(
           service::AdminServer::Options{.transport = opt_.transport});
@@ -127,7 +163,8 @@ class KsServer {
     compact_cv_.notify_all();
     if (compact_thread_.joinable()) compact_thread_.join();
     const auto deadline = std::chrono::steady_clock::now() + opt_.stop_drain;
-    while (std::chrono::steady_clock::now() < deadline && pool_ && pool_->queued() > 0)
+    while (std::chrono::steady_clock::now() < deadline && pool_ &&
+           (pool_->queued() > 0 || batcher_.queued() > 0))
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     listener_.close();
     if (accept_thread_.joinable()) accept_thread_.join();
@@ -138,17 +175,43 @@ class KsServer {
     }
     for (auto& c : conns) c->conn->shutdown();
     if (pool_) pool_->stop();
+    // Wake readers blocked in submit() backpressure before joining them;
+    // crypto workers drain the queue and exit on the first empty collect().
+    batcher_.stop();
+    for (auto& t : crypto_threads_)
+      if (t.joinable()) t.join();
+    crypto_threads_.clear();
     for (auto& c : conns)
       if (c->reader.joinable()) c->reader.join();
     if (admin_) admin_->stop();
   }
 
  private:
+  static constexpr int kControlWorkers = 2;
+
   struct ConnState {
     std::shared_ptr<transport::Conn> conn;
     std::thread reader;
     std::atomic<bool> done{false};
   };
+
+  /// One decoded, shard-checked decryption request parked in the batcher.
+  struct KsDecJob {
+    std::shared_ptr<transport::Conn> conn;
+    std::uint32_t session = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
+    KeyId id;
+    std::uint64_t epoch = 0;
+    Bytes payload;
+    bool compat = false;  // arrived on the svc.dec route -> svc.dec.ok reply
+    std::chrono::steady_clock::time_point enq;
+  };
+
+  [[nodiscard]] static std::size_t effective_batch_cap(const Options& o) {
+    const std::size_t w = static_cast<std::size_t>(std::max(1, o.workers));
+    return std::max<std::size_t>(1, std::min(o.max_batch, 2 * w));
+  }
 
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> health_fields() const {
     std::uint64_t map_version = 0;
@@ -167,6 +230,8 @@ class KsServer {
         {"journal_segments", j ? std::to_string(j->segment_count()) : "0"},
         {"compactions", j ? std::to_string(j->compactions()) : "0"},
         {"draining", draining_stop_.load() ? "true" : "false"},
+        {"pipeline", opt_.pipeline ? "true" : "false"},
+        {"batch_queue", std::to_string(batcher_.queued())},
     };
   }
 
@@ -207,6 +272,10 @@ class KsServer {
         break;
       }
       if (f.type != transport::FrameType::Data) continue;
+      if (opt_.pipeline && (f.label == kKsDec || f.label == service::kLabelDecReq)) {
+        if (!enqueue_dec(conn, std::move(f))) break;
+        continue;
+      }
       if (!pool_->submit([this, conn, f = std::move(f)]() mutable {
             handle(*conn, std::move(f));
           }))
@@ -244,6 +313,197 @@ class KsServer {
     if (owner != opt_.shard_id)
       throw ServiceError(ServiceErrc::WrongShard, 0,
                          id.display() + " belongs to shard " + std::to_string(owner));
+  }
+
+  // ---- pipelined decryption path ----------------------------------------
+
+  /// Reader-side stage: decode + shard-check + park in the batcher. Returns
+  /// false when the reader should exit (connection dead or server stopping).
+  bool enqueue_dec(const std::shared_ptr<transport::Conn>& conn, transport::Frame f) {
+    try {
+      if (draining_stop_.load()) {
+        send_err(*conn, f, ServiceErrc::Shutdown, 0, "server shutting down");
+        return true;
+      }
+      KsDecJob job;
+      job.compat = (f.label == service::kLabelDecReq);
+      if (job.compat) {
+        service::Request req = decode_svc(f);
+        job.id = default_key_id();
+        job.epoch = req.epoch;
+        job.payload = std::move(req.round1);
+      } else {
+        KsRequest req = decode_ks(f);
+        check_owned(req.id);
+        job.id = std::move(req.id);
+        job.epoch = req.epoch;
+        job.payload = std::move(req.payload);
+      }
+      job.conn = conn;
+      job.session = f.session;
+      job.trace_id = f.trace_id;
+      job.parent_span = f.parent_span;
+      job.enq = std::chrono::steady_clock::now();
+      if (!batcher_.submit(std::move(job))) {
+        try {
+          send_err(*conn, f, ServiceErrc::Shutdown, 0, "server shutting down");
+        } catch (...) {
+        }
+        return false;
+      }
+      return true;
+    } catch (const ServiceError& e) {
+      try {
+        send_err(*conn, f, e.code(), e.server_epoch(), e.what());
+      } catch (...) {
+      }
+      return true;
+    } catch (const transport::TransportError&) {
+      return false;
+    } catch (const std::exception& e) {
+      try {
+        send_err(*conn, f, ServiceErrc::Internal, 0, e.what());
+      } catch (...) {
+      }
+      return true;
+    }
+  }
+
+  void crypto_loop() {
+    for (;;) {
+      auto batch = batcher_.collect();
+      if (batch.empty()) return;  // stopped and drained
+      process_batch(batch);
+    }
+  }
+
+  /// Crypto + encode stages for one micro-batch: group by key, serve each
+  /// group through one DecSession (one shared entry lock + one recode),
+  /// then demultiplex the replies per connection with coalesced sends.
+  void process_batch(std::vector<KsDecJob>& batch) {
+    batch_size_hist().observe(static_cast<double>(batch.size()));
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& j : batch)
+      batch_wait_hist().observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(now - j.enq).count()));
+
+    struct Out {
+      Bytes body;
+      const char* label = nullptr;  // reply label; nullptr -> error frame
+      ServiceErrc errc = ServiceErrc::BadRequest;
+      std::uint64_t err_epoch = 0;
+      std::string err;
+      std::uint64_t stamp_trace = 0;
+      std::uint64_t stamp_span = 0;
+    };
+    std::vector<Out> outs(batch.size());
+
+    // Group batch indices by key, preserving arrival order within a group.
+    std::vector<std::pair<const KeyId*, std::vector<std::size_t>>> groups;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&](const auto& g) { return *g.first == batch[i].id; });
+      if (it == groups.end()) {
+        groups.push_back({&batch[i].id, {i}});
+      } else {
+        it->second.push_back(i);
+      }
+    }
+
+    // The batch already spreads over the crypto workers; with more than one
+    // request in hand, per-request fan-out would just oversubscribe.
+    service::FanoutSuppressGuard fanout_guard(batch.size() > 1);
+    for (auto& [id, idxs] : groups) {
+      try {
+        auto session = store_.dec_session(*id);
+        for (const std::size_t i : idxs) {
+          auto& j = batch[i];
+          telemetry::ScopedSpan span(j.compat ? "svc.dec" : "ks.dec",
+                                     telemetry::TraceContext{j.trace_id, j.parent_span});
+          try {
+            auto out = session.run(j.epoch, j.payload);
+            if (j.compat) {
+              outs[i].body = std::move(out.reply);
+              outs[i].label = service::kLabelDecOk;
+            } else {
+              outs[i].body = encode_ks_dec_ok(
+                  {std::move(out.reply), out.spent_millibits, out.budget_millibits});
+              outs[i].label = kKsDecOk;
+            }
+          } catch (const ServiceError& e) {
+            outs[i].errc = e.code();
+            outs[i].err_epoch = e.server_epoch();
+            outs[i].err = e.what();
+          } catch (const std::exception& e) {
+            outs[i].errc = ServiceErrc::Internal;
+            outs[i].err = e.what();
+          }
+          const auto ctx = telemetry::Tracer::global().current();
+          if (ctx.active()) {
+            outs[i].stamp_trace = ctx.trace_id;
+            outs[i].stamp_span = ctx.span_id;
+          }
+        }
+      } catch (const ServiceError& e) {
+        for (const std::size_t i : idxs) {
+          outs[i].errc = e.code();
+          outs[i].err_epoch = e.server_epoch();
+          outs[i].err = e.what();
+        }
+      } catch (const std::exception& e) {
+        for (const std::size_t i : idxs) {
+          outs[i].errc = ServiceErrc::Internal;
+          outs[i].err = e.what();
+        }
+      }
+    }
+
+    // Demultiplex: one frame list per connection, sent with one syscall.
+    std::vector<std::pair<transport::Conn*, std::vector<transport::Frame>>> by_conn;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& j = batch[i];
+      auto& o = outs[i];
+      transport::Frame out;
+      if (o.label != nullptr) {
+        out = transport::Frame{j.session, transport::FrameType::Data,
+                               static_cast<std::uint8_t>(net::DeviceId::P2), o.label,
+                               std::move(o.body)};
+      } else {
+        out = transport::Frame{j.session, transport::FrameType::Error,
+                               static_cast<std::uint8_t>(net::DeviceId::P2),
+                               service::kLabelErr,
+                               service::encode_error(o.errc, o.err_epoch, o.err)};
+      }
+      if (j.trace_id != 0) {
+        out.trace_id = o.stamp_trace != 0 ? o.stamp_trace : j.trace_id;
+        out.parent_span = o.stamp_trace != 0 ? o.stamp_span : j.parent_span;
+      }
+      auto it = std::find_if(by_conn.begin(), by_conn.end(),
+                             [&](const auto& g) { return g.first == j.conn.get(); });
+      if (it == by_conn.end()) {
+        by_conn.push_back({j.conn.get(), {}});
+        it = std::prev(by_conn.end());
+      }
+      it->second.push_back(std::move(out));
+    }
+    for (auto& [conn, frames] : by_conn) {
+      try {
+        conn->send_many(frames);
+      } catch (const transport::TransportError&) {
+        // That client is gone; the other connections' replies still went out.
+      }
+    }
+  }
+
+  static telemetry::Histogram& batch_size_hist() {
+    static telemetry::Histogram& h = telemetry::Registry::global().histogram(
+        "svc.batch.size", {1, 2, 4, 8, 16, 32, 64});
+    return h;
+  }
+  static telemetry::Histogram& batch_wait_hist() {
+    static telemetry::Histogram& h = telemetry::Registry::global().histogram(
+        "svc.batch.wait_us", {25, 50, 100, 200, 400, 800, 1600, 5000});
+    return h;
   }
 
   void handle(transport::Conn& conn, transport::Frame f) {
@@ -448,6 +708,8 @@ class KsServer {
 
   Options opt_;
   Store store_;
+  service::BatchCollector<KsDecJob> batcher_;
+  std::vector<std::thread> crypto_threads_;
   mutable std::mutex map_mu_;
   ShardMap map_;
   transport::Listener listener_;

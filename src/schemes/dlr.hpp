@@ -642,6 +642,66 @@ class DlrParty2 {
     return w.take();
   }
 
+  /// Shared preparation for a batch of round-2 requests. Every request in a
+  /// batch raises its own rows to the SAME share vector s, so the exponent
+  /// recoding (the wNAF digits on native backends) is computed once here and
+  /// reused by every run(). run(msg) is bit-identical to dec_respond(msg);
+  /// parsing, the per-coordinate chains, the combine and the serialization
+  /// stay per-item, so callers keep per-request trace spans and per-request
+  /// error isolation. Const capture of the share: hold the same shared lock
+  /// across construction and the runs (the service runtime does).
+  class DecBatch {
+   public:
+    explicit DecBatch(const DlrParty2& p2)
+        : p2_(&p2), key_(p2.ht_.prepare_key(p2.sk2_.s)) {}
+
+    [[nodiscard]] Bytes run(const Bytes& msg) const {
+      telemetry::ScopedSpan span("dec.round2");
+      const DlrParty2& p2 = *p2_;
+      ByteReader r(msg);
+      std::vector<CtT> d;
+      d.reserve(p2.prm_.ell);
+      for (std::size_t i = 0; i < p2.prm_.ell; ++i) d.push_back(p2.ht_.deser_ct(r));
+      const CtT dphi = p2.ht_.deser_ct(r);
+      const CtT db = p2.ht_.deser_ct(r);
+      if (!r.done()) throw std::invalid_argument("dec_respond: trailing bytes");
+
+      CtT acc = p2.ht_.ct_mul(db, p2.ht_.ct_multi_pow_prepared(key_, d));
+      acc = p2.ht_.ct_mul(acc, p2.ht_.ct_inv(dphi));
+      ByteWriter w;
+      p2.ht_.ser_ct(w, acc);
+      return w.take();
+    }
+
+   private:
+    const DlrParty2* p2_;
+    typename HpskeGT<GG>::PreparedKey key_;
+  };
+
+  [[nodiscard]] DecBatch dec_batch() const { return DecBatch(*this); }
+
+  /// One round-2 result per input; a malformed request fails alone.
+  struct DecOutcome {
+    Bytes reply;
+    std::string error;
+    [[nodiscard]] bool ok() const { return error.empty(); }
+  };
+
+  /// Batched round 2: bit-identical outputs to calling dec_respond on each
+  /// message, with the share recoding shared across the whole batch.
+  [[nodiscard]] std::vector<DecOutcome> dec_respond_many(std::span<const Bytes> msgs) const {
+    const DecBatch b = dec_batch();
+    std::vector<DecOutcome> out(msgs.size());
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      try {
+        out[i].reply = b.run(msgs[i]);
+      } catch (const std::exception& e) {
+        out[i].error = e.what();
+      }
+    }
+    return out;
+  }
+
   /// The computed-but-not-installed half of a refresh: the candidate next
   /// share and the round-2 reply that commits to it. The two-phase service
   /// protocol journals this pair durably before anything is installed.

@@ -135,6 +135,38 @@ class MaskedEnc {
     return r;
   }
 
+  /// Recode-once view of an exponent vector for many ct_multi_pow calls with
+  /// the SAME scalars (a decryption batch applies one share vector to every
+  /// request's rows). On native backends the wNAF recoding of ks runs once at
+  /// prepare_key; results are bit-identical to ct_multi_pow(cts, ks).
+  struct PreparedKey {
+    typename Sp::Prepared prep;
+    std::size_t count = 0;  // expected cts.size()
+  };
+  [[nodiscard]] PreparedKey prepare_key(std::span<const Scalar> ks) const {
+    return PreparedKey{Sp::prepare_multi_pow(gg_, ks), ks.size()};
+  }
+  [[nodiscard]] Ciphertext ct_multi_pow_prepared(const PreparedKey& pk,
+                                                 std::span<const Ciphertext> cts) const {
+    if (cts.size() != pk.count)
+      throw std::invalid_argument("MaskedEnc::ct_multi_pow_prepared: size mismatch");
+    for (const auto& ct : cts) check_ct(ct);
+    Ciphertext r = ct_one();
+    if (cts.empty()) return r;
+    service::par_for(width_ + 1, [&](std::size_t j) {
+      std::vector<Elem> column(cts.size());
+      for (std::size_t i = 0; i < cts.size(); ++i)
+        column[i] = (j < width_) ? cts[i].b[j] : cts[i].c0;
+      Elem v = Sp::multi_pow_prepared(gg_, pk.prep, column);
+      if (j < width_) {
+        r.b[j] = std::move(v);
+      } else {
+        r.c0 = std::move(v);
+      }
+    });
+    return r;
+  }
+
   /// Identity ciphertext (encrypts 1 with identity coins); the unit of ct_mul.
   [[nodiscard]] Ciphertext ct_one() const {
     Ciphertext r;
@@ -178,7 +210,7 @@ class MaskedEnc {
   /// product splits into per-thread chunks (multi_pow distributes over
   /// concatenation) and the partials are multiplied back together.
   [[nodiscard]] Elem masked_product(std::span<const Elem> bs, std::span<const Scalar> ks) const {
-    const int t = service::parallel_env_threads();
+    const int t = service::fanout_suppressed() ? 0 : service::parallel_threads();
     if (t <= 1 || bs.size() < 8) return Sp::multi_pow(gg_, bs, ks);
     const std::size_t chunks =
         std::min(static_cast<std::size_t>(t), bs.size() / 4);

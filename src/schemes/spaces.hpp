@@ -5,6 +5,7 @@
 #pragma once
 
 #include "group/bilinear.hpp"
+#include "group/multi_exp.hpp"
 
 namespace dlr::schemes {
 
@@ -20,6 +21,18 @@ struct SpaceG {
   static Elem multi_pow(const GG& gg, std::span<const Elem> as,
                         std::span<const typename GG::Scalar> ss) {
     return gg.g_multi_pow(as, ss);
+  }
+  /// Shared-exponent seam: G has no recode-once native, so Prepared is just
+  /// the scalar copy and multi_pow_prepared forwards to g_multi_pow.
+  struct Prepared {
+    std::vector<typename GG::Scalar> ss;
+  };
+  static Prepared prepare_multi_pow(const GG&, std::span<const typename GG::Scalar> ss) {
+    return Prepared{{ss.begin(), ss.end()}};
+  }
+  static Elem multi_pow_prepared(const GG& gg, const Prepared& p,
+                                 std::span<const Elem> as) {
+    return gg.g_multi_pow(as, p.ss);
   }
   static Elem id(const GG& gg) { return gg.g_id(); }
   static bool eq(const GG& gg, const Elem& a, const Elem& b) { return gg.g_eq(a, b); }
@@ -40,6 +53,16 @@ struct SpaceGT {
   static Elem multi_pow(const GG& gg, std::span<const Elem> as,
                         std::span<const typename GG::Scalar> ss) {
     return gg.gt_multi_pow(as, ss);
+  }
+  /// Shared-exponent seam: recodes ss once (native backends) so a batch of
+  /// rows under one key pays a single wNAF recoding.
+  using Prepared = group::PreparedGtPow<GG>;
+  static Prepared prepare_multi_pow(const GG& gg, std::span<const typename GG::Scalar> ss) {
+    return Prepared(gg, ss);
+  }
+  static Elem multi_pow_prepared(const GG& gg, const Prepared& p,
+                                 std::span<const Elem> ts) {
+    return p.pow(gg, ts);
   }
   static Elem id(const GG& gg) { return gg.gt_id(); }
   static bool eq(const GG& gg, const Elem& a, const Elem& b) { return gg.gt_eq(a, b); }

@@ -3,12 +3,21 @@
 //
 // The server owns the P2 share and answers DistDec round-2 requests plus the
 // two-phase refresh protocol (DESIGN.md §9) from the P1-side client over
-// framed, session-multiplexed TCP. Thread architecture (one arrow = one
-// thread kind):
+// framed, session-multiplexed TCP. Thread architecture with the default
+// pipelined mode (DESIGN.md §12; one arrow = one thread kind):
 //
-//   accept thread --------> per-connection reader threads ---> WorkerPool
-//   (Listener::accept)      (Conn::recv_blocking,              (dec/ref jobs;
-//                            enqueue only, no crypto)           all crypto here)
+//   accept thread ---> per-connection readers ---> BatchCollector ---> crypto
+//   (Listener::accept) (recv + DECODE + epoch     (cross-request       workers
+//                       admission for svc.dec)     micro-batches)      (dec_batch,
+//                                   |                                   coalesced
+//                                   +---> WorkerPool (ref/commit/hello)  ENCODE+send)
+//
+// Readers decode and admit decryption requests, then submit them to a
+// bounded micro-batch collector (size- or deadline-triggered). Crypto
+// workers drain it; every request in a batch shares ONE share-exponent
+// recoding (DlrParty2::DecBatch) and replies are coalesced per connection
+// into a single send_many. With Options::pipeline = false the PR 2
+// architecture remains: every request is handled solo on the worker pool.
 //
 // Refresh is PREPARE / COMMIT:
 //   * svc.ref (PREPARE) computes the next share, journals it as a
@@ -61,8 +70,10 @@
 #include "crypto/sha256.hpp"
 #include "schemes/dlr.hpp"
 #include "service/admin.hpp"
+#include "service/batcher.hpp"
 #include "service/epoch.hpp"
 #include "service/journal.hpp"
+#include "service/parallel.hpp"
 #include "service/protocol.hpp"
 #include "service/worker_pool.hpp"
 #include "telemetry/events.hpp"
@@ -99,6 +110,24 @@ class P2Server {
     /// Behave like a pre-observability v1 server: reject a versioned hello
     /// as BadRequest and never negotiate wire tracing (interop tests).
     bool legacy_hello = false;
+    /// Pipelined decode -> crypto -> encode architecture (DESIGN.md §12):
+    /// readers decode + admit svc.dec requests into a cross-request batch
+    /// collector, `workers` crypto threads drain it in micro-batches that
+    /// share the share-exponent recoding, replies are coalesced per
+    /// connection. false = the PR 2 one-job-per-request architecture.
+    bool pipeline = true;
+    /// Hard cap on requests per micro-batch. The effective cap is
+    /// min(max_batch, 2 * workers): two batches of lookahead per crypto
+    /// worker keeps every worker busy while bounding how many queue-mates
+    /// one request can wait behind.
+    std::size_t max_batch = 16;
+    /// How long the collector may linger for queue-mates once it holds at
+    /// least one request (the oldest item's deadline).
+    std::chrono::microseconds batch_wait{200};
+    /// At start(), when DLR_PARALLEL is unset, publish an adaptive
+    /// coordinate fan-out width of hw_threads - (pipeline + reader threads)
+    /// via set_adaptive_parallel_default. An explicit env knob always wins.
+    bool adaptive_parallel = true;
   };
 
   /// `sk2` seeds the share only when no journal exists in state_dir;
@@ -114,7 +143,12 @@ class P2Server {
         p2_(std::move(gg), prm, rec_.sk2 ? std::move(*rec_.sk2) : std::move(sk2),
             std::move(rng)),
         coord_(rec_.epoch),
-        pool_(opt_.workers, opt_.queue_cap) {
+        // Pipelined servers run crypto on dedicated batch workers; the pool
+        // only carries the control plane (ref/commit/hello), which two
+        // threads cover comfortably.
+        pool_(opt_.pipeline ? kControlWorkers : opt_.workers, opt_.queue_cap),
+        batcher_(typename BatchCollector<DecJob>::Options{
+            effective_batch_cap(opt_), opt_.batch_wait, opt_.queue_cap}) {
     if (rec_.pending) pending_ = std::move(rec_.pending);
     if (journal_.attached() && !rec_.loaded)
       persist(0, ser_share(), std::nullopt);  // initial durable record
@@ -128,11 +162,26 @@ class P2Server {
   void start(std::uint16_t port = 0) {
     listener_ = transport::Listener::loopback(port);
     started_at_ = std::chrono::steady_clock::now();
+    if (opt_.adaptive_parallel) {
+      // Leave the coordinate fan-out pool whatever the hardware has beyond
+      // the server's own threads (crypto workers + roughly one hot reader).
+      // Takes effect only while DLR_PARALLEL is unset; serial when nothing
+      // is left over.
+      const unsigned hw = std::thread::hardware_concurrency();
+      const int own = opt_.pipeline ? opt_.workers + kControlWorkers + 1 : opt_.workers + 1;
+      set_adaptive_parallel_default(
+          hw == 0 ? 0 : std::max(0, static_cast<int>(hw) - own));
+    }
     if (opt_.admin) {
       admin_ = std::make_unique<AdminServer>(
           AdminServer::Options{.transport = opt_.transport});
       admin_->register_health("p2", [this] { return health_fields(); });
       admin_->start(opt_.admin_port);
+    }
+    if (opt_.pipeline) {
+      crypto_threads_.reserve(static_cast<std::size_t>(opt_.workers));
+      for (int i = 0; i < opt_.workers; ++i)
+        crypto_threads_.emplace_back([this] { crypto_loop(); });
     }
     accept_thread_ = std::thread([this] { accept_loop(); });
   }
@@ -174,7 +223,7 @@ class P2Server {
     draining_stop_.store(true);
     const auto deadline = std::chrono::steady_clock::now() + opt_.stop_drain;
     while (std::chrono::steady_clock::now() < deadline &&
-           (coord_.inflight() > 0 || pool_.queued() > 0))
+           (coord_.inflight() > 0 || pool_.queued() > 0 || batcher_.queued() > 0))
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     listener_.close();
     if (accept_thread_.joinable()) accept_thread_.join();
@@ -187,10 +236,15 @@ class P2Server {
       conns = conns_;
     }
     for (auto& c : conns) c->conn->shutdown();
-    // Stop the pool before joining readers: a reader blocked in submit()
-    // (queue full) is released by stop(), and queued jobs answering hung-up
-    // connections fail their send and are swallowed by the job's catch.
+    // Stop the pool and the batch collector before joining readers: a reader
+    // blocked in submit() (queue full) is released by stop(), and queued jobs
+    // answering hung-up connections fail their send and are swallowed by the
+    // job's catch. Crypto workers drain admitted batches, then exit on the
+    // empty collect().
     pool_.stop();
+    batcher_.stop();
+    for (auto& t : crypto_threads_)
+      if (t.joinable()) t.join();
     for (auto& c : conns)
       if (c->reader.joinable()) c->reader.join();
     if (admin_) admin_->stop();
@@ -218,6 +272,29 @@ class P2Server {
     std::atomic<bool> done{false};
   };
 
+  /// Worker-pool width while the pipeline owns the crypto: the pool only
+  /// serves ref/commit/hello, which are rare and partly serialized anyway.
+  static constexpr int kControlWorkers = 2;
+
+  /// An epoch-admitted decryption request parked in the batch collector.
+  /// begin_decrypt was already called (on the reader); whoever disposes of
+  /// the job must call end_decrypt exactly once.
+  struct DecJob {
+    std::shared_ptr<transport::Conn> conn;
+    std::uint32_t session = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
+    std::uint64_t epoch = 0;
+    Bytes round1;
+    std::chrono::steady_clock::time_point enq{};
+  };
+
+  [[nodiscard]] static std::size_t effective_batch_cap(const Options& o) {
+    const std::size_t per_workers =
+        2 * static_cast<std::size_t>(o.workers < 1 ? 1 : o.workers);
+    return std::max<std::size_t>(1, std::min(o.max_batch, per_workers));
+  }
+
   /// Health section served by the admin endpoint. Reads atomics and takes
   /// only the short pending lock -- safe from the scrape thread.
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> health_fields() const {
@@ -234,6 +311,8 @@ class P2Server {
         {"inflight", std::to_string(coord_.inflight())},
         {"queue_depth", std::to_string(pool_.queued())},
         {"workers", std::to_string(opt_.workers)},
+        {"pipeline", opt_.pipeline ? "true" : "false"},
+        {"batch_queue", std::to_string(batcher_.queued())},
         {"draining", draining_stop_.load() ? "true" : "false"},
         {"pending_refresh", pending ? "true" : "false"},
         {"requests", std::to_string(requests_.load())},
@@ -340,6 +419,12 @@ class P2Server {
         break;  // closed / corrupt stream: connection is done
       }
       if (f.type != transport::FrameType::Data) continue;
+      if (opt_.pipeline && f.label == kLabelDecReq) {
+        // Decode stage runs right here on the reader thread; the job enters
+        // the batch collector already admitted.
+        if (!enqueue_dec(conn, std::move(f))) break;
+        continue;
+      }
       if (!pool_.submit([this, conn, f = std::move(f)]() mutable {
             handle(*conn, std::move(f));
           }))
@@ -376,6 +461,199 @@ class P2Server {
       } catch (...) {
       }
     }
+  }
+
+  /// Decode stage (reader thread): parse, admit against the epoch
+  /// coordinator, hand off to the batch collector. Admission BEFORE enqueue
+  /// makes batches epoch-pure by construction -- begin_decrypt pins the
+  /// epoch until end_decrypt, so a refresh can only drain (or time out)
+  /// behind every queued job, never interleave with one. Returns false when
+  /// the connection or the collector is shutting down.
+  bool enqueue_dec(const std::shared_ptr<transport::Conn>& conn, transport::Frame f) {
+    try {
+      if (draining_stop_.load()) {
+        send_err(*conn, f, ServiceErrc::Shutdown, "server shutting down");
+        return true;
+      }
+      Request req;
+      try {
+        req = decode_request(f.body);
+      } catch (const std::exception& e) {
+        send_err(*conn, f, ServiceErrc::BadRequest, e.what());
+        return true;
+      }
+      switch (coord_.begin_decrypt(req.epoch)) {
+        case EpochCoordinator::Admit::Stale:
+          send_err(*conn, f, ServiceErrc::StaleEpoch,
+                   "request epoch " + std::to_string(req.epoch) + " != " +
+                       std::to_string(coord_.epoch()));
+          return true;
+        case EpochCoordinator::Admit::Draining:
+          send_err(*conn, f, ServiceErrc::Draining, "refresh in progress");
+          return true;
+        default:
+          break;
+      }
+      DecJob job{conn,          f.session,
+                 f.trace_id,    f.parent_span,
+                 req.epoch,     std::move(req.round1),
+                 std::chrono::steady_clock::now()};
+      if (!batcher_.submit(std::move(job))) {
+        coord_.end_decrypt();
+        try {
+          send_err(*conn, f, ServiceErrc::Shutdown, "server shutting down");
+        } catch (...) {
+        }
+        return false;
+      }
+      return true;
+    } catch (const transport::TransportError&) {
+      return false;  // reply undeliverable: connection is done
+    } catch (const std::exception& e) {
+      try {
+        send_err(*conn, f, ServiceErrc::Internal, e.what());
+      } catch (...) {
+        return false;
+      }
+      return true;
+    }
+  }
+
+  void crypto_loop() {
+    for (;;) {
+      std::vector<DecJob> batch = batcher_.collect();
+      if (batch.empty()) return;  // stopped and drained
+      process_batch(batch);
+    }
+  }
+
+  /// Crypto + encode stages for one micro-batch. One shared lock and one
+  /// share-exponent recoding cover the whole batch; each request keeps its
+  /// own adopted trace span and its own failure. Replies are grouped per
+  /// connection and written with a single send_many.
+  void process_batch(std::vector<DecJob>& batch) {
+    const auto now = std::chrono::steady_clock::now();
+    batch_size_hist().observe(static_cast<double>(batch.size()));
+    for (const auto& j : batch)
+      batch_wait_hist().observe(
+          std::chrono::duration<double, std::micro>(now - j.enq).count());
+
+    struct Out {
+      Bytes reply;
+      std::string err;
+      ServiceErrc errc = ServiceErrc::BadRequest;
+      bool failed = false;
+      std::uint64_t stamp_trace = 0;  // svc.dec span ids captured while open
+      std::uint64_t stamp_span = 0;
+    };
+    std::vector<Out> outs(batch.size());
+    const std::uint64_t epoch0 = batch.front().epoch;
+    {
+      std::shared_lock lock(p2_mu_);
+      const auto db = p2_.dec_batch();
+      // The batch itself is the parallelism unit: W crypto workers already
+      // cover the cores, so per-request coordinate fan-out on top would only
+      // thrash. A lone request (idle server) keeps the fan-out.
+      FanoutSuppressGuard fanout_guard(batch.size() > 1);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const DecJob& j = batch[i];
+        // Admission-at-enqueue makes a mixed batch impossible; the check is
+        // a cheap invariant guard, counted so tests can pin it at zero.
+        if (j.epoch != epoch0) {
+          epoch_mixed_counter().add();
+          outs[i].failed = true;
+          outs[i].errc = ServiceErrc::StaleEpoch;
+          outs[i].err = "batch epoch mismatch";
+          continue;
+        }
+        // Per-request span, adopting the wire trace exactly like the
+        // unpipelined path: dec.round2 opens underneath inside run().
+        telemetry::ScopedSpan span("svc.dec",
+                                   telemetry::TraceContext{j.trace_id, j.parent_span});
+        try {
+          outs[i].reply = db.run(j.round1);
+        } catch (const std::exception& e) {
+          outs[i].failed = true;  // malformed round-1 payload: fails alone
+          outs[i].errc = ServiceErrc::BadRequest;
+          outs[i].err = e.what();
+        }
+        const auto ctx = telemetry::Tracer::global().current();
+        if (ctx.active()) {
+          outs[i].stamp_trace = ctx.trace_id;
+          outs[i].stamp_span = ctx.span_id;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) coord_.end_decrypt();
+    requests_.fetch_add(batch.size());
+    requests_counter().add(batch.size());
+    if (opt_.slow_request_ms > 0) {
+      const auto done = std::chrono::steady_clock::now();
+      for (const auto& j : batch) {
+        const double ms = std::chrono::duration<double, std::milli>(done - j.enq).count();
+        if (ms > opt_.slow_request_ms)
+          telemetry::event(telemetry::EventKind::SlowRequest,
+                           "ms=" + std::to_string(ms) +
+                               " threshold=" + std::to_string(opt_.slow_request_ms));
+      }
+    }
+
+    // Encode stage: group reply frames per connection, preserving request
+    // order, then one coalesced write per connection. A dead connection
+    // fails only its own requests.
+    std::vector<std::pair<transport::Conn*, std::vector<transport::Frame>>> groups;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const DecJob& j = batch[i];
+      transport::Frame out;
+      if (outs[i].failed) {
+        out = transport::Frame{j.session, transport::FrameType::Error,
+                               static_cast<std::uint8_t>(net::DeviceId::P2), kLabelErr,
+                               encode_error(outs[i].errc, coord_.epoch(), outs[i].err)};
+      } else {
+        out = transport::Frame{j.session, transport::FrameType::Data,
+                               static_cast<std::uint8_t>(net::DeviceId::P2), kLabelDecOk,
+                               std::move(outs[i].reply)};
+      }
+      // Same stamping rule as stamp_reply, with the span ids captured while
+      // the request's svc.dec span was open.
+      if (j.trace_id != 0) {
+        out.trace_id = outs[i].stamp_trace != 0 ? outs[i].stamp_trace : j.trace_id;
+        out.parent_span = outs[i].stamp_trace != 0 ? outs[i].stamp_span : j.parent_span;
+      }
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&](const auto& g) { return g.first == j.conn.get(); });
+      if (it == groups.end()) {
+        groups.emplace_back(j.conn.get(), std::vector<transport::Frame>{});
+        it = std::prev(groups.end());
+      }
+      it->second.push_back(std::move(out));
+    }
+    for (auto& [conn, frames] : groups) {
+      try {
+        conn->send_many(frames);
+      } catch (const transport::TransportError&) {
+        // Client gone mid-batch: only its replies are lost.
+      } catch (const std::exception&) {
+      }
+    }
+  }
+
+  static telemetry::Histogram& batch_size_hist() {
+    static telemetry::Histogram& h = telemetry::Registry::global().histogram(
+        "svc.batch.size", {1, 2, 4, 8, 16, 32, 64});
+    return h;
+  }
+
+  static telemetry::Histogram& batch_wait_hist() {
+    static telemetry::Histogram& h = telemetry::Registry::global().histogram(
+        "svc.batch.wait_us", {25, 50, 100, 200, 400, 800, 1600, 5000});
+    return h;
+  }
+
+  static telemetry::Counter& epoch_mixed_counter() {
+    static telemetry::Counter& c =
+        telemetry::Registry::global().counter("svc.batch.epoch_mixed");
+    return c;
   }
 
   void handle_dec(transport::Conn& conn, const transport::Frame& f) {
@@ -714,6 +992,8 @@ class P2Server {
   mutable std::shared_mutex p2_mu_;
   EpochCoordinator coord_;
   WorkerPool pool_;
+  BatchCollector<DecJob> batcher_;
+  std::vector<std::thread> crypto_threads_;
   mutable std::mutex pending_mu_;  // guards pending_, rolled_back_digest_, journal writes
   std::optional<Pending> pending_;
   Bytes rolled_back_digest_;

@@ -34,6 +34,55 @@ int parallel_env_threads() {
   return static_cast<int>(n > 64 ? 64 : n);
 }
 
+namespace {
+
+std::atomic<int> g_test_override{-1};
+std::atomic<int> g_adaptive_default{-1};
+thread_local int tl_suppress_depth = 0;
+
+struct EnvConfig {
+  bool set;     // the env var was present (even if it said "off")
+  int threads;  // its parsed value
+};
+
+// Resolved once, on the first parallel_threads() call. Tests that need a
+// different width use the override hook, not setenv.
+const EnvConfig& env_config() {
+  static const EnvConfig cfg{std::getenv("DLR_PARALLEL") != nullptr &&
+                                 *std::getenv("DLR_PARALLEL") != '\0',
+                             parallel_env_threads()};
+  return cfg;
+}
+
+}  // namespace
+
+int parallel_threads() {
+  const int ov = g_test_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov;
+  const EnvConfig& cfg = env_config();
+  if (cfg.set) return cfg.threads;
+  const int ad = g_adaptive_default.load(std::memory_order_relaxed);
+  return ad >= 0 ? ad : 0;
+}
+
+void set_parallel_threads_for_test(int n) {
+  g_test_override.store(n < 0 ? -1 : n, std::memory_order_relaxed);
+}
+
+void set_adaptive_parallel_default(int n) {
+  g_adaptive_default.store(n < 0 ? -1 : n, std::memory_order_relaxed);
+}
+
+bool fanout_suppressed() { return tl_suppress_depth > 0; }
+
+FanoutSuppressGuard::FanoutSuppressGuard(bool active) : active_(active) {
+  if (active_) ++tl_suppress_depth;
+}
+
+FanoutSuppressGuard::~FanoutSuppressGuard() {
+  if (active_) --tl_suppress_depth;
+}
+
 struct ParallelFor::Batch {
   std::size_t n = 0;
   const std::function<void(std::size_t)>* body = nullptr;
@@ -155,14 +204,14 @@ void ParallelFor::run(std::size_t n, const std::function<void(std::size_t)>& bod
 
 ParallelFor& ParallelFor::global() {
   static ParallelFor pool([] {
-    const int t = parallel_env_threads();
+    const int t = parallel_threads();
     return t > 0 ? t : default_workers();
   }());
   return pool;
 }
 
 void par_for(std::size_t n, const std::function<void(std::size_t)>& body) {
-  if (parallel_env_threads() <= 0 || n <= 1) {
+  if (n <= 1 || parallel_threads() <= 0 || fanout_suppressed()) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }

@@ -7,14 +7,24 @@
 // worker pool; the caller participates in claiming indices, so nested run()
 // calls cannot deadlock and a zero-thread pool degrades to a plain loop.
 //
-// Everything is gated by the DLR_PARALLEL environment knob, read at each
-// par_for() call:
+// Fan-out is controlled by a config resolved ONCE per process (getenv is not
+// on the hot path). In precedence order:
 //
-//   unset / "0" / "off"  -> serial (the default; keeps CountingGroup op
-//                           profiles exact and experiments reproducible
-//                           op-for-op)
-//   "on" / "auto"        -> default_workers() threads
-//   "<N>"                -> N threads
+//   1. set_parallel_threads_for_test(n)   -- test-only override hook
+//   2. DLR_PARALLEL env var, parsed at first use:
+//        "0" / "off"   -> serial (keeps CountingGroup op profiles exact and
+//                         experiments reproducible op-for-op)
+//        "on" / "auto" -> default_workers() threads
+//        "<N>"         -> N threads
+//   3. set_adaptive_parallel_default(n)   -- what the service runtime sets at
+//      startup when the env var is unset: hardware concurrency minus its own
+//      pipeline threads (so fan-out never oversubscribes the server's cores)
+//   4. otherwise serial (library/CLI default, unchanged behavior)
+//
+// A thread can additionally suppress fan-out for a scope with
+// FanoutSuppressGuard: the server's crypto workers use it when a batch of
+// requests already saturates the machine, where coordinate fan-out would only
+// add contention.
 //
 // Results are deterministic regardless of thread count because every loop we
 // fan out writes disjoint slots of a pre-sized output vector and group
@@ -31,9 +41,41 @@ namespace dlr::service {
 /// hardware_concurrency clamped to [2, 8], or 4 when unknown.
 [[nodiscard]] int default_workers();
 
-/// Thread count requested by the DLR_PARALLEL env var (see header comment).
-/// 0 means "stay serial".
+/// Raw (uncached) parse of the DLR_PARALLEL env var; 0 means "stay serial".
+/// Exposed for the knob-parsing tests -- runtime code goes through
+/// parallel_threads(), which caches this at first use.
 [[nodiscard]] int parallel_env_threads();
+
+/// The resolved fan-out width (see header comment for precedence). The env
+/// var is read once, on the first call; afterwards this is two relaxed
+/// atomic loads.
+[[nodiscard]] int parallel_threads();
+
+/// Test-only override: force parallel_threads() == n (n >= 0) regardless of
+/// the environment; -1 restores normal resolution.
+void set_parallel_threads_for_test(int n);
+
+/// Adaptive default used when DLR_PARALLEL is unset: the service runtime
+/// calls this at startup with hw_threads - pipeline_threads (clamped >= 0).
+/// -1 clears it (back to "serial unless the env var says otherwise").
+void set_adaptive_parallel_default(int n);
+
+/// True while a FanoutSuppressGuard is active on this thread.
+[[nodiscard]] bool fanout_suppressed();
+
+/// RAII: par_for on this thread runs serially while the guard lives. Used by
+/// batch crypto workers -- cross-request batching already saturates the
+/// cores, so per-request coordinate fan-out would only thrash.
+class FanoutSuppressGuard {
+ public:
+  explicit FanoutSuppressGuard(bool active = true);
+  ~FanoutSuppressGuard();
+  FanoutSuppressGuard(const FanoutSuppressGuard&) = delete;
+  FanoutSuppressGuard& operator=(const FanoutSuppressGuard&) = delete;
+
+ private:
+  bool active_;
+};
 
 class ParallelFor {
  public:
@@ -52,9 +94,9 @@ class ParallelFor {
 
   [[nodiscard]] int threads() const { return threads_; }
 
-  /// Process-wide pool used by par_for(). Sized once, at first use, from
-  /// DLR_PARALLEL (falling back to default_workers()); per-call gating still
-  /// happens in par_for, so flipping the env var off later disables fan-out.
+  /// Process-wide pool used by par_for(). Sized once, at first use; per-call
+  /// gating still happens in par_for, so overrides that drop the width to 0
+  /// later disable fan-out.
   static ParallelFor& global();
 
  private:
@@ -69,9 +111,9 @@ class ParallelFor {
   std::shared_ptr<State> state_;
 };
 
-/// Run body over [0, n): on the global pool when DLR_PARALLEL enables it at
-/// call time, serially otherwise. This is the only entry point scheme code
-/// uses.
+/// Run body over [0, n): on the global pool when the resolved config enables
+/// it (and no FanoutSuppressGuard is active on this thread), serially
+/// otherwise. This is the only entry point scheme code uses.
 void par_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
 }  // namespace dlr::service

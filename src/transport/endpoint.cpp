@@ -245,6 +245,27 @@ void FramedConn::send(const Frame& f) {
   c_bytes.add(wire.size());
 }
 
+void FramedConn::send_many(std::span<const Frame> fs) {
+  if (fs.empty()) return;
+  if (fs.size() == 1) {
+    send(fs.front());
+    return;
+  }
+  Bytes wire;
+  for (const Frame& f : fs) {
+    const Bytes one = encode_frame(f);
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  static telemetry::Counter& c_frames =
+      telemetry::Registry::global().counter("transport.frames.sent");
+  static telemetry::Counter& c_bytes =
+      telemetry::Registry::global().counter("transport.bytes.sent");
+  std::lock_guard lock(send_mu_);
+  sock_.send_all(wire, opt_.send_timeout);
+  c_frames.add(fs.size());
+  c_bytes.add(wire.size());
+}
+
 void FramedConn::send_raw(std::span<const std::uint8_t> wire) {
   std::lock_guard lock(send_mu_);
   sock_.send_all(wire, opt_.send_timeout);

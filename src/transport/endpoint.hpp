@@ -103,6 +103,13 @@ class Conn {
   virtual ~Conn() = default;
 
   virtual void send(const Frame& f) = 0;
+  /// Send several frames back-to-back. The default loops send() per frame;
+  /// implementations may coalesce into fewer writes, but the byte stream must
+  /// be identical to the sequential sends. Wrappers that fault or count per
+  /// frame (FaultInjector) keep the per-frame default on purpose.
+  virtual void send_many(std::span<const Frame> fs) {
+    for (const Frame& f : fs) send(f);
+  }
   /// timeout == nullopt blocks indefinitely (pump threads, woken by
   /// shutdown()).
   virtual Frame recv(std::optional<Millis> timeout) = 0;
@@ -121,6 +128,10 @@ class FramedConn : public Conn {
   FramedConn(Socket sock, TransportOptions opt) : sock_(std::move(sock)), opt_(opt) {}
 
   void send(const Frame& f) override;
+  /// Encodes every frame into one buffer and writes it with a single
+  /// send_all under the send mutex -- one syscall (and one wakeup on the
+  /// peer's poller) per batch instead of one per reply.
+  void send_many(std::span<const Frame> fs) override;
   Frame recv(std::optional<Millis> timeout) override;
   using Conn::recv;
 

@@ -280,11 +280,13 @@ TEST(ParallelForTest, ProtocolOutputsIndependentOfDlrParallel) {
     return outs;
   };
 
-  ASSERT_EQ(unsetenv("DLR_PARALLEL"), 0);
+  // The env var is resolved once per process, so runtime width changes go
+  // through the test override hook.
+  service::set_parallel_threads_for_test(0);
   const auto serial = run_once();
-  ASSERT_EQ(setenv("DLR_PARALLEL", "3", 1), 0);
+  service::set_parallel_threads_for_test(3);
   const auto parallel = run_once();
-  ASSERT_EQ(unsetenv("DLR_PARALLEL"), 0);
+  service::set_parallel_threads_for_test(-1);
 
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i)

@@ -127,13 +127,15 @@ struct Service {
   std::string server_dir;  // empty = volatile server
 
   explicit Service(int workers = 4, std::uint64_t seed_ = 7000,
-                   std::string server_dir_ = {}, std::string p1_dir = {})
+                   std::string server_dir_ = {}, std::string p1_dir = {},
+                   bool pipeline = true)
       : seed(seed_), server_dir(std::move(server_dir_)) {
     crypto::Rng rng(seed);
     kg = Core::gen(gg, prm, rng);
     typename P2Server<MockGroup>::Options opt;
     opt.workers = workers;
     opt.state_dir = server_dir;
+    opt.pipeline = pipeline;
     server = std::make_unique<P2Server<MockGroup>>(gg, prm, kg.sk2, crypto::Rng(seed + 1),
                                                    opt);
     server->start();
@@ -353,6 +355,92 @@ TEST(ServiceTest, StopIsOrderlyAndIdempotent) {
   }
   svc.server->stop();
   svc.server->stop();
+}
+
+// ---- PR 8: pipelined decryption path ------------------------------------------
+
+TEST(ServicePipelineTest, PipelineOffIsStillCorrect) {
+  // The unbatched PR 2 path stays alive as the control; it must keep working
+  // when the pipeline is disabled explicitly.
+  Service svc(/*workers=*/4, /*seed=*/7600, {}, {}, /*pipeline=*/false);
+  auto client = svc.client();
+  crypto::Rng rng(7601);
+  for (int i = 0; i < 3; ++i) {
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    EXPECT_TRUE(svc.gg.gt_eq(client.decrypt_once(c), m));
+  }
+  EXPECT_EQ(svc.server->requests_served(), 3u);
+}
+
+TEST(ServicePipelineTest, BatchesFormAndEpochsNeverMix) {
+  // Fan-in load with refreshes firing: batches must form (the histogram
+  // records every batch) and no batch may ever span two epochs -- admission
+  // at enqueue time makes a mixed batch structurally impossible; the
+  // defensive counter must therefore stay at zero.
+#if DLR_TELEMETRY_ENABLED
+  auto& reg = telemetry::Registry::global();
+  const auto batches_before = reg.histogram("svc.batch.size").count();
+#endif
+  Service svc(/*workers=*/2, /*seed=*/7610);
+  typename DecryptionClient<MockGroup>::Options opt;
+  opt.auto_refresh_every = 5;
+  auto client = svc.client(opt);
+  constexpr int kThreads = 4;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      crypto::Rng rng(7611 + t);
+      for (int i = 0; i < 10; ++i) {
+        const auto m = svc.gg.gt_random(rng);
+        const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+        try {
+          if (!svc.gg.gt_eq(client.decrypt(c), m)) wrong.fetch_add(1);
+        } catch (const std::exception&) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GE(svc.server->epoch(), 1u);
+#if DLR_TELEMETRY_ENABLED
+  EXPECT_GT(reg.histogram("svc.batch.size").count(), batches_before)
+      << "pipelined requests never went through the batch collector";
+  EXPECT_EQ(reg.counter("svc.batch.epoch_mixed").value(), 0u)
+      << "a batch mixed two epochs";
+#endif
+}
+
+TEST(ServicePipelineTest, SeveredConnectionMidBatchFailsOnlyThatRequest) {
+  // One connection sends a valid decryption request and dies before the
+  // reply; the send failure must be contained to that connection -- the
+  // healthy client keeps decrypting correctly, before and after.
+  Service svc;
+  auto client = svc.client();
+  crypto::Rng rng(7620);
+  {
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    EXPECT_TRUE(svc.gg.gt_eq(client.decrypt_once(c), m));
+  }
+  for (int round = 0; round < 3; ++round) {
+    auto raw = std::make_shared<transport::FramedConn>(
+        transport::connect_loopback(svc.server->port()), transport::TransportOptions{});
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    const auto snap = svc.p1->begin_decrypt(c, rng);
+    raw->send(transport::Frame{/*session=*/1, transport::FrameType::Data,
+                               static_cast<std::uint8_t>(net::DeviceId::P1),
+                               kLabelDecReq, encode_request(snap.epoch, snap.round1)});
+    raw->shutdown();  // gone before the crypto worker can reply
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto m = svc.gg.gt_random(rng);
+    const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+    EXPECT_TRUE(svc.gg.gt_eq(client.decrypt_once(c), m));
+  }
 }
 
 TEST(EpochCoordinatorTest, DrainDeadlineFailsTheRefreshCleanly) {
