@@ -26,11 +26,24 @@
 // vs. unscraped req/s of the same point, < 1% target) fold into the --json
 // export as bench.scrape.* gauges.
 //
+// With --overload the bench becomes an open-loop offered-load sweep against
+// a deliberately throttled server (2 workers, 1-item batches, an injected
+// 1.5 ms crypto delay, an 8-slot queue): closed-loop capacity is measured
+// first, then 0.5x/1x/2x that rate is OFFERED on a fixed schedule regardless
+// of responses. Accepted requests report goodput + tail latency; rejected
+// ones must carry the typed retryable Overloaded error with a nonzero
+// retry-after hint (bench.overload.* gauges; any untyped rejection counts in
+// bench.overload.shed_untyped, target 0). BENCH_overload_baseline.json is
+// the committed --overload --json output.
+//
 //   bench_t3_service_throughput [--requests N] [--lambda L] [--json out.jsonl]
 //                               [--faults] [--seed S] [--scrape]
+//                               [--overload] [--duration SECS]
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -272,6 +285,190 @@ FaultRun run_faults(Fixture& fx, std::uint64_t seed, int clients, int requests) 
   return out;
 }
 
+
+// ---- open-loop overload sweep (--overload, DESIGN.md §13) ---------------------
+
+/// The throttled server every overload point runs against: capacity is set
+/// by the injected per-item delay (2 workers x 1.5 ms), so the sweep's
+/// x-axis is stable across hosts, and the 8-slot queue bounds the latency
+/// an accepted request can absorb before shedding starts.
+typename service::P2Server<MockGroup>::Options overload_server_options() {
+  typename service::P2Server<MockGroup>::Options sopt;
+  sopt.workers = 2;
+  sopt.max_batch = 1;
+  sopt.queue_cap = 8;
+  sopt.inject_crypto_delay = std::chrono::microseconds{1500};
+  return sopt;
+}
+
+/// Closed-loop ceiling of the throttled config: 8 clients, each re-sending
+/// the moment its reply lands. This is the "capacity" the offered-load
+/// multipliers scale from.
+double overload_capacity(Fixture& fx, int requests) {
+  service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2,
+                                      crypto::Rng(fx.seed * 2 + 2),
+                                      overload_server_options());
+  server.start();
+  crypto::Rng rng(8100 + fx.seed);
+  const auto ct = Core::enc_precomp(fx.gg, *fx.pk_tbl, fx.gg.gt_random(rng), rng);
+  const Bytes body = service::encode_request(0, fx.p1->begin_decrypt(ct, rng).round1);
+
+  constexpr int kClients = 8;
+  const int per_client = (requests + kClients - 1) / kClients;
+  std::atomic<int> ok{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  for (int c = 0; c < kClients; ++c)
+    ts.emplace_back([&] {
+      transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+          transport::connect_loopback(server.port()), transport::TransportOptions{}));
+      for (int i = 0; i < per_client; ++i) {
+        auto sess = mux.open();
+        sess->send(transport::FrameType::Data, 1, service::kLabelDecReq, body);
+        if (sess->recv(transport::Millis{10000}).type == transport::FrameType::Data)
+          ok.fetch_add(1);
+      }
+    });
+  for (auto& t : ts) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  server.stop();
+  return ok.load() / secs;
+}
+
+struct OverloadStats {
+  double offered_target = 0;  // the schedule's rate
+  double offered_actual = 0;  // what the senders actually managed
+  double goodput = 0;         // accepted replies / wall second
+  std::uint64_t sent = 0, ok = 0, shed = 0, deadline_exceeded = 0;
+  std::uint64_t other_err = 0, untyped = 0, lost = 0;
+  std::vector<double> ok_ms;    // accepted-request latency, sorted
+  std::vector<double> hint_ms;  // server retry-after hints, sorted
+};
+
+/// One open-loop point: OFFER `offered_rps` requests/sec for `seconds`,
+/// on a fixed absolute schedule, regardless of how the server answers.
+/// 4 sender threads pace the sends; a receiver per sender drains replies so
+/// a slow response never blocks the schedule.
+OverloadStats run_overload_point(Fixture& fx, double offered_rps, double seconds) {
+  service::P2Server<MockGroup> server(fx.gg, fx.prm, fx.kg.sk2,
+                                      crypto::Rng(fx.seed * 2 + 2),
+                                      overload_server_options());
+  server.start();
+  crypto::Rng rng(8200 + fx.seed);
+  const auto ct = Core::enc_precomp(fx.gg, *fx.pk_tbl, fx.gg.gt_random(rng), rng);
+  const Bytes body = service::encode_request(0, fx.p1->begin_decrypt(ct, rng).round1);
+
+  constexpr int kSenders = 4;
+  const auto n_total =
+      std::max<long long>(kSenders, static_cast<long long>(offered_rps * seconds));
+  OverloadStats agg;
+  agg.offered_target = offered_rps;
+  std::mutex agg_mu;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> senders;
+  for (int k = 0; k < kSenders; ++k)
+    senders.emplace_back([&, k] {
+      using Clock = std::chrono::steady_clock;
+      OverloadStats local;
+      transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+          transport::connect_loopback(server.port()), transport::TransportOptions{}));
+
+      std::mutex mu;
+      std::condition_variable cv;
+      std::deque<std::pair<std::unique_ptr<transport::SessionMux::Session>,
+                           Clock::time_point>>
+          inflight;
+      bool done = false;
+      std::thread receiver([&] {
+        for (;;) {
+          std::unique_lock lk(mu);
+          cv.wait(lk, [&] { return done || !inflight.empty(); });
+          if (inflight.empty()) return;  // done and drained
+          auto [sess, sent_at] = std::move(inflight.front());
+          inflight.pop_front();
+          lk.unlock();
+          try {
+            const auto f = sess->recv(transport::Millis{10000});
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  Clock::now() - sent_at)
+                                  .count();
+            if (f.type == transport::FrameType::Data) {
+              ++local.ok;
+              local.ok_ms.push_back(ms);
+            } else {
+              const service::ServiceError e = service::decode_error(f.body);
+              if (e.code() == service::ServiceErrc::Overloaded) {
+                ++local.shed;
+                if (e.retry_after_ms() > 0)
+                  local.hint_ms.push_back(static_cast<double>(e.retry_after_ms()));
+                else
+                  ++local.untyped;
+              } else if (e.code() == service::ServiceErrc::DeadlineExceeded) {
+                ++local.deadline_exceeded;
+              } else {
+                ++local.other_err;
+              }
+            }
+          } catch (const std::exception&) {
+            ++local.lost;
+          }
+        }
+      });
+
+      try {
+        for (long long i = k; i < n_total; i += kSenders) {
+          // Absolute schedule: a request that falls behind is sent
+          // immediately, never skipped -- the offered load is the contract.
+          const auto due =
+              t0 + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(static_cast<double>(i) /
+                                                     offered_rps));
+          std::this_thread::sleep_until(due);
+          auto sess = mux.open();
+          sess->send(transport::FrameType::Data, 1, service::kLabelDecReq, body);
+          ++local.sent;
+          {
+            std::lock_guard lk(mu);
+            inflight.emplace_back(std::move(sess), Clock::now());
+          }
+          cv.notify_one();
+        }
+      } catch (const std::exception&) {
+        // Connection died mid-schedule; the remaining sends are lost offers.
+      }
+      {
+        std::lock_guard lk(mu);
+        done = true;
+      }
+      cv.notify_one();
+      receiver.join();
+
+      std::lock_guard lk(agg_mu);
+      agg.sent += local.sent;
+      agg.ok += local.ok;
+      agg.shed += local.shed;
+      agg.deadline_exceeded += local.deadline_exceeded;
+      agg.other_err += local.other_err;
+      agg.untyped += local.untyped;
+      agg.lost += local.lost;
+      agg.ok_ms.insert(agg.ok_ms.end(), local.ok_ms.begin(), local.ok_ms.end());
+      agg.hint_ms.insert(agg.hint_ms.end(), local.hint_ms.begin(),
+                         local.hint_ms.end());
+    });
+  for (auto& t : senders) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  server.stop();
+
+  agg.offered_actual = static_cast<double>(agg.sent) / secs;
+  agg.goodput = static_cast<double>(agg.ok) / secs;
+  std::sort(agg.ok_ms.begin(), agg.ok_ms.end());
+  std::sort(agg.hint_ms.begin(), agg.hint_ms.end());
+  return agg;
+}
+
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   const auto idx = static_cast<std::size_t>(p * (sorted.size() - 1));
@@ -335,10 +532,75 @@ int main(int argc, char** argv) {
   cfg.lambda = static_cast<std::size_t>(
       int_flag(argc, argv, "--lambda", static_cast<int>(cfg.lambda)));
   cfg.seed = bench::u64_flag(argc, argv, "--seed", cfg.seed);
-  bool faults = false, scrape = false;
+  bool faults = false, scrape = false, overload = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) faults = true;
     if (std::strcmp(argv[i], "--scrape") == 0) scrape = true;
+    if (std::strcmp(argv[i], "--overload") == 0) overload = true;
+  }
+  const double duration = int_flag(argc, argv, "--duration", 2);
+
+  if (overload) {
+    Fixture fx(cfg.lambda, cfg.seed);
+    bench::banner("T3: open-loop overload sweep (offered load vs goodput)",
+                  "typed load shedding + deadline propagation, DESIGN.md §13");
+    const double capacity = overload_capacity(fx, cfg.requests);
+    std::printf(
+        "backend=mock  lambda=%zu  seed=%llu  throttled capacity=%.0f req/s  "
+        "duration/point=%.0fs\n\n",
+        cfg.lambda, static_cast<unsigned long long>(cfg.seed), capacity, duration);
+
+    auto& reg = telemetry::Registry::global();
+    reg.gauge("bench.overload.capacity_rps").set(capacity);
+    bench::Table table({"offered", "sent/s", "goodput/s", "ok", "shed", "lost",
+                        "p50 ms", "p99 ms", "hint p50 ms"});
+    double goodput_2x = 0, p99_2x = 0, p99_half = 0;
+    std::uint64_t untyped_total = 0;
+    for (const double mult : {0.5, 1.0, 2.0}) {
+      const OverloadStats st = run_overload_point(fx, capacity * mult, duration);
+      const double p50 = percentile(st.ok_ms, 0.50);
+      const double p99 = percentile(st.ok_ms, 0.99);
+      const double hint_p50 = percentile(st.hint_ms, 0.50);
+      if (mult == 0.5) p99_half = p99;
+      if (mult == 2.0) {
+        goodput_2x = st.goodput;
+        p99_2x = p99;
+      }
+      untyped_total += st.untyped;
+      char label[16];
+      std::snprintf(label, sizeof label, "%.1fx", mult);
+      const telemetry::Labels tag{{"offered", label}};
+      reg.gauge("bench.overload.offered_rps", tag).set(st.offered_actual);
+      reg.gauge("bench.overload.goodput_rps", tag).set(st.goodput);
+      reg.gauge("bench.overload.ok", tag).set(static_cast<double>(st.ok));
+      reg.gauge("bench.overload.shed", tag).set(static_cast<double>(st.shed));
+      reg.gauge("bench.overload.lost", tag)
+          .set(static_cast<double>(st.lost + st.other_err + st.deadline_exceeded));
+      reg.gauge("bench.overload.p50_ms", tag).set(p50);
+      reg.gauge("bench.overload.p99_ms", tag).set(p99);
+      reg.gauge("bench.overload.hint_p50_ms", tag).set(hint_p50);
+      table.row({label, bench::fmt(st.offered_actual, 0), bench::fmt(st.goodput, 0),
+                 std::to_string(st.ok), std::to_string(st.shed),
+                 std::to_string(st.lost + st.other_err + st.deadline_exceeded),
+                 bench::fmt(p50, 2), bench::fmt(p99, 2), bench::fmt(hint_p50, 1)});
+    }
+    table.print();
+
+    // The acceptance gauges the CI soak and bench_diff watch: goodput at 2x
+    // offered load as a fraction of closed-loop capacity, accepted-request
+    // p99 inflation vs the unloaded (0.5x) run, and the count of rejections
+    // that were NOT typed retryable Overloaded-with-hint (target: zero).
+    const double frac = capacity > 0 ? goodput_2x / capacity : 0;
+    const double ratio = p99_half > 0 ? p99_2x / p99_half : 0;
+    reg.gauge("bench.overload.goodput_frac_2x").set(frac);
+    reg.gauge("bench.overload.p99_ratio_2x").set(ratio);
+    reg.gauge("bench.overload.shed_untyped").set(static_cast<double>(untyped_total));
+    std::printf(
+        "\n2x offered: goodput %.0f%% of capacity (target >= 70%%)   "
+        "p99 %.2fx unloaded (target <= 5x)   untyped sheds %llu (target 0)\n",
+        frac * 100.0, ratio, static_cast<unsigned long long>(untyped_total));
+    bench::export_json_if_requested(argc, argv, "bench_t3_service_throughput --overload");
+    return 0;
   }
 
   if (faults) {

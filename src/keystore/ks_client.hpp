@@ -30,7 +30,9 @@
 // explicitly (refresh-every-K is gone).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,7 +49,9 @@
 #include "keystore/scheduler.hpp"
 #include "keystore/shard_map.hpp"
 #include "schemes/dlr.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/metrics.hpp"
+#include "transport/breaker.hpp"
 #include "transport/mux.hpp"
 #include "transport/retry.hpp"
 
@@ -77,6 +81,14 @@ class KsFleet {
     /// send mutex and pump thread (the single-key client gives every
     /// DecryptionClient its own connection; the pool is the fleet analogue).
     int conns_per_shard = 4;
+    /// Per-SHARD circuit breaker under the retry loop (DESIGN.md §13): a
+    /// shard that keeps failing or shedding gets fast-failed locally until
+    /// its cooldown elapses, instead of burning the attempt budget on it.
+    transport::CircuitBreaker::Options breaker{};
+    /// Per-operation deadline budget (0 = none). Deducted across retries
+    /// and backoff sleeps; the remaining budget rides each ks.dec request
+    /// so the server can drop work the caller already gave up on.
+    transport::Millis deadline{0};
   };
 
   /// `bootstrap_port` serves two roles: where everything routes while the
@@ -109,7 +121,7 @@ class KsFleet {
     ByteWriter w;
     Core::ser_sk2(gg_, w, sk2);
     const Bytes body = encode_ks_put(id, w.take());
-    with_retries(id, [&](transport::SessionMux& m) {
+    with_retries(id, [&](transport::SessionMux& m, std::uint32_t) {
       auto sess = m.open();
       sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
                  kKsPut, body);
@@ -123,7 +135,7 @@ class KsFleet {
   [[nodiscard]] GT decrypt(const KeyId& id, const typename Core::Ciphertext& c) {
     auto st = state(id);
     thread_local crypto::Rng rng = crypto::Rng::from_os_entropy();
-    return with_retries(id, [&](transport::SessionMux& m) {
+    return with_retries(id, [&](transport::SessionMux& m, std::uint32_t remaining_ms) {
       maybe_reconcile(m, id, st);
       Snapshot snap;
       {
@@ -134,7 +146,7 @@ class KsFleet {
       }
       auto sess = m.open();
       sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
-                 kKsDec, encode_ks_request(id, snap.epoch, snap.round1));
+                 kKsDec, encode_ks_request(id, snap.epoch, snap.round1, remaining_ms));
       const KsDecOk ok =
           decode_ks_dec_ok(service::expect_ok(sess->recv(opt_.request_timeout), kKsDecOk));
       st->spent_millibits.store(ok.spent_millibits);
@@ -150,7 +162,7 @@ class KsFleet {
   void refresh_key(const KeyId& id) {
     auto st = state(id);
     const std::uint64_t start = st->epoch.load();
-    with_retries(id, [&](transport::SessionMux& m) {
+    with_retries(id, [&](transport::SessionMux& m, std::uint32_t) {
       maybe_reconcile(m, id, st);
       if (st->epoch.load() > start) return 0;  // reconciliation rolled forward
       std::unique_lock lk(st->mu);
@@ -249,6 +261,11 @@ class KsFleet {
 
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_.load(); }
   [[nodiscard]] std::uint64_t map_refetches() const { return map_refetches_.load(); }
+
+  /// The breaker guarding `shard` (created on first use; tests/benches).
+  [[nodiscard]] transport::CircuitBreaker& shard_breaker(std::uint32_t shard) {
+    return breaker_for(shard);
+  }
 
   void close() {
     stop_scheduler();
@@ -446,21 +463,48 @@ class KsFleet {
   /// back off, on transport failure drop that shard's mux and reconnect.
   template <class Op>
   auto with_retries(const KeyId& id, Op&& op) -> decltype(op(
-      std::declval<transport::SessionMux&>())) {
+      std::declval<transport::SessionMux&>(), std::uint32_t{})) {
     thread_local crypto::Rng backoff_rng = crypto::Rng::from_os_entropy();
     transport::RetryPolicy policy = opt_.retry;
     policy.max_attempts = opt_.max_retries + 1;
     transport::RetrySchedule sched(policy);
+    const auto op_deadline = opt_.deadline.count() > 0
+                                 ? std::chrono::steady_clock::now() + opt_.deadline
+                                 : std::chrono::steady_clock::time_point{};
     for (;;) {
       std::uint32_t shard = 0;
       std::shared_ptr<transport::SessionMux> m;
+      transport::CircuitBreaker* br = nullptr;
+      bool admitted = false;  // breaker outcome owed only for admitted attempts
       try {
+        check_budget(op_deadline);
         const std::uint16_t port = port_for(id, &shard);
+        br = &breaker_for(shard);
+        const auto adm = br->try_acquire();
+        if (!adm.admitted) {
+          telemetry::Registry::global().counter("ks.client.breaker.fastfail").add();
+          throw ServiceError(
+              ServiceErrc::Overloaded, 0,
+              "circuit breaker open for shard " + std::to_string(shard),
+              static_cast<std::uint32_t>(adm.retry_after.count()));
+        }
+        admitted = true;
         m = mux_for(shard, port);
-        return op(*m);
+        auto result = op(*m, remaining_ms(op_deadline));
+        breaker_success(shard, *br);
+        return result;
       } catch (const ServiceError& e) {
+        // Overloaded proves the shard is shedding; every other typed error
+        // proves it answered -- only the former counts against the breaker.
+        if (admitted && br) {
+          if (e.code() == ServiceErrc::Overloaded)
+            breaker_failure(shard, *br);
+          else
+            breaker_success(shard, *br);
+        }
         if (!e.retryable()) throw;
-        const auto delay = sched.next(backoff_rng.u64());
+        const auto delay =
+            sched.next(backoff_rng.u64(), transport::Millis{e.retry_after_ms()});
         if (!delay) throw;
         telemetry::Registry::global().counter("ks.client.retries").add();
         if (e.code() == ServiceErrc::WrongShard && m) {
@@ -473,14 +517,72 @@ class KsFleet {
             // Fall through to the backoff path.
           }
         }
-        std::this_thread::sleep_for(*delay);
+        std::this_thread::sleep_for(clamp_to_budget(*delay, op_deadline));
       } catch (const transport::TransportError&) {
+        if (admitted && br) breaker_failure(shard, *br);
         const auto delay = sched.next(backoff_rng.u64());
         if (!delay) throw;
         telemetry::Registry::global().counter("ks.client.retries").add();
         if (m) drop_mux(shard, m);
-        std::this_thread::sleep_for(*delay);
+        std::this_thread::sleep_for(clamp_to_budget(*delay, op_deadline));
       }
+    }
+  }
+
+  // ---- deadline budget + per-shard breaker plumbing (DESIGN.md §13) ----
+
+  /// Throws the non-retryable typed error once the op's budget is spent; the
+  /// sleep clamp below guarantees the loop re-checks right after a backoff.
+  static void check_budget(std::chrono::steady_clock::time_point op_deadline) {
+    if (op_deadline == std::chrono::steady_clock::time_point{}) return;
+    if (std::chrono::steady_clock::now() >= op_deadline)
+      throw ServiceError(ServiceErrc::DeadlineExceeded, 0, "deadline budget spent");
+  }
+
+  /// Remaining budget to ride the wire (0 = no deadline; floor 1 ms so a
+  /// nearly-spent budget still encodes as "has a deadline").
+  [[nodiscard]] static std::uint32_t remaining_ms(
+      std::chrono::steady_clock::time_point op_deadline) {
+    if (op_deadline == std::chrono::steady_clock::time_point{}) return 0;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        op_deadline - std::chrono::steady_clock::now());
+    return static_cast<std::uint32_t>(std::max<long long>(1, left.count()));
+  }
+
+  [[nodiscard]] static transport::Millis clamp_to_budget(
+      transport::Millis d, std::chrono::steady_clock::time_point op_deadline) {
+    if (op_deadline == std::chrono::steady_clock::time_point{}) return d;
+    return std::min(d, transport::Millis{remaining_ms(op_deadline)});
+  }
+
+  [[nodiscard]] transport::CircuitBreaker& breaker_for(std::uint32_t shard) {
+    std::lock_guard lk(breakers_mu_);
+    auto it = breakers_.find(shard);
+    if (it == breakers_.end())
+      it = breakers_
+               .emplace(shard,
+                        std::make_unique<transport::CircuitBreaker>(opt_.breaker))
+               .first;
+    return *it->second;
+  }
+
+  void breaker_success(std::uint32_t shard, transport::CircuitBreaker& br) {
+    const auto closes_before = br.closes();
+    br.on_success();
+    if (br.closes() != closes_before) {
+      telemetry::Registry::global().counter("ks.client.breaker.close").add();
+      telemetry::event(telemetry::EventKind::BreakerClose,
+                       "shard=" + std::to_string(shard));
+    }
+  }
+
+  void breaker_failure(std::uint32_t shard, transport::CircuitBreaker& br) {
+    const auto opens_before = br.opens();
+    br.on_failure();
+    if (br.opens() != opens_before) {
+      telemetry::Registry::global().counter("ks.client.breaker.open").add();
+      telemetry::event(telemetry::EventKind::BreakerOpen,
+                       "shard=" + std::to_string(shard) + " state=open");
     }
   }
 
@@ -507,6 +609,12 @@ class KsFleet {
   std::shared_mutex mux_mu_;
   std::map<std::uint32_t, ShardConns> muxes_;
   bool closed_ = false;  // guarded by mux_mu_
+
+  /// Per-shard breakers, created on first route (unique_ptr: the breaker's
+  /// mutex pins its address while callers hold references across the map's
+  /// rebalancing inserts).
+  std::mutex breakers_mu_;
+  std::map<std::uint32_t, std::unique_ptr<transport::CircuitBreaker>> breakers_;
 
   std::unique_ptr<RefreshScheduler> scheduler_;
   std::atomic<std::uint64_t> reconnects_{0};

@@ -7,7 +7,7 @@
 // Every ks.* request starts with the key address, then mirrors its svc.*
 // counterpart:
 //
-//   ks.dec         body = str tenant | str key | u64 epoch | blob dec.r1
+//   ks.dec         body = str tenant | str key | u64 epoch | blob dec.r1 [| u32 deadline_ms]
 //     -> ks.dec.ok body = blob dec.r2 | u64 spent_millibits | u64 budget_millibits
 //   ks.ref         body = str tenant | str key | u64 epoch | blob ref.r1
 //     -> ks.ref.ok body = blob ref.r2
@@ -54,15 +54,21 @@ struct KsRequest {
   KeyId id;
   std::uint64_t epoch = 0;
   Bytes payload;  // dec.r1 / ref.r1 / commit digest
+  /// Remaining client deadline budget at send time; 0 = none. Trailing and
+  /// optional exactly like the svc.* request field -- senders stamp it only
+  /// after a >= kWireDeadlineVersion hello.
+  std::uint32_t deadline_ms = 0;
 };
 
 [[nodiscard]] inline Bytes encode_ks_request(const KeyId& id, std::uint64_t epoch,
-                                             const Bytes& payload) {
+                                             const Bytes& payload,
+                                             std::uint32_t deadline_ms = 0) {
   ByteWriter w;
   w.str(id.tenant);
   w.str(id.key);
   w.u64(epoch);
   w.blob(payload);
+  if (deadline_ms != 0) w.u32(deadline_ms);
   return w.take();
 }
 
@@ -73,6 +79,7 @@ struct KsRequest {
   req.id.key = r.str();
   req.epoch = r.u64();
   req.payload = r.blob();
+  if (!r.done()) req.deadline_ms = r.u32();
   if (!r.done()) throw std::invalid_argument("ks request: trailing bytes");
   return req;
 }

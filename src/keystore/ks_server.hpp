@@ -51,9 +51,11 @@
 #include "keystore/shard_map.hpp"
 #include "service/admin.hpp"
 #include "service/batcher.hpp"
+#include "service/overload.hpp"
 #include "service/parallel.hpp"
 #include "service/protocol.hpp"
 #include "service/worker_pool.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/trace.hpp"
 #include "transport/endpoint.hpp"
 
@@ -94,13 +96,30 @@ class KsServer {
     /// Derive a DLR_PARALLEL default from hardware_concurrency minus this
     /// server's own threads when the env var is absent.
     bool adaptive_parallel = true;
+    /// Queue-depth fraction past which the server is "degraded" and sheds
+    /// background refresh PREPAREs (DESIGN.md §13).
+    double overload_high_water = 0.75;
+    /// Ceiling on the server-computed retry-after hint.
+    std::uint32_t retry_after_cap_ms = 2000;
+    /// Leakage-floor exception to refresh shedding: a key whose spent
+    /// fraction is at/above this floor gets its refresh served even while
+    /// degraded -- availability degrades before leakage tolerance does.
+    double refresh_shed_floor = 0.8;
+    /// Artificial per-batch crypto-stage delay (tests and the --overload
+    /// bench): presents a controllable capacity so saturation is
+    /// deterministic instead of a race against real crypto speed.
+    std::chrono::microseconds inject_crypto_delay{0};
   };
 
   KsServer(GG gg, schemes::DlrParams prm, crypto::Rng rng, Options opt)
       : opt_(std::move(opt)),
         store_(std::move(gg), prm, std::move(rng), opt_.store),
         batcher_(typename service::BatchCollector<KsDecJob>::Options{
-            effective_batch_cap(opt_), opt_.batch_wait, opt_.queue_cap}) {}
+            effective_batch_cap(opt_), opt_.batch_wait, opt_.queue_cap}),
+        gov_(service::OverloadGovernor::Options{.workers = opt_.workers,
+                                                .queue_cap = opt_.queue_cap,
+                                                .high_water = opt_.overload_high_water,
+                                                .hint_cap_ms = opt_.retry_after_cap_ms}) {}
 
   ~KsServer() { stop(); }
   KsServer(const KsServer&) = delete;
@@ -137,6 +156,8 @@ class KsServer {
   [[nodiscard]] service::AdminServer* admin() { return admin_.get(); }
   [[nodiscard]] Store& store() { return store_; }
   [[nodiscard]] std::uint32_t shard_id() const { return opt_.shard_id; }
+  /// Overload governor (shed counters, EWMA crypto cost) — read-only.
+  [[nodiscard]] const service::OverloadGovernor& gov() const { return gov_; }
 
   void set_shard_map(ShardMap map) {
     std::lock_guard lk(map_mu_);
@@ -206,6 +227,8 @@ class KsServer {
     Bytes payload;
     bool compat = false;  // arrived on the svc.dec route -> svc.dec.ok reply
     std::chrono::steady_clock::time_point enq;
+    /// Absolute expiry from the request's deadline budget; epoch value = none.
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   [[nodiscard]] static std::size_t effective_batch_cap(const Options& o) {
@@ -232,6 +255,14 @@ class KsServer {
         {"draining", draining_stop_.load() ? "true" : "false"},
         {"pipeline", opt_.pipeline ? "true" : "false"},
         {"batch_queue", std::to_string(batcher_.queued())},
+        {"queue_cap", std::to_string(opt_.queue_cap)},
+        {"degraded",
+         gov_.degraded(batcher_.queued() + (pool_ ? pool_->queued() : 0)) ? "true"
+                                                                          : "false"},
+        {"shed_overload", std::to_string(gov_.shed_overload())},
+        {"shed_deadline", std::to_string(gov_.shed_deadline())},
+        {"shed_refresh", std::to_string(gov_.shed_refresh())},
+        {"crypto_cost_us_ewma", std::to_string(gov_.cost_us())},
     };
   }
 
@@ -276,10 +307,30 @@ class KsServer {
         if (!enqueue_dec(conn, std::move(f))) break;
         continue;
       }
-      if (!pool_->submit([this, conn, f = std::move(f)]() mutable {
-            handle(*conn, std::move(f));
-          }))
-        break;
+      // Stash the header before the body moves into the job: a Full verdict
+      // must still answer on the request's session with its trace intact.
+      transport::Frame hdr{f.session, f.type,
+                           static_cast<std::uint8_t>(net::DeviceId::P2), f.label, {}};
+      hdr.trace_id = f.trace_id;
+      hdr.parent_span = f.parent_span;
+      const auto sub = pool_->try_submit([this, conn, f = std::move(f)]() mutable {
+        handle(*conn, std::move(f));
+      });
+      if (sub == service::WorkerPool::Submit::Stopped) break;
+      if (sub == service::WorkerPool::Submit::Full) {
+        // Reader never blocks on a saturated pool (DESIGN.md §13): shed with
+        // a retryable Overloaded + drain-time hint instead of stalling every
+        // request behind this one on the connection.
+        const std::size_t depth = pool_->queued() + batcher_.queued();
+        gov_.count_shed_overload();
+        shed_event("cause=pool-full label=" + hdr.label, gov_.shed_overload());
+        try {
+          send_err(*conn, hdr, ServiceErrc::Overloaded, 0, "worker queue full",
+                   gov_.retry_after_ms(depth));
+        } catch (const transport::TransportError&) {
+          break;
+        }
+      }
     }
     std::lock_guard lock(conns_mu_);
     for (auto& c : conns_)
@@ -326,30 +377,50 @@ class KsServer {
         return true;
       }
       KsDecJob job;
+      std::uint32_t deadline_ms = 0;
       job.compat = (f.label == service::kLabelDecReq);
       if (job.compat) {
         service::Request req = decode_svc(f);
         job.id = default_key_id();
         job.epoch = req.epoch;
         job.payload = std::move(req.round1);
+        deadline_ms = req.deadline_ms;
       } else {
         KsRequest req = decode_ks(f);
         check_owned(req.id);
         job.id = std::move(req.id);
         job.epoch = req.epoch;
         job.payload = std::move(req.payload);
+        deadline_ms = req.deadline_ms;
       }
       job.conn = conn;
       job.session = f.session;
       job.trace_id = f.trace_id;
       job.parent_span = f.parent_span;
       job.enq = std::chrono::steady_clock::now();
-      if (!batcher_.submit(std::move(job))) {
-        try {
-          send_err(*conn, f, ServiceErrc::Shutdown, 0, "server shutting down");
-        } catch (...) {
+      if (deadline_ms != 0)
+        job.deadline = job.enq + std::chrono::milliseconds(deadline_ms);
+      switch (batcher_.try_submit(job)) {
+        case service::BatchCollector<KsDecJob>::Submit::Ok:
+          return true;
+        case service::BatchCollector<KsDecJob>::Submit::Stopped:
+          try {
+            send_err(*conn, f, ServiceErrc::Shutdown, 0, "server shutting down");
+          } catch (...) {
+          }
+          return false;
+        case service::BatchCollector<KsDecJob>::Submit::Full: {
+          // Reader never blocks on a saturated batch queue (DESIGN.md §13):
+          // shed BEFORE any crypto was spent, with the estimated backlog
+          // drain time as the retry floor.
+          const std::size_t depth = batcher_.queued();
+          gov_.count_shed_overload();
+          shed_event("cause=batch-full depth=" + std::to_string(depth),
+                     gov_.shed_overload());
+          send_err(*conn, f, ServiceErrc::Overloaded, 0, "decrypt queue full",
+                   gov_.retry_after_ms(depth));
+          return true;
         }
-        return false;
       }
       return true;
     } catch (const ServiceError& e) {
@@ -399,8 +470,20 @@ class KsServer {
     std::vector<Out> outs(batch.size());
 
     // Group batch indices by key, preserving arrival order within a group.
+    // A job whose deadline budget expired while queued is dropped HERE,
+    // before any pairing/exponentiation is spent on an answer the client
+    // already gave up on (DESIGN.md §13).
+    std::size_t ran = 0;
     std::vector<std::pair<const KeyId*, std::vector<std::size_t>>> groups;
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].deadline != std::chrono::steady_clock::time_point{} &&
+          now >= batch[i].deadline) {
+        gov_.count_shed_deadline();
+        outs[i].errc = ServiceErrc::DeadlineExceeded;
+        outs[i].err = "deadline expired in queue";
+        continue;
+      }
+      ++ran;
       auto it = std::find_if(groups.begin(), groups.end(),
                              [&](const auto& g) { return *g.first == batch[i].id; });
       if (it == groups.end()) {
@@ -412,6 +495,7 @@ class KsServer {
 
     // The batch already spreads over the crypto workers; with more than one
     // request in hand, per-request fan-out would just oversubscribe.
+    const auto crypto_t0 = std::chrono::steady_clock::now();
     service::FanoutSuppressGuard fanout_guard(batch.size() > 1);
     for (auto& [id, idxs] : groups) {
       try {
@@ -457,12 +541,30 @@ class KsServer {
         }
       }
     }
+    if (ran > 0 && opt_.inject_crypto_delay.count() > 0)
+      std::this_thread::sleep_for(opt_.inject_crypto_delay);
+    if (ran > 0)
+      gov_.record_batch(ran, std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - crypto_t0)
+                                 .count());
 
     // Demultiplex: one frame list per connection, sent with one syscall.
+    const auto encode_now = std::chrono::steady_clock::now();
     std::vector<std::pair<transport::Conn*, std::vector<transport::Frame>>> by_conn;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const auto& j = batch[i];
       auto& o = outs[i];
+      // Second deadline check: the crypto is sunk cost, but a reply the
+      // client has stopped waiting for still costs encode + send + client
+      // demux confusion -- convert it to the typed error instead.
+      if (o.label != nullptr && j.deadline != std::chrono::steady_clock::time_point{} &&
+          encode_now >= j.deadline) {
+        gov_.count_shed_deadline();
+        o.label = nullptr;
+        o.errc = ServiceErrc::DeadlineExceeded;
+        o.err_epoch = 0;
+        o.err = "deadline expired before encode";
+      }
       transport::Frame out;
       if (o.label != nullptr) {
         out = transport::Frame{j.session, transport::FrameType::Data,
@@ -572,6 +674,7 @@ class KsServer {
                                telemetry::TraceContext{f.trace_id, f.parent_span});
     KsRequest req = decode_ks(f);
     check_owned(req.id);
+    if (maybe_shed_refresh(conn, f, req.id)) return;
     reply_data(conn, f, kKsRefOk, store_.ref_prepare(req.id, req.epoch, req.payload));
   }
 
@@ -594,7 +697,7 @@ class KsServer {
     }
     check_owned(kh.id);
     service::HelloOk ok = store_.hello(kh.id, kh.hello);
-    ok.version = std::min<std::uint8_t>(kh.hello.version, service::kWireTraceVersion);
+    ok.version = std::min<std::uint8_t>(kh.hello.version, service::kWireDeadlineVersion);
     reply_data(conn, f, kKsHelloOk, service::encode_hello_ok(ok));
   }
 
@@ -631,6 +734,7 @@ class KsServer {
     telemetry::ScopedSpan span("svc.refresh",
                                telemetry::TraceContext{f.trace_id, f.parent_span});
     service::Request req = decode_svc(f);
+    if (maybe_shed_refresh(conn, f, default_key_id())) return;
     reply_data(conn, f, service::kLabelRefOk,
                store_.ref_prepare(default_key_id(), req.epoch, req.round1));
   }
@@ -657,7 +761,7 @@ class KsServer {
       return;
     }
     service::HelloOk ok = store_.hello(default_key_id(), h);
-    ok.version = std::min<std::uint8_t>(h.version, service::kWireTraceVersion);
+    ok.version = std::min<std::uint8_t>(h.version, service::kWireDeadlineVersion);
     reply_data(conn, f, service::kLabelHelloOk, service::encode_hello_ok(ok));
   }
 
@@ -697,18 +801,57 @@ class KsServer {
   }
 
   void send_err(transport::Conn& conn, const transport::Frame& req, ServiceErrc code,
-                std::uint64_t server_epoch, const std::string& msg) {
+                std::uint64_t server_epoch, const std::string& msg,
+                std::uint32_t retry_after_ms = 0) {
     transport::Frame out{req.session, transport::FrameType::Error,
                          static_cast<std::uint8_t>(net::DeviceId::P2),
                          service::kLabelErr,
-                         service::encode_error(code, server_epoch, msg)};
+                         service::encode_error(code, server_epoch, msg, retry_after_ms)};
     stamp_reply(out, req);
     conn.send(out);
+  }
+
+  /// Rate-limited Shed event (every 256th): sustained overload must not
+  /// evict the rare events (breaker transitions, epoch changes) from the
+  /// bounded ring a post-mortem actually needs.
+  static void shed_event(const std::string& detail, std::uint64_t nth) {
+    if (nth % 256 == 1)
+      telemetry::event(telemetry::EventKind::Shed, detail + " n=" + std::to_string(nth));
+  }
+
+  /// Graceful degradation (DESIGN.md §13): past the high-water mark,
+  /// background refresh PREPAREs yield their worker time to decrypts --
+  /// EXCEPT for a key whose leakage budget is nearly spent
+  /// (spent_frac >= refresh_shed_floor): its refresh is the one background
+  /// job that must not wait, because shedding it converts an availability
+  /// problem into a leakage-tolerance problem. Commits are never shed: they
+  /// finish an already-paid-for 2PC and release the drain barrier.
+  /// Returns true when the prepare was shed (error already sent).
+  bool maybe_shed_refresh(transport::Conn& conn, const transport::Frame& f,
+                          const KeyId& id) {
+    const std::size_t depth = batcher_.queued() + (pool_ ? pool_->queued() : 0);
+    if (!gov_.degraded(depth)) return false;
+    double frac = 0.0;
+    try {
+      frac = store_.spent_frac(id);
+    } catch (const std::exception&) {
+      // Unknown key: let the prepare proceed and fail with the typed error.
+      return false;
+    }
+    if (frac >= opt_.refresh_shed_floor) return false;  // leakage floor: serve it
+    gov_.count_shed_refresh();
+    shed_event("cause=degraded label=" + f.label + " key=" + id.display() +
+                   " depth=" + std::to_string(depth),
+               gov_.shed_refresh());
+    send_err(conn, f, ServiceErrc::Overloaded, 0, "degraded: refresh deprioritized",
+             gov_.retry_after_ms(depth));
+    return true;
   }
 
   Options opt_;
   Store store_;
   service::BatchCollector<KsDecJob> batcher_;
+  service::OverloadGovernor gov_;
   std::vector<std::thread> crypto_threads_;
   mutable std::mutex map_mu_;
   ShardMap map_;

@@ -56,8 +56,18 @@ std::string AdminServer::health_json() const {
                 std::chrono::steady_clock::now() - started_at_)
                 .count()
           : 0;
+  // Built-in load section (DESIGN.md §13), read from Registry atomics only --
+  // the scrape must stay non-blocking even while the data plane is saturated,
+  // which is exactly when an operator asks for it.
+  auto& reg = telemetry::Registry::global();
   std::string out = "{\"uptime_ms\":" + std::to_string(uptime_ms) + ",\"telemetry\":\"" +
-                    (DLR_TELEMETRY_ENABLED ? "on" : "off") + "\",\"sections\":{";
+                    (DLR_TELEMETRY_ENABLED ? "on" : "off") + "\",\"load\":{" +
+                    "\"queue_depth\":" +
+                    std::to_string(static_cast<std::int64_t>(reg.gauge("svc.queue_depth").value())) +
+                    ",\"shed_overload\":" + std::to_string(reg.counter("svc.shed.overload").value()) +
+                    ",\"shed_deadline\":" + std::to_string(reg.counter("svc.shed.deadline").value()) +
+                    ",\"shed_refresh\":" + std::to_string(reg.counter("svc.shed.refresh").value()) +
+                    "},\"sections\":{";
   std::vector<std::pair<std::string, HealthProvider>> providers;
   {
     std::lock_guard lock(health_mu_);

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -38,6 +39,8 @@ class BatchCollector {
     if (opt_.queue_cap < opt_.cap) opt_.queue_cap = opt_.cap;
   }
 
+  enum class Submit : std::uint8_t { Ok = 0, Full = 1, Stopped = 2 };
+
   /// Enqueue one item; blocks while the queue is full. Returns false (and
   /// drops the item) once stop() has been called.
   bool submit(Item item) {
@@ -48,6 +51,20 @@ class BatchCollector {
     lk.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking enqueue for load-shedding producers (DESIGN.md §13): a
+  /// full queue returns Full immediately -- the item is NOT queued and the
+  /// caller answers Overloaded -- instead of parking the reader thread and
+  /// stalling every request behind it on the same connection.
+  [[nodiscard]] Submit try_submit(Item& item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_) return Submit::Stopped;
+    if (q_.size() >= opt_.queue_cap) return Submit::Full;
+    q_.push_back({std::move(item), Clock::now()});
+    lk.unlock();
+    not_empty_.notify_one();
+    return Submit::Ok;
   }
 
   /// Block until a batch is ready and return it. An empty vector means the

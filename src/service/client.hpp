@@ -51,6 +51,7 @@
 #include "service/protocol.hpp"
 #include "telemetry/events.hpp"
 #include "telemetry/trace.hpp"
+#include "transport/breaker.hpp"
 #include "transport/mux.hpp"
 #include "transport/retry.hpp"
 
@@ -310,6 +311,16 @@ class DecryptionClient {
     /// Wraps the connection (fault injection in tests/benches).
     std::function<std::shared_ptr<transport::Conn>(std::shared_ptr<transport::FramedConn>)>
         conn_wrapper;
+    /// Per-endpoint circuit breaker (DESIGN.md §13), layered under the retry
+    /// schedule. Only endpoint-health failures count against it: transport
+    /// errors and Overloaded sheds. Epoch-coordination errors (StaleEpoch,
+    /// Draining, ...) prove the server is alive and report as success.
+    transport::CircuitBreaker::Options breaker{};
+    /// Wall-clock budget for one decrypt()/refresh() operation, deducted
+    /// across retry attempts; the remaining budget rides each request as its
+    /// wire deadline when the server negotiated kWireDeadlineVersion.
+    /// 0 = unbounded (requests carry no deadline).
+    transport::Millis deadline{0};
   };
 
   /// Connects and runs the hello reconciliation; a journaled pending refresh
@@ -318,7 +329,7 @@ class DecryptionClient {
   /// refresh() reconnect (and reconcile) lazily under their retry schedules.
   /// Protocol-level hello failures (e.g. a detected epoch fork) still throw.
   DecryptionClient(std::shared_ptr<P1Runtime<GG>> p1, std::uint16_t port, Options opt = {})
-      : p1_(std::move(p1)), opt_(std::move(opt)), port_(port) {
+      : p1_(std::move(p1)), opt_(std::move(opt)), port_(port), breaker_(opt_.breaker) {
     try {
       reconnect(nullptr);
     } catch (const transport::TransportError&) {
@@ -331,6 +342,9 @@ class DecryptionClient {
   /// Wire-trace version negotiated with the peer in the last hello: 0 means
   /// a legacy (pre-trace) server, so request frames carry no trace envelope.
   [[nodiscard]] std::uint8_t wire_version() const { return wire_version_.load(); }
+
+  /// Endpoint circuit breaker state (tests/benches).
+  [[nodiscard]] const transport::CircuitBreaker& breaker() const { return breaker_; }
 
   /// One DistDec round trip; throws ServiceError (retryable() for
   /// StaleEpoch/Draining/DrainTimeout/Shutdown) and TransportError.
@@ -345,6 +359,10 @@ class DecryptionClient {
 
   /// DistDec with the auto-refresh policy, retry of retryable errors, and
   /// transparent reconnect (with hello reconciliation) on transport failure.
+  /// Every attempt passes the circuit breaker first (an open circuit
+  /// fail-fasts as a retryable Overloaded carrying the remaining cooldown),
+  /// retry delays honor server retry-after hints, and Options::deadline is
+  /// one budget deducted across all attempts.
   [[nodiscard]] GT decrypt(const typename Core::Ciphertext& c) {
     maybe_auto_refresh();
     // The root span covers the whole operation; every network attempt opens a
@@ -353,16 +371,25 @@ class DecryptionClient {
     telemetry::ScopedSpan root("svc.client.dec");
     thread_local crypto::Rng rng = crypto::Rng::from_os_entropy();
     transport::RetrySchedule sched(retry_policy());
+    const auto op_deadline = op_deadline_from_now();
     for (;;) {
       const std::uint64_t seen = p1_->epoch();
       std::shared_ptr<transport::SessionMux> m;
+      bool admitted = false;
       try {
+        check_budget(op_deadline, "decrypt");
+        acquire_breaker();
+        admitted = true;
         m = mux();
         if (!m) m = reconnect(nullptr);
-        return decrypt_once_on(*m, c, rng);
+        const GT out = decrypt_once_on(*m, c, rng, remaining_ms(op_deadline));
+        breaker_success();
+        return out;
       } catch (const ServiceError& e) {
+        if (admitted) breaker_observe(e);
         if (!e.retryable()) throw;
-        const auto delay = sched.next(rng.u64());
+        const auto delay =
+            sched.next(rng.u64(), transport::Millis{e.retry_after_ms()});
         if (!delay) throw;
         telemetry::Registry::global().counter("svc.client.retries").add();
         telemetry::event(telemetry::EventKind::Retry,
@@ -376,13 +403,16 @@ class DecryptionClient {
           } catch (const ServiceError&) {
           }
         }
-        p1_->wait_epoch_change(seen, std::max(*delay, transport::Millis{50}));
+        p1_->wait_epoch_change(seen,
+                               clamp_to_budget(std::max(*delay, transport::Millis{50}),
+                                               op_deadline));
       } catch (const transport::TransportError&) {
+        if (admitted) breaker_failure();
         const auto delay = sched.next(rng.u64());
         if (!delay) throw;
         telemetry::Registry::global().counter("svc.client.retries").add();
         telemetry::event(telemetry::EventKind::Retry, "op=dec cause=transport");
-        std::this_thread::sleep_for(*delay);
+        std::this_thread::sleep_for(clamp_to_budget(*delay, op_deadline));
         try {
           reconnect(m);
         } catch (const transport::TransportError&) {
@@ -404,11 +434,17 @@ class DecryptionClient {
     const std::uint64_t start = p1_->epoch();
     for (;;) {
       std::shared_ptr<transport::SessionMux> m;
+      bool admitted = false;
       try {
+        acquire_breaker();
+        admitted = true;
         m = mux();
         if (!m) m = reconnect(nullptr);
         if (p1_->pending_info().active) hello(*m);  // resolve leftovers first
-        if (p1_->epoch() > start) return;  // reconciliation rolled us forward
+        if (p1_->epoch() > start) {  // reconciliation rolled us forward
+          breaker_success();
+          return;
+        }
         p1_->refresh(
             [&](std::uint64_t e, const Bytes& r1) {
               auto sess = m->open();
@@ -425,16 +461,20 @@ class DecryptionClient {
               return decode_commit_ok(
                   expect_ok(sess->recv(opt_.request_timeout), kLabelRefCommitOk));
             });
+        breaker_success();
         return;
       } catch (const ServiceError& e) {
+        if (admitted) breaker_observe(e);
         if (!e.retryable()) throw;
-        const auto delay = sched.next(rng.u64());
+        const auto delay =
+            sched.next(rng.u64(), transport::Millis{e.retry_after_ms()});
         if (!delay) throw;
         telemetry::Registry::global().counter("svc.client.retries").add();
         telemetry::event(telemetry::EventKind::Retry,
                          std::string("op=refresh cause=") + service_errc_name(e.code()));
         std::this_thread::sleep_for(*delay);
       } catch (const transport::TransportError&) {
+        if (admitted) breaker_failure();
         const auto delay = sched.next(rng.u64());
         if (!delay) throw;
         std::this_thread::sleep_for(*delay);
@@ -512,7 +552,7 @@ class DecryptionClient {
     h.has_pending = info.active;
     h.pending_epoch = info.epoch;
     h.pending_digest = info.digest;
-    h.version = legacy_peer_.load() ? 0 : kWireTraceVersion;
+    h.version = legacy_peer_.load() ? 0 : kWireDeadlineVersion;
     HelloOk ok;
     try {
       ok = hello_once(m, h);
@@ -541,14 +581,99 @@ class DecryptionClient {
   }
 
   [[nodiscard]] GT decrypt_once_on(transport::SessionMux& m,
-                                   const typename Core::Ciphertext& c, crypto::Rng& rng) {
+                                   const typename Core::Ciphertext& c, crypto::Rng& rng,
+                                   std::uint32_t deadline_ms = 0) {
     telemetry::ScopedSpan span("svc.client.attempt");
     const auto snap = p1_->begin_decrypt(c, rng);
     auto sess = m.open();
+    // The remaining budget rides the request only when the peer negotiated
+    // the deadline wire version (a pre-deadline server rejects trailing
+    // request bytes as BadRequest).
+    const std::uint32_t wire_deadline =
+        wire_version_.load() >= kWireDeadlineVersion ? deadline_ms : 0;
     sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P1),
-               kLabelDecReq, encode_request(snap.epoch, snap.round1), send_ctx());
-    const Bytes r2 = expect_ok(sess->recv(opt_.request_timeout), kLabelDecOk);
+               kLabelDecReq, encode_request(snap.epoch, snap.round1, wire_deadline),
+               send_ctx());
+    auto timeout = opt_.request_timeout;
+    if (deadline_ms != 0)
+      timeout = std::min(timeout, transport::Millis{deadline_ms});
+    const Bytes r2 = expect_ok(sess->recv(timeout), kLabelDecOk);
     return p1_->finish_decrypt(snap, r2);
+  }
+
+  // ---- deadline budget helpers (Options::deadline) ---------------------------
+
+  [[nodiscard]] std::chrono::steady_clock::time_point op_deadline_from_now() const {
+    if (opt_.deadline.count() <= 0) return {};
+    return std::chrono::steady_clock::now() + opt_.deadline;
+  }
+
+  /// Throws a non-retryable DeadlineExceeded once the operation budget is
+  /// spent -- attempts and backoff sleeps all draw from the same clock.
+  void check_budget(std::chrono::steady_clock::time_point op_deadline, const char* op) const {
+    if (op_deadline == std::chrono::steady_clock::time_point{}) return;
+    if (std::chrono::steady_clock::now() >= op_deadline)
+      throw ServiceError(ServiceErrc::DeadlineExceeded, p1_->epoch(),
+                         std::string(op) + ": deadline budget spent");
+  }
+
+  [[nodiscard]] std::uint32_t remaining_ms(
+      std::chrono::steady_clock::time_point op_deadline) const {
+    if (op_deadline == std::chrono::steady_clock::time_point{}) return 0;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        op_deadline - std::chrono::steady_clock::now());
+    return left.count() <= 0 ? 1 : static_cast<std::uint32_t>(left.count());
+  }
+
+  /// Never sleep past the operation budget; the next loop iteration turns an
+  /// exhausted budget into DeadlineExceeded.
+  [[nodiscard]] transport::Millis clamp_to_budget(
+      transport::Millis delay, std::chrono::steady_clock::time_point op_deadline) const {
+    if (op_deadline == std::chrono::steady_clock::time_point{}) return delay;
+    return std::min(delay, transport::Millis{remaining_ms(op_deadline)});
+  }
+
+  // ---- circuit breaker (Options::breaker) ------------------------------------
+
+  /// Fail fast while the circuit is open: a retryable Overloaded whose hint
+  /// is the remaining cooldown, so the retry schedule sleeps past it instead
+  /// of burning attempts against a known-bad endpoint.
+  void acquire_breaker() {
+    const auto adm = breaker_.try_acquire();
+    if (adm.admitted) return;
+    telemetry::Registry::global().counter("svc.client.breaker.fastfail").add();
+    throw ServiceError(ServiceErrc::Overloaded, p1_->epoch(), "circuit breaker open",
+                       static_cast<std::uint32_t>(adm.retry_after.count()));
+  }
+
+  void breaker_success() {
+    const auto closes0 = breaker_.closes();
+    breaker_.on_success();
+    if (breaker_.closes() != closes0) {
+      telemetry::Registry::global().counter("svc.client.breaker.close").add();
+      telemetry::event(telemetry::EventKind::BreakerClose,
+                       "port=" + std::to_string(port_));
+    }
+  }
+
+  void breaker_failure() {
+    const auto opens0 = breaker_.opens();
+    breaker_.on_failure();
+    if (breaker_.opens() != opens0) {
+      telemetry::Registry::global().counter("svc.client.breaker.open").add();
+      telemetry::event(telemetry::EventKind::BreakerOpen,
+                       "port=" + std::to_string(port_) + " n=" +
+                           std::to_string(breaker_.opens()));
+    }
+  }
+
+  /// Typed errors and the breaker: only Overloaded indicates endpoint
+  /// distress; any other ServiceError proves the server is up and answering.
+  void breaker_observe(const ServiceError& e) {
+    if (e.code() == ServiceErrc::Overloaded)
+      breaker_failure();
+    else
+      breaker_success();
   }
 
   void maybe_auto_refresh() {
@@ -571,6 +696,7 @@ class DecryptionClient {
   std::shared_ptr<P1Runtime<GG>> p1_;
   Options opt_;
   std::uint16_t port_;
+  transport::CircuitBreaker breaker_;
   std::mutex conn_mu_;  // guards mux_ swap; serializes reconnects
   std::shared_ptr<transport::SessionMux> mux_;
   bool connected_once_ = false;  // guarded by conn_mu_

@@ -73,6 +73,7 @@
 #include "service/batcher.hpp"
 #include "service/epoch.hpp"
 #include "service/journal.hpp"
+#include "service/overload.hpp"
 #include "service/parallel.hpp"
 #include "service/protocol.hpp"
 #include "service/worker_pool.hpp"
@@ -128,6 +129,17 @@ class P2Server {
     /// coordinate fan-out width of hw_threads - (pipeline + reader threads)
     /// via set_adaptive_parallel_default. An explicit env knob always wins.
     bool adaptive_parallel = true;
+    /// Overload protection (DESIGN.md §13). Queue depth at or above
+    /// high_water * queue_cap enters degraded mode: refresh PREPAREs are
+    /// deprioritized (retryable Overloaded) before any decrypt is shed.
+    double overload_high_water = 0.75;
+    /// Ceiling on the server-computed retry-after hint attached to every
+    /// Overloaded response (queue depth x EWMA per-item crypto cost).
+    std::uint32_t retry_after_cap_ms = 2000;
+    /// Artificial per-batch crypto-stage delay (tests and the --overload
+    /// bench): lets a mock-group server present a controllable capacity so
+    /// saturation is deterministic instead of a race against real crypto.
+    std::chrono::microseconds inject_crypto_delay{0};
   };
 
   /// `sk2` seeds the share only when no journal exists in state_dir;
@@ -148,7 +160,11 @@ class P2Server {
         // threads cover comfortably.
         pool_(opt_.pipeline ? kControlWorkers : opt_.workers, opt_.queue_cap),
         batcher_(typename BatchCollector<DecJob>::Options{
-            effective_batch_cap(opt_), opt_.batch_wait, opt_.queue_cap}) {
+            effective_batch_cap(opt_), opt_.batch_wait, opt_.queue_cap}),
+        gov_(OverloadGovernor::Options{.workers = opt_.workers,
+                                       .queue_cap = opt_.queue_cap,
+                                       .high_water = opt_.overload_high_water,
+                                       .hint_cap_ms = opt_.retry_after_cap_ms}) {
     if (rec_.pending) pending_ = std::move(rec_.pending);
     if (journal_.attached() && !rec_.loaded)
       persist(0, ser_share(), std::nullopt);  // initial durable record
@@ -196,6 +212,8 @@ class P2Server {
   [[nodiscard]] std::uint64_t inflight() const { return coord_.inflight(); }
   [[nodiscard]] std::uint64_t requests_served() const { return requests_.load(); }
   [[nodiscard]] std::uint64_t refreshes_served() const { return refreshes_.load(); }
+  /// Overload governor (shed counters, EWMA crypto cost) — read-only.
+  [[nodiscard]] const OverloadGovernor& gov() const { return gov_; }
   [[nodiscard]] bool recovered_from_journal() const { return rec_.loaded; }
   [[nodiscard]] bool has_pending_for_test() const {
     std::lock_guard lock(pending_mu_);
@@ -287,6 +305,9 @@ class P2Server {
     std::uint64_t epoch = 0;
     Bytes round1;
     std::chrono::steady_clock::time_point enq{};
+    // Absolute expiry derived from the request's deadline budget at decode
+    // time; the epoch value (time_point{}) means "no deadline".
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   [[nodiscard]] static std::size_t effective_batch_cap(const Options& o) {
@@ -313,6 +334,12 @@ class P2Server {
         {"workers", std::to_string(opt_.workers)},
         {"pipeline", opt_.pipeline ? "true" : "false"},
         {"batch_queue", std::to_string(batcher_.queued())},
+        {"queue_cap", std::to_string(opt_.queue_cap)},
+        {"degraded", gov_.degraded(pool_.queued() + batcher_.queued()) ? "true" : "false"},
+        {"shed_overload", std::to_string(gov_.shed_overload())},
+        {"shed_deadline", std::to_string(gov_.shed_deadline())},
+        {"shed_refresh", std::to_string(gov_.shed_refresh())},
+        {"crypto_cost_us_ewma", std::to_string(gov_.cost_us())},
         {"draining", draining_stop_.load() ? "true" : "false"},
         {"pending_refresh", pending ? "true" : "false"},
         {"requests", std::to_string(requests_.load())},
@@ -425,10 +452,30 @@ class P2Server {
         if (!enqueue_dec(conn, std::move(f))) break;
         continue;
       }
-      if (!pool_.submit([this, conn, f = std::move(f)]() mutable {
-            handle(*conn, std::move(f));
-          }))
-        break;  // pool stopping
+      // Stash the header before the body moves into the job: a Full verdict
+      // must still answer on the request's session with its trace intact.
+      transport::Frame hdr{f.session, f.type,
+                           static_cast<std::uint8_t>(net::DeviceId::P2), f.label, {}};
+      hdr.trace_id = f.trace_id;
+      hdr.parent_span = f.parent_span;
+      const auto sub = pool_.try_submit([this, conn, f = std::move(f)]() mutable {
+        handle(*conn, std::move(f));
+      });
+      if (sub == WorkerPool::Submit::Stopped) break;  // pool stopping
+      if (sub == WorkerPool::Submit::Full) {
+        // Reader never blocks on a saturated pool (DESIGN.md §13): shed with
+        // a retryable Overloaded + drain-time hint instead of stalling every
+        // request behind this one on the connection.
+        const std::size_t depth = pool_.queued() + batcher_.queued();
+        gov_.count_shed_overload();
+        shed_event("cause=pool-full label=" + hdr.label, gov_.shed_overload());
+        try {
+          send_err(*conn, hdr, ServiceErrc::Overloaded, "worker queue full",
+                   gov_.retry_after_ms(depth));
+        } catch (const transport::TransportError&) {
+          break;
+        }
+      }
     }
     // Find our ConnState and mark it reapable by the accept loop.
     std::lock_guard lock(conns_mu_);
@@ -494,17 +541,37 @@ class P2Server {
         default:
           break;
       }
+      const auto now = std::chrono::steady_clock::now();
       DecJob job{conn,          f.session,
                  f.trace_id,    f.parent_span,
                  req.epoch,     std::move(req.round1),
-                 std::chrono::steady_clock::now()};
-      if (!batcher_.submit(std::move(job))) {
-        coord_.end_decrypt();
-        try {
-          send_err(*conn, f, ServiceErrc::Shutdown, "server shutting down");
-        } catch (...) {
+                 now,
+                 req.deadline_ms == 0
+                     ? std::chrono::steady_clock::time_point{}
+                     : now + std::chrono::milliseconds(req.deadline_ms)};
+      switch (batcher_.try_submit(job)) {
+        case BatchCollector<DecJob>::Submit::Ok:
+          return true;
+        case BatchCollector<DecJob>::Submit::Stopped:
+          coord_.end_decrypt();
+          try {
+            send_err(*conn, f, ServiceErrc::Shutdown, "server shutting down");
+          } catch (...) {
+          }
+          return false;
+        case BatchCollector<DecJob>::Submit::Full: {
+          // Reader never blocks on a saturated batch queue (DESIGN.md §13):
+          // release the admission and shed BEFORE any crypto was spent, with
+          // the estimated backlog drain time as the retry floor.
+          coord_.end_decrypt();
+          const std::size_t depth = batcher_.queued();
+          gov_.count_shed_overload();
+          shed_event("cause=batch-full depth=" + std::to_string(depth),
+                     gov_.shed_overload());
+          send_err(*conn, f, ServiceErrc::Overloaded, "decrypt queue full",
+                   gov_.retry_after_ms(depth));
+          return true;
         }
-        return false;
       }
       return true;
     } catch (const transport::TransportError&) {
@@ -548,6 +615,8 @@ class P2Server {
     };
     std::vector<Out> outs(batch.size());
     const std::uint64_t epoch0 = batch.front().epoch;
+    std::size_t ran = 0;
+    const auto crypto_t0 = std::chrono::steady_clock::now();
     {
       std::shared_lock lock(p2_mu_);
       const auto db = p2_.dec_batch();
@@ -557,6 +626,16 @@ class P2Server {
       FanoutSuppressGuard fanout_guard(batch.size() > 1);
       for (std::size_t i = 0; i < batch.size(); ++i) {
         const DecJob& j = batch[i];
+        // Deadline check at batch formation: a request that expired while
+        // queued is dropped BEFORE its exponentiation is spent -- the client
+        // gave up on it, so crypto on it is pure waste under overload.
+        if (j.deadline != std::chrono::steady_clock::time_point{} && now >= j.deadline) {
+          gov_.count_shed_deadline();
+          outs[i].failed = true;
+          outs[i].errc = ServiceErrc::DeadlineExceeded;
+          outs[i].err = "deadline expired in queue";
+          continue;
+        }
         // Admission-at-enqueue makes a mixed batch impossible; the check is
         // a cheap invariant guard, counted so tests can pin it at zero.
         if (j.epoch != epoch0) {
@@ -566,6 +645,7 @@ class P2Server {
           outs[i].err = "batch epoch mismatch";
           continue;
         }
+        ++ran;
         // Per-request span, adopting the wire trace exactly like the
         // unpipelined path: dec.round2 opens underneath inside run().
         telemetry::ScopedSpan span("svc.dec",
@@ -584,6 +664,12 @@ class P2Server {
         }
       }
     }
+    if (ran > 0 && opt_.inject_crypto_delay.count() > 0)
+      std::this_thread::sleep_for(opt_.inject_crypto_delay);
+    if (ran > 0)
+      gov_.record_batch(ran, std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - crypto_t0)
+                                 .count());
     for (std::size_t i = 0; i < batch.size(); ++i) coord_.end_decrypt();
     requests_.fetch_add(batch.size());
     requests_counter().add(batch.size());
@@ -602,8 +688,19 @@ class P2Server {
     // order, then one coalesced write per connection. A dead connection
     // fails only its own requests.
     std::vector<std::pair<transport::Conn*, std::vector<transport::Frame>>> groups;
+    const auto encode_now = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const DecJob& j = batch[i];
+      // Second deadline check, before encode: the crypto is sunk cost, but a
+      // typed DeadlineExceeded is still cheaper to ship than a full reply the
+      // client has already stopped waiting for.
+      if (!outs[i].failed && j.deadline != std::chrono::steady_clock::time_point{} &&
+          encode_now >= j.deadline) {
+        gov_.count_shed_deadline();
+        outs[i].failed = true;
+        outs[i].errc = ServiceErrc::DeadlineExceeded;
+        outs[i].err = "deadline expired before encode";
+      }
       transport::Frame out;
       if (outs[i].failed) {
         out = transport::Frame{j.session, transport::FrameType::Error,
@@ -714,6 +811,23 @@ class P2Server {
   void handle_ref(transport::Conn& conn, const transport::Frame& f) {
     telemetry::ScopedSpan span("svc.refresh",
                                telemetry::TraceContext{f.trace_id, f.parent_span});
+    // Graceful degradation (DESIGN.md §13): past the high-water mark,
+    // background refresh PREPAREs yield their worker time to decrypts --
+    // availability degrades before anything else. Commits are never shed:
+    // they finish an already-paid-for 2PC and release the drain barrier.
+    // (The keystore server adds the leakage-floor exception; the 2-party
+    // server has a single share whose refresh cadence is client-driven.)
+    {
+      const std::size_t depth = batcher_.queued() + pool_.queued();
+      if (gov_.degraded(depth)) {
+        gov_.count_shed_refresh();
+        shed_event("cause=degraded label=svc.ref depth=" + std::to_string(depth),
+                   gov_.shed_refresh());
+        send_err(conn, f, ServiceErrc::Overloaded, "degraded: refresh deprioritized",
+                 gov_.retry_after_ms(depth));
+        return;
+      }
+    }
     Request req;
     try {
       req = decode_request(f.body);
@@ -889,7 +1003,7 @@ class P2Server {
     // never receives a trace envelope it would reject.
     ok.version = opt_.legacy_hello
                      ? 0
-                     : std::min<std::uint8_t>(h.version, kWireTraceVersion);
+                     : std::min<std::uint8_t>(h.version, kWireDeadlineVersion);
     {
       std::lock_guard lock(pending_mu_);
       const std::uint64_t se = coord_.epoch();
@@ -974,12 +1088,21 @@ class P2Server {
   }
 
   void send_err(transport::Conn& conn, const transport::Frame& req, ServiceErrc code,
-                const std::string& msg) {
+                const std::string& msg, std::uint32_t retry_after_ms = 0) {
     transport::Frame out{req.session, transport::FrameType::Error,
                          static_cast<std::uint8_t>(net::DeviceId::P2), kLabelErr,
-                         encode_error(code, coord_.epoch(), msg)};
+                         encode_error(code, coord_.epoch(), msg, retry_after_ms)};
     stamp_reply(out, req);
     conn.send(out);
+  }
+
+  /// Rate-limited Shed event: under sustained overload the shed path fires
+  /// tens of thousands of times a second; logging every 256th keeps the
+  /// bounded event ring from evicting the rare events (breaker transitions,
+  /// epoch changes) a post-mortem actually needs.
+  static void shed_event(const std::string& detail, std::uint64_t nth) {
+    if (nth % 256 == 1)
+      telemetry::event(telemetry::EventKind::Shed, detail + " n=" + std::to_string(nth));
   }
 
   // Declaration order matters: journal_ and rec_ must initialize before p2_
@@ -993,6 +1116,7 @@ class P2Server {
   EpochCoordinator coord_;
   WorkerPool pool_;
   BatchCollector<DecJob> batcher_;
+  OverloadGovernor gov_;
   std::vector<std::thread> crypto_threads_;
   mutable std::mutex pending_mu_;  // guards pending_, rolled_back_digest_, journal writes
   std::optional<Pending> pending_;

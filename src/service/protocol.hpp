@@ -7,9 +7,11 @@
 // while a refresh drains/runs with Draining -- both retryable: the client
 // re-issues once its epoch catches up.
 //
-//   svc.dec  (Data)  body = u64 epoch | blob dec.r1      -> svc.dec.ok | svc.err
+//   svc.dec  (Data)  body = u64 epoch | blob dec.r1 [| u32 deadline_ms]
+//                                                        -> svc.dec.ok | svc.err
 //   svc.ref  (Data)  body = u64 epoch | blob ref.r1      -> svc.ref.ok | svc.err
 //   svc.err  (Error) body = u8 code | u64 server_epoch | str message
+//                           [| u32 retry_after_ms]
 //
 // Refresh is a two-phase epoch commit (DESIGN.md §9). svc.ref is the PREPARE
 // phase: the server computes and journals the next share but does not
@@ -73,6 +75,13 @@ enum class ServiceErrc : std::uint8_t {
                    // map (ks.map) and re-route -- retryable redirect
   UnknownKey = 8,  // (tenant, key) not provisioned on this shard (and the
                    // shard map says it should be here) -- not retryable
+  Overloaded = 9,  // queue saturated; shed before any crypto was spent.
+                   // Retryable -- the error body carries a retry-after hint
+                   // (queue depth x EWMA per-item crypto cost) the client's
+                   // RetrySchedule honors as a backoff floor
+  DeadlineExceeded = 10,  // the request's deadline budget expired before the
+                          // server could (or did) answer -- not retryable
+                          // here: the client's budget is spent by definition
 };
 
 [[nodiscard]] constexpr const char* service_errc_name(ServiceErrc c) {
@@ -85,6 +94,8 @@ enum class ServiceErrc : std::uint8_t {
     case ServiceErrc::DrainTimeout: return "DrainTimeout";
     case ServiceErrc::WrongShard: return "WrongShard";
     case ServiceErrc::UnknownKey: return "UnknownKey";
+    case ServiceErrc::Overloaded: return "Overloaded";
+    case ServiceErrc::DeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -94,33 +105,45 @@ enum class ServiceErrc : std::uint8_t {
 /// itself -- callers retry them (DecryptionClient::decrypt does so itself).
 class ServiceError : public std::runtime_error {
  public:
-  ServiceError(ServiceErrc code, std::uint64_t server_epoch, const std::string& msg)
+  ServiceError(ServiceErrc code, std::uint64_t server_epoch, const std::string& msg,
+               std::uint32_t retry_after_ms = 0)
       : std::runtime_error(std::string("service: ") + service_errc_name(code) + ": " + msg),
         code_(code),
-        server_epoch_(server_epoch) {}
+        server_epoch_(server_epoch),
+        retry_after_ms_(retry_after_ms) {}
 
   [[nodiscard]] ServiceErrc code() const { return code_; }
   [[nodiscard]] std::uint64_t server_epoch() const { return server_epoch_; }
+  /// Server-computed backoff floor in ms (Overloaded only; 0 = no hint).
+  [[nodiscard]] std::uint32_t retry_after_ms() const { return retry_after_ms_; }
   [[nodiscard]] bool retryable() const {
     return code_ == ServiceErrc::StaleEpoch || code_ == ServiceErrc::Draining ||
            code_ == ServiceErrc::DrainTimeout || code_ == ServiceErrc::Shutdown ||
-           code_ == ServiceErrc::WrongShard;
+           code_ == ServiceErrc::WrongShard || code_ == ServiceErrc::Overloaded;
   }
 
  private:
   ServiceErrc code_;
   std::uint64_t server_epoch_;
+  std::uint32_t retry_after_ms_;
 };
 
 struct Request {
   std::uint64_t epoch = 0;
   Bytes round1;
+  // Remaining deadline budget in ms at send time; 0 = no deadline. Carried as
+  // an optional trailing u32, appended only when nonzero AND the hello
+  // negotiation settled on >= kWireDeadlineVersion (a pre-deadline server
+  // rejects trailing request bytes as BadRequest).
+  std::uint32_t deadline_ms = 0;
 };
 
-[[nodiscard]] inline Bytes encode_request(std::uint64_t epoch, const Bytes& round1) {
+[[nodiscard]] inline Bytes encode_request(std::uint64_t epoch, const Bytes& round1,
+                                          std::uint32_t deadline_ms = 0) {
   ByteWriter w;
   w.u64(epoch);
   w.blob(round1);
+  if (deadline_ms != 0) w.u32(deadline_ms);
   return w.take();
 }
 
@@ -129,16 +152,22 @@ struct Request {
   Request req;
   req.epoch = r.u64();
   req.round1 = r.blob();
+  if (!r.done()) req.deadline_ms = r.u32();  // optional trailing deadline (v2)
   if (!r.done()) throw std::invalid_argument("service request: trailing bytes");
   return req;
 }
 
 [[nodiscard]] inline Bytes encode_error(ServiceErrc code, std::uint64_t server_epoch,
-                                        const std::string& msg) {
+                                        const std::string& msg,
+                                        std::uint32_t retry_after_ms = 0) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(code));
   w.u64(server_epoch);
   w.str(msg);
+  // Optional trailing retry-after hint. Always backward compatible:
+  // decode_error has never checked done() after the message, so a legacy
+  // client simply ignores the extra bytes.
+  if (retry_after_ms != 0) w.u32(retry_after_ms);
   return w.take();
 }
 
@@ -147,12 +176,22 @@ struct Request {
   const auto code = static_cast<ServiceErrc>(r.u8());
   const std::uint64_t epoch = r.u64();
   const std::string msg = r.str();
-  return {code, epoch, msg};
+  std::uint32_t retry_after_ms = 0;
+  if (!r.done()) retry_after_ms = r.u32();  // optional hint (PR 9 servers)
+  return {code, epoch, msg, retry_after_ms};
 }
 
 /// Highest hello/wire-format version this build speaks. Version 1 adds the
 /// frame trace envelope (transport/frame.hpp); 0 means the legacy format.
 inline constexpr std::uint8_t kWireTraceVersion = 1;
+
+/// Version 2 adds the per-request deadline budget (trailing u32 on svc.dec /
+/// ks.dec bodies) and the retry-after hint on svc.err. Negotiated exactly
+/// like kWireTraceVersion: the client offers its highest version in hello,
+/// the server echoes min(client, server). Deadlines are only stamped on the
+/// wire when both sides settled on >= 2; the error hint needs no gate
+/// because decode_error tolerates trailing bytes.
+inline constexpr std::uint8_t kWireDeadlineVersion = 2;
 
 /// How a reconnecting client must resolve a journaled PendingRefresh.
 enum class RefDisposition : std::uint8_t {

@@ -31,6 +31,18 @@ bool WorkerPool::submit(std::function<void()> job) {
   return true;
 }
 
+WorkerPool::Submit WorkerPool::try_submit(std::function<void()> job) {
+  {
+    std::unique_lock lock(mu_);
+    if (stopping_) return Submit::Stopped;
+    if (queue_.size() >= queue_cap_) return Submit::Full;
+    queue_.push_back(std::move(job));
+    depth_gauge().set(static_cast<double>(queue_.size()));
+  }
+  cv_nonempty_.notify_one();
+  return Submit::Ok;
+}
+
 void WorkerPool::stop() {
   {
     std::lock_guard lock(mu_);

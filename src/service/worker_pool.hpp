@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -23,9 +24,15 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
+  enum class Submit : std::uint8_t { Ok = 0, Full = 1, Stopped = 2 };
+
   /// Enqueue a job; blocks while the queue is at capacity. Returns false
   /// (job dropped) if the pool is stopping.
   bool submit(std::function<void()> job);
+
+  /// Non-blocking enqueue: a full queue returns Full immediately (job
+  /// dropped) so readers can shed with Overloaded instead of stalling.
+  [[nodiscard]] Submit try_submit(std::function<void()> job);
 
   /// Stop accepting jobs, drain the queue, join the workers. Idempotent.
   void stop();

@@ -17,6 +17,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::DrainTimeout: return "drain-timeout";
     case EventKind::JournalRecovery: return "journal-recovery";
     case EventKind::SlowRequest: return "slow-request";
+    case EventKind::Shed: return "shed";
+    case EventKind::BreakerOpen: return "breaker-open";
+    case EventKind::BreakerClose: return "breaker-close";
   }
   return "unknown";
 }

@@ -36,6 +36,9 @@ enum class EventKind : std::uint8_t {
   DrainTimeout,     // server stop() abandoned in-flight work
   JournalRecovery,  // runtime resolved a pending refresh from its journal
   SlowRequest,      // server-side request latency over threshold
+  Shed,             // server turned a request away (overload / deadline)
+  BreakerOpen,      // client circuit breaker tripped open
+  BreakerClose,     // client circuit breaker probe succeeded; closed again
 };
 
 /// Stable kebab-case name ("epoch-commit", "slow-request", ...).

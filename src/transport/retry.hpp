@@ -42,8 +42,12 @@ class RetrySchedule {
   /// Record that an attempt failed. Returns the delay to sleep before the
   /// next attempt, or nullopt when the attempt/deadline budget is exhausted
   /// (caller should surface the last error). `rnd` supplies jitter entropy;
-  /// 0 disables jitter for this step.
-  [[nodiscard]] std::optional<std::chrono::milliseconds> next(std::uint64_t rnd = 0) {
+  /// 0 disables jitter for this step. `server_hint` is a server-supplied
+  /// backoff floor (e.g. the Overloaded retry-after): the returned delay is
+  /// never below it -- an overloaded server's own capacity estimate beats
+  /// the client's blind exponential guess.
+  [[nodiscard]] std::optional<std::chrono::milliseconds> next(
+      std::uint64_t rnd = 0, std::chrono::milliseconds server_hint = std::chrono::milliseconds{0}) {
     ++failed_attempts_;
     if (failed_attempts_ >= policy_.max_attempts) return std::nullopt;
     auto delay = backoff_;
@@ -53,8 +57,13 @@ class RetrySchedule {
       const double u = static_cast<double>(rnd % 8192) / 4096.0 - 1.0;
       const auto ms = static_cast<long long>(
           static_cast<double>(delay.count()) * (1.0 + policy_.jitter * u));
-      delay = std::chrono::milliseconds{std::max<long long>(0, ms)};
+      // Clamp to >= 1 ms: jitter = 1.0 with an unlucky rnd maps the delay to
+      // 0, which turns a retry loop against an overloaded server into a hot
+      // spin -- exactly the load amplification the backoff exists to avoid.
+      delay = std::chrono::milliseconds{
+          std::max<long long>(std::max<long long>(1, delay.count() / 2), ms)};
     }
+    delay = std::max(delay, server_hint);
     if (policy_.deadline.count() > 0) {
       const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start_);

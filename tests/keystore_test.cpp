@@ -24,6 +24,7 @@
 #include "group/mock_group.hpp"
 #include "keystore/keystore.hpp"
 #include "keystore/ks_client.hpp"
+#include "keystore/ks_protocol.hpp"
 #include "keystore/ks_server.hpp"
 #include "keystore/scheduler.hpp"
 #include "keystore/segment_journal.hpp"
@@ -32,6 +33,7 @@
 #include "service/client.hpp"
 #include "telemetry/export.hpp"
 #include "transport/fault.hpp"
+#include "transport/mux.hpp"
 
 namespace dlr::keystore {
 namespace {
@@ -1090,6 +1092,212 @@ TEST(KsChaosTest, SeededChaosSoakNeverReturnsAWrongPlaintext) {
                                   : svc.s1->store().epoch_of(id);
     EXPECT_EQ(svc.fleet->epoch_of(id), server_epoch)
         << id.display() << " epochs failed to reconcile";
+  }
+}
+
+
+// ---- overload protection (DESIGN.md §13) --------------------------------------
+
+TEST(KsOverloadTest, LeakageFloorExemptsSpentKeysFromRefreshShedding) {
+  MockGroup gg = make_mock();
+  const auto prm = mock_params();
+  typename KsServer<MockGroup>::Options so;
+  so.workers = 1;
+  so.max_batch = 1;
+  // queue_cap 4: even if the lone worker steals an item the moment the queue
+  // fills, depth stays >= 3 = the 0.75 high-water mark (same geometry as the
+  // P2 degraded-mode test).
+  so.queue_cap = 4;
+  so.inject_crypto_delay = std::chrono::microseconds{50000};
+  so.refresh_shed_floor = 0.5;
+  so.store.budget_bits = 100;
+  so.store.leak_per_dec_bits = 1;
+  KsServer<MockGroup> server(gg, prm, crypto::Rng(9100), so);
+  server.start();
+
+  const KeyId hot{"acme", "hot"}, cold{"acme", "cold"};
+  crypto::Rng rng(9101);
+  auto kg_hot = Core::gen(gg, prm, rng);
+  auto kg_cold = Core::gen(gg, prm, rng);
+  server.store().put(hot, kg_hot.sk2);
+  server.store().put(cold, kg_cold.sk2);
+  schemes::DlrParty1<MockGroup> p1_hot(gg, prm, kg_hot.pk, kg_hot.sk1,
+                                       schemes::P1Mode::Plain, crypto::Rng(9102));
+  schemes::DlrParty1<MockGroup> p1_cold(gg, prm, kg_cold.pk, kg_cold.sk1,
+                                        schemes::P1Mode::Plain, crypto::Rng(9103));
+  p1_hot.prepare_period();
+  p1_cold.prepare_period();
+
+  // Burn 60% of `hot`'s leakage budget with direct (wire-free) decrypts.
+  for (int i = 0; i < 60; ++i) {
+    const auto m = gg.gt_random(rng);
+    const auto c = Core::enc(gg, kg_hot.pk, m, rng);
+    (void)server.store().dec(hot, 0, p1_hot.dec_round1(c, rng));
+  }
+  ASSERT_GE(server.store().spent_frac(hot), so.refresh_shed_floor);
+  ASSERT_LT(server.store().spent_frac(cold), so.refresh_shed_floor);
+
+  // Saturate the lone worker: each one-item batch parks for 50 ms, so the
+  // 4-slot queue stays past the high-water mark for the whole test.
+  const auto m = gg.gt_random(rng);
+  const auto c = Core::enc(gg, kg_cold.pk, m, rng);
+  const Bytes r1 = p1_cold.dec_round1(c, rng);
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      transport::connect_loopback(server.port()), transport::TransportOptions{}));
+  std::vector<std::unique_ptr<transport::SessionMux::Session>> flood;
+  for (int i = 0; i < 12; ++i) {
+    auto sess = mux.open();
+    sess->send(transport::FrameType::Data, 1, kKsDec, encode_ks_request(cold, 0, r1));
+    flood.push_back(std::move(sess));
+  }
+
+  // A barely-spent key's refresh prepare is deprioritized while degraded...
+  auto shed = mux.open();
+  shed->send(transport::FrameType::Data, 1, kKsRef,
+             encode_ks_request(cold, 0, p1_cold.ref_round1()));
+  auto resp = shed->recv(transport::Millis{10000});
+  ASSERT_EQ(resp.type, transport::FrameType::Error);
+  const service::ServiceError err = service::decode_error(resp.body);
+  EXPECT_EQ(err.code(), service::ServiceErrc::Overloaded);
+  EXPECT_GT(err.retry_after_ms(), 0u);
+
+  // ...but a key at/above the floor is served even under the same load: the
+  // leakage ceiling outranks load shedding (availability degrades first).
+  auto exempt = mux.open();
+  exempt->send(transport::FrameType::Data, 1, kKsRef,
+               encode_ks_request(hot, 0, p1_hot.ref_round1()));
+  resp = exempt->recv(transport::Millis{10000});
+  EXPECT_EQ(resp.type, transport::FrameType::Data)
+      << "floor-exempt refresh must be served while degraded";
+  EXPECT_GT(server.gov().shed_refresh(), 0u);
+
+  for (auto& sess : flood) (void)sess->recv(transport::Millis{10000});
+  server.stop();
+}
+
+TEST(KsOverloadTest, StopWhileFloodedJoinsWithoutDeadlock) {
+  // Same regression as the P2 variant: shedding readers must never park in
+  // submit() backpressure, so stop() against a flood joins promptly.
+  MockGroup gg = make_mock();
+  const auto prm = mock_params();
+  typename KsServer<MockGroup>::Options so;
+  so.workers = 1;
+  so.max_batch = 1;
+  so.queue_cap = 2;
+  so.inject_crypto_delay = std::chrono::microseconds{5000};
+  auto server = std::make_unique<KsServer<MockGroup>>(gg, prm, crypto::Rng(9200), so);
+  server->start();
+
+  const KeyId id{"acme", "flood"};
+  crypto::Rng rng(9201);
+  auto kg = Core::gen(gg, prm, rng);
+  server->store().put(id, kg.sk2);
+  schemes::DlrParty1<MockGroup> p1(gg, prm, kg.pk, kg.sk1, schemes::P1Mode::Plain,
+                                   crypto::Rng(9202));
+  p1.prepare_period();
+  const auto m = gg.gt_random(rng);
+  const auto c = Core::enc(gg, kg.pk, m, rng);
+  const Bytes r1 = p1.dec_round1(c, rng);
+  const std::uint16_t port = server->port();
+
+  std::atomic<bool> go{true};
+  std::vector<std::thread> flooders;
+  for (int t = 0; t < 3; ++t)
+    flooders.emplace_back([&] {
+      try {
+        transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+            transport::connect_loopback(port), transport::TransportOptions{}));
+        std::vector<std::unique_ptr<transport::SessionMux::Session>> pending;
+        while (go.load()) {
+          auto sess = mux.open();
+          sess->send(transport::FrameType::Data, 1, kKsDec,
+                     encode_ks_request(id, 0, r1));
+          pending.push_back(std::move(sess));
+          if (pending.size() > 64) pending.erase(pending.begin());
+        }
+      } catch (const transport::TransportError&) {
+        // Server went away mid-flood: exactly the point.
+      }
+    });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server->stop();  // must not deadlock against shedding readers
+  go.store(false);
+  for (auto& t : flooders) t.join();
+  server.reset();
+  SUCCEED();
+}
+
+TEST(KsOverloadTest, SoakUnderOverloadKeepsEveryKeyInsideItsLeakageBudget) {
+  // Chaos-adjacent soak: an overloaded fleet (tiny queue, injected crypto
+  // cost, faulty links) hammers decrypts while the background scheduler
+  // refreshes. The degraded servers shed refresh prepares EXCEPT for keys
+  // at the leakage floor, so no key may ever exhaust its budget.
+  typename KsServer<MockGroup>::Options so;
+  so.workers = 1;
+  so.max_batch = 2;
+  so.queue_cap = 4;
+  so.inject_crypto_delay = std::chrono::microseconds{2000};
+  so.store.budget_bits = 8;
+  so.store.leak_per_dec_bits = 1;
+  so.store.refresh_threshold = 0.5;
+  so.refresh_shed_floor = 0.5;
+  typename KsFleet<MockGroup>::Options fo;
+  fo.refresh_threshold = 0.5;
+  fo.scheduler.sweep_interval = std::chrono::milliseconds(5);
+  fo.scheduler.max_concurrent = 2;
+  // Severed links surface as a fast reconnect, not a 10 s recv stall.
+  fo.request_timeout = transport::Millis{500};
+  fo.retry.base = transport::Millis{2};
+  fo.retry.cap = transport::Millis{40};
+  std::atomic<std::uint64_t> conn_no{0};
+  fo.conn_wrapper = [&](std::shared_ptr<transport::FramedConn> fc)
+      -> std::shared_ptr<transport::Conn> {
+    transport::FaultPlan::Rates rates;
+    rates.drop = 0.01;
+    rates.duplicate = 0.02;
+    rates.delay = 0.03;
+    rates.sever = 0.01;
+    rates.delay_ms = 1;
+    return std::make_shared<transport::FaultInjector>(
+        std::move(fc), transport::FaultPlan::seeded(9301 + conn_no.fetch_add(1), rates));
+  };
+  TwoShards svc(9300, so, so, fo);
+  const auto keys = test_keys(4);
+  for (const auto& id : keys) svc.add(id);
+  svc.fleet->start_scheduler();
+
+  std::atomic<int> wrong{0}, ok{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 3; ++t)
+    ts.emplace_back([&, t] {
+      crypto::Rng rng(9310 + t);
+      for (int i = 0; i < 15; ++i) {
+        const auto& id = keys[(t * 15 + i) % keys.size()];
+        const auto m = svc.gg.gt_random(rng);
+        const auto c = Core::enc(svc.gg, svc.kgs.at(id).pk, m, rng);
+        try {
+          if (svc.gg.gt_eq(svc.fleet->decrypt(id, c), m))
+            ok.fetch_add(1);
+          else
+            wrong.fetch_add(1);
+        } catch (const std::exception&) {
+          // Typed shed/timeout after retries: allowed under overload.
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  for (auto& t : ts) t.join();
+  svc.fleet->stop_scheduler();
+
+  EXPECT_EQ(wrong.load(), 0) << "overload produced a silently wrong plaintext";
+  EXPECT_GT(ok.load(), 0) << "goodput collapsed to zero under 2x load";
+  // The invariant the whole degradation order exists for: continual-leakage
+  // security holds because no key crosses its per-period budget.
+  for (const auto& id : keys) {
+    auto& owner = svc.s0->store().contains(id) ? svc.s0->store() : svc.s1->store();
+    EXPECT_LT(owner.spent_frac(id), 1.0)
+        << id.display() << " exhausted its leakage budget under overload";
   }
 }
 

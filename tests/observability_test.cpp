@@ -113,7 +113,7 @@ TEST(ObservabilityTraceTest, SingleDecryptionYieldsOneTraceTreeAcrossLayers) {
   crypto::Rng rng(1);
   const auto m = svc.gg.gt_random(rng);
   ASSERT_TRUE(svc.gg.gt_eq(client.decrypt(svc.encrypt(m, rng)), m));
-  EXPECT_EQ(client.wire_version(), kWireTraceVersion);
+  EXPECT_EQ(client.wire_version(), kWireDeadlineVersion);
 
   const auto imp = exported_spans(svc);
 #if DLR_TELEMETRY_ENABLED

@@ -16,6 +16,7 @@
 #include "service/client.hpp"
 #include "service/journal.hpp"
 #include "service/p2_server.hpp"
+#include "telemetry/events.hpp"
 #include "transport/fault.hpp"
 
 namespace dlr::service {
@@ -833,6 +834,266 @@ TEST(ServiceChaosTest, SeededChaosSoakNeverReturnsAWrongPlaintext) {
   const auto sk2 = svc.server->share_for_test();
   EXPECT_TRUE(svc.gg.g_eq(Core::reconstruct_msk(svc.gg, sk1, sk2), svc.kg.msk))
       << "chaos soak changed the shared msk";
+}
+
+// ---- overload protection (DESIGN.md §13) --------------------------------------
+
+/// A deliberately tiny server: one crypto worker, one-item batches, a
+/// two-item queue, and an injected crypto delay so saturation is
+/// deterministic rather than a race against mock-group speed.
+struct TinyServer {
+  MockGroup gg = make_mock();
+  schemes::DlrParams prm = mock_params();
+  Core::KeyGenResult kg;
+  std::unique_ptr<P2Server<MockGroup>> server;
+  std::shared_ptr<P1Runtime<MockGroup>> p1;
+
+  explicit TinyServer(std::chrono::microseconds crypto_delay,
+                      std::size_t queue_cap = 2) {
+    crypto::Rng rng(7400);
+    kg = Core::gen(gg, prm, rng);
+    typename P2Server<MockGroup>::Options opt;
+    opt.workers = 1;
+    opt.max_batch = 1;
+    opt.queue_cap = queue_cap;
+    opt.inject_crypto_delay = crypto_delay;
+    server = std::make_unique<P2Server<MockGroup>>(gg, prm, kg.sk2, crypto::Rng(7401),
+                                                   opt);
+    server->start();
+    p1 = std::make_shared<P1Runtime<MockGroup>>(gg, prm, kg.pk, kg.sk1,
+                                                schemes::P1Mode::Plain,
+                                                crypto::Rng(7402), std::string{});
+  }
+  ~TinyServer() { server->stop(); }
+};
+
+TEST(ServiceOverloadTest, SaturatedQueueShedsTypedOverloadedWithRetryAfter) {
+  TinyServer svc(std::chrono::microseconds{20000});
+  crypto::Rng rng(41);
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+  const Bytes round1 = svc.p1->begin_decrypt(c, rng).round1;
+
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      transport::connect_loopback(svc.server->port()), transport::TransportOptions{}));
+  constexpr int kFlood = 30;
+  std::vector<std::unique_ptr<transport::SessionMux::Session>> sessions;
+  for (int i = 0; i < kFlood; ++i) {
+    auto sess = mux.open();
+    sess->send(transport::FrameType::Data, 1, kLabelDecReq, encode_request(0, round1));
+    sessions.push_back(std::move(sess));
+  }
+
+  int ok = 0, shed = 0, other = 0;
+  for (auto& sess : sessions) {
+    const auto resp = sess->recv(transport::Millis{10000});
+    if (resp.type == transport::FrameType::Data) {
+      ++ok;
+      continue;
+    }
+    const ServiceError err = decode_error(resp.body);
+    if (err.code() == ServiceErrc::Overloaded) {
+      ++shed;
+      EXPECT_TRUE(err.retryable());
+      EXPECT_GT(err.retry_after_ms(), 0u)
+          << "every Overloaded response must carry a server-computed hint";
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_GT(ok, 0) << "saturation shed everything -- no goodput at all";
+  EXPECT_GT(shed, 0) << "30 requests against a 2-slot queue never shed";
+  EXPECT_EQ(other, 0);
+  EXPECT_GT(svc.server->gov().shed_overload(), 0u);
+}
+
+TEST(ServiceOverloadTest, ExpiredDeadlineIsDroppedBeforeCryptoIsSpent) {
+  TinyServer svc(std::chrono::microseconds{30000}, /*queue_cap=*/64);
+  crypto::Rng rng(42);
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+  const Bytes round1 = svc.p1->begin_decrypt(c, rng).round1;
+
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      transport::connect_loopback(svc.server->port()), transport::TransportOptions{}));
+  // First request occupies the single worker for ~30 ms...
+  auto busy = mux.open();
+  busy->send(transport::FrameType::Data, 1, kLabelDecReq, encode_request(0, round1));
+  // ...so the second, carrying a 1 ms deadline budget, expires while queued.
+  auto doomed = mux.open();
+  doomed->send(transport::FrameType::Data, 1, kLabelDecReq,
+               encode_request(0, round1, /*deadline_ms=*/1));
+
+  const auto resp = doomed->recv(transport::Millis{10000});
+  ASSERT_EQ(resp.type, transport::FrameType::Error);
+  const ServiceError err = decode_error(resp.body);
+  EXPECT_EQ(err.code(), ServiceErrc::DeadlineExceeded);
+  EXPECT_FALSE(err.retryable()) << "the budget is spent; retrying cannot help";
+  EXPECT_EQ(busy->recv(transport::Millis{10000}).type, transport::FrameType::Data)
+      << "the undeadlined request must still be served";
+  EXPECT_GT(svc.server->gov().shed_deadline(), 0u);
+}
+
+TEST(ServiceOverloadTest, DegradedModeDeprioritizesRefreshPrepares) {
+  // queue_cap 4: even if the lone worker steals an item from the queue the
+  // moment it fills, depth stays >= 3 = the 0.75 high-water mark.
+  TinyServer svc(std::chrono::microseconds{50000}, /*queue_cap=*/4);
+  crypto::Rng rng(43);
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+  const Bytes round1 = svc.p1->begin_decrypt(c, rng).round1;
+
+  transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+      transport::connect_loopback(svc.server->port()), transport::TransportOptions{}));
+  std::vector<std::unique_ptr<transport::SessionMux::Session>> flood;
+  for (int i = 0; i < 10; ++i) {
+    auto sess = mux.open();
+    sess->send(transport::FrameType::Data, 1, kLabelDecReq, encode_request(0, round1));
+    flood.push_back(std::move(sess));
+  }
+
+  // With the 2-slot queue saturated (high water 0.75 * 2), a background
+  // refresh prepare is turned away so decrypts keep the worker. The shed
+  // happens before the payload is decoded, so dummy bytes suffice.
+  auto sess = mux.open();
+  sess->send(transport::FrameType::Data, 1, kLabelRefReq, encode_request(0, Bytes{1, 2, 3}));
+  const auto resp = sess->recv(transport::Millis{10000});
+  ASSERT_EQ(resp.type, transport::FrameType::Error);
+  const ServiceError err = decode_error(resp.body);
+  EXPECT_EQ(err.code(), ServiceErrc::Overloaded);
+  EXPECT_TRUE(err.retryable());
+  EXPECT_GT(err.retry_after_ms(), 0u);
+  for (auto& s : flood) (void)s->recv(transport::Millis{10000});
+  EXPECT_GT(svc.server->gov().shed_refresh(), 0u);
+}
+
+TEST(ServiceOverloadTest, ClientBreakerOpensOnDeadEndpointAndFastFails) {
+  // Nothing listens on the target port: every attempt is a transport failure.
+  const auto gg = make_mock();
+  const auto prm = mock_params();
+  crypto::Rng rng(7500);
+  const auto kg = Core::gen(gg, prm, rng);
+  auto p1 = std::make_shared<P1Runtime<MockGroup>>(gg, prm, kg.pk, kg.sk1,
+                                                   schemes::P1Mode::Plain,
+                                                   crypto::Rng(7501), std::string{});
+  typename DecryptionClient<MockGroup>::Options opt;
+  opt.transport.connect_retries = 0;  // fail each attempt fast
+  opt.max_retries = 1;
+  opt.retry.base = transport::Millis{1};
+  opt.retry.cap = transport::Millis{2};
+  // The fast-fail hint equals the remaining cooldown (60 s); a finite retry
+  // budget keeps the schedule from actually sleeping on it.
+  opt.retry.deadline = transport::Millis{200};
+  opt.breaker.failure_threshold = 2;
+  opt.breaker.open_for = transport::Millis{60000};  // stays open for the test
+  DecryptionClient<MockGroup> client(p1, /*port=*/1, opt);
+
+  const auto m = gg.gt_random(rng);
+  const auto c = Core::enc(gg, kg.pk, m, rng);
+  EXPECT_THROW((void)client.decrypt(c), transport::TransportError);
+  EXPECT_EQ(client.breaker().state(), transport::CircuitBreaker::State::Open)
+      << "two consecutive transport failures must trip the threshold-2 breaker";
+
+  // While open, attempts fail fast with the typed retryable error carrying
+  // the remaining cooldown -- no connect() is even tried.
+  try {
+    (void)client.decrypt(c);
+    FAIL() << "expected a fast-failed Overloaded";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrc::Overloaded);
+    EXPECT_GT(e.retry_after_ms(), 0u);
+  }
+}
+
+TEST(ServiceOverloadTest, BreakerRecoveryEmitsOpenAndCloseEvents) {
+  auto count_events = [](telemetry::EventKind k) {
+    std::uint64_t n = 0;
+    for (const auto& e : telemetry::EventLog::global().events())
+      if (e.kind == k) ++n;
+    return n;
+  };
+  const auto opens0 = count_events(telemetry::EventKind::BreakerOpen);
+  const auto closes0 = count_events(telemetry::EventKind::BreakerClose);
+
+  TinyServer svc(std::chrono::microseconds{0});
+  const std::uint16_t port = svc.server->port();
+  svc.server->stop();  // endpoint goes dark; its port is what the client dials
+
+  typename DecryptionClient<MockGroup>::Options opt;
+  opt.transport.connect_retries = 0;
+  opt.max_retries = 1;
+  opt.retry.base = transport::Millis{1};
+  opt.retry.cap = transport::Millis{2};
+  opt.retry.deadline = transport::Millis{100};
+  opt.breaker.failure_threshold = 1;
+  opt.breaker.open_for = transport::Millis{150};
+  DecryptionClient<MockGroup> client(svc.p1, port, opt);
+
+  crypto::Rng rng(7460);
+  const auto m = svc.gg.gt_random(rng);
+  const auto c = Core::enc(svc.gg, svc.kg.pk, m, rng);
+  // First attempt fails on transport and trips the threshold-1 breaker; the
+  // retry then surfaces the fast-failed Overloaded once the budget is spent.
+  EXPECT_ANY_THROW((void)client.decrypt(c));
+  EXPECT_EQ(client.breaker().state(), transport::CircuitBreaker::State::Open);
+
+  // Bring the endpoint back on the SAME port; once the cooldown elapses the
+  // half-open probe succeeds and the breaker closes again.
+  typename P2Server<MockGroup>::Options sopt;
+  sopt.workers = 1;
+  svc.server = std::make_unique<P2Server<MockGroup>>(svc.gg, svc.prm, svc.kg.sk2,
+                                                     crypto::Rng(7461), sopt);
+  svc.server->start(port);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(svc.gg.gt_eq(client.decrypt(c), m));
+  EXPECT_EQ(client.breaker().state(), transport::CircuitBreaker::State::Closed);
+
+  if (telemetry::EventLog::kCapacity > 0) {
+    EXPECT_GT(count_events(telemetry::EventKind::BreakerOpen), opens0)
+        << "the trip must land in the event log";
+    EXPECT_GT(count_events(telemetry::EventKind::BreakerClose), closes0)
+        << "the recovery must land in the event log";
+  }
+  client.close();
+}
+
+TEST(ServiceOverloadTest, StopWhileFloodedJoinsWithoutDeadlock) {
+  // Regression for the blocking-reader stall: flood a saturated server from
+  // several connections, then stop() mid-flood. Shedding readers must never
+  // park in submit() backpressure, so stop() joins everything promptly.
+  auto svc = std::make_unique<TinyServer>(std::chrono::microseconds{5000});
+  crypto::Rng rng(44);
+  const auto m = svc->gg.gt_random(rng);
+  const auto c = Core::enc(svc->gg, svc->kg.pk, m, rng);
+  const Bytes round1 = svc->p1->begin_decrypt(c, rng).round1;
+  const std::uint16_t port = svc->server->port();
+
+  std::atomic<bool> go{true};
+  std::vector<std::thread> flooders;
+  for (int t = 0; t < 3; ++t)
+    flooders.emplace_back([&] {
+      try {
+        transport::SessionMux mux(std::make_shared<transport::FramedConn>(
+            transport::connect_loopback(port), transport::TransportOptions{}));
+        std::vector<std::unique_ptr<transport::SessionMux::Session>> pending;
+        while (go.load()) {
+          auto sess = mux.open();
+          sess->send(transport::FrameType::Data, 1, kLabelDecReq,
+                     encode_request(0, round1));
+          pending.push_back(std::move(sess));
+          if (pending.size() > 64) pending.erase(pending.begin());
+        }
+      } catch (const transport::TransportError&) {
+        // Server went away mid-flood: exactly the point.
+      }
+    });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  svc->server->stop();  // must not deadlock against shedding readers
+  go.store(false);
+  for (auto& t : flooders) t.join();
+  svc.reset();
+  SUCCEED();
 }
 
 }  // namespace

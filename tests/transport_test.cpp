@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "telemetry/metrics.hpp"
+#include "transport/breaker.hpp"
 #include "transport/channel.hpp"
 #include "transport/fault.hpp"
 #include "transport/retry.hpp"
@@ -396,6 +397,35 @@ TEST(RetryScheduleTest, JitterStaysWithinTheConfiguredFraction) {
   }
 }
 
+TEST(RetryScheduleTest, JitterNeverMapsTheDelayToZero) {
+  // rnd % 8192 == 0 maps u to exactly -1; with jitter = 1.0 the unclamped
+  // delay would be 0 ms -- a hot spin against an already-overloaded server.
+  RetryPolicy p;
+  p.max_attempts = 1000;
+  p.base = Millis{2};
+  p.cap = Millis{2};
+  p.jitter = 1.0;
+  RetrySchedule sched(p);
+  for (int i = 0; i < 50; ++i) {
+    const auto d = sched.next(8192 * static_cast<std::uint64_t>(i + 1));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(d->count(), 1) << "jitter floor must keep every delay >= 1 ms";
+  }
+}
+
+TEST(RetryScheduleTest, ServerHintFloorsTheDelay) {
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.base = Millis{10};
+  p.cap = Millis{500};
+  p.jitter = 0.0;
+  RetrySchedule sched(p);
+  // A hint above the client's own backoff wins...
+  EXPECT_EQ(sched.next(0, Millis{250})->count(), 250);
+  // ...and a hint below it is ignored (doubling continued: 10 -> 20).
+  EXPECT_EQ(sched.next(0, Millis{5})->count(), 20);
+}
+
 TEST(RetryScheduleTest, DeadlineCutsTheBudgetShort) {
   RetryPolicy p;
   p.max_attempts = 1000;
@@ -405,6 +435,81 @@ TEST(RetryScheduleTest, DeadlineCutsTheBudgetShort) {
   p.deadline = Millis{200};  // first 400ms sleep would already overshoot
   RetrySchedule sched(p);
   EXPECT_FALSE(sched.next().has_value());
+}
+
+// ---- circuit breaker ----------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndRejectsWithRetryAfter) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = 3;
+  o.open_for = Millis{1000};
+  CircuitBreaker br(o);
+  const auto t0 = CircuitBreaker::Clock::now();
+
+  EXPECT_EQ(br.state(), CircuitBreaker::State::Closed);
+  br.on_failure(t0);
+  br.on_failure(t0);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::Closed) << "below threshold";
+  br.on_failure(t0);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(br.opens(), 1u);
+
+  const auto adm = br.try_acquire(t0 + Millis{10});
+  EXPECT_FALSE(adm.admitted);
+  EXPECT_GE(adm.retry_after.count(), 1);
+  EXPECT_LE(adm.retry_after.count(), 1000);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbeAndClosesOnSuccess) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = 1;
+  o.open_for = Millis{100};
+  CircuitBreaker br(o);
+  const auto t0 = CircuitBreaker::Clock::now();
+  br.on_failure(t0);
+  ASSERT_EQ(br.state(), CircuitBreaker::State::Open);
+
+  // Cooldown elapsed: exactly one probe is admitted, concurrents bounce.
+  const auto probe = br.try_acquire(t0 + Millis{101});
+  EXPECT_TRUE(probe.admitted);
+  EXPECT_TRUE(probe.probe);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::HalfOpen);
+  const auto second = br.try_acquire(t0 + Millis{102});
+  EXPECT_FALSE(second.admitted);
+  EXPECT_GE(second.retry_after.count(), 1);
+
+  br.on_success();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::Closed);
+  EXPECT_EQ(br.closes(), 1u);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensImmediately) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = 1;
+  o.open_for = Millis{100};
+  CircuitBreaker br(o);
+  const auto t0 = CircuitBreaker::Clock::now();
+  br.on_failure(t0);
+  ASSERT_TRUE(br.try_acquire(t0 + Millis{101}).admitted);
+  br.on_failure(t0 + Millis{102});  // probe failed
+  EXPECT_EQ(br.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(br.opens(), 2u);
+  EXPECT_FALSE(br.try_acquire(t0 + Millis{103}).admitted) << "cooldown re-armed";
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveFailureCount) {
+  CircuitBreaker::Options o;
+  o.failure_threshold = 3;
+  CircuitBreaker br(o);
+  const auto t0 = CircuitBreaker::Clock::now();
+  br.on_failure(t0);
+  br.on_failure(t0);
+  br.on_success();  // endpoint answered: the streak is broken
+  br.on_failure(t0);
+  br.on_failure(t0);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::Closed);
+  br.on_failure(t0);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::Open);
 }
 
 // ---- fault injection ----------------------------------------------------------
