@@ -24,6 +24,13 @@
 //   bench_t4_keystore [--keys N] [--shards S] [--requests R] [--clients C]
 //                     [--lambda L] [--zipf Z] [--seed X] [--restarts K]
 //                     [--reps R] [--json out.jsonl]
+//
+// --reshard switches to the live-resharding sweep (DESIGN.md §14): the fleet
+// starts with --shards owners plus one empty standby, serves the Zipf mix,
+// then propose_map()s the (shards+1)-way map while clients keep decrypting.
+// Requests are bucketed pre/during/post cut-over and split by whether their
+// key migrates, reporting goodput retention and p50/p99 for the non-migrating
+// population (gate: >= 80% goodput during the rebalance) as bench.reshard.*.
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -67,7 +74,15 @@ struct Config {
   /// phases cancels instead of masquerading as a keystore tax (same
   /// trick as bench_t3 --scrape).
   int reps = 3;
+  /// Live-resharding sweep instead of the steady-state throughput run.
+  bool reshard = false;
 };
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
 
 int int_flag(int argc, char** argv, const char* name, int def) {
   for (int i = 1; i + 1 < argc; ++i)
@@ -167,6 +182,23 @@ struct Fleet {
     const ShardMap m(version, std::move(infos));
     for (auto& s : servers) s->set_shard_map(m);
     if (fleet) fleet->set_map(m);
+  }
+
+  /// Start an empty shard outside the current map: the rebalance target.
+  void add_standby(int shard) {
+    dirs.push_back(make_state_dir(shard));
+    servers.push_back(make_server(shard, cfg.seed * 100 + shard));
+    servers.back()->start();
+    servers.back()->set_shard_map(servers[0]->shard_map());
+  }
+
+  /// Map over the first `nshards` servers (which may exceed cfg.shards once
+  /// the standby has joined).
+  [[nodiscard]] ShardMap map_over(std::uint64_t version, int nshards) const {
+    std::vector<ShardInfo> infos;
+    for (int s = 0; s < nshards; ++s)
+      infos.push_back({static_cast<std::uint32_t>(s), "", servers[s]->port()});
+    return ShardMap(version, std::move(infos));
   }
 
   ~Fleet() {
@@ -305,6 +337,230 @@ RestartStats run_restarts(Fleet& fx) {
   return st;
 }
 
+// --- --reshard: availability while the keyspace rebalances 2 -> 3 ----------
+
+/// One timed decrypt, tagged with the phase it started in (0 pre, 1 during,
+/// 2 post) and whether its key migrates under the proposed map.
+struct ReshardSample {
+  int phase;
+  bool migrating;
+  double lat_us;
+};
+
+int reshard_main(Config cfg, int argc, char** argv) {
+  cfg.clients = std::max(2, cfg.clients);  // one client per population, minimum
+  Fleet fx(cfg);
+  const int nshards_after = cfg.shards + 1;
+  fx.add_standby(cfg.shards);
+
+  const ShardMap before_map = fx.servers[0]->shard_map();
+  const ShardMap after_map = fx.map_over(before_map.version() + 1, nshards_after);
+
+  // Which keys move under the proposed map? Decided by consistent hashing,
+  // so client threads can tag samples without asking the servers.
+  std::vector<char> migrates(fx.ids.size(), 0);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < fx.ids.size(); ++i)
+    if (before_map.owner(fx.ids[i]) != after_map.owner(fx.ids[i])) {
+      migrates[i] = 1;
+      ++moved;
+    }
+
+  std::printf(
+      "backend=mock  lambda=%zu  keys=%d  shards=%d->%d  clients=%d  zipf=%.2f  "
+      "seed=%llu  moving=%zu\n\n",
+      cfg.lambda, cfg.keys, cfg.shards, nshards_after, cfg.clients, cfg.zipf,
+      static_cast<unsigned long long>(cfg.seed), moved);
+
+  // Per-client pre-encrypted Zipf pools, cycled for as long as the phases
+  // run. Clients are split between the two populations (half on keys that
+  // stay put, half on keys that move) so that a migrating key parked in its
+  // Draining window cannot head-of-line-block the non-migrating measurement
+  // inside a shared closed loop -- the availability question is about the
+  // servers, not about this harness's thread budget.
+  std::vector<std::size_t> stay_idx, move_idx;
+  for (std::size_t i = 0; i < fx.ids.size(); ++i)
+    (migrates[i] ? move_idx : stay_idx).push_back(i);
+  if (stay_idx.empty() || move_idx.empty()) {
+    std::fprintf(stderr, "reshard: degenerate split (%zu stay / %zu move)\n",
+                 stay_idx.size(), move_idx.size());
+    return 1;
+  }
+  const int stay_clients = std::max(1, cfg.clients / 2);
+
+  struct Req {
+    std::size_t key;
+    MockGroup::GT m;
+    Core::Ciphertext ct;
+  };
+  const int per_client = std::max(64, (cfg.requests + cfg.clients - 1) / cfg.clients);
+  std::vector<std::vector<Req>> work(cfg.clients);
+  for (int c = 0; c < cfg.clients; ++c) {
+    const auto& keys_of = c < stay_clients ? stay_idx : move_idx;
+    bench::Zipf zipf(keys_of.size(), cfg.zipf, cfg.seed * 1000 + c);
+    crypto::Rng rng(5000 + cfg.seed * 10 + c);
+    work[c].reserve(per_client);
+    for (int i = 0; i < per_client; ++i) {
+      Req r;
+      r.key = keys_of[zipf.next()];
+      r.m = fx.gg.gt_random(rng);
+      r.ct = Core::enc(fx.gg, fx.kgs[r.key].pk, r.m, rng);
+      work[c].push_back(std::move(r));
+    }
+    bench::seeded_shuffle(work[c], cfg.seed + c);
+  }
+
+  fx.fleet->start_scheduler();
+
+  // Phase machine: 0 = steady state, 1 = rebalance in flight, 2 = settled,
+  // 3 = stop. Clients tag each request with the phase it started in; the
+  // driver thread advances the phase around propose_map() and settle.
+  std::atomic<int> phase{0};
+  std::atomic<int> errors{0};
+  std::vector<std::vector<ReshardSample>> samples(cfg.clients);
+  std::vector<std::thread> ts;
+  ts.reserve(cfg.clients);
+  for (int c = 0; c < cfg.clients; ++c)
+    ts.emplace_back([&, c] {
+      auto& out = samples[static_cast<std::size_t>(c)];
+      out.reserve(65536);
+      const auto& pool = work[static_cast<std::size_t>(c)];
+      std::size_t i = 0;
+      while (true) {
+        const int ph = phase.load(std::memory_order_relaxed);
+        if (ph >= 3) break;
+        const auto& r = pool[i++ % pool.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        bool ok = true;
+        try {
+          ok = fx.gg.gt_eq(fx.fleet->decrypt(fx.ids[r.key], r.ct), r.m);
+        } catch (const std::exception&) {
+          ok = false;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!ok) errors.fetch_add(1);
+        out.push_back({ph, migrates[r.key] != 0,
+                       std::chrono::duration<double, std::micro>(t1 - t0).count()});
+      }
+    });
+
+  const auto warm = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+
+  const auto t_prop = std::chrono::steady_clock::now();
+  phase.store(1);
+  for (auto& s : fx.servers) (void)s->propose_map(after_map);
+
+  auto settled = [&fx] {
+    for (auto& s : fx.servers)
+      if (s->mig_halted() || !s->mig_idle() || s->reshard_window_open()) return false;
+    return true;
+  };
+  bool did_settle = false;
+  for (int i = 0; i < 120000 / 5; ++i) {
+    if ((did_settle = settled())) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto t_settle = std::chrono::steady_clock::now();
+  phase.store(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  phase.store(3);
+  for (auto& t : ts) t.join();
+  fx.fleet->stop_scheduler();
+
+  const double pre_secs = std::chrono::duration<double>(t_prop - warm).count();
+  const double mig_secs = std::chrono::duration<double>(t_settle - t_prop).count();
+
+  // Conservation: every moving key handed over exactly once.
+  std::uint64_t mig_out = 0, mig_in = 0;
+  for (auto& s : fx.servers) {
+    mig_out += s->migrated_out();
+    mig_in += s->migrated_in();
+  }
+
+  // Bucket the samples.
+  std::vector<double> pre_lat, dur_stay_lat, dur_move_lat, post_lat;
+  std::size_t pre_stay = 0, dur_stay = 0, dur_move = 0, post_n = 0;
+  for (const auto& per : samples)
+    for (const auto& s : per) {
+      switch (s.phase) {
+        case 0:
+          pre_lat.push_back(s.lat_us);
+          if (!s.migrating) ++pre_stay;
+          break;
+        case 1:
+          (s.migrating ? dur_move_lat : dur_stay_lat).push_back(s.lat_us);
+          (s.migrating ? ++dur_move : ++dur_stay);
+          break;
+        default:
+          post_lat.push_back(s.lat_us);
+          ++post_n;
+          break;
+      }
+    }
+
+  const double pre_stay_rps = pre_secs > 0 ? static_cast<double>(pre_stay) / pre_secs : 0;
+  const double dur_stay_rps = mig_secs > 0 ? static_cast<double>(dur_stay) / mig_secs : 0;
+  const double dur_move_rps = mig_secs > 0 ? static_cast<double>(dur_move) / mig_secs : 0;
+  const double post_rps =
+      post_n > 0 ? static_cast<double>(post_n) /
+                       std::chrono::duration<double>(std::chrono::milliseconds(400)).count()
+                 : 0;
+  const double goodput_pct =
+      pre_stay_rps > 0 ? dur_stay_rps / pre_stay_rps * 100.0 : 0;
+
+  const bool conserved = did_settle && mig_out == moved && mig_in == moved;
+
+  auto& reg = telemetry::Registry::global();
+  const telemetry::Labels tag{{"keys", std::to_string(cfg.keys)},
+                              {"shards", std::to_string(cfg.shards)}};
+  reg.gauge("bench.reshard.moved_keys", tag).set(static_cast<double>(moved));
+  reg.gauge("bench.reshard.migration_ms", tag).set(mig_secs * 1e3);
+  reg.gauge("bench.reshard.pre_nonmig_rps", tag).set(pre_stay_rps);
+  reg.gauge("bench.reshard.during_nonmig_rps", tag).set(dur_stay_rps);
+  reg.gauge("bench.reshard.during_mig_rps", tag).set(dur_move_rps);
+  reg.gauge("bench.reshard.post_rps", tag).set(post_rps);
+  reg.gauge("bench.reshard.goodput_nonmig_pct", tag).set(goodput_pct);
+  reg.gauge("bench.reshard.p50_pre_us", tag).set(percentile(pre_lat, 0.50));
+  reg.gauge("bench.reshard.p99_pre_us", tag).set(percentile(pre_lat, 0.99));
+  reg.gauge("bench.reshard.p50_during_nonmig_us", tag).set(percentile(dur_stay_lat, 0.50));
+  reg.gauge("bench.reshard.p99_during_nonmig_us", tag).set(percentile(dur_stay_lat, 0.99));
+  reg.gauge("bench.reshard.p99_during_mig_us", tag).set(percentile(dur_move_lat, 0.99));
+  reg.gauge("bench.reshard.p99_post_us", tag).set(percentile(post_lat, 0.99));
+  reg.gauge("bench.reshard.errors", tag).set(static_cast<double>(errors.load()));
+  reg.gauge("bench.reshard.migrated_out", tag).set(static_cast<double>(mig_out));
+  reg.gauge("bench.reshard.migrated_in", tag).set(static_cast<double>(mig_in));
+
+  bench::Table table({"metric", "value"});
+  table.row({"keyspace (keys / shards before -> after)",
+             std::to_string(cfg.keys) + " / " + std::to_string(cfg.shards) + " -> " +
+                 std::to_string(nshards_after)});
+  table.row({"keys migrated (expected / out / in)",
+             std::to_string(moved) + " / " + std::to_string(mig_out) + " / " +
+                 std::to_string(mig_in)});
+  table.row({"rebalance wall time (ms)", bench::fmt(mig_secs * 1e3, 1)});
+  table.row({"req/s non-migrating (pre)", bench::fmt(pre_stay_rps, 1)});
+  table.row({"req/s non-migrating (during)", bench::fmt(dur_stay_rps, 1)});
+  table.row({"req/s migrating (during)", bench::fmt(dur_move_rps, 1)});
+  table.row({"req/s (post, settled)", bench::fmt(post_rps, 1)});
+  table.row({"non-migrating goodput retained (%)", bench::fmt(goodput_pct, 1)});
+  table.row({"p50/p99 pre (us)", bench::fmt(percentile(pre_lat, 0.50), 0) + " / " +
+                                     bench::fmt(percentile(pre_lat, 0.99), 0)});
+  table.row({"p50/p99 during, non-migrating (us)",
+             bench::fmt(percentile(dur_stay_lat, 0.50), 0) + " / " +
+                 bench::fmt(percentile(dur_stay_lat, 0.99), 0)});
+  table.row({"p99 during, migrating (us)", bench::fmt(percentile(dur_move_lat, 0.99), 0)});
+  table.row({"p99 post (us)", bench::fmt(percentile(post_lat, 0.99), 0)});
+  table.row({"decrypt errors / wrong plaintexts", std::to_string(errors.load())});
+  table.row({"settled / conserved", std::string(did_settle ? "yes" : "NO") + " / " +
+                                        (conserved ? "yes" : "NO")});
+  table.print();
+
+  telemetry::Tracer::global().reset();
+  bench::export_json_if_requested(argc, argv, "bench_t4_keystore");
+  return errors.load() == 0 && conserved ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -319,6 +575,13 @@ int main(int argc, char** argv) {
   cfg.seed = bench::u64_flag(argc, argv, "--seed", cfg.seed);
   cfg.restarts = int_flag(argc, argv, "--restarts", cfg.restarts);
   cfg.reps = std::max(1, int_flag(argc, argv, "--reps", cfg.reps));
+  cfg.reshard = has_flag(argc, argv, "--reshard");
+
+  if (cfg.reshard) {
+    bench::banner("T4: live resharding sweep (availability during 2->3 rebalance)",
+                  "migration protocol of DESIGN.md §14");
+    return reshard_main(cfg, argc, argv);
+  }
 
   bench::banner("T4: multi-tenant keystore throughput (Zipf over sharded fleet)",
                 "keystore deployment of Construction 5.3, DESIGN.md §11");

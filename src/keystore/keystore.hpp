@@ -42,12 +42,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "crypto/rng.hpp"
@@ -61,6 +64,28 @@
 #include "telemetry/metrics.hpp"
 
 namespace dlr::keystore {
+
+/// Per-key live-resharding state (DESIGN.md §14). The hand-off is
+/// single-writer by construction: a key serves on exactly one shard at any
+/// instant, across crashes of either side.
+///
+///   source:       None -> Marked -> Released -> (tombstone, gone)
+///   destination:  (absent) -> Staged -> None (serving)
+///
+/// Marked keys still decrypt (availability) but refuse every share mutation
+/// (prepare/commit/hello -> retryable Draining), freezing the state the
+/// offer ships. Released keys answer WrongShard; Staged keys answer
+/// Draining until the source's durable release reaches them as a commit.
+enum class MigState : std::uint8_t { None = 0, Marked = 1, Staged = 2, Released = 3 };
+
+/// Thrown by a test-installed migration crash hook to simulate a process
+/// kill immediately after a durable step. KsServer parks its migration
+/// machinery (driver + ks.migrate.* routes) until the process is "restarted"
+/// (the object recreated from its state dir), mirroring the compaction
+/// crash matrix.
+struct MigrationHalt : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 template <group::BilinearGroup GG>
 class KeyStore {
@@ -168,6 +193,7 @@ class KeyStore {
     auto e = find(id);
     std::shared_lock lk(e->mu);
     check_not_removed(id, *e);
+    check_mig_decryptable(id, *e);
     if (epoch != e->epoch)
       throw ServiceError(ServiceErrc::StaleEpoch, e->epoch,
                          "request epoch " + std::to_string(epoch) + " != " +
@@ -219,6 +245,7 @@ class KeyStore {
         : ks_(ks), id_(std::move(id)), e_(std::move(e)), lk_(e_->mu),
           batch_(e_->p2.dec_batch()) {
       ks_->check_not_removed(id_, *e_);
+      ks_->check_mig_decryptable(id_, *e_);
     }
 
     const KeyStore* ks_;
@@ -241,6 +268,7 @@ class KeyStore {
     const Bytes digest = crypto::digest_to_bytes(crypto::Sha256::hash(round1));
     std::unique_lock lk(e->mu);
     check_not_removed(id, *e);
+    check_mig_mutable(id, *e);
     if (e->pending && e->pending->epoch == epoch && e->pending->digest == digest)
       return e->pending->reply;  // duplicate prepare: resend verbatim
     if (!e->rolled_back_digest.empty() && e->rolled_back_digest == digest)
@@ -274,6 +302,7 @@ class KeyStore {
     auto e = find(id);
     std::unique_lock lk(e->mu);
     check_not_removed(id, *e);
+    check_mig_mutable(id, *e);
     if (!e->pending || e->pending->epoch != epoch || e->pending->digest != digest) {
       if (e->epoch == epoch + 1) return e->epoch;  // duplicate of installed commit
       throw ServiceError(ServiceErrc::StaleEpoch, e->epoch, "no matching prepared refresh");
@@ -298,6 +327,7 @@ class KeyStore {
     auto e = find(id);
     std::unique_lock lk(e->mu);
     check_not_removed(id, *e);
+    check_mig_mutable(id, *e);
     service::HelloOk ok;
     ok.server_epoch = e->epoch;
     if (h.has_pending) {
@@ -344,6 +374,9 @@ class KeyStore {
     {
       std::shared_lock mlk(map_mu_);
       for (const auto& [id, e] : keys_) {
+        // Mid-migration keys are skipped: the scheduler must not refresh a
+        // share whose state is frozen for shipping (or not yet serving).
+        if (e->mig.load() != 0) continue;
         const double frac = static_cast<double>(e->spent_millibits.load()) /
                             static_cast<double>(budget_millibits());
         max_frac = std::max(max_frac, frac);
@@ -398,6 +431,273 @@ class KeyStore {
     return crypto::digest_to_bytes(h.finish());
   }
 
+  // ---- live resharding (DESIGN.md §14) ----------------------------------
+  //
+  // The store owns the durable half of the hand-off: every transition below
+  // journals the key's full record (now carrying a migration tail) BEFORE
+  // firing the crash hook, so a test that kills the process at any hook
+  // recovers to a state the protocol can resume from. KsServer owns the wire
+  // half (offer/commit/done) and the retry-forever driver.
+
+  /// One crash hook for every durable migration step ("mig.src_mark",
+  /// "mig.src_release", "mig.src_done", "mig.dst_stage", "mig.dst_commit").
+  /// Runs with the entry's exclusive lock held; a MigrationHalt thrown here
+  /// simulates a kill right after the fsync.
+  void set_migration_hook(std::function<void(const char*)> hook) {
+    mig_hook_ = std::move(hook);
+  }
+
+  struct MigStatus {
+    MigState state = MigState::None;
+    std::uint64_t map_version = 0;
+    std::uint32_t dest = 0;  // destination shard (source side) / origin (dest side)
+  };
+
+  struct MigExport {
+    Bytes state;   // the key's journal record, sans migration tail
+    Bytes digest;  // SHA-256 of state: the idempotency token
+    std::uint64_t spent_millibits = 0;
+  };
+
+  /// How a request for `id` should be routed, cheap enough for the reader
+  /// thread: one registry lookup + two atomics, no entry lock.
+  enum class RouteState : std::uint8_t { Absent, Serving, Staged, Released };
+
+  [[nodiscard]] RouteState route_state(const KeyId& id) const {
+    std::shared_lock mlk(map_mu_);
+    const auto it = keys_.find(id);
+    if (it == keys_.end() || it->second->removed.load()) return RouteState::Absent;
+    switch (static_cast<MigState>(it->second->mig.load())) {
+      case MigState::Staged:
+        return RouteState::Staged;
+      case MigState::Released:
+        return RouteState::Released;
+      case MigState::None:
+      case MigState::Marked:
+        break;
+    }
+    return RouteState::Serving;
+  }
+
+  [[nodiscard]] bool serving(const KeyId& id) const {
+    return route_state(id) == RouteState::Serving;
+  }
+
+  [[nodiscard]] MigStatus mig_status(const KeyId& id) const {
+    std::shared_ptr<Entry> e = find_opt(id);
+    if (!e) return {};
+    std::shared_lock lk(e->mu);
+    return {static_cast<MigState>(e->mig.load()), e->mig_map_version, e->mig_dest};
+  }
+
+  /// Every key id resident in the store (serving, staged, or released) --
+  /// the proposal scan enumerates these against the new map.
+  [[nodiscard]] std::vector<KeyId> key_ids() const {
+    std::vector<KeyId> out;
+    std::shared_lock mlk(map_mu_);
+    out.reserve(keys_.size());
+    for (const auto& [id, e] : keys_)
+      if (!e->removed.load()) out.push_back(id);
+    return out;
+  }
+
+  /// Keys with journaled mid-migration state (Marked/Released), for the
+  /// driver's crash-restart resume.
+  [[nodiscard]] std::vector<std::pair<KeyId, MigStatus>> migrating_keys() const {
+    std::vector<std::pair<KeyId, MigStatus>> out;
+    std::shared_lock mlk(map_mu_);
+    for (const auto& [id, e] : keys_) {
+      const auto m = static_cast<MigState>(e->mig.load());
+      if (m != MigState::Marked && m != MigState::Released) continue;
+      std::shared_lock lk(e->mu);
+      out.push_back({id, {m, e->mig_map_version, e->mig_dest}});
+    }
+    return out;
+  }
+
+  /// Source step 1: durably mark the key as migrating to `dest` under
+  /// `map_version`. Decryptions keep serving; every share mutation now gets
+  /// the retryable Draining, freezing the state the offer will ship (plus
+  /// the spent counter, which stays live until release). Idempotent; a
+  /// Released key accepts only its own (version, dest) -- release is the
+  /// point of no return.
+  void mark_migrating(const KeyId& id, std::uint64_t map_version, std::uint32_t dest) {
+    auto e = find(id);
+    std::unique_lock lk(e->mu);
+    check_not_removed(id, *e);
+    const auto m = static_cast<MigState>(e->mig.load());
+    if (m == MigState::Staged)
+      throw ServiceError(ServiceErrc::Internal, e->epoch,
+                         "mark_migrating on a staged (incoming) key " + id.display());
+    if (m == MigState::Released) {
+      if (e->mig_map_version == map_version && e->mig_dest == dest) return;
+      throw ServiceError(ServiceErrc::Internal, e->epoch,
+                         "re-mark of released key " + id.display() +
+                             " with a different destination");
+    }
+    if (m == MigState::Marked && e->mig_map_version == map_version && e->mig_dest == dest)
+      return;
+    e->mig.store(static_cast<std::uint8_t>(MigState::Marked));
+    e->mig_map_version = map_version;
+    e->mig_dest = dest;
+    e->mig_spent = e->spent_millibits.load();
+    persist_locked(id, *e);
+    mig_event("src_mark", id, map_version);
+    fire_mig_hook("mig.src_mark");
+  }
+
+  /// The map no longer moves this key away: back to plain serving.
+  void unmark_migrating(const KeyId& id) {
+    auto e = find_opt(id);
+    if (!e) return;
+    std::unique_lock lk(e->mu);
+    if (static_cast<MigState>(e->mig.load()) != MigState::Marked) return;
+    e->mig.store(static_cast<std::uint8_t>(MigState::None));
+    e->mig_map_version = 0;
+    e->mig_dest = 0;
+    persist_locked(id, *e);
+  }
+
+  /// Serialize the frozen share state for the ks.migrate.offer. Valid while
+  /// Marked or Released; the digest doubles as the idempotency token on the
+  /// destination.
+  [[nodiscard]] MigExport export_migrating(const KeyId& id) const {
+    auto e = find(id);
+    std::shared_lock lk(e->mu);
+    const auto m = static_cast<MigState>(e->mig.load());
+    if (m != MigState::Marked && m != MigState::Released)
+      throw ServiceError(ServiceErrc::Internal, e->epoch,
+                         "export of non-migrating key " + id.display());
+    MigExport out;
+    out.state = ser_state_locked(*e);
+    out.digest = crypto::digest_to_bytes(crypto::Sha256::hash(out.state));
+    out.spent_millibits =
+        m == MigState::Released ? e->mig_spent : e->spent_millibits.load();
+    return out;
+  }
+
+  /// Source step 2 (cut-over): stop serving. The exclusive lock IS the drain
+  /// barrier -- every in-flight decryption of this key finishes first. The
+  /// final spent count is journaled with the record so a crashed source
+  /// resends the commit with the exact budget position. Idempotent.
+  std::uint64_t release_migrating(const KeyId& id) {
+    auto e = find(id);
+    std::unique_lock lk(e->mu);
+    check_not_removed(id, *e);
+    const auto m = static_cast<MigState>(e->mig.load());
+    if (m == MigState::Released) return e->mig_spent;
+    if (m != MigState::Marked)
+      throw ServiceError(ServiceErrc::Internal, e->epoch,
+                         "release of unmarked key " + id.display());
+    e->mig_spent = e->spent_millibits.load();
+    e->mig.store(static_cast<std::uint8_t>(MigState::Released));
+    persist_locked(id, *e);
+    mig_event("src_release", id, e->mig_map_version);
+    fire_mig_hook("mig.src_release");
+    return e->mig_spent;
+  }
+
+  /// Source step 3: the destination acked the commit -- tombstone and forget.
+  /// Requests now fall through to the map check, which names the new owner.
+  void finalize_migrated(const KeyId& id) {
+    auto e = find_opt(id);
+    if (!e) return;  // duplicate finalize after a crash-restart
+    {
+      std::unique_lock lk(e->mu);
+      if (static_cast<MigState>(e->mig.load()) != MigState::Released)
+        throw ServiceError(ServiceErrc::Internal, e->epoch,
+                           "finalize of unreleased key " + id.display());
+      e->removed.store(true);
+      if (journal_) journal_->tombstone(id);
+    }
+    {
+      std::unique_lock mlk(map_mu_);
+      keys_.erase(id);
+    }
+    publish_keys_gauge();
+    mig_event("src_done", id, 0);
+    fire_mig_hook("mig.src_done");
+  }
+
+  /// Destination step 1: journal the shipped record as Staged (resident but
+  /// not serving -- requests answer Draining until the commit). Returns the
+  /// state digest the ack carries. Idempotent by digest: a duplicate offer
+  /// re-acks; a conflicting one is an Internal fork (state is frozen at the
+  /// source while Marked, so it cannot legitimately differ).
+  [[nodiscard]] Bytes stage_incoming(const KeyId& id, std::uint64_t map_version,
+                                     std::uint32_t from_shard, const Bytes& state,
+                                     std::uint64_t spent_millibits) {
+    const Bytes digest = crypto::digest_to_bytes(crypto::Sha256::hash(state));
+    if (auto existing = find_opt(id)) {
+      std::unique_lock lk(existing->mu);
+      if (!existing->removed.load()) {
+        const Bytes have =
+            crypto::digest_to_bytes(crypto::Sha256::hash(ser_state_locked(*existing)));
+        if (have == digest) {
+          if (static_cast<MigState>(existing->mig.load()) == MigState::Staged)
+            existing->mig_map_version = map_version;
+          return digest;  // duplicate offer (staged or already committed)
+        }
+        throw ServiceError(ServiceErrc::Internal, existing->epoch,
+                           "conflicting migration offer for resident key " +
+                               id.display());
+      }
+    }
+    ByteReader r(state);
+    auto entry = parse_state(r);
+    if (r.remaining())
+      throw ServiceError(ServiceErrc::BadRequest, 0,
+                         "migrated state for " + id.display() + ": trailing bytes");
+    entry->mig.store(static_cast<std::uint8_t>(MigState::Staged));
+    entry->mig_map_version = map_version;
+    entry->mig_dest = from_shard;
+    entry->mig_spent = spent_millibits;
+    entry->spent_millibits.store(spent_millibits);
+    {
+      std::unique_lock lk(entry->mu);
+      persist_locked(id, *entry);
+    }
+    {
+      std::unique_lock mlk(map_mu_);
+      keys_[id] = std::move(entry);
+    }
+    publish_keys_gauge();
+    mig_event("dst_stage", id, map_version);
+    fire_mig_hook("mig.dst_stage");
+    return digest;
+  }
+
+  /// Destination step 2: the source released durably -- start serving. The
+  /// commit's spent count (frozen at release) replaces the offer-time
+  /// snapshot, so the leakage period continues exactly where the source
+  /// stopped charging it. Idempotent: an already-serving key re-acks.
+  void commit_incoming(const KeyId& id, const Bytes& digest,
+                       std::uint64_t spent_millibits) {
+    auto e = find_opt(id);
+    if (!e)
+      throw ServiceError(ServiceErrc::Internal, 0,
+                         "migration commit for unknown key " + id.display());
+    std::unique_lock lk(e->mu);
+    const auto m = static_cast<MigState>(e->mig.load());
+    if (m == MigState::None) return;  // duplicate commit
+    if (m != MigState::Staged)
+      throw ServiceError(ServiceErrc::Internal, e->epoch,
+                         "migration commit for unstaged key " + id.display());
+    const Bytes have =
+        crypto::digest_to_bytes(crypto::Sha256::hash(ser_state_locked(*e)));
+    if (have != digest)
+      throw ServiceError(ServiceErrc::Internal, e->epoch,
+                         "migration commit digest mismatch for " + id.display());
+    e->spent_millibits.store(spent_millibits);
+    e->mig_spent = spent_millibits;
+    e->mig.store(static_cast<std::uint8_t>(MigState::None));
+    e->mig_map_version = 0;
+    e->mig_dest = 0;
+    persist_locked(id, *e);
+    mig_event("dst_commit", id, 0);
+    fire_mig_hook("mig.dst_commit");
+  }
+
   /// Compact the journal if it has accumulated enough sealed segments.
   bool maybe_compact() { return journal_ ? journal_->maybe_compact() : false; }
 
@@ -423,7 +723,13 @@ class KeyStore {
     std::uint64_t epoch = 0;
     std::optional<Pending> pending;
     Bytes rolled_back_digest;
-    bool removed = false;  // set under exclusive mu by remove()
+    // Written under exclusive mu; atomic so route_state() can classify a key
+    // without touching the entry lock on the reader thread.
+    std::atomic<bool> removed{false};
+    std::atomic<std::uint8_t> mig{0};  // MigState
+    std::uint64_t mig_map_version = 0;  // under mu, valid while mig != None
+    std::uint32_t mig_dest = 0;         // under mu: dest shard (src) / origin (dst)
+    std::uint64_t mig_spent = 0;        // under mu: spent frozen at mark/release/stage
     std::atomic<std::uint64_t> spent_millibits{0};
   };
 
@@ -435,12 +741,47 @@ class KeyStore {
     return it->second;
   }
 
+  [[nodiscard]] std::shared_ptr<Entry> find_opt(const KeyId& id) const {
+    std::shared_lock mlk(map_mu_);
+    const auto it = keys_.find(id);
+    return it == keys_.end() ? nullptr : it->second;
+  }
+
   /// Caller holds e.mu (either mode; removed is only written under the
   /// exclusive lock). An op that raced remove() must fail typed, not mutate
   /// state the journal will never see again.
   void check_not_removed(const KeyId& id, const Entry& e) const {
     if (e.removed)
       throw ServiceError(ServiceErrc::UnknownKey, 0, "key " + id.display() + " was removed");
+  }
+
+  /// Caller holds e.mu (either mode). Decryptions keep flowing while Marked
+  /// (availability during the stream) but a Staged copy is not serving yet
+  /// and a Released one never serves again -- the WrongShard tells the
+  /// client to refetch the (already installed) new map.
+  void check_mig_decryptable(const KeyId& id, const Entry& e) const {
+    switch (static_cast<MigState>(e.mig.load())) {
+      case MigState::None:
+      case MigState::Marked:
+        return;
+      case MigState::Staged:
+        throw ServiceError(ServiceErrc::Draining, e.epoch,
+                           "key " + id.display() + " is migrating in");
+      case MigState::Released:
+        throw ServiceError(ServiceErrc::WrongShard, e.epoch,
+                           "key " + id.display() + " migrated to shard " +
+                               std::to_string(e.mig_dest));
+    }
+  }
+
+  /// Caller holds e.mu exclusively. ANY migration state freezes the share
+  /// mutations (prepare/commit/hello): the offer's digest must stay stable
+  /// from mark to commit. Draining is retryable -- the client backs off and
+  /// lands on whichever shard owns the key by then.
+  void check_mig_mutable(const KeyId& id, const Entry& e) const {
+    if (e.mig.load() != 0)
+      throw ServiceError(ServiceErrc::Draining, e.epoch,
+                         "key " + id.display() + " is migrating");
   }
 
   [[nodiscard]] std::uint64_t leak_per_dec_millibits() const {
@@ -463,11 +804,11 @@ class KeyStore {
     return spent;
   }
 
-  /// Serialize + append this key's durable record. Caller holds e.mu
-  /// exclusively (constructor-time calls are unshared). The journal's own
-  /// mutex orders concurrent appends from different keys.
-  void persist_locked(const KeyId& id, Entry& e) {
-    if (!journal_ || e.removed) return;
+  /// The key's portable share state -- exactly what PR 7 journaled, and
+  /// since PR 10 also what a ks.migrate.offer ships. The migration tail is
+  /// NOT part of it: the digest that keys the hand-off's idempotency must
+  /// not change as the hand-off itself advances. Caller holds e.mu.
+  [[nodiscard]] Bytes ser_state_locked(const Entry& e) const {
     ByteWriter w;
     w.u64(e.epoch);
     ByteWriter sw;
@@ -483,11 +824,30 @@ class KeyStore {
       w.blob(e.pending->reply);
     }
     w.blob(e.rolled_back_digest);
+    return w.take();
+  }
+
+  /// Serialize + append this key's durable record (portable state + the
+  /// migration tail). Caller holds e.mu exclusively (constructor-time calls
+  /// are unshared). The journal's own mutex orders concurrent appends from
+  /// different keys.
+  void persist_locked(const KeyId& id, Entry& e) {
+    if (!journal_ || e.removed.load()) return;
+    ByteWriter w;
+    w.raw(ser_state_locked(e));
+    const auto m = static_cast<MigState>(e.mig.load());
+    w.u8(static_cast<std::uint8_t>(m));
+    if (m != MigState::None) {
+      w.u64(e.mig_map_version);
+      w.u32(e.mig_dest);
+      w.u64(e.mig_spent);
+    }
     journal_->append(id, w.take());
   }
 
-  void restore_one(const KeyId& id, const Bytes& state) {
-    ByteReader r(state);
+  /// Parse the portable state into a fresh entry; leaves `r` positioned at
+  /// the migration tail (records) or the end (shipped offers).
+  [[nodiscard]] std::shared_ptr<Entry> parse_state(ByteReader& r) {
     const std::uint64_t epoch = r.u64();
     const Bytes sk2b = r.blob();
     ByteReader sr(sk2b);
@@ -504,8 +864,37 @@ class KeyStore {
       entry->pending = std::move(p);
     }
     if (r.remaining()) entry->rolled_back_digest = r.blob();
+    return entry;
+  }
+
+  void restore_one(const KeyId& id, const Bytes& state) {
+    ByteReader r(state);
+    auto entry = parse_state(r);
+    if (r.remaining()) {
+      const auto m = static_cast<MigState>(r.u8());
+      entry->mig.store(static_cast<std::uint8_t>(m));
+      if (m != MigState::None) {
+        entry->mig_map_version = r.u64();
+        entry->mig_dest = r.u32();
+        entry->mig_spent = r.u64();
+        // A mid-migration key restarts with its journaled budget position
+        // (a lower bound for Marked keys) instead of the usual fresh
+        // period: the position must survive the hand-off.
+        entry->spent_millibits.store(entry->mig_spent);
+      }
+    }
     std::unique_lock mlk(map_mu_);
     keys_[id] = std::move(entry);
+  }
+
+  void fire_mig_hook(const char* step) {
+    if (mig_hook_) mig_hook_(step);
+  }
+
+  static void mig_event(const char* step, const KeyId& id, std::uint64_t map_version) {
+    telemetry::event(telemetry::EventKind::Migrate,
+                     std::string("step=") + step + " key=" + id.display() +
+                         (map_version ? " map_v=" + std::to_string(map_version) : ""));
   }
 
   [[nodiscard]] crypto::Rng next_rng() {
@@ -535,6 +924,7 @@ class KeyStore {
   std::mutex rng_mu_;
   crypto::Rng rng_;  // master: seeds each entry's party rng
   Options opt_;
+  std::function<void(const char*)> mig_hook_;  // test-only crash injection
   std::unique_ptr<SegmentJournal> journal_;
   mutable std::shared_mutex map_mu_;
   std::unordered_map<KeyId, std::shared_ptr<Entry>, KeyIdHash> keys_;

@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -228,6 +229,7 @@ class KsFleet {
     std::vector<RefreshScheduler::Candidate> out;
     std::shared_lock lk(keys_mu_);
     for (const auto& [id, st] : keys_) {
+      if (st->dead.load()) continue;  // removed/migrated away: never requalify
       const auto budget = st->budget_millibits.load();
       if (!budget) continue;  // never decrypted: no budget info yet
       const double frac = static_cast<double>(st->spent_millibits.load()) /
@@ -247,6 +249,13 @@ class KsFleet {
             try {
               refresh_key(id);
               return true;
+            } catch (const ServiceError& e) {
+              // UnknownKey is definitive (non-retryable, so the retry loop
+              // already exhausted re-routing): the key is gone server-side.
+              // Without dropping it here the scheduler would requalify it on
+              // every sweep and the refresh backlog would never drain.
+              if (e.code() == ServiceErrc::UnknownKey) drop_dead_key(id);
+              return false;
             } catch (const std::exception&) {
               return false;
             }
@@ -261,6 +270,10 @@ class KsFleet {
 
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_.load(); }
   [[nodiscard]] std::uint64_t map_refetches() const { return map_refetches_.load(); }
+  /// Callers that blocked on another thread's in-flight map fetch instead of
+  /// issuing their own (the WrongShard-storm dedupe).
+  [[nodiscard]] std::uint64_t map_fetch_waits() const { return map_fetch_waits_.load(); }
+  [[nodiscard]] bool key_dead(const KeyId& id) const { return state(id)->dead.load(); }
 
   /// The breaker guarding `shard` (created on first use; tests/benches).
   [[nodiscard]] transport::CircuitBreaker& shard_breaker(std::uint32_t shard) {
@@ -292,6 +305,9 @@ class KsFleet {
     std::atomic<bool> pending_flag{false};
     std::atomic<std::uint64_t> spent_millibits{0};
     std::atomic<std::uint64_t> budget_millibits{0};  // 0 = unknown yet
+    /// The key is gone on every shard (UnknownKey on refresh): keep the P1
+    /// state for post-mortems but never requalify it for the scheduler.
+    std::atomic<bool> dead{false};
   };
 
   struct Snapshot {
@@ -322,6 +338,18 @@ class KsFleet {
     st.pending_flag.store(false);
     st.epoch.fetch_add(1);
     st.spent_millibits.store(0);
+  }
+
+  /// Mark a key the servers no longer know as dead so candidates() stops
+  /// requalifying it (satellite of the resharding work: a remove()d or
+  /// lost key must not wedge the refresh backlog forever).
+  void drop_dead_key(const KeyId& id) {
+    std::shared_lock lk(keys_mu_);
+    const auto it = keys_.find(id);
+    if (it == keys_.end() || it->second->dead.exchange(true)) return;
+    telemetry::Registry::global().counter("ks.client.dead_keys").add();
+    telemetry::event(telemetry::EventKind::Migrate,
+                     "step=client_drop_dead key=" + id.display());
   }
 
   /// Per-key hello reconciliation, run before any op on a key with pending
@@ -458,6 +486,40 @@ class KsFleet {
     if (map_.empty() || fresh.version() >= map_.version()) map_ = std::move(fresh);
   }
 
+  /// Single-flight ks.map refetch per shard: a storm of WrongShard answers
+  /// (every request in flight when a reshard lands) must not turn into a
+  /// storm of identical map fetches on the same mux. The first caller
+  /// fetches + adopts; the rest block until that fetch completes and re-route
+  /// against the refreshed map. Returns whether a fetch succeeded (ours or
+  /// the one we waited on); false sends the caller down the backoff path.
+  bool refetch_map_single_flight(std::uint32_t shard, transport::SessionMux& m) {
+    std::unique_lock lk(map_fetch_mu_);
+    auto& st = map_fetches_[shard];
+    if (st.in_flight) {
+      map_fetch_waits_.fetch_add(1);
+      telemetry::Registry::global().counter("ks.client.map_fetch_waits").add();
+      const std::uint64_t seen = st.completions;
+      map_fetch_cv_.wait(lk, [&] { return st.completions != seen; });
+      return st.last_ok;
+    }
+    st.in_flight = true;
+    lk.unlock();
+    bool ok = false;
+    try {
+      adopt_map(fetch_map_on(m));
+      map_refetches_.fetch_add(1);
+      ok = true;
+    } catch (const std::exception&) {
+    }
+    lk.lock();
+    st.in_flight = false;
+    st.last_ok = ok;
+    ++st.completions;
+    lk.unlock();
+    map_fetch_cv_.notify_all();
+    return ok;
+  }
+
   /// The routed retry loop shared by every op: route -> run -> on WrongShard
   /// refetch the map from the answering shard, on other retryable errors
   /// back off, on transport failure drop that shard's mux and reconnect.
@@ -508,14 +570,11 @@ class KsFleet {
         if (!delay) throw;
         telemetry::Registry::global().counter("ks.client.retries").add();
         if (e.code() == ServiceErrc::WrongShard && m) {
-          // Stale map: the answering shard serves the current one.
-          try {
-            adopt_map(fetch_map_on(*m));
-            map_refetches_.fetch_add(1);
+          // Stale map: the answering shard serves the current one. Concurrent
+          // misroutes to the same shard collapse to ONE in-flight fetch.
+          if (refetch_map_single_flight(shard, *m))
             continue;  // re-route immediately; no backoff needed
-          } catch (const std::exception&) {
-            // Fall through to the backoff path.
-          }
+          // Fetch failed: fall through to the backoff path.
         }
         std::this_thread::sleep_for(clamp_to_budget(*delay, op_deadline));
       } catch (const transport::TransportError&) {
@@ -609,6 +668,17 @@ class KsFleet {
   std::shared_mutex mux_mu_;
   std::map<std::uint32_t, ShardConns> muxes_;
   bool closed_ = false;  // guarded by mux_mu_
+
+  /// Per-shard single-flight map refetch state (guarded by map_fetch_mu_).
+  struct MapFetch {
+    bool in_flight = false;
+    bool last_ok = false;
+    std::uint64_t completions = 0;
+  };
+  std::mutex map_fetch_mu_;
+  std::condition_variable map_fetch_cv_;
+  std::map<std::uint32_t, MapFetch> map_fetches_;
+  std::atomic<std::uint64_t> map_fetch_waits_{0};
 
   /// Per-shard breakers, created on first route (unique_ptr: the breaker's
   /// mutex pins its address while callers hold references across the map's

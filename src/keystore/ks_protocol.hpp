@@ -20,6 +20,29 @@
 //   ks.map         body = (empty)
 //     -> ks.map.ok        body = ShardMap::encode()
 //
+// Live resharding (DESIGN.md §14) adds an operator/peer surface, gated on
+// the PR 9 hello-v2 wire version (a propose names the minimum version every
+// shard must speak, because the migration routes below did not exist before
+// it):
+//
+//   ks.map.propose body = u8 min_wire_version | blob ShardMap::encode()
+//     -> ks.map.propose.ok body = u32 outgoing_keys
+//   ks.migrate.offer  body = u64 map_version | u32 from_shard | str tenant
+//                          | str key | u64 spent_millibits | blob state
+//     -> ks.migrate.offer.ok  body = blob digest       (SHA-256 of state)
+//   ks.migrate.commit body = u64 map_version | u32 from_shard | str tenant
+//                          | str key | u64 spent_millibits | blob digest
+//     -> ks.migrate.commit.ok body = (empty)
+//   ks.migrate.done   body = u64 map_version | u32 from_shard
+//     -> ks.migrate.done.ok   body = (empty)
+//
+// `state` is the key's full journal record (epoch, share, pending 2PC,
+// rolled-back digest) -- journal-segment shipping: the destination journals
+// it verbatim and acks with its digest, making every migration step
+// idempotent by (key, map_version, digest) exactly like the PR 4 epoch 2PC.
+// spent_millibits carries the live leakage-budget position so the budget
+// period survives the move.
+//
 // ks.dec.ok piggybacks the server's leakage accounting (spent/budget in
 // MILLIbits so fractional per-op charges stay integral on the wire): the
 // client fleet mirrors it into its own refresh scheduler without a separate
@@ -49,6 +72,14 @@ inline constexpr char kKsPut[] = "ks.put";
 inline constexpr char kKsPutOk[] = "ks.put.ok";
 inline constexpr char kKsMap[] = "ks.map";
 inline constexpr char kKsMapOk[] = "ks.map.ok";
+inline constexpr char kKsMapPropose[] = "ks.map.propose";
+inline constexpr char kKsMapProposeOk[] = "ks.map.propose.ok";
+inline constexpr char kKsMigOffer[] = "ks.migrate.offer";
+inline constexpr char kKsMigOfferOk[] = "ks.migrate.offer.ok";
+inline constexpr char kKsMigCommit[] = "ks.migrate.commit";
+inline constexpr char kKsMigCommitOk[] = "ks.migrate.commit.ok";
+inline constexpr char kKsMigDone[] = "ks.migrate.done";
+inline constexpr char kKsMigDoneOk[] = "ks.migrate.done.ok";
 
 struct KsRequest {
   KeyId id;
@@ -130,6 +161,83 @@ struct KsHello {
   while (!r.done()) rest.push_back(r.u8());
   kh.hello = service::decode_hello(rest);
   return kh;
+}
+
+struct KsMapPropose {
+  std::uint8_t min_wire_version = 0;
+  Bytes map_body;  // ShardMap::encode() of the proposed map
+};
+
+[[nodiscard]] inline Bytes encode_ks_map_propose(const Bytes& map_body) {
+  ByteWriter w;
+  w.u8(service::kWireDeadlineVersion);
+  w.blob(map_body);
+  return w.take();
+}
+
+[[nodiscard]] inline KsMapPropose decode_ks_map_propose(const Bytes& body) {
+  ByteReader r(body);
+  KsMapPropose p;
+  p.min_wire_version = r.u8();
+  p.map_body = r.blob();
+  if (!r.done()) throw std::invalid_argument("ks.map.propose: trailing bytes");
+  return p;
+}
+
+/// Shared body of ks.migrate.offer (blob = shipped state) and
+/// ks.migrate.commit (blob = state digest).
+struct KsMigrate {
+  std::uint64_t map_version = 0;
+  std::uint32_t from_shard = 0;
+  KeyId id;
+  std::uint64_t spent_millibits = 0;
+  Bytes blob;
+};
+
+[[nodiscard]] inline Bytes encode_ks_migrate(const KsMigrate& m) {
+  ByteWriter w;
+  w.u64(m.map_version);
+  w.u32(m.from_shard);
+  w.str(m.id.tenant);
+  w.str(m.id.key);
+  w.u64(m.spent_millibits);
+  w.blob(m.blob);
+  return w.take();
+}
+
+[[nodiscard]] inline KsMigrate decode_ks_migrate(const Bytes& body) {
+  ByteReader r(body);
+  KsMigrate m;
+  m.map_version = r.u64();
+  m.from_shard = r.u32();
+  m.id.tenant = r.str();
+  m.id.key = r.str();
+  m.spent_millibits = r.u64();
+  m.blob = r.blob();
+  if (!r.done()) throw std::invalid_argument("ks.migrate: trailing bytes");
+  return m;
+}
+
+[[nodiscard]] inline Bytes encode_ks_mig_done(std::uint64_t map_version,
+                                              std::uint32_t from_shard) {
+  ByteWriter w;
+  w.u64(map_version);
+  w.u32(from_shard);
+  return w.take();
+}
+
+struct KsMigDone {
+  std::uint64_t map_version = 0;
+  std::uint32_t from_shard = 0;
+};
+
+[[nodiscard]] inline KsMigDone decode_ks_mig_done(const Bytes& body) {
+  ByteReader r(body);
+  KsMigDone d;
+  d.map_version = r.u64();
+  d.from_shard = r.u32();
+  if (!r.done()) throw std::invalid_argument("ks.migrate.done: trailing bytes");
+  return d;
 }
 
 [[nodiscard]] inline Bytes encode_ks_put(const KeyId& id, const Bytes& sk2_ser) {

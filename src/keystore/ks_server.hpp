@@ -25,6 +25,24 @@
 // over ks.map -- every shard serves the whole map, so any one bootstrap
 // address suffices.
 //
+// LIVE RESHARDING (DESIGN.md §14): ks.map.propose installs a new map on a
+// shard and enqueues every resident key the new map assigns elsewhere onto a
+// background migration driver, which hands each key to its destination over
+// ks.migrate.offer (ship state, destination journals as Staged and acks the
+// digest) -> release (source durably stops serving; the entry's exclusive
+// lock drains in-flight decrypts) -> ks.migrate.commit (destination starts
+// serving) -> tombstone. Admission is STORE-FIRST: a resident serving key
+// answers no matter what the map says (the map is installed at propose time,
+// before keys have moved), a Staged/Released copy answers Draining/WrongShard,
+// and an absent key the map assigns here answers Draining while the reshard
+// window is open -- the window is the set of peer shards that have not yet
+// broadcast ks.migrate.done, so "not arrived yet" is distinguishable from
+// "does not exist". The operator must propose the SAME map (same version) to
+// every shard of old ∪ new; after a crash-restart, re-proposing with a
+// bumped version resumes journaled half-done migrations and re-closes
+// windows. The whole surface is gated on hello-v2 (ks.map.propose names the
+// minimum wire version, PR 9).
+//
 // The REFRESH SCHEDULER deliberately does not live here: refresh is a
 // two-party protocol and the P1 half lives in the client fleet (KsFleet),
 // which therefore owns the budget-driven scheduler. This server's side of
@@ -36,12 +54,17 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <iterator>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <string>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -58,6 +81,7 @@
 #include "telemetry/events.hpp"
 #include "telemetry/trace.hpp"
 #include "transport/endpoint.hpp"
+#include "transport/mux.hpp"
 
 namespace dlr::keystore {
 
@@ -149,6 +173,10 @@ class KsServer {
     accept_thread_ = std::thread([this] { accept_loop(); });
     if (opt_.compact_interval.count() > 0)
       compact_thread_ = std::thread([this] { compact_loop(); });
+    mig_thread_ = std::thread([this] { migrate_loop(); });
+    // Journaled mid-migration keys (crash restart) go straight back on the
+    // driver; Released ones finish commit-only even before any map arrives.
+    resume_migrations();
   }
 
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
@@ -160,13 +188,95 @@ class KsServer {
   [[nodiscard]] const service::OverloadGovernor& gov() const { return gov_; }
 
   void set_shard_map(ShardMap map) {
-    std::lock_guard lk(map_mu_);
-    map_ = std::move(map);
+    {
+      std::lock_guard lk(map_mu_);
+      map_ = std::move(map);
+    }
+    resume_migrations();
   }
   [[nodiscard]] ShardMap shard_map() const {
     std::lock_guard lk(map_mu_);
     return map_;
   }
+
+  /// Install a proposed map and enqueue every resident key it assigns
+  /// elsewhere for migration (the local half of ks.map.propose; the operator
+  /// calls this -- or sends the route -- on EVERY shard of old ∪ new).
+  /// Returns the number of outgoing keys. The reshard window opens here:
+  /// absent-but-owned keys answer Draining until every peer broadcasts done.
+  std::size_t propose_map(ShardMap proposed) {
+    if (proposed.empty())
+      throw ServiceError(ServiceErrc::BadRequest, 0, "proposed shard map is empty");
+    {
+      std::lock_guard lk(map_mu_);
+      if (!map_.empty() && proposed.version() < map_.version())
+        throw ServiceError(ServiceErrc::BadRequest, 0,
+                           "proposed map version " + std::to_string(proposed.version()) +
+                               " older than installed " + std::to_string(map_.version()));
+      mig_window_version_ = proposed.version();
+      mig_await_done_.clear();
+      for (const auto& s : map_.shards())
+        if (s.id != opt_.shard_id) mig_await_done_.insert(s.id);
+      for (const auto& s : proposed.shards())
+        if (s.id != opt_.shard_id) mig_await_done_.insert(s.id);
+      // A racing peer may have finished + broadcast before our propose
+      // landed; its recorded done must still count against this window.
+      for (auto it = mig_await_done_.begin(); it != mig_await_done_.end();)
+        if (auto seen = mig_done_seen_.find(*it);
+            seen != mig_done_seen_.end() && seen->second >= mig_window_version_)
+          it = mig_await_done_.erase(it);
+        else
+          ++it;
+      map_ = std::move(proposed);
+    }
+    const ShardMap snap = shard_map();
+    std::size_t outgoing = 0;
+    {
+      std::lock_guard lk(mig_mu_);
+      for (const auto& id : store_.key_ids()) {
+        if (id == default_key_id()) continue;  // compat key never migrates
+        const auto rs = store_.route_state(id);
+        const bool out = rs == Store::RouteState::Released ||
+                         (rs == Store::RouteState::Serving &&
+                          snap.owner(id) != opt_.shard_id);
+        if (out && mig_queued_.insert(id).second) {
+          mig_queue_.push_back(id);
+          ++outgoing;
+        }
+      }
+      for (const auto& s : snap.shards())
+        if (s.id != opt_.shard_id) {
+          auto& owed = mig_done_targets_[s.id];
+          owed = std::max(owed, snap.version());
+        }
+      mig_broadcast_pending_ = true;
+    }
+    telemetry::Registry::global()
+        .gauge("ks.migrate.backlog")
+        .set(static_cast<double>(mig_backlog()));
+    mig_cv_.notify_all();
+    return outgoing;
+  }
+
+  /// Migration keys still queued or mid-flight on the driver.
+  [[nodiscard]] std::size_t mig_backlog() const {
+    std::lock_guard lk(mig_mu_);
+    return mig_queued_.size();
+  }
+  /// No queued hand-offs and no done-broadcast owed -- this shard's half of
+  /// the reshard is complete (tests/benches poll this).
+  [[nodiscard]] bool mig_idle() const {
+    std::lock_guard lk(mig_mu_);
+    return mig_queued_.empty() && !mig_broadcast_pending_;
+  }
+  [[nodiscard]] bool mig_halted() const { return mig_halted_.load(); }
+  /// Peers whose ks.migrate.done this shard is still waiting for.
+  [[nodiscard]] bool reshard_window_open() const {
+    std::lock_guard lk(map_mu_);
+    return !mig_await_done_.empty();
+  }
+  [[nodiscard]] std::uint64_t migrated_out() const { return mig_out_total_.load(); }
+  [[nodiscard]] std::uint64_t migrated_in() const { return mig_in_total_.load(); }
 
   void begin_drain() { draining_stop_.store(true); }
 
@@ -174,6 +284,7 @@ class KsServer {
     if (stopping_.exchange(true)) {
       if (accept_thread_.joinable()) accept_thread_.join();
       if (compact_thread_.joinable()) compact_thread_.join();
+      if (mig_thread_.joinable()) mig_thread_.join();
       return;
     }
     draining_stop_.store(true);
@@ -183,6 +294,18 @@ class KsServer {
     }
     compact_cv_.notify_all();
     if (compact_thread_.joinable()) compact_thread_.join();
+    {
+      std::lock_guard lk(mig_mu_);
+      mig_stop_ = true;
+    }
+    mig_cv_.notify_all();
+    if (mig_thread_.joinable()) mig_thread_.join();
+    {
+      std::lock_guard lk(peer_mu_);
+      for (auto& [shard, m] : peer_muxes_)
+        if (m) m->stop();
+      peer_muxes_.clear();
+    }
     const auto deadline = std::chrono::steady_clock::now() + opt_.stop_drain;
     while (std::chrono::steady_clock::now() < deadline && pool_ &&
            (pool_->queued() > 0 || batcher_.queued() > 0))
@@ -263,6 +386,11 @@ class KsServer {
         {"shed_deadline", std::to_string(gov_.shed_deadline())},
         {"shed_refresh", std::to_string(gov_.shed_refresh())},
         {"crypto_cost_us_ewma", std::to_string(gov_.cost_us())},
+        {"migrate_backlog", std::to_string(mig_backlog())},
+        {"migrate_halted", mig_halted_.load() ? "true" : "false"},
+        {"reshard_window", reshard_window_open() ? "open" : "closed"},
+        {"migrated_out", std::to_string(mig_out_total_.load())},
+        {"migrated_in", std::to_string(mig_in_total_.load())},
     };
   }
 
@@ -353,17 +481,37 @@ class KsServer {
     }
   }
 
-  /// WrongShard gate: with a non-empty map installed, refuse keys the map
-  /// assigns to another shard. The default key is exempt -- the single-key
-  /// compat routes must keep working while a map is installed.
+  /// Admission gate, STORE-FIRST since live resharding: a resident serving
+  /// key answers regardless of the map (the new map is installed at propose
+  /// time, before the key has moved), a mid-migration copy answers its
+  /// route-state verdict, and only then does the map speak -- WrongShard if
+  /// it names another shard, Draining if it names us but the key has not
+  /// arrived and the reshard window is still open. The default key is exempt
+  /// -- the single-key compat routes must keep working while a map is
+  /// installed.
   void check_owned(const KeyId& id) const {
     if (id == default_key_id()) return;
+    switch (store_.route_state(id)) {
+      case Store::RouteState::Serving:
+        return;
+      case Store::RouteState::Staged:
+        throw ServiceError(ServiceErrc::Draining, 0,
+                           id.display() + " is migrating to this shard");
+      case Store::RouteState::Released:
+      case Store::RouteState::Absent:
+        break;  // the map decides
+    }
     std::lock_guard lk(map_mu_);
     if (map_.empty()) return;
     const std::uint32_t owner = map_.owner(id);
     if (owner != opt_.shard_id)
       throw ServiceError(ServiceErrc::WrongShard, 0,
                          id.display() + " belongs to shard " + std::to_string(owner));
+    if (!mig_await_done_.empty())
+      throw ServiceError(ServiceErrc::Draining, 0,
+                         id.display() + " awaiting migration hand-off");
+    // Owned, window closed, not resident: fall through to the store's
+    // definitive UnknownKey.
   }
 
   // ---- pipelined decryption path ----------------------------------------
@@ -633,6 +781,14 @@ class KsServer {
           body = map_.encode();
         }
         reply_data(conn, f, kKsMapOk, std::move(body));
+      } else if (f.label == kKsMapPropose) {
+        handle_map_propose(conn, f);
+      } else if (f.label == kKsMigOffer) {
+        handle_mig_offer(conn, f);
+      } else if (f.label == kKsMigCommit) {
+        handle_mig_commit(conn, f);
+      } else if (f.label == kKsMigDone) {
+        handle_mig_done(conn, f);
       } else if (f.label == service::kLabelDecReq) {
         handle_compat_dec(conn, f);
       } else if (f.label == service::kLabelRefReq) {
@@ -643,6 +799,14 @@ class KsServer {
         handle_compat_hello(conn, f);
       } else {
         send_err(conn, f, ServiceErrc::BadRequest, 0, "unknown label '" + f.label + "'");
+      }
+    } catch (const MigrationHalt& e) {
+      // Test-injected "crash after durable step": park every migration
+      // surface (driver + routes) until the process is restarted.
+      mig_halted_.store(true);
+      try {
+        send_err(conn, f, ServiceErrc::Internal, 0, e.what());
+      } catch (...) {
       }
     } catch (const ServiceError& e) {
       try {
@@ -718,6 +882,279 @@ class KsServer {
       return;
     }
     reply_data(conn, f, kKsPutOk, {});
+  }
+
+  // ---- live resharding: wire handlers (DESIGN.md §14) -------------------
+
+  /// ks.migrate.* and ks.map.propose refuse to advance the protocol while a
+  /// simulated crash is in effect -- to the peer this shard IS down.
+  void check_not_halted() const {
+    if (mig_halted_.load())
+      throw ServiceError(ServiceErrc::Internal, 0, "migration machinery halted");
+  }
+
+  void handle_map_propose(transport::Conn& conn, const transport::Frame& f) {
+    check_not_halted();
+    KsMapPropose p;
+    ShardMap proposed;
+    try {
+      p = decode_ks_map_propose(f.body);
+      proposed = ShardMap::decode(p.map_body);
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    if (p.min_wire_version > service::kWireDeadlineVersion) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0,
+               "proposal requires wire version " + std::to_string(p.min_wire_version) +
+                   "; this shard speaks " +
+                   std::to_string(service::kWireDeadlineVersion));
+      return;
+    }
+    const std::size_t outgoing = propose_map(std::move(proposed));
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(outgoing));
+    reply_data(conn, f, kKsMapProposeOk, w.take());
+  }
+
+  void handle_mig_offer(transport::Conn& conn, const transport::Frame& f) {
+    check_not_halted();
+    KsMigrate m;
+    try {
+      m = decode_ks_migrate(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    const Bytes digest =
+        store_.stage_incoming(m.id, m.map_version, m.from_shard, m.blob, m.spent_millibits);
+    reply_data(conn, f, kKsMigOfferOk, digest);
+  }
+
+  void handle_mig_commit(transport::Conn& conn, const transport::Frame& f) {
+    check_not_halted();
+    KsMigrate m;
+    try {
+      m = decode_ks_migrate(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    store_.commit_incoming(m.id, m.blob, m.spent_millibits);
+    mig_in_total_.fetch_add(1);
+    telemetry::Registry::global().counter("ks.migrate.in").add();
+    reply_data(conn, f, kKsMigCommitOk, {});
+  }
+
+  void handle_mig_done(transport::Conn& conn, const transport::Frame& f) {
+    check_not_halted();
+    KsMigDone d;
+    try {
+      d = decode_ks_mig_done(f.body);
+    } catch (const std::exception& e) {
+      send_err(conn, f, ServiceErrc::BadRequest, 0, e.what());
+      return;
+    }
+    {
+      std::lock_guard lk(map_mu_);
+      auto& seen = mig_done_seen_[d.from_shard];
+      seen = std::max(seen, d.map_version);
+      if (d.map_version >= mig_window_version_) mig_await_done_.erase(d.from_shard);
+    }
+    reply_data(conn, f, kKsMigDoneOk, {});
+  }
+
+  // ---- live resharding: driver ------------------------------------------
+
+  /// Re-enqueue journaled mid-migration keys (called from start() and after
+  /// a map install): Released keys resume commit-only against their recorded
+  /// destination; Marked keys re-resolve against the current map.
+  void resume_migrations() {
+    std::size_t queued = 0;
+    {
+      std::lock_guard lk(mig_mu_);
+      for (const auto& [id, st] : store_.migrating_keys())
+        if (mig_queued_.insert(id).second) {
+          mig_queue_.push_back(id);
+          ++queued;
+        }
+    }
+    if (queued > 0) {
+      telemetry::Registry::global().counter("ks.migrate.resumes").add(queued);
+      mig_cv_.notify_all();
+    }
+  }
+
+  /// The retry-forever migration driver: one key at a time, transient errors
+  /// (destination down, transport cut) put the key back on the queue; a
+  /// MigrationHalt from a crash hook parks everything. Once the queue drains,
+  /// broadcast ks.migrate.done so peers can close their reshard windows.
+  void migrate_loop() {
+    std::unique_lock lk(mig_mu_);
+    for (;;) {
+      mig_cv_.wait_for(lk, std::chrono::milliseconds(50), [this] {
+        return mig_stop_ || (!mig_halted_.load() &&
+                             (!mig_queue_.empty() || mig_broadcast_pending_));
+      });
+      if (mig_stop_) return;
+      if (mig_halted_.load()) continue;
+      if (!mig_queue_.empty()) {
+        KeyId id = mig_queue_.front();
+        mig_queue_.pop_front();
+        lk.unlock();
+        bool finished = false;
+        try {
+          migrate_one(id);
+          finished = true;
+        } catch (const MigrationHalt&) {
+          mig_halted_.store(true);
+          finished = true;  // parked; a restart rescans the journal
+        } catch (const std::exception&) {
+          telemetry::Registry::global().counter("ks.migrate.retries").add();
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        lk.lock();
+        if (finished)
+          mig_queued_.erase(id);
+        else
+          mig_queue_.push_back(id);  // still in mig_queued_: dedupe holds
+        telemetry::Registry::global()
+            .gauge("ks.migrate.backlog")
+            .set(static_cast<double>(mig_queued_.size()));
+        continue;
+      }
+      if (mig_broadcast_pending_) {
+        lk.unlock();
+        const bool all_acked = broadcast_done();
+        lk.lock();
+        if (all_acked) mig_broadcast_pending_ = false;
+      }
+    }
+  }
+
+  /// One key's full hand-off. Every step is idempotent, so this is safe to
+  /// re-run from any crash point: a Released key skips the offer (release
+  /// only ever happens after a durable stage ack, and re-offering could race
+  /// a destination that is already serving + refreshing the key).
+  void migrate_one(const KeyId& id) {
+    const auto st = store_.mig_status(id);
+    if (st.state == MigState::Staged) return;  // incoming copy, not ours to move
+    std::uint64_t ver = st.map_version;
+    std::uint32_t dest = st.dest;
+    if (st.state != MigState::Released) {
+      const ShardMap snap = shard_map();
+      if (snap.empty()) return;  // resumes when a map is installed
+      ver = snap.version();
+      dest = snap.owner(id);
+      if (dest == opt_.shard_id) {
+        store_.unmark_migrating(id);  // the map keeps (or gave back) this key
+        return;
+      }
+      store_.mark_migrating(id, ver, dest);
+      const auto exp = store_.export_migrating(id);
+      const Bytes acked = peer_call(
+          dest, kKsMigOffer,
+          encode_ks_migrate({ver, opt_.shard_id, id, exp.spent_millibits, exp.state}),
+          kKsMigOfferOk);
+      if (acked != exp.digest)
+        throw ServiceError(ServiceErrc::Internal, 0,
+                           "offer ack digest mismatch for " + id.display());
+    }
+    const std::uint64_t spent = store_.release_migrating(id);
+    const auto exp = store_.export_migrating(id);
+    (void)peer_call(dest, kKsMigCommit,
+                    encode_ks_migrate({ver, opt_.shard_id, id, spent, exp.digest}),
+                    kKsMigCommitOk);
+    store_.finalize_migrated(id);
+    mig_out_total_.fetch_add(1);
+    telemetry::Registry::global().counter("ks.migrate.out").add();
+  }
+
+  /// Tell every shard of the proposed map that this shard has no more
+  /// outgoing keys. Unreachable peers keep the broadcast pending; the driver
+  /// retries on its 50 ms tick.
+  bool broadcast_done() {
+    std::map<std::uint32_t, std::uint64_t> targets;
+    {
+      std::lock_guard lk(mig_mu_);
+      targets = mig_done_targets_;
+    }
+    bool all = true;
+    for (const auto& [shard, owed] : targets) {
+      try {
+        (void)peer_call(shard, kKsMigDone, encode_ks_mig_done(owed, opt_.shard_id),
+                        kKsMigDoneOk);
+        std::lock_guard lk(mig_mu_);
+        // A racing propose may have bumped what we owe this peer after the
+        // snapshot above; delivering the stale version must not retire the
+        // target or the peer's new window never hears from us.
+        if (auto it = mig_done_targets_.find(shard);
+            it != mig_done_targets_.end() && it->second <= owed)
+          mig_done_targets_.erase(it);
+      } catch (const std::exception&) {
+        all = false;
+      }
+    }
+    if (all) {
+      std::lock_guard lk(mig_mu_);
+      all = mig_done_targets_.empty();
+    }
+    return all;
+  }
+
+  /// Lazily-connected peer mux (shard-to-shard lane), replaced on transport
+  /// failure by peer_call.
+  [[nodiscard]] std::shared_ptr<transport::SessionMux> peer_mux(std::uint32_t shard) {
+    {
+      std::lock_guard lk(peer_mu_);
+      const auto it = peer_muxes_.find(shard);
+      if (it != peer_muxes_.end()) return it->second;
+    }
+    std::uint16_t port = 0;
+    {
+      std::lock_guard lk(map_mu_);
+      const ShardInfo* s = map_.shard(shard);
+      if (!s)
+        throw ServiceError(ServiceErrc::Internal, 0,
+                           "no address for peer shard " + std::to_string(shard));
+      port = s->port;
+    }
+    auto fc = std::make_shared<transport::FramedConn>(
+        transport::connect_loopback(port, opt_.transport), opt_.transport);
+    auto m = std::make_shared<transport::SessionMux>(
+        std::static_pointer_cast<transport::Conn>(std::move(fc)));
+    std::lock_guard lk(peer_mu_);
+    const auto [it, inserted] = peer_muxes_.emplace(shard, m);
+    if (!inserted) {
+      m->stop();
+      return it->second;
+    }
+    return m;
+  }
+
+  /// One request/response to a peer shard. Transport failure drops the lane
+  /// (next call reconnects, picking up a restarted peer's new port from the
+  /// re-proposed map) and rethrows for the driver's requeue.
+  [[nodiscard]] Bytes peer_call(std::uint32_t shard, const char* label, const Bytes& body,
+                                const char* ok_label) {
+    auto m = peer_mux(shard);
+    try {
+      auto sess = m->open();
+      sess->send(transport::FrameType::Data, static_cast<std::uint8_t>(net::DeviceId::P2),
+                 label, body);
+      // Short relative to the client-facing 10 s default: migration frames
+      // are small and peer shards are one loopback hop away, so a stuck
+      // peer should requeue the key quickly instead of pinning the driver.
+      return service::expect_ok(sess->recv(transport::Millis{2000}), ok_label);
+    } catch (const transport::TransportError&) {
+      std::lock_guard lk(peer_mu_);
+      const auto it = peer_muxes_.find(shard);
+      if (it != peer_muxes_.end() && it->second == m) {
+        it->second->stop();
+        peer_muxes_.erase(it);
+      }
+      throw;
+    }
   }
 
   // ---- single-key compatibility routes (svc.*, PR 2-5 wire format) ----
@@ -855,6 +1292,29 @@ class KsServer {
   std::vector<std::thread> crypto_threads_;
   mutable std::mutex map_mu_;
   ShardMap map_;
+  // Reshard window, guarded by map_mu_: peers whose done broadcast we still
+  // await (at mig_window_version_), plus the highest done version ever seen
+  // per peer -- a done racing ahead of our own propose must still count.
+  std::set<std::uint32_t> mig_await_done_;
+  std::uint64_t mig_window_version_ = 0;
+  std::map<std::uint32_t, std::uint64_t> mig_done_seen_;
+  // Migration driver state, guarded by mig_mu_. mig_queued_ covers queued +
+  // in-flight keys so propose/resume re-enqueues dedupe.
+  mutable std::mutex mig_mu_;
+  std::condition_variable mig_cv_;
+  std::deque<KeyId> mig_queue_;
+  std::unordered_set<KeyId, KeyIdHash> mig_queued_;
+  /// Peers owed a ks.migrate.done broadcast -> the highest map version owed.
+  std::map<std::uint32_t, std::uint64_t> mig_done_targets_;
+  bool mig_broadcast_pending_ = false;
+  bool mig_stop_ = false;
+  std::thread mig_thread_;
+  std::atomic<bool> mig_halted_{false};
+  std::atomic<std::uint64_t> mig_out_total_{0};
+  std::atomic<std::uint64_t> mig_in_total_{0};
+  // Shard-to-shard connection per peer, guarded by peer_mu_.
+  std::mutex peer_mu_;
+  std::map<std::uint32_t, std::shared_ptr<transport::SessionMux>> peer_muxes_;
   transport::Listener listener_;
   std::unique_ptr<service::WorkerPool> pool_;
   std::unique_ptr<service::AdminServer> admin_;

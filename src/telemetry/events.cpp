@@ -20,6 +20,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::Shed: return "shed";
     case EventKind::BreakerOpen: return "breaker-open";
     case EventKind::BreakerClose: return "breaker-close";
+    case EventKind::Migrate: return "migrate";
   }
   return "unknown";
 }

@@ -39,6 +39,7 @@ enum class EventKind : std::uint8_t {
   Shed,             // server turned a request away (overload / deadline)
   BreakerOpen,      // client circuit breaker tripped open
   BreakerClose,     // client circuit breaker probe succeeded; closed again
+  Migrate,          // live-resharding hand-off step (DESIGN.md §14)
 };
 
 /// Stable kebab-case name ("epoch-commit", "slow-request", ...).
